@@ -1,0 +1,51 @@
+// Ablation: Algorithm 3 (log-time combine) on/off. Correctness is preserved
+// either way (final dedupe), but disabling it multiplies the surviving
+// triplets that must be expanded and stitched — this bench quantifies that.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/pipeline.h"
+
+using namespace gm;
+
+int main(int argc, char** argv) {
+  const std::size_t scale = bench::default_scale(argc, argv);
+  util::Table table({"reference/query", "L", "combine", "extract s",
+                     "out-tile pieces", "#MEMs"});
+
+  const auto configs = bench::paper_configs();
+  for (const std::size_t idx : {1u, 3u, 7u}) {  // one per dataset family
+    const bench::PaperConfig& pc = configs[idx];
+    const seq::DatasetPair& data = bench::dataset_for(pc.dataset, scale);
+    std::vector<mem::Mem> reference_result;
+    for (const bool combine : {true, false}) {
+      core::Config cfg = bench::gpumem_config(pc, core::Backend::kSimt, data.reference.size());
+      cfg.combine = combine;
+      const core::Result r = core::Engine(cfg).run(data.reference, data.query);
+      if (combine) {
+        reference_result = r.mems;
+      } else if (r.mems != reference_result) {
+        std::cerr << "!! combine off changed results\n";
+        return 1;
+      }
+      table.add_row({pc.dataset, std::to_string(pc.min_len),
+                     combine ? "on" : "off",
+                     util::Table::num(r.stats.device_match_seconds(), 3),
+                     util::Table::num(r.stats.outtile_pieces),
+                     util::Table::num(r.stats.mem_count)});
+      std::cerr << "  " << pc.dataset << " L=" << pc.min_len << " combine="
+                << (combine ? "on" : "off") << ": "
+                << r.stats.device_match_seconds() << " s\n";
+    }
+  }
+
+  bench::emit("ablation_combine", table);
+  std::cout
+      << "Combine never changes the result set (verified above). Its payoff\n"
+         "is workload-dependent: each round pays a fixed 2*log2(tau)-1\n"
+         "barrier schedule and saves one full expansion per merged chain\n"
+         "link — it wins when MEMs are long relative to the step size\n"
+         "(chains of many co-diagonal hits), and loses on short-chain\n"
+         "workloads like these reduced-scale runs.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "util/cli.h"
+
+namespace gm::bench {
+
+std::vector<PaperConfig> paper_configs() {
+  // Paper reference numbers: Table III (GPUMEM index) and Table IV (GPUMEM
+  // extraction; best CPU tool = essaMEM tau=8 except where noted).
+  return {
+      {"chr1m_s/chr2h_s", 100, 11, 1.41, 5.38, 10.14},
+      {"chr1m_s/chr2h_s", 50, 11, 2.51, 9.24, 34.89},
+      {"chr1m_s/chr2h_s", 30, 11, 5.58, 20.19, 32.00},
+      {"chrXc_s/chrXh_s", 50, 11, 1.74, 5.86, 24.91},
+      {"chrXc_s/chrXh_s", 30, 11, 3.11, 11.22, 25.58},
+      {"dmel_s/ecoli_s", 20, 11, 1.20, 0.08, 0.32},
+      {"dmel_s/ecoli_s", 15, 11, 3.19, 0.24, 0.71},
+      {"chrXII_s/chrI_s", 20, 11, 0.38, 0.01, 0.01},
+      {"chrXII_s/chrI_s", 10, 8, 0.05, 0.02, 0.08},
+  };
+}
+
+const seq::DatasetPair& dataset_for(const std::string& preset,
+                                    std::size_t scale) {
+  static std::map<std::pair<std::string, std::size_t>, seq::DatasetPair> cache;
+  auto key = std::make_pair(preset, scale);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    std::cerr << "[bench] generating dataset " << preset << " (scale 1/"
+              << scale << ") ...\n";
+    it = cache.emplace(key, seq::make_dataset(preset, 42, scale)).first;
+  }
+  return it->second;
+}
+
+core::Config gpumem_config(const PaperConfig& pc, core::Backend backend,
+                           std::size_t ref_len) {
+  core::Config cfg;
+  cfg.min_length = pc.min_len;
+  cfg.seed_len = pc.seed_len;
+  cfg.threads = 256;
+  cfg.backend = backend;
+  // Fixed blocks-per-tile, like the paper's "1K × τ × Δs" tile shape: the
+  // tile edge is proportional to Δs, so smaller L (smaller Δs) means more
+  // tile rows and more per-row index builds — the source of Table III's
+  // L-trend. One full device wave (13 SMs × 8 blocks) per tile.
+  (void)ref_len;
+  cfg.tile_blocks = 104;
+  return cfg;
+}
+
+void emit(const std::string& name, const util::Table& table) {
+  std::cout << "== " << name << " ==\n" << table.to_string() << '\n';
+  const std::string path = name + ".csv";
+  if (table.write_csv(path)) {
+    std::cout << "(csv written to " << path << ")\n\n";
+  }
+}
+
+std::size_t default_scale(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  if (cli.has("scale")) {
+    return static_cast<std::size_t>(std::max<std::int64_t>(1, cli.get_int("scale", 2)));
+  }
+  if (const char* env = std::getenv("GPUMEM_BENCH_SCALE")) {
+    return static_cast<std::size_t>(std::max(1l, std::strtol(env, nullptr, 10)));
+  }
+  return 2;
+}
+
+}  // namespace gm::bench

@@ -1,0 +1,54 @@
+// Shared harness for the paper-reproduction benchmarks: the nine
+// reference/query/L configurations of Tables III & IV (scaled per
+// DESIGN.md), tool construction, and uniform reporting.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "mem/finder.h"
+#include "seq/synthetic.h"
+#include "util/table.h"
+
+namespace gm::bench {
+
+/// One row-group of the paper's Tables III/IV.
+struct PaperConfig {
+  std::string dataset;     ///< preset name
+  std::uint32_t min_len;   ///< L
+  std::uint32_t seed_len;  ///< GPUMEM ℓs, scaled from the paper's 13/10
+                           ///< to keep 4^ℓs proportional to the scaled
+                           ///< reference length (see EXPERIMENTS.md)
+  double paper_gpumem_index;    ///< paper Table III GPUMEM seconds
+  double paper_gpumem_extract;  ///< paper Table IV GPUMEM seconds
+  double paper_best_cpu_extract;///< paper Table IV best CPU tool seconds
+};
+
+/// The nine configurations, in the paper's table order.
+std::vector<PaperConfig> paper_configs();
+
+/// Builds (and caches across calls within one process) the dataset pair for
+/// a config at the given additional scale divisor.
+const seq::DatasetPair& dataset_for(const std::string& preset,
+                                    std::size_t scale);
+
+/// GPUMEM configuration used across benchmarks for a paper config.
+/// `ref_len` sizes the tiling so a run sweeps roughly as many tile rows as
+/// the paper's geometry did (ℓtile = 1K·τ·Δs over ~200 Mbp ≈ 20 rows),
+/// keeping the redundant-scan factor — and thus the GPU-vs-CPU time ratio —
+/// comparable at reduced scale.
+core::Config gpumem_config(const PaperConfig& pc, core::Backend backend,
+                           std::size_t ref_len = 0);
+
+/// Writes the table to stdout and to `<name>.csv` in the working directory.
+void emit(const std::string& name, const util::Table& table);
+
+/// Default scale divisor for the bench binaries (presets are already ~1/64
+/// of the paper's chromosomes; this divides further so a full run finishes
+/// in minutes on one core). Overridable via --scale or GPUMEM_BENCH_SCALE.
+std::size_t default_scale(int argc, char** argv);
+
+}  // namespace gm::bench

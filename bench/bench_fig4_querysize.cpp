@@ -1,0 +1,42 @@
+// Reproduces paper Fig. 4: GPUMEM extraction time and #MEMs versus query
+// size. Reference chr1m_s; query prefixes of chr2h_s at 20/40/60/80/100 %,
+// L = 50. The paper's observation: both grow ~linearly with |Q|.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/pipeline.h"
+
+using namespace gm;
+
+int main(int argc, char** argv) {
+  const std::size_t scale = bench::default_scale(argc, argv);
+  const seq::DatasetPair& data = bench::dataset_for("chr1m_s/chr2h_s", scale);
+
+  bench::PaperConfig pc{"chr1m_s/chr2h_s", 50, 11, 0, 0, 0};
+  const core::Engine engine(bench::gpumem_config(pc, core::Backend::kSimt, data.reference.size()));
+
+  util::Table table({"query Mbp", "extract s (modeled)", "#MEMs",
+                     "s per Mbp", "MEMs per Mbp"});
+  double prev_time = 0.0;
+  for (const double frac : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    const std::size_t len =
+        static_cast<std::size_t>(frac * static_cast<double>(data.query.size()));
+    const seq::Sequence prefix = data.query.subsequence(0, len);
+    const core::Result result = engine.run(data.reference, prefix);
+    const double mbp = static_cast<double>(len) / 1e6;
+    table.add_row({util::Table::num(mbp, 3),
+                   util::Table::num(result.stats.device_match_seconds(), 3),
+                   util::Table::num(result.stats.mem_count),
+                   util::Table::num(result.stats.device_match_seconds() / mbp, 3),
+                   util::Table::num(static_cast<double>(result.stats.mem_count) / mbp, 1)});
+    std::cerr << "  |Q|=" << len << ": " << result.stats.device_match_seconds()
+              << " s, " << result.stats.mem_count << " MEMs\n";
+    prev_time = result.stats.device_match_seconds();
+  }
+  (void)prev_time;
+
+  bench::emit("fig4_query_size", table);
+  std::cout << "Shape check vs paper Fig. 4: time and #MEMs grow roughly\n"
+               "linearly with |Q| (near-constant per-Mbp columns).\n";
+  return 0;
+}

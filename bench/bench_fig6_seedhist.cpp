@@ -1,0 +1,44 @@
+// Reproduces paper Fig. 6: the number of seeds that appear at a given
+// number of reference locations (chr1m as reference), i.e. the seed
+// occurrence histogram that motivates the load-balancing heuristic. The
+// shape to reproduce is the heavy tail: most seeds occur once, a
+// significant mass occurs many times.
+#include <iostream>
+
+#include "bench_common.h"
+#include "index/kmer_index.h"
+
+using namespace gm;
+
+int main(int argc, char** argv) {
+  const std::size_t scale = bench::default_scale(argc, argv);
+  const seq::DatasetPair& data = bench::dataset_for("chr1m_s/chr2h_s", scale);
+
+  const unsigned seed_len = 11;  // scaled from the paper's 13
+  const index::KmerIndex idx(data.reference, 0, data.reference.size(),
+                             seed_len, /*step=*/1);
+  const util::Histogram hist = idx.occurrence_histogram().capped(30);
+
+  util::Table table({"locations", "#seeds"});
+  for (const auto& [occ, count] : hist.bins()) {
+    table.add_row({occ >= 30 ? ">=30" : util::Table::num(occ),
+                   util::Table::num(count)});
+  }
+  bench::emit("fig6_seed_histogram", table);
+
+  // Shape metrics.
+  const auto& bins = hist.bins();
+  const std::uint64_t singletons = bins.count(1) ? bins.at(1) : 0;
+  std::uint64_t multi = 0, heavy_tail = 0;
+  for (const auto& [occ, count] : bins) {
+    if (occ > 1) multi += count;
+    if (occ >= 6) heavy_tail += count;
+  }
+  std::cout << "singleton seeds: " << singletons << "\n"
+            << "seeds with >1 location: " << multi << "\n"
+            << "seeds with >=6 locations: " << heavy_tail << "\n"
+            << "Shape check vs paper Fig. 6: singletons dominate but a\n"
+               "significant heavy tail remains, so static one-thread-per-seed\n"
+               "assignment would be imbalanced (motivates Algorithm 2).\n";
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Component microbenchmarks (google-benchmark): the primitives whose costs
+// dominate the macro benchmarks. Useful for regression-tracking individual
+// pieces without running the paper tables.
+#include <benchmark/benchmark.h>
+
+#include "core/balance.h"
+#include "index/esa.h"
+#include "index/fm_index.h"
+#include "index/kmer_index.h"
+#include "index/lcp.h"
+#include "index/suffix_array.h"
+#include "seq/synthetic.h"
+#include "simt/buffer.h"
+#include "simt/primitives.h"
+#include "util/rng.h"
+
+namespace {
+
+const gm::seq::Sequence& genome(std::size_t n) {
+  static std::map<std::size_t, gm::seq::Sequence> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    it = cache.emplace(n, gm::seq::GenomeModel{.length = n}.generate(7)).first;
+  }
+  return it->second;
+}
+
+void BM_SequenceCommonPrefix(benchmark::State& state) {
+  const auto& g = genome(1 << 20);
+  const auto copy = g;  // identical: worst-case long extensions
+  std::size_t pos = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.common_prefix(pos, copy, pos, 4096));
+    pos = (pos + 4099) & ((1 << 20) - 4097);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 4096 / 4);
+}
+BENCHMARK(BM_SequenceCommonPrefix);
+
+void BM_SuffixArraySais(benchmark::State& state) {
+  const auto& g = genome(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gm::index::build_suffix_array(g));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SuffixArraySais)->Arg(1 << 16)->Arg(1 << 19);
+
+void BM_LcpKasai(benchmark::State& state) {
+  const auto& g = genome(1 << 18);
+  const auto sa = gm::index::build_suffix_array(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gm::index::build_lcp_kasai(g, sa));
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 18));
+}
+BENCHMARK(BM_LcpKasai);
+
+void BM_KmerIndexBuild(benchmark::State& state) {
+  const auto& g = genome(1 << 20);
+  const auto step = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gm::index::KmerIndex(g, 0, g.size(), 11, step));
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 20) / step);
+}
+BENCHMARK(BM_KmerIndexBuild)->Arg(1)->Arg(16)->Arg(41);
+
+void BM_FmBackwardExtend(benchmark::State& state) {
+  const auto& g = genome(1 << 18);
+  const gm::index::FmIndex fm(g);
+  gm::util::Xoshiro256 rng(3);
+  gm::index::SaInterval iv = fm.all_rows();
+  for (auto _ : state) {
+    const auto next = fm.extend(iv, static_cast<std::uint8_t>(rng.bounded(4)));
+    iv = next.empty() ? fm.all_rows() : next;
+    benchmark::DoNotOptimize(iv);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FmBackwardExtend);
+
+void BM_EsaDescend(benchmark::State& state) {
+  const auto& g = genome(1 << 18);
+  const gm::index::EnhancedSuffixArray esa(g, 4);
+  const auto& q = genome(1 << 16);
+  std::size_t pos = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(esa.descend(q, pos, 40));
+    pos = (pos + 61) & ((1 << 16) - 64);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EsaDescend);
+
+void BM_BalanceAssign(benchmark::State& state) {
+  gm::util::Xoshiro256 rng(5);
+  std::vector<std::uint32_t> loads(256);
+  for (auto& l : loads) l = rng.chance(0.4) ? 0 : static_cast<std::uint32_t>(rng.bounded(50));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gm::core::balance_assign(loads));
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_BalanceAssign);
+
+void BM_DeviceScan(benchmark::State& state) {
+  gm::simt::Device dev;
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  gm::simt::Buffer<std::uint32_t> buf(dev, n);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) buf[i] = 1;
+    gm::simt::device_inclusive_scan(dev, buf.span());
+    benchmark::DoNotOptimize(buf[n - 1]);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DeviceScan)->Arg(1 << 16)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

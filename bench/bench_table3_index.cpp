@@ -1,0 +1,93 @@
+// Reproduces paper Table III: index-generation times for sparseMEM and
+// essaMEM (tau = 1, 4, 8), MUMmer, slaMEM, and GPUMEM over the nine
+// reference/query/L configurations.
+//
+// Conventions (see EXPERIMENTS.md):
+//  * CPU tools: measured wall seconds of build_index().
+//  * sparseMEM/essaMEM couple sparseness to tau (K = tau), reproducing the
+//    paper's observation that their index shrinks (and builds faster) with
+//    more threads while the matching problem gets harder.
+//  * GPUMEM: modeled device seconds of all Algorithm 1 work, summed over
+//    tile rows (from RunStats.index_seconds of a full run).
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/finders.h"
+#include "mem/essamem.h"
+#include "mem/mummer.h"
+#include "mem/slamem.h"
+#include "mem/sparsemem.h"
+#include "util/timer.h"
+
+using namespace gm;
+
+namespace {
+
+double timed_build(mem::MemFinder& finder, const seq::Sequence& ref,
+                   const mem::FinderOptions& opt) {
+  util::Timer t;
+  finder.build_index(ref, opt);
+  return t.seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t scale = bench::default_scale(argc, argv);
+  util::Table table({"reference/query", "L", "sparseMEM t1", "sparseMEM t4",
+                     "sparseMEM t8", "essaMEM t1", "essaMEM t4", "essaMEM t8",
+                     "MUMmer", "slaMEM", "GPUMEM", "GPUMEM paper"});
+
+  for (const bench::PaperConfig& pc : bench::paper_configs()) {
+    const seq::DatasetPair& data = bench::dataset_for(pc.dataset, scale);
+    std::vector<std::string> row{pc.dataset, std::to_string(pc.min_len)};
+
+    for (const bool essa : {false, true}) {
+      for (const std::uint32_t tau : {1u, 4u, 8u}) {
+        mem::FinderOptions opt;
+        opt.min_length = pc.min_len;
+        opt.threads = tau;
+        opt.sparseness = tau;  // the tools' sparseness/threads coupling
+        double secs;
+        if (essa) {
+          mem::EssaMemFinder f;
+          secs = timed_build(f, data.reference, opt);
+        } else {
+          mem::SparseMemFinder f;
+          secs = timed_build(f, data.reference, opt);
+        }
+        row.push_back(util::Table::num(secs, 3));
+        std::cerr << "  " << (essa ? "essaMEM" : "sparseMEM") << " tau=" << tau
+                  << " L=" << pc.min_len << ": " << secs << " s\n";
+      }
+    }
+    {
+      mem::FinderOptions opt;
+      opt.min_length = pc.min_len;
+      mem::MummerFinder f;
+      row.push_back(util::Table::num(timed_build(f, data.reference, opt), 3));
+    }
+    {
+      mem::FinderOptions opt;
+      opt.min_length = pc.min_len;
+      mem::SlaMemFinder f;
+      row.push_back(util::Table::num(timed_build(f, data.reference, opt), 3));
+    }
+    {
+      const core::Engine engine(bench::gpumem_config(pc, core::Backend::kSimt, data.reference.size()));
+      const core::Result result = engine.run(data.reference, data.query);
+      row.push_back(util::Table::num(result.stats.index_seconds, 4));
+      row.push_back(util::Table::num(pc.paper_gpumem_index, 2));
+      std::cerr << "  GPUMEM L=" << pc.min_len
+                << " modeled index: " << result.stats.index_seconds << " s\n";
+    }
+    table.add_row(std::move(row));
+  }
+
+  bench::emit("table3_index_generation", table);
+  std::cout << "Shape checks vs paper Table III:\n"
+               "  * GPUMEM index time grows as L shrinks (step size Δs drops).\n"
+               "  * sparseMEM/essaMEM index time falls with tau (sparser index).\n"
+               "  * MUMmer/slaMEM build cost is independent of L.\n";
+  return 0;
+}

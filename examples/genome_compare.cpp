@@ -1,0 +1,81 @@
+// Whole-genome comparison via MEM anchors + chaining — the use case the
+// paper's introduction motivates (Choi et al.'s GAME-style MEM filtering,
+// reference [5]). Extracts MEMs between two related synthetic genomes,
+// chains them into synteny blocks, and prints a block report including
+// rearrangements the mutator planted.
+//
+//   ./genome_compare [--preset chrXc_s/chrXh_s] [--scale 16] [--min-len 40]
+#include <iomanip>
+#include <iostream>
+
+#include "anchor/align.h"
+#include "anchor/chain.h"
+#include "core/finders.h"
+#include "seq/synthetic.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  gm::util::Cli cli(argc, argv);
+  cli.describe("preset", "dataset preset (see seq::dataset_presets)");
+  cli.describe("scale", "divide preset lengths by this factor (default 16)");
+  cli.describe("min-len", "minimum MEM length L (default 40)");
+  cli.describe("chains", "number of synteny blocks to report (default 8)");
+  if (cli.handle_help(
+          "genome_compare: MEM-anchored whole-genome comparison demo"))
+    return 0;
+
+  const std::string preset = cli.get("preset", "chrXc_s/chrXh_s");
+  const std::size_t scale = static_cast<std::size_t>(cli.get_int("scale", 16));
+  const std::uint32_t min_len =
+      static_cast<std::uint32_t>(cli.get_int("min-len", 40));
+  const std::size_t n_chains =
+      static_cast<std::size_t>(cli.get_int("chains", 8));
+
+  const gm::seq::DatasetPair pair = gm::seq::make_dataset(preset, 42, scale);
+  std::cout << "dataset " << pair.name << ": ref " << pair.reference.size()
+            << " bp, query " << pair.query.size() << " bp\n";
+
+  // MEM anchors via the native backend (fast wall-clock path).
+  gm::core::GpumemFinder finder(gm::core::Backend::kNative);
+  finder.mutable_config().seed_len = std::min<std::uint32_t>(12, min_len);
+  gm::mem::FinderOptions opt;
+  opt.min_length = min_len;
+  finder.build_index(pair.reference, opt);
+  const std::vector<gm::mem::Mem> anchors = finder.find(pair.query);
+  std::cout << "anchors: " << anchors.size() << " MEMs with L >= " << min_len
+            << " (" << finder.last_stats().match_seconds << " s)\n\n";
+  if (anchors.empty()) {
+    std::cout << "no anchors found; sequences look unrelated at this L\n";
+    return 0;
+  }
+
+  gm::anchor::ChainParams params;
+  params.max_gap = 5000;  // break blocks at structural-variant boundaries
+  const auto chains = gm::anchor::top_chains(
+      anchors, n_chains, params, gm::anchor::MaskPolicy::kQueryOverlap);
+
+  std::cout << "synteny blocks (best " << chains.size() << " chains):\n";
+  std::cout << std::left << std::setw(6) << "block" << std::setw(9)
+            << "anchors" << std::setw(22) << "reference" << std::setw(22)
+            << "query" << std::setw(10) << "score" << "identity\n";
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < chains.size(); ++i) {
+    const auto& c = chains[i];
+    // Fill the gaps between anchors by DP to get a full alignment.
+    const gm::anchor::Alignment aln =
+        gm::anchor::align_chain(pair.reference, pair.query, anchors, c);
+    std::cout << std::left << std::setw(6) << i << std::setw(9)
+              << c.anchors.size() << std::setw(22)
+              << (std::to_string(c.r_begin) + "-" + std::to_string(c.r_end))
+              << std::setw(22)
+              << (std::to_string(c.q_begin) + "-" + std::to_string(c.q_end))
+              << std::setw(10) << std::fixed << std::setprecision(1) << c.score
+              << std::setprecision(1) << 100.0 * aln.stats.identity() << "%\n";
+    covered += c.q_end - c.q_begin;
+  }
+  std::cout << "\nquery span covered by blocks: "
+            << 100.0 * static_cast<double>(covered) /
+                   static_cast<double>(pair.query.size())
+            << "% (rearranged segments appear as separate blocks)\n";
+  return 0;
+}

@@ -1,0 +1,125 @@
+// gpumem_cli: a MUMmer-style command-line MEM extraction tool over FASTA
+// files — the shape a downstream user consumes this library in.
+//
+//   ./gpumem_cli --ref ref.fa --query query.fa [--min-len 50] [--seed-len 13]
+//                [--backend native|simt] [--both-strands] [--mum]
+//                [--finder gpumem|mummer|sparsemem|essamem|slamem]
+//   ./gpumem_cli --demo          # runs on generated data, no files needed
+//
+// Output format (MUMmer's show-coords flavour):
+//   > <query record name> [Reverse]
+//   <ref_pos+1>  <query_pos+1>  <length>
+#include <fstream>
+#include <iostream>
+
+#include "core/finders.h"
+#include "mem/registry.h"
+#include "mem/report.h"
+#include "mem/uniqueness.h"
+#include "seq/fasta.h"
+#include "seq/synthetic.h"
+#include "util/cli.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  gm::util::Cli cli(argc, argv);
+  cli.describe("ref", "reference FASTA (first record used)");
+  cli.describe("query", "query FASTA (every record matched)");
+  cli.describe("demo", "run on generated synthetic data instead of files");
+  cli.describe("min-len", "minimum MEM length L (default 50)");
+  cli.describe("seed-len", "GPUMEM seed length ls (default 13, must be <= L)");
+  cli.describe("backend", "gpumem backend: native (default) or simt");
+  cli.describe("finder", "tool: gpumem (default), mummer, sparsemem, essamem, slamem");
+  cli.describe("both-strands", "also match the reverse-complement query");
+  cli.describe("mum", "keep only matches unique in both sequences");
+  cli.describe("out", "write matches to this file instead of stdout");
+  if (cli.handle_help("gpumem_cli: extract maximal exact matches from FASTA"))
+    return 0;
+
+  try {
+    const std::uint32_t min_len =
+        static_cast<std::uint32_t>(cli.get_int("min-len", 50));
+    const std::uint32_t seed_len = static_cast<std::uint32_t>(
+        cli.get_int("seed-len", std::min<std::int64_t>(13, min_len)));
+
+    gm::seq::Sequence ref;
+    std::vector<gm::seq::FastaRecord> queries;
+    if (cli.get_bool("demo", false)) {
+      const auto pair = gm::seq::make_dataset("chrXII_s/chrI_s", 42, 4);
+      ref = pair.reference;
+      queries.push_back({"demo_query", pair.query, 0});
+      std::cerr << "[demo] ref " << ref.size() << " bp, query "
+                << pair.query.size() << " bp\n";
+    } else {
+      const std::string ref_path = cli.get("ref", "");
+      const std::string query_path = cli.get("query", "");
+      if (ref_path.empty() || query_path.empty()) {
+        std::cerr << "need --ref and --query (or --demo); see --help\n";
+        return 2;
+      }
+      auto ref_records = gm::seq::read_fasta_file(ref_path);
+      if (ref_records.empty()) {
+        std::cerr << "no records in " << ref_path << '\n';
+        return 2;
+      }
+      ref = std::move(ref_records.front().sequence);
+      queries = gm::seq::read_fasta_file(query_path);
+    }
+
+    const std::string finder_name = cli.get("finder", "gpumem");
+    std::unique_ptr<gm::mem::MemFinder> finder;
+    if (finder_name == "gpumem") {
+      auto g = std::make_unique<gm::core::GpumemFinder>(
+          cli.get("backend", "native") == "simt" ? gm::core::Backend::kSimt
+                                                 : gm::core::Backend::kNative);
+      g->mutable_config().seed_len = seed_len;
+      finder = std::move(g);
+    } else {
+      finder = gm::mem::create_finder(finder_name);
+    }
+
+    gm::mem::FinderOptions opt;
+    opt.min_length = min_len;
+    opt.sparseness =
+        (finder_name == "sparsemem" || finder_name == "essamem") ? 4 : 1;
+    gm::util::Timer index_timer;
+    finder->build_index(ref, opt);
+    std::cerr << "[" << finder->name() << "] index built in "
+              << index_timer.seconds() << " s\n";
+
+    std::ofstream file_out;
+    std::ostream* os = &std::cout;
+    if (cli.has("out")) {
+      file_out.open(cli.get("out", ""));
+      if (!file_out) {
+        std::cerr << "cannot open --out file\n";
+        return 2;
+      }
+      os = &file_out;
+    }
+
+    for (const auto& record : queries) {
+      gm::util::Timer match_timer;
+      auto mems = finder->find(record.sequence);
+      if (cli.get_bool("mum", false)) {
+        mems = gm::mem::filter_rare_matches(mems, ref, record.sequence);
+      }
+      std::cerr << "[" << record.name << "] " << mems.size() << " matches in "
+                << match_timer.seconds() << " s\n";
+      gm::mem::write_mummer(*os, record.name, mems);
+
+      if (cli.get_bool("both-strands", false)) {
+        const auto rc = record.sequence.reverse_complement();
+        auto rc_mems = finder->find(rc);
+        if (cli.get_bool("mum", false)) {
+          rc_mems = gm::mem::filter_rare_matches(rc_mems, ref, rc);
+        }
+        gm::mem::write_mummer(*os, record.name, rc_mems, /*reverse=*/true);
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

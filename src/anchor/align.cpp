@@ -1,0 +1,183 @@
+#include "anchor/align.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace gm::anchor {
+namespace {
+
+/// Appends `count` copies of `op` to a run-length CIGAR, merging with the
+/// trailing run when the op repeats.
+class CigarBuilder {
+ public:
+  void add(char op, std::uint64_t count, AlignmentStats& stats) {
+    if (count == 0) return;
+    switch (op) {
+      case '=': stats.matches += count; break;
+      case 'X': stats.mismatches += count; break;
+      case 'I': stats.insertions += count; break;
+      case 'D': stats.deletions += count; break;
+      default: throw std::invalid_argument("CigarBuilder: bad op");
+    }
+    if (op == last_op_) {
+      last_count_ += count;
+    } else {
+      flush();
+      last_op_ = op;
+      last_count_ = count;
+    }
+  }
+
+  std::string take() {
+    flush();
+    return std::move(out_);
+  }
+
+ private:
+  void flush() {
+    if (last_count_ > 0) {
+      out_ += std::to_string(last_count_);
+      out_ += last_op_;
+    }
+    last_count_ = 0;
+    last_op_ = 0;
+  }
+  std::string out_;
+  char last_op_ = 0;
+  std::uint64_t last_count_ = 0;
+};
+
+// Edit-distance DP with traceback over the rectangle; a and b are the
+// region lengths. Emits ops into the builder.
+void dp_align(const seq::Sequence& ref, std::uint32_t r0,
+              const seq::Sequence& query, std::uint32_t q0, std::uint32_t a,
+              std::uint32_t b, CigarBuilder& cigar, AlignmentStats& stats) {
+  // dist[(i)*(b+1) + j]: edits aligning ref[r0, r0+i) with query[q0, q0+j).
+  const std::size_t stride = b + 1;
+  std::vector<std::uint32_t> dist((a + 1) * stride);
+  for (std::uint32_t j = 0; j <= b; ++j) dist[j] = j;
+  for (std::uint32_t i = 1; i <= a; ++i) {
+    dist[i * stride] = i;
+    for (std::uint32_t j = 1; j <= b; ++j) {
+      const bool eq = ref.base(r0 + i - 1) == query.base(q0 + j - 1);
+      const std::uint32_t sub = dist[(i - 1) * stride + (j - 1)] + (eq ? 0 : 1);
+      const std::uint32_t del = dist[(i - 1) * stride + j] + 1;
+      const std::uint32_t ins = dist[i * stride + (j - 1)] + 1;
+      dist[i * stride + j] = std::min({sub, del, ins});
+    }
+  }
+  // Traceback, collecting ops in reverse.
+  std::string rev;
+  rev.reserve(a + b);
+  std::uint32_t i = a, j = b;
+  while (i > 0 || j > 0) {
+    const std::uint32_t cur = dist[i * stride + j];
+    if (i > 0 && j > 0) {
+      const bool eq = ref.base(r0 + i - 1) == query.base(q0 + j - 1);
+      if (dist[(i - 1) * stride + (j - 1)] + (eq ? 0 : 1) == cur) {
+        rev.push_back(eq ? '=' : 'X');
+        --i;
+        --j;
+        continue;
+      }
+    }
+    if (i > 0 && dist[(i - 1) * stride + j] + 1 == cur) {
+      rev.push_back('D');
+      --i;
+      continue;
+    }
+    rev.push_back('I');
+    --j;
+  }
+  for (auto it = rev.rbegin(); it != rev.rend(); ++it) cigar.add(*it, 1, stats);
+}
+
+void align_rectangle(const seq::Sequence& ref, std::uint32_t r0,
+                     std::uint32_t r1, const seq::Sequence& query,
+                     std::uint32_t q0, std::uint32_t q1,
+                     std::uint64_t max_cells, CigarBuilder& cigar,
+                     AlignmentStats& stats) {
+  const std::uint32_t a = r1 - r0;
+  const std::uint32_t b = q1 - q0;
+  if (a == 0 && b == 0) return;
+  if (a == 0) {
+    cigar.add('I', b, stats);
+    return;
+  }
+  if (b == 0) {
+    cigar.add('D', a, stats);
+    return;
+  }
+  const std::uint64_t cells =
+      (static_cast<std::uint64_t>(a) + 1) * (static_cast<std::uint64_t>(b) + 1);
+  if (cells > max_cells) {
+    // Escape hatch for giant gaps: block substitution.
+    const std::uint32_t diag = std::min(a, b);
+    std::uint64_t eq = 0;
+    for (std::uint32_t i = 0; i < diag; ++i) {
+      // Count diagonal agreement so stats stay meaningful.
+      if (ref.base(r0 + i) == query.base(q0 + i)) ++eq;
+    }
+    cigar.add('X', diag, stats);
+    stats.mismatches -= eq;
+    stats.matches += eq;  // stats adjustment; cigar keeps the coarse X run
+    if (a > b) cigar.add('D', a - b, stats);
+    if (b > a) cigar.add('I', b - a, stats);
+    return;
+  }
+  dp_align(ref, r0, query, q0, a, b, cigar, stats);
+}
+
+}  // namespace
+
+Alignment align_region(const seq::Sequence& ref, std::uint32_t r0,
+                       std::uint32_t r1, const seq::Sequence& query,
+                       std::uint32_t q0, std::uint32_t q1,
+                       std::uint64_t max_cells) {
+  if (r1 < r0 || q1 < q0 || r1 > ref.size() || q1 > query.size()) {
+    throw std::invalid_argument("align_region: bad coordinates");
+  }
+  Alignment out;
+  out.r_begin = r0;
+  out.r_end = r1;
+  out.q_begin = q0;
+  out.q_end = q1;
+  CigarBuilder cigar;
+  align_rectangle(ref, r0, r1, query, q0, q1, max_cells, cigar, out.stats);
+  out.cigar = cigar.take();
+  return out;
+}
+
+Alignment align_chain(const seq::Sequence& ref, const seq::Sequence& query,
+                      std::span<const mem::Mem> anchors, const Chain& chain,
+                      std::uint64_t max_cells) {
+  if (chain.anchors.empty()) return {};
+  Alignment out;
+  const mem::Mem& first = anchors[chain.anchors.front()];
+  const mem::Mem& last = anchors[chain.anchors.back()];
+  out.r_begin = first.r;
+  out.q_begin = first.q;
+  out.r_end = last.r + last.len;
+  out.q_end = last.q + last.len;
+
+  CigarBuilder cigar;
+  std::uint32_t r_cursor = first.r;
+  std::uint32_t q_cursor = first.q;
+  for (const std::uint32_t idx : chain.anchors) {
+    const mem::Mem& anchor = anchors[idx];
+    if (anchor.r < r_cursor || anchor.q < q_cursor) {
+      throw std::invalid_argument(
+          "align_chain: anchors overlap or are not colinear");
+    }
+    align_rectangle(ref, r_cursor, anchor.r, query, q_cursor, anchor.q,
+                    max_cells, cigar, out.stats);
+    cigar.add('=', anchor.len, out.stats);
+    r_cursor = anchor.r + anchor.len;
+    q_cursor = anchor.q + anchor.len;
+  }
+  out.cigar = cigar.take();
+  return out;
+}
+
+}  // namespace gm::anchor

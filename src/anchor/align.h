@@ -1,0 +1,59 @@
+// Anchor-based alignment: stitch a chain of exact-match anchors into a full
+// alignment by dynamic-programming the (small) gap rectangles between
+// consecutive anchors — the "next step of a full alignment process" the
+// paper's introduction positions MEM extraction as the front end of.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "anchor/chain.h"
+#include "mem/mem.h"
+#include "seq/sequence.h"
+
+namespace gm::anchor {
+
+struct AlignmentStats {
+  std::uint64_t matches = 0;
+  std::uint64_t mismatches = 0;
+  std::uint64_t insertions = 0;  ///< bases present only in the query
+  std::uint64_t deletions = 0;   ///< bases present only in the reference
+
+  std::uint64_t columns() const {
+    return matches + mismatches + insertions + deletions;
+  }
+  /// BLAST-style identity over alignment columns, in [0, 1].
+  double identity() const {
+    const std::uint64_t c = columns();
+    return c == 0 ? 0.0 : static_cast<double>(matches) / static_cast<double>(c);
+  }
+};
+
+struct Alignment {
+  /// Run-length CIGAR with '=' match, 'X' mismatch, 'I' insertion,
+  /// 'D' deletion (e.g. "120=1X45=2I88=").
+  std::string cigar;
+  AlignmentStats stats;
+  std::uint32_t r_begin = 0, r_end = 0;
+  std::uint32_t q_begin = 0, q_end = 0;
+};
+
+/// Global alignment of ref[r0, r1) against query[q0, q1) by edit-distance
+/// DP with traceback. Rectangles whose cell count exceeds `max_cells` are
+/// represented as a block substitution (min(a,b) X plus the length
+/// difference as indels) instead of exact DP — gaps between chained MEM
+/// anchors are small, so this is the rare escape hatch, not the norm.
+Alignment align_region(const seq::Sequence& ref, std::uint32_t r0,
+                       std::uint32_t r1, const seq::Sequence& query,
+                       std::uint32_t q0, std::uint32_t q1,
+                       std::uint64_t max_cells = std::uint64_t{16} << 20);
+
+/// Stitches a chain (indices into `anchors`) into one alignment: anchors
+/// contribute '=' runs, inter-anchor rectangles are aligned with
+/// align_region.
+Alignment align_chain(const seq::Sequence& ref, const seq::Sequence& query,
+                      std::span<const mem::Mem> anchors, const Chain& chain,
+                      std::uint64_t max_cells = std::uint64_t{16} << 20);
+
+}  // namespace gm::anchor

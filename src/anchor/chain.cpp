@@ -1,0 +1,121 @@
+#include "anchor/chain.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace gm::anchor {
+namespace {
+
+struct Node {
+  double score = 0.0;
+  std::int32_t prev = -1;
+  bool used = false;
+};
+
+double junction_cost(const mem::Mem& a, const mem::Mem& b,
+                     const ChainParams& p) {
+  // a precedes b (a.q + a.len <= b.q, a.r + a.len <= b.r is not required —
+  // small overlaps are allowed and scored via the effective gain instead).
+  const std::int64_t gap_q = static_cast<std::int64_t>(b.q) -
+                             (static_cast<std::int64_t>(a.q) + a.len);
+  const std::int64_t gap_r = static_cast<std::int64_t>(b.r) -
+                             (static_cast<std::int64_t>(a.r) + a.len);
+  const std::int64_t skew = std::llabs(gap_r - gap_q);
+  const std::int64_t span = std::max<std::int64_t>(0, std::max(gap_r, gap_q));
+  return p.gap_open + p.gap_scale * (static_cast<double>(skew) +
+                                     0.1 * static_cast<double>(span));
+}
+
+Chain extract(std::span<const mem::Mem> anchors,
+              const std::vector<std::uint32_t>& order, std::vector<Node>& dp,
+              std::uint32_t best_idx) {
+  Chain chain;
+  chain.score = dp[best_idx].score;
+  for (std::int32_t i = static_cast<std::int32_t>(best_idx); i != -1;
+       i = dp[static_cast<std::uint32_t>(i)].prev) {
+    chain.anchors.push_back(order[static_cast<std::uint32_t>(i)]);
+    dp[static_cast<std::uint32_t>(i)].used = true;
+  }
+  std::reverse(chain.anchors.begin(), chain.anchors.end());
+  const mem::Mem& first = anchors[chain.anchors.front()];
+  const mem::Mem& last = anchors[chain.anchors.back()];
+  chain.r_begin = first.r;
+  chain.q_begin = first.q;
+  chain.r_end = last.r + last.len;
+  chain.q_end = last.q + last.len;
+  return chain;
+}
+
+// Core DP over anchors sorted by (q, r); `skip[i]` marks anchors excluded
+// (already consumed by earlier chains in top_chains).
+Chain run_dp(std::span<const mem::Mem> anchors, const ChainParams& p,
+             const std::vector<bool>& skip) {
+  std::vector<std::uint32_t> order;
+  order.reserve(anchors.size());
+  for (std::uint32_t i = 0; i < anchors.size(); ++i) {
+    if (!skip[i]) order.push_back(i);
+  }
+  if (order.empty()) return {};
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    if (anchors[a].q != anchors[b].q) return anchors[a].q < anchors[b].q;
+    return anchors[a].r < anchors[b].r;
+  });
+
+  std::vector<Node> dp(order.size());
+  std::uint32_t best_idx = 0;
+  for (std::uint32_t i = 0; i < order.size(); ++i) {
+    const mem::Mem& cur = anchors[order[i]];
+    dp[i].score = cur.len;
+    const std::uint32_t lo = i > p.max_lookback ? i - p.max_lookback : 0;
+    for (std::uint32_t j = lo; j < i; ++j) {
+      const mem::Mem& prev = anchors[order[j]];
+      if (prev.q + prev.len > cur.q || prev.r + prev.len > cur.r) continue;
+      const std::int64_t gq = static_cast<std::int64_t>(cur.q) - prev.q - prev.len;
+      const std::int64_t gr = static_cast<std::int64_t>(cur.r) - prev.r - prev.len;
+      if (gq > static_cast<std::int64_t>(p.max_gap) ||
+          gr > static_cast<std::int64_t>(p.max_gap)) {
+        continue;
+      }
+      const double cand =
+          dp[j].score + cur.len - junction_cost(prev, cur, p);
+      if (cand > dp[i].score) {
+        dp[i].score = cand;
+        dp[i].prev = static_cast<std::int32_t>(j);
+      }
+    }
+    if (dp[i].score > dp[best_idx].score) best_idx = i;
+  }
+  return extract(anchors, order, dp, best_idx);
+}
+
+}  // namespace
+
+Chain best_chain(std::span<const mem::Mem> anchors, const ChainParams& params) {
+  std::vector<bool> skip(anchors.size(), false);
+  return run_dp(anchors, params, skip);
+}
+
+std::vector<Chain> top_chains(std::span<const mem::Mem> anchors, std::size_t k,
+                              const ChainParams& params, MaskPolicy mask) {
+  std::vector<Chain> chains;
+  std::vector<bool> skip(anchors.size(), false);
+  for (std::size_t round = 0; round < k; ++round) {
+    Chain c = run_dp(anchors, params, skip);
+    if (c.anchors.empty()) break;
+    for (std::uint32_t idx : c.anchors) skip[idx] = true;
+    if (mask == MaskPolicy::kQueryOverlap) {
+      for (std::uint32_t i = 0; i < anchors.size(); ++i) {
+        if (skip[i]) continue;
+        const mem::Mem& a = anchors[i];
+        const std::uint32_t lo = std::max(a.q, c.q_begin);
+        const std::uint32_t hi = std::min(a.q + a.len, c.q_end);
+        if (hi > lo && 2 * (hi - lo) > a.len) skip[i] = true;
+      }
+    }
+    chains.push_back(std::move(c));
+  }
+  return chains;
+}
+
+}  // namespace gm::anchor

@@ -1,0 +1,50 @@
+// MEM anchor chaining — the downstream step the paper's introduction
+// motivates ("use them as anchors for the next step of a full alignment
+// process"). A chain is a colinear subset of MEMs (increasing in both
+// sequences); the scorer rewards matched bases and penalizes gaps, in the
+// style of anchor-based whole-genome aligners.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mem/mem.h"
+
+namespace gm::anchor {
+
+struct ChainParams {
+  double gap_open = 2.0;        ///< flat penalty per junction
+  double gap_scale = 0.05;      ///< per-base penalty on |gap_r - gap_q| skew
+                                ///< plus a mild penalty on gap size
+  std::uint32_t max_lookback = 128;  ///< DP predecessor window (sorted by q)
+  std::uint32_t max_gap = 1 << 20;   ///< junctions wider than this break chains
+};
+
+struct Chain {
+  std::vector<std::uint32_t> anchors;  ///< indices into the input span
+  double score = 0.0;
+  /// Covered spans (for reporting).
+  std::uint32_t r_begin = 0, r_end = 0, q_begin = 0, q_end = 0;
+};
+
+/// Highest-scoring chain over the anchors (empty input gives empty chain).
+Chain best_chain(std::span<const mem::Mem> anchors, const ChainParams& params = {});
+
+/// Anchor-suppression policy between successive chains of top_chains.
+enum class MaskPolicy {
+  kUsedAnchors,   ///< only the anchors a chain consumed are removed
+  kQueryOverlap,  ///< additionally drop anchors whose query interval lies
+                  ///< mostly (>50%) inside an already-reported chain's query
+                  ///< span — removes the near-duplicate parallel chains that
+                  ///< repeat families otherwise produce
+};
+
+/// Greedy top-k chains: repeatedly takes the best chain among anchors not
+/// yet used/masked. Suitable for split/rearranged genomes and multi-mapping
+/// reads.
+std::vector<Chain> top_chains(std::span<const mem::Mem> anchors,
+                              std::size_t k, const ChainParams& params = {},
+                              MaskPolicy mask = MaskPolicy::kUsedAnchors);
+
+}  // namespace gm::anchor

@@ -1,0 +1,46 @@
+#include "core/balance.h"
+
+#include <algorithm>
+
+namespace gm::core {
+
+BalanceResult balance_assign(std::span<const std::uint32_t> loads) {
+  const std::uint32_t tau = static_cast<std::uint32_t>(loads.size());
+  BalanceResult out;
+  out.assign.resize(tau + 1);
+  out.group.resize(tau);
+
+  std::uint64_t total_load = 0;
+  std::uint32_t total_task = 0;
+  for (std::uint32_t l : loads) {
+    total_load += l;
+    total_task += (l > 0) ? 1 : 0;
+  }
+
+  if (total_load == 0) {
+    for (std::uint32_t k = 0; k <= tau; ++k) out.assign[k] = k;
+    for (std::uint32_t t = 0; t < tau; ++t) out.group[t] = t;
+    return out;
+  }
+
+  const std::uint64_t idle = tau - total_task;
+  out.assign[0] = 0;
+  std::uint64_t load_incl = 0;
+  std::uint32_t task_incl = 0;
+  for (std::uint32_t k = 0; k < tau; ++k) {
+    load_incl += loads[k];
+    task_incl += (loads[k] > 0) ? 1 : 0;
+    out.assign[k + 1] = task_incl +
+                        static_cast<std::uint32_t>(idle * load_incl / total_load);
+  }
+  // assign is non-decreasing with assign[tau] == tau, so every thread maps
+  // to exactly one seed.
+  for (std::uint32_t tid = 0; tid < tau; ++tid) {
+    const auto it =
+        std::upper_bound(out.assign.begin(), out.assign.end(), tid);
+    out.group[tid] = static_cast<std::uint32_t>(it - out.assign.begin()) - 1;
+  }
+  return out;
+}
+
+}  // namespace gm::core

@@ -1,0 +1,41 @@
+// Proactive load-balancing heuristic (paper Algorithm 2), host reference
+// implementation. The match kernel computes the same assignment in-device
+// with two block scans; this function is the single-threaded ground truth
+// the kernel and the unit tests are validated against, and the host
+// fallback path uses it directly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gm::core {
+
+struct BalanceResult {
+  /// assign[k] .. assign[k+1) = thread ids serving seed k (size τ + 1,
+  /// assign[τ] == τ; zero-load seeds get empty ranges).
+  std::vector<std::uint32_t> assign;
+  /// group[tid] = seed index thread tid serves (size τ).
+  std::vector<std::uint32_t> group;
+};
+
+/// loads[k] = number of index locations of the seed originally assigned to
+/// thread k (0 when the seed is absent). Distributes idle threads over
+/// loaded seeds proportionally to cumulative load, exactly as Algorithm 2:
+///   assign[k+1] = task_incl[k] + floor(T_idle * load_incl[k] / T_load).
+/// When every load is zero the identity assignment is returned.
+BalanceResult balance_assign(std::span<const std::uint32_t> loads);
+
+/// The contiguous sub-range [begin, end) of a seed's `count` work items that
+/// the `rank`-th of `servers` threads processes (even split, remainder to
+/// the low ranks).
+inline void split_work(std::uint32_t count, std::uint32_t servers,
+                       std::uint32_t rank, std::uint32_t& begin,
+                       std::uint32_t& end) noexcept {
+  const std::uint32_t base = count / servers;
+  const std::uint32_t extra = count % servers;
+  begin = rank * base + (rank < extra ? rank : extra);
+  end = begin + base + (rank < extra ? 1 : 0);
+}
+
+}  // namespace gm::core

@@ -1,0 +1,57 @@
+#include "core/config.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/bits.h"
+
+namespace gm::core {
+
+Config::Geometry Config::validated() const {
+  if (min_length == 0) {
+    throw std::invalid_argument("Config: min_length (L) must be >= 1");
+  }
+  if (seed_len == 0 || seed_len > 16) {
+    throw std::invalid_argument("Config: seed_len (ls) must be in [1, 16]");
+  }
+  if (seed_len > min_length) {
+    throw std::invalid_argument(
+        "Config: seed_len must not exceed min_length (the paper drops ls "
+        "from 13 to 10 for L = 10 for exactly this reason)");
+  }
+  if (!util::is_pow2(threads) || threads < 2) {
+    throw std::invalid_argument(
+        "Config: threads (tau) must be a power of two >= 2 (Algorithm 3 "
+        "runs 2*log2(tau) - 1 combine iterations)");
+  }
+  if (tile_blocks == 0) {
+    throw std::invalid_argument("Config: tile_blocks must be >= 1");
+  }
+
+  Geometry g;
+  const std::uint32_t max_step = min_length - seed_len + 1;  // Eq. 1
+  g.step = step == 0 ? max_step : step;
+  if (g.step == 0 || g.step > max_step) {
+    throw std::invalid_argument(
+        "Config: step (delta_s) violates Eq. 1: need 1 <= step <= L - ls + 1 = " +
+        std::to_string(max_step));
+  }
+  g.w = g.step;  // Section III-B2: w = Δs extracts every MEM exactly once
+  g.block_width = threads * g.w;
+  g.tile_len = tile_blocks * g.block_width;
+  return g;
+}
+
+std::string Config::describe() const {
+  const Geometry g = validated();
+  std::ostringstream os;
+  os << "L=" << min_length << " ls=" << seed_len << " step=" << g.step
+     << " tau=" << threads << " w=" << g.w << " lblock=" << g.block_width
+     << " ltile=" << g.tile_len << " nblock=" << tile_blocks
+     << " lb=" << (load_balance ? "on" : "off")
+     << " combine=" << (combine ? "on" : "off") << " backend="
+     << (backend == Backend::kSimt ? "simt" : "native");
+  return os.str();
+}
+
+}  // namespace gm::core

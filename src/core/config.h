@@ -1,0 +1,61 @@
+// GPUMEM configuration: the paper's parameters (Table I) plus engineering
+// knobs, with Eq. 1 enforced at validation time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "simt/device.h"
+
+namespace gm::core {
+
+enum class Backend {
+  kSimt,    ///< kernels on the simulated device; modeled GPU time
+  kNative,  ///< same tiling pipeline on host threads; measured wall time
+};
+
+struct Config {
+  // --- problem parameters (paper Table I) ---------------------------------
+  std::uint32_t min_length = 20;  ///< L
+  std::uint32_t seed_len = 10;    ///< ℓs (<= 16 so a seed packs in 32 bits)
+
+  /// Δs. 0 = auto: the maximum Eq. 1 allows, Δs = L − ℓs + 1 ("we use the
+  /// maximum possible value", Section III-A).
+  std::uint32_t step = 0;
+
+  // --- device geometry ------------------------------------------------------
+  std::uint32_t threads = 256;     ///< τ, threads per block (power of two)
+  std::uint32_t tile_blocks = 64;  ///< n_block, blocks per tile
+
+  // --- feature toggles (paper experiments & ablations) ---------------------
+  bool load_balance = true;  ///< Algorithm 2 on/off (paper Fig. 7)
+  bool combine = true;       ///< Algorithm 3 on/off (ablation; correctness is
+                             ///< preserved either way via final dedupe)
+
+  Backend backend = Backend::kSimt;
+  simt::DeviceSpec device = simt::DeviceSpec::k20c();
+
+  // --- capacities -----------------------------------------------------------
+  /// Per-block scratch capacity in triplets for one round. Rounds whose
+  /// total load exceeds it fall back to the host path (rare; counted in
+  /// RunStats so experiments can report it).
+  std::uint32_t round_capacity = 16384;
+  /// Initial sizes of the device output lists; the pipeline retries a tile
+  /// with doubled buffers on overflow.
+  std::uint32_t output_capacity = 1 << 16;
+
+  struct Geometry {
+    std::uint32_t step = 0;         ///< Δs (resolved)
+    std::uint32_t w = 0;            ///< query locations per thread = Δs
+    std::uint32_t block_width = 0;  ///< ℓ_block = τ · w
+    std::uint32_t tile_len = 0;     ///< ℓ_tile = n_block · ℓ_block
+  };
+
+  /// Resolves derived quantities; throws std::invalid_argument when the
+  /// configuration violates Eq. 1 (Δs <= L − ℓs + 1) or basic constraints.
+  Geometry validated() const;
+
+  std::string describe() const;
+};
+
+}  // namespace gm::core

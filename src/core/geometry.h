@@ -1,0 +1,25 @@
+// 2D search-space tiling (paper Fig. 1): the reference is the y axis, the
+// query the x axis; tiles are ℓtile × ℓtile, blocks are ℓtile × ℓblock
+// strips inside a tile.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/mem.h"
+
+namespace gm::core {
+
+/// Half-open rectangle of the search space: reference rows [r0, r1),
+/// query columns [q0, q1).
+struct Rect {
+  std::uint32_t r0 = 0, r1 = 0;
+  std::uint32_t q0 = 0, q1 = 0;
+};
+
+/// Expansion clamp + boundary classification for a match triplet.
+inline bool touches_edge(const mem::Mem& m, const Rect& rect) noexcept {
+  return m.r == rect.r0 || m.q == rect.q0 || m.r + m.len == rect.r1 ||
+         m.q + m.len == rect.q1;
+}
+
+}  // namespace gm::core

@@ -1,0 +1,70 @@
+#include "core/host_stitch.h"
+
+#include <algorithm>
+
+namespace gm::core {
+
+mem::Mem expand_clamped(const seq::Sequence& ref, const seq::Sequence& query,
+                        mem::Mem m, const Rect& rect) {
+  // Seed-wise extension may overshoot the rectangle; clamp first (the
+  // discarded verified characters are re-checked by the next stage's
+  // expansion, so nothing is lost).
+  m.len = std::min({m.len, rect.r1 - m.r, rect.q1 - m.q});
+  // Leftward.
+  const std::size_t left_room =
+      std::min(m.r - rect.r0, m.q - rect.q0);
+  if (left_room > 0 && m.r > 0 && m.q > 0) {
+    const std::size_t back =
+        ref.common_suffix(m.r - 1, query, m.q - 1, left_room);
+    m.r -= static_cast<std::uint32_t>(back);
+    m.q -= static_cast<std::uint32_t>(back);
+    m.len += static_cast<std::uint32_t>(back);
+  }
+  // Rightward.
+  const std::size_t right_room =
+      std::min(rect.r1 - (m.r + m.len), rect.q1 - (m.q + m.len));
+  if (right_room > 0) {
+    const std::size_t fwd =
+        ref.common_prefix(m.r + m.len, query, m.q + m.len, right_room);
+    m.len += static_cast<std::uint32_t>(fwd);
+  }
+  return m;
+}
+
+void combine_chains(std::vector<mem::Mem>& triplets) {
+  mem::sort_mems_diagonal(triplets);
+  std::size_t head = 0;
+  for (std::size_t i = 1; i < triplets.size(); ++i) {
+    mem::Mem& h = triplets[head];
+    mem::Mem& t = triplets[i];
+    const std::int64_t delta =
+        static_cast<std::int64_t>(t.q) - static_cast<std::int64_t>(h.q);
+    if (h.diagonal() == t.diagonal() && delta >= 0 &&
+        delta <= static_cast<std::int64_t>(h.len)) {
+      h.len = std::max<std::uint32_t>(
+          h.len, static_cast<std::uint32_t>(delta) + t.len);
+      t.len = 0;
+    } else {
+      head = i;
+    }
+  }
+  std::erase_if(triplets, [](const mem::Mem& m) { return m.len == 0; });
+}
+
+std::vector<mem::Mem> finalize_out_tile(const seq::Sequence& ref,
+                                        const seq::Sequence& query,
+                                        std::vector<mem::Mem> pieces,
+                                        std::uint32_t min_len) {
+  combine_chains(pieces);
+  const Rect whole{0, static_cast<std::uint32_t>(ref.size()), 0,
+                   static_cast<std::uint32_t>(query.size())};
+  std::vector<mem::Mem> out;
+  out.reserve(pieces.size());
+  for (const mem::Mem& p : pieces) {
+    const mem::Mem full = expand_clamped(ref, query, p, whole);
+    if (full.len >= min_len) out.push_back(full);
+  }
+  return out;
+}
+
+}  // namespace gm::core

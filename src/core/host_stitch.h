@@ -1,0 +1,37 @@
+// Host-side triplet expansion, chain combining, and the final out-tile merge
+// (paper Section III-C2). Shared by the SIMT pipeline (final stage + rare
+// overflow fallback), the native backend, and tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/geometry.h"
+#include "mem/mem.h"
+#include "seq/sequence.h"
+
+namespace gm::core {
+
+/// Expands a verified match triplet character-wise in both directions,
+/// clamped to `rect`. The input must satisfy rect containment and
+/// R[m.r+i] == Q[m.q+i] for i < m.len.
+mem::Mem expand_clamped(const seq::Sequence& ref, const seq::Sequence& query,
+                        mem::Mem m, const Rect& rect);
+
+/// Merges co-diagonal overlapping triplets in place. Expects any order;
+/// sorts by (diagonal, q) first. Uses the relaxed overlap test
+/// 0 <= (q'-q) <= len with len = max(len, δ + len') so exact duplicates
+/// (possible when a chain was split across capacity boundaries) collapse
+/// too. Dead triplets are removed.
+void combine_chains(std::vector<mem::Mem>& triplets);
+
+/// Final stage: merges the accumulated out-tile triplets, expands each
+/// survivor against the full sequences, filters by min_len. (Duplicates are
+/// possible when tile pieces of one MEM did not touch; callers run
+/// sort_unique over the combined output.)
+std::vector<mem::Mem> finalize_out_tile(const seq::Sequence& ref,
+                                        const seq::Sequence& query,
+                                        std::vector<mem::Mem> pieces,
+                                        std::uint32_t min_len);
+
+}  // namespace gm::core

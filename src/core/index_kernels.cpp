@@ -1,0 +1,153 @@
+#include "core/index_kernels.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "simt/executor.h"
+#include "simt/primitives.h"
+#include "util/bits.h"
+
+namespace gm::core {
+namespace {
+
+struct SampleRange {
+  std::size_t first = 0;  ///< first sampled position (global grid)
+  std::uint32_t step = 1;
+  std::uint32_t count = 0;
+};
+
+// Step 1: one sampled location per thread; count occurrences into
+// ptrs[seed + 1] with atomicAdd (the +1 shift makes the later inclusive
+// prefix sum produce exclusive bucket starts).
+simt::KernelTask count_kernel(simt::ThreadCtx& ctx, simt::NoShared&,
+                              const seq::Sequence& ref, SampleRange range,
+                              std::span<std::uint32_t> ptrs,
+                              unsigned seed_len) {
+  const std::uint64_t g = ctx.global_id();
+  if (g < range.count) {
+    const std::size_t p = range.first + g * range.step;
+    const std::uint64_t seed = ref.kmer(p, seed_len);
+    simt::atomic_fetch_add(&ptrs[seed + 1], 1u);
+    ctx.alu(seed_len / 4 + 1);
+    ctx.gmem_txn(2);  // window read + counter line
+    ctx.atomic_op();
+  }
+  co_return;
+}
+
+// Step 3: scatter locations via atomic cursor per bucket.
+simt::KernelTask fill_kernel(simt::ThreadCtx& ctx, simt::NoShared&,
+                             const seq::Sequence& ref, SampleRange range,
+                             std::span<std::uint32_t> temp,
+                             std::span<std::uint32_t> locs,
+                             unsigned seed_len) {
+  const std::uint64_t g = ctx.global_id();
+  if (g < range.count) {
+    const std::size_t p = range.first + g * range.step;
+    const std::uint64_t seed = ref.kmer(p, seed_len);
+    const std::uint32_t slot = simt::atomic_fetch_add(&temp[seed], 1u);
+    locs[slot] = static_cast<std::uint32_t>(p);
+    ctx.alu(seed_len / 4 + 1);
+    ctx.gmem_txn(3);  // window read, cursor line, scattered locs write
+    ctx.atomic_op();
+  }
+  co_return;
+}
+
+// Step 4: a thread per seed (strided by items-per-thread) insertion-sorts
+// its bucket. Buckets are tiny (tile-local occurrence counts), so insertion
+// sort is the realistic device choice.
+constexpr std::uint32_t kSortItemsPerThread = 64;
+
+simt::KernelTask sort_kernel(simt::ThreadCtx& ctx, simt::NoShared&,
+                             std::span<const std::uint32_t> ptrs,
+                             std::span<std::uint32_t> locs) {
+  const std::uint64_t base = ctx.global_id() * kSortItemsPerThread;
+  const std::uint64_t buckets = ptrs.size() - 1;
+  std::uint64_t work = 0;
+  for (std::uint64_t s = base;
+       s < std::min<std::uint64_t>(base + kSortItemsPerThread, buckets); ++s) {
+    const std::uint32_t lo = ptrs[s];
+    const std::uint32_t hi = ptrs[s + 1];
+    for (std::uint32_t i = lo + 1; i < hi; ++i) {
+      const std::uint32_t v = locs[i];
+      std::uint32_t j = i;
+      while (j > lo && locs[j - 1] > v) {
+        locs[j] = locs[j - 1];
+        --j;
+      }
+      locs[j] = v;
+    }
+    work += (hi > lo) ? (hi - lo) : 1;
+  }
+  ctx.alu(work);
+  ctx.gmem(work * sizeof(std::uint32_t));  // bucket-local, mostly coalesced
+  co_return;
+}
+
+}  // namespace
+
+DeviceIndex::DeviceIndex(simt::Device& dev, unsigned seed_len_,
+                         std::uint32_t step_, std::uint32_t max_locs)
+    : ptrs(dev, (std::size_t{1} << (2 * seed_len_)) + 1),
+      locs(dev, max_locs),
+      seed_len(seed_len_),
+      step(step_) {}
+
+void build_partial_index(simt::Device& dev, const seq::Sequence& ref,
+                         std::size_t start, std::size_t end,
+                         std::uint32_t threads, DeviceIndex& index) {
+  end = std::min(end, ref.size());
+  SampleRange range;
+  range.step = index.step;
+  range.first = util::round_up(start, static_cast<std::size_t>(index.step));
+  range.count = 0;
+  // Last admissible start: must lie inside [start, end) and leave room for a
+  // full seed inside the reference.
+  const std::size_t seed_limit =
+      ref.size() >= index.seed_len ? ref.size() - index.seed_len + 1 : 0;
+  const std::size_t limit = std::min(end, seed_limit);
+  if (range.first < limit) {
+    range.count = static_cast<std::uint32_t>(
+        (limit - range.first + index.step - 1) / index.step);
+  }
+  if (range.count > index.locs.size()) {
+    throw std::length_error("build_partial_index: locs buffer too small");
+  }
+  index.n_locs = range.count;
+
+  index.ptrs.zero();
+  if (range.count == 0) return;
+
+  simt::LaunchConfig cfg;
+  cfg.block = threads;
+  cfg.grid = static_cast<std::uint32_t>(
+      util::ceil_div<std::uint64_t>(range.count, threads));
+  cfg.label = "index/count";
+  simt::launch<simt::NoShared>(dev, cfg, count_kernel, ref, range,
+                               index.ptrs.span(), index.seed_len);
+
+  simt::device_inclusive_scan(dev, index.ptrs.span());
+
+  // temp <- bucket starts (Algorithm 1's per-seed copy; a device-to-device
+  // copy on real hardware).
+  simt::Buffer<std::uint32_t> temp(dev, index.ptrs.size() - 1);
+  std::copy_n(index.ptrs.data(), temp.size(), temp.data());
+  dev.account_memset(temp.bytes());
+
+  cfg.label = "index/fill";
+  simt::launch<simt::NoShared>(dev, cfg, fill_kernel, ref, range, temp.span(),
+                               index.locs.span(), index.seed_len);
+
+  const std::uint64_t buckets = index.ptrs.size() - 1;
+  simt::LaunchConfig sort_cfg;
+  sort_cfg.block = threads;
+  sort_cfg.grid = static_cast<std::uint32_t>(util::ceil_div<std::uint64_t>(
+      buckets, std::uint64_t{threads} * kSortItemsPerThread));
+  sort_cfg.label = "index/sort";
+  simt::launch<simt::NoShared>(dev, sort_cfg, sort_kernel,
+                               std::span<const std::uint32_t>(index.ptrs.span()),
+                               index.locs.span());
+}
+
+}  // namespace gm::core

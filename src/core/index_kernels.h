@@ -1,0 +1,35 @@
+// Device-side partial index construction — paper Algorithm 1.
+//
+// The index for one tile row [start, end) of the reference is the pair
+// (ptrs, locs): occurrence counting with atomicAdd, a device-wide prefix
+// sum, atomic scatter into locs, and a per-seed bucket sort. Sampling
+// positions lie on the *global* Δs grid so that adjacent tile rows together
+// cover every MEM (Eq. 1 argument; see DESIGN.md correctness notes).
+#pragma once
+
+#include <cstdint>
+
+#include "seq/sequence.h"
+#include "simt/buffer.h"
+#include "simt/device.h"
+
+namespace gm::core {
+
+struct DeviceIndex {
+  simt::Buffer<std::uint32_t> ptrs;  ///< 4^ℓs + 1 bucket offsets
+  simt::Buffer<std::uint32_t> locs;  ///< sampled positions, sorted per bucket
+  std::uint32_t n_locs = 0;          ///< valid entries in locs
+  unsigned seed_len = 0;
+  std::uint32_t step = 0;
+
+  DeviceIndex(simt::Device& dev, unsigned seed_len_, std::uint32_t step_,
+              std::uint32_t max_locs);
+};
+
+/// Runs Algorithm 1 for reference range [start, end). `index.locs` must be
+/// large enough (ceil(tile_len / step) entries); throws otherwise.
+void build_partial_index(simt::Device& dev, const seq::Sequence& ref,
+                         std::size_t start, std::size_t end,
+                         std::uint32_t threads, DeviceIndex& index);
+
+}  // namespace gm::core

@@ -1,0 +1,379 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <atomic>
+#include <optional>
+#include <stdexcept>
+
+#include "core/host_stitch.h"
+#include "core/index_kernels.h"
+#include "core/match_kernel.h"
+#include "core/tile_kernel.h"
+#include "index/kmer_index.h"
+#include "simt/buffer.h"
+#include "util/bits.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace gm::core {
+namespace {
+
+constexpr mem::Mem kSentinel{0xFFFFFFFFu, 0u, 0u};
+
+/// Per-tile device outputs after retries and host fallback.
+struct TileOutputs {
+  std::vector<mem::Mem> inblock;
+  std::vector<mem::Mem> outblock;
+  std::uint64_t overflow_rounds = 0;
+};
+
+}  // namespace
+
+Result Engine::run(const seq::Sequence& ref, const seq::Sequence& query) const {
+  return cfg_.backend == Backend::kSimt ? run_simt(ref, query)
+                                        : run_native(ref, query);
+}
+
+Engine::NativeIndex Engine::build_native_index(const seq::Sequence& ref) const {
+  const Config::Geometry g = cfg_.validated();
+  NativeIndex out;
+  util::Timer timer;
+  const std::uint32_t n_r = ref.empty()
+                                ? 0
+                                : static_cast<std::uint32_t>(
+                                      util::ceil_div<std::size_t>(ref.size(),
+                                                                  g.tile_len));
+  out.rows.reserve(n_r);
+  for (std::uint32_t row = 0; row < n_r; ++row) {
+    const std::size_t r0 = std::size_t{row} * g.tile_len;
+    const std::size_t r1 = std::min(ref.size(), r0 + g.tile_len);
+    out.rows.emplace_back(ref, r0, r1, cfg_.seed_len, g.step);
+  }
+  out.build_seconds = timer.seconds();
+  return out;
+}
+
+Result Engine::run_native_prebuilt(const seq::Sequence& ref,
+                                   const seq::Sequence& query,
+                                   const NativeIndex& prebuilt) const {
+  return run_native(ref, query, &prebuilt);
+}
+
+void Engine::run_simt_rows(simt::Device& dev, const seq::Sequence& ref,
+                           const seq::Sequence& query,
+                           std::uint32_t row_begin, std::uint32_t row_end,
+                           std::vector<mem::Mem>& reported,
+                           std::vector<mem::Mem>& outtile_pieces,
+                           RunStats& stats) const {
+  const Config::Geometry g = cfg_.validated();
+  if (ref.empty() || query.empty() || row_begin >= row_end) return;
+
+  // Sequences live on the device for the whole run (2 bits per base), like
+  // the real tool; only the *index* is tile-partitioned.
+  simt::Buffer<std::uint64_t> ref_dev(dev, ref.size() / 32 + 1);
+  simt::Buffer<std::uint64_t> query_dev(dev, query.size() / 32 + 1);
+  dev.account_copy(ref_dev.bytes() + query_dev.bytes());
+
+  const std::uint32_t n_r = static_cast<std::uint32_t>(
+      util::ceil_div<std::size_t>(ref.size(), g.tile_len));
+  const std::uint32_t n_c = static_cast<std::uint32_t>(
+      util::ceil_div<std::size_t>(query.size(), g.tile_len));
+  row_end = std::min(row_end, n_r);
+
+  const std::uint32_t max_locs =
+      static_cast<std::uint32_t>(g.tile_len / g.step) + 2;
+  DeviceIndex index(dev, cfg_.seed_len, g.step, max_locs);
+
+  std::uint32_t cap_out = cfg_.output_capacity;
+  std::uint32_t cap_in = cfg_.output_capacity;
+
+  for (std::uint32_t row = row_begin; row < row_end; ++row) {
+    const std::uint32_t r0 = row * g.tile_len;
+    const std::uint32_t r1 = static_cast<std::uint32_t>(
+        std::min<std::size_t>(ref.size(), r0 + std::size_t{g.tile_len}));
+    {
+      const double before = dev.ledger().total_seconds();
+      build_partial_index(dev, ref, r0, r1, cfg_.threads, index);
+      stats.index_seconds += dev.ledger().total_seconds() - before;
+    }
+
+    for (std::uint32_t col = 0; col < n_c; ++col) {
+      const std::uint32_t c0 = col * g.tile_len;
+      const std::uint32_t c1 = static_cast<std::uint32_t>(
+          std::min<std::size_t>(query.size(), c0 + std::size_t{g.tile_len}));
+      const Rect tile{r0, r1, c0, c1};
+      const double before = dev.ledger().total_seconds();
+
+      // ---- match kernel over the tile's blocks, retrying on overflow ------
+      TileOutputs outs;
+      for (;;) {
+        const simt::PerfLedger::Snapshot snap = dev.ledger().snapshot();
+        simt::Buffer<mem::Mem> scratch(
+            dev, std::size_t{cfg_.tile_blocks} * cfg_.round_capacity);
+        simt::Buffer<mem::Mem> inblock_buf(dev, cap_in);
+        simt::Buffer<mem::Mem> outblock_buf(dev, cap_out);
+        simt::Buffer<std::uint32_t> in_count(dev, 1);
+        simt::Buffer<std::uint32_t> out_count(dev, 1);
+        simt::Buffer<std::uint8_t> overflow(
+            dev, std::size_t{cfg_.tile_blocks} * g.w);
+        in_count[0] = out_count[0] = 0;
+        std::fill_n(overflow.data(), overflow.size(), std::uint8_t{0});
+
+        MatchParams params;
+        params.ref = &ref;
+        params.query = &query;
+        params.ptrs = index.ptrs.span();
+        params.locs = index.locs.span();
+        params.tile = tile;
+        params.seed_len = cfg_.seed_len;
+        params.w = g.w;
+        params.min_len = cfg_.min_length;
+        params.round_capacity = cfg_.round_capacity;
+        params.block_width = g.block_width;
+        params.load_balance = cfg_.load_balance;
+        params.combine = cfg_.combine;
+        params.scratch = scratch.span();
+        params.inblock = inblock_buf.span();
+        params.inblock_count = in_count.span();
+        params.outblock = outblock_buf.span();
+        params.outblock_count = out_count.span();
+        params.overflow = overflow.span();
+
+        launch_match_kernel(dev, cfg_.tile_blocks, cfg_.threads, params);
+
+        if (in_count[0] > cap_in || out_count[0] > cap_out) {
+          if (in_count[0] > cap_in) {
+            cap_in = static_cast<std::uint32_t>(util::ceil_pow2(in_count[0]));
+          }
+          if (out_count[0] > cap_out) {
+            cap_out = static_cast<std::uint32_t>(util::ceil_pow2(out_count[0]));
+          }
+          dev.ledger().rollback(snap);
+          continue;
+        }
+
+        outs.inblock = inblock_buf.download(in_count[0]);
+        outs.outblock = outblock_buf.download(out_count[0]);
+
+        // Host fallback for rounds whose load exceeded the scratch capacity.
+        for (std::uint32_t b = 0; b < cfg_.tile_blocks; ++b) {
+          for (std::uint32_t rnd = 0; rnd < g.w; ++rnd) {
+            if (!overflow[std::size_t{b} * g.w + rnd]) continue;
+            ++outs.overflow_rounds;
+            process_round_host(params, b, rnd, cfg_.threads, outs.inblock,
+                               outs.outblock);
+          }
+        }
+        break;
+      }
+      stats.overflow_rounds += outs.overflow_rounds;
+      stats.inblock_mems += outs.inblock.size();
+      reported.insert(reported.end(), outs.inblock.begin(), outs.inblock.end());
+
+      // ---- tile-level combine ---------------------------------------------
+      if (!outs.outblock.empty()) {
+        for (;;) {
+          const simt::PerfLedger::Snapshot snap = dev.ledger().snapshot();
+          const std::size_t padded = util::ceil_pow2(outs.outblock.size());
+          simt::Buffer<mem::Mem> triplets(dev, padded);
+          std::copy(outs.outblock.begin(), outs.outblock.end(),
+                    triplets.data());
+          std::fill(triplets.data() + outs.outblock.size(),
+                    triplets.data() + padded, kSentinel);
+          dev.account_copy(outs.outblock.size() * sizeof(mem::Mem));
+          simt::Buffer<std::uint8_t> run_start(dev, outs.outblock.size());
+          simt::Buffer<mem::Mem> intile_buf(dev, cap_in);
+          simt::Buffer<mem::Mem> outtile_buf(dev, cap_out);
+          simt::Buffer<std::uint32_t> in_count(dev, 1);
+          simt::Buffer<std::uint32_t> out_count(dev, 1);
+          in_count[0] = out_count[0] = 0;
+
+          TileCombineParams tc;
+          tc.ref = &ref;
+          tc.query = &query;
+          tc.tile = tile;
+          tc.min_len = cfg_.min_length;
+          tc.triplets = triplets.span();
+          tc.count = static_cast<std::uint32_t>(outs.outblock.size());
+          tc.run_start = run_start.span();
+          tc.intile = intile_buf.span();
+          tc.intile_count = in_count.span();
+          tc.outtile = outtile_buf.span();
+          tc.outtile_count = out_count.span();
+
+          launch_tile_combine(dev, cfg_.threads, tc);
+
+          if (in_count[0] > cap_in || out_count[0] > cap_out) {
+            if (in_count[0] > cap_in) {
+              cap_in = static_cast<std::uint32_t>(util::ceil_pow2(in_count[0]));
+            }
+            if (out_count[0] > cap_out) {
+              cap_out = static_cast<std::uint32_t>(util::ceil_pow2(out_count[0]));
+            }
+            dev.ledger().rollback(snap);
+            continue;
+          }
+          const std::vector<mem::Mem> intile = intile_buf.download(in_count[0]);
+          const std::vector<mem::Mem> outtile = outtile_buf.download(out_count[0]);
+          stats.intile_mems += intile.size();
+          reported.insert(reported.end(), intile.begin(), intile.end());
+          outtile_pieces.insert(outtile_pieces.end(), outtile.begin(),
+                                outtile.end());
+          break;
+        }
+      }
+      stats.match_seconds += dev.ledger().total_seconds() - before;
+    }
+  }
+
+}
+
+Result Engine::run_simt(const seq::Sequence& ref,
+                        const seq::Sequence& query) const {
+  const Config::Geometry g = cfg_.validated();
+  util::Timer wall;
+  Result result;
+
+  simt::Device dev(cfg_.device);
+  if (!ref.empty() && !query.empty()) {
+    result.stats.tile_rows = static_cast<std::uint32_t>(
+        util::ceil_div<std::size_t>(ref.size(), g.tile_len));
+    result.stats.tile_cols = static_cast<std::uint32_t>(
+        util::ceil_div<std::size_t>(query.size(), g.tile_len));
+  }
+
+  std::vector<mem::Mem> reported;        // in-block + in-tile MEMs
+  std::vector<mem::Mem> outtile_pieces;  // stitched at the end
+  run_simt_rows(dev, ref, query, 0, result.stats.tile_rows, reported,
+                outtile_pieces, result.stats);
+
+  // ---- final host merge of out-tile triplets (Section III-C2) -------------
+  {
+    util::Timer host_merge;
+    result.stats.outtile_pieces = outtile_pieces.size();
+    std::vector<mem::Mem> finished = finalize_out_tile(
+        ref, query, std::move(outtile_pieces), cfg_.min_length);
+    reported.insert(reported.end(), finished.begin(), finished.end());
+    mem::sort_unique(reported);
+    result.stats.host_stitch_seconds = host_merge.seconds();
+    result.stats.match_seconds += result.stats.host_stitch_seconds;
+  }
+
+  result.mems = std::move(reported);
+  result.stats.mem_count = result.mems.size();
+  result.stats.kernels_launched = dev.ledger().kernels_launched();
+  result.stats.device_peak_bytes = dev.peak_bytes();
+  for (const auto& [label, ls] : dev.ledger().breakdown()) {
+    result.stats.kernel_breakdown.emplace_back(label, ls.seconds);
+  }
+  result.stats.wall_seconds = wall.seconds();
+  return result;
+}
+
+Result Engine::run_native(const seq::Sequence& ref,
+                          const seq::Sequence& query,
+                          const NativeIndex* prebuilt) const {
+  const Config::Geometry g = cfg_.validated();
+  util::Timer wall;
+  Result result;
+  if (ref.empty() || query.empty()) {
+    result.stats.wall_seconds = wall.seconds();
+    return result;
+  }
+
+  const std::uint32_t n_r = static_cast<std::uint32_t>(
+      util::ceil_div<std::size_t>(ref.size(), g.tile_len));
+  const std::uint32_t n_c = static_cast<std::uint32_t>(
+      util::ceil_div<std::size_t>(query.size(), g.tile_len));
+  result.stats.tile_rows = n_r;
+  result.stats.tile_cols = n_c;
+
+  std::vector<mem::Mem> reported;
+  std::vector<mem::Mem> outtile_pieces;
+
+  for (std::uint32_t row = 0; row < n_r; ++row) {
+    const std::uint32_t r0 = row * g.tile_len;
+    const std::uint32_t r1 = static_cast<std::uint32_t>(
+        std::min<std::size_t>(ref.size(), r0 + std::size_t{g.tile_len}));
+
+    // Reuse prebuilt row indexes when available (build-once / query-many).
+    std::optional<index::KmerIndex> local;
+    if (prebuilt == nullptr) {
+      util::Timer index_timer;
+      local.emplace(ref, r0, r1, cfg_.seed_len, g.step);
+      result.stats.index_seconds += index_timer.seconds();
+    }
+    const index::KmerIndex& idx =
+        prebuilt != nullptr ? prebuilt->rows.at(row) : *local;
+
+    util::Timer match_timer;
+    for (std::uint32_t col = 0; col < n_c; ++col) {
+      const std::uint32_t c0 = col * g.tile_len;
+      const std::uint32_t c1 = static_cast<std::uint32_t>(
+          std::min<std::size_t>(query.size(), c0 + std::size_t{g.tile_len}));
+      const Rect tile{r0, r1, c0, c1};
+
+      // Parallel over query chunks; chain-interior hits are skipped so each
+      // in-tile chain is expanded exactly once (same invariant the device
+      // combine establishes).
+      const std::size_t workers = util::ThreadPool::global().size();
+      std::vector<std::vector<mem::Mem>> local_in(workers + 1);
+      std::vector<std::vector<mem::Mem>> local_out(workers + 1);
+      std::atomic<std::size_t> chunk_id{0};
+      util::parallel_for_chunked(
+          c0, c1, workers, [&](std::size_t jb, std::size_t je) {
+            const std::size_t my = chunk_id.fetch_add(1);
+            std::vector<mem::Mem>& in_sink = local_in[my];
+            std::vector<mem::Mem>& out_sink = local_out[my];
+            for (std::size_t j = jb; j < je; ++j) {
+              if (j + cfg_.seed_len > query.size()) break;
+              const std::uint64_t seed = query.kmer(j, cfg_.seed_len);
+              for (const std::uint32_t p : idx.lookup(seed)) {
+                const std::size_t back_room =
+                    std::min<std::size_t>(p - tile.r0, j - tile.q0);
+                std::size_t back = 0;
+                if (p > 0 && j > 0) {
+                  back = ref.common_suffix(p - 1, query, j - 1, back_room);
+                }
+                if (back >= g.step) continue;  // chain-interior hit
+                const mem::Mem e = expand_clamped(
+                    ref, query,
+                    mem::Mem{p, static_cast<std::uint32_t>(j), cfg_.seed_len},
+                    tile);
+                if (touches_edge(e, tile)) {
+                  out_sink.push_back(e);
+                } else if (e.len >= cfg_.min_length) {
+                  in_sink.push_back(e);
+                }
+              }
+            }
+          });
+      for (auto& v : local_in) {
+        result.stats.intile_mems += v.size();
+        reported.insert(reported.end(), v.begin(), v.end());
+      }
+      for (auto& v : local_out) {
+        outtile_pieces.insert(outtile_pieces.end(), v.begin(), v.end());
+      }
+    }
+    result.stats.match_seconds += match_timer.seconds();
+  }
+
+  {
+    util::Timer host_merge;
+    result.stats.outtile_pieces = outtile_pieces.size();
+    std::vector<mem::Mem> finished = finalize_out_tile(
+        ref, query, std::move(outtile_pieces), cfg_.min_length);
+    reported.insert(reported.end(), finished.begin(), finished.end());
+    mem::sort_unique(reported);
+    result.stats.host_stitch_seconds = host_merge.seconds();
+    result.stats.match_seconds += result.stats.host_stitch_seconds;
+  }
+
+  result.mems = std::move(reported);
+  result.stats.mem_count = result.mems.size();
+  result.stats.wall_seconds = wall.seconds();
+  return result;
+}
+
+}  // namespace gm::core

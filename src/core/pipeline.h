@@ -1,0 +1,105 @@
+// GPUMEM end-to-end pipeline (paper Fig. 1): tile-row partial indexing,
+// per-tile block matching, tile-level stitching, and the final host merge of
+// out-tile triplets. Two backends share this orchestration: the simulated
+// device (modeled GPU time) and a native host implementation (wall time).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/config.h"
+#include "index/kmer_index.h"
+#include "mem/mem.h"
+#include "seq/sequence.h"
+#include "simt/device.h"
+
+namespace gm::core {
+
+struct RunStats {
+  /// Index-generation time (paper Table III): modeled device seconds for
+  /// the SIMT backend (all Algorithm 1 kernel launches + memsets), measured
+  /// wall seconds for the native backend.
+  double index_seconds = 0.0;
+  /// MEM-extraction time (paper Table IV): everything else, including the
+  /// final host merge (the paper's Section III-C2 host stage).
+  double match_seconds = 0.0;
+  /// Portion of match_seconds spent in the *measured* host out-tile merge.
+  /// At paper scale this stage is a negligible fraction; at reduced scale on
+  /// this 1-core container it can dominate, so device-side experiments
+  /// (Fig. 7, ablations) subtract it. See EXPERIMENTS.md.
+  double host_stitch_seconds = 0.0;
+
+  double device_match_seconds() const {
+    return match_seconds - host_stitch_seconds;
+  }
+  /// Host wall-clock for the entire run (simulation cost; not a result).
+  double wall_seconds = 0.0;
+
+  std::uint64_t mem_count = 0;
+  std::uint32_t tile_rows = 0;
+  std::uint32_t tile_cols = 0;
+  std::uint64_t inblock_mems = 0;    ///< reported at block level
+  std::uint64_t intile_mems = 0;     ///< reported at tile level
+  std::uint64_t outtile_pieces = 0;  ///< stitched on the host
+  std::uint64_t overflow_rounds = 0; ///< rounds processed by host fallback
+  std::uint64_t kernels_launched = 0;
+  std::size_t device_peak_bytes = 0;
+  /// Modeled seconds per kernel label (SIMT backend), descending.
+  std::vector<std::pair<std::string, double>> kernel_breakdown;
+};
+
+struct Result {
+  std::vector<mem::Mem> mems;  ///< canonical order, no duplicates
+  RunStats stats;
+};
+
+class Engine {
+ public:
+  explicit Engine(Config cfg) : cfg_(std::move(cfg)) { (void)cfg_.validated(); }
+
+  const Config& config() const noexcept { return cfg_; }
+
+  /// Extracts all MEMs of length >= cfg.min_length between ref and query.
+  Result run(const seq::Sequence& ref, const seq::Sequence& query) const;
+
+  /// Pre-built per-tile-row indexes for the native backend, enabling the
+  /// build-once / query-many workflow of the CPU tools (e.g. mapping many
+  /// reads against one reference — see examples/read_mapper.cpp).
+  struct NativeIndex {
+    std::vector<index::KmerIndex> rows;  ///< one per tile row
+    double build_seconds = 0.0;
+  };
+
+  /// Builds the native row indexes once (wall-timed).
+  NativeIndex build_native_index(const seq::Sequence& ref) const;
+
+  /// run() with the native backend, reusing `prebuilt` (which must have
+  /// been produced by build_native_index with this exact config and ref).
+  /// RunStats::index_seconds reports 0 — the cost lives in `prebuilt`.
+  Result run_native_prebuilt(const seq::Sequence& ref,
+                             const seq::Sequence& query,
+                             const NativeIndex& prebuilt) const;
+
+  /// Device-level work unit: processes tile rows [row_begin, row_end) on
+  /// `dev` (uploading the sequences, building the per-row partial index,
+  /// matching every tile of those rows), appending reported MEMs and
+  /// out-tile pieces. Exposed for the multi-device driver
+  /// (core/multi_device.h); single-device run() is this over all rows plus
+  /// the final host merge.
+  void run_simt_rows(simt::Device& dev, const seq::Sequence& ref,
+                     const seq::Sequence& query, std::uint32_t row_begin,
+                     std::uint32_t row_end, std::vector<mem::Mem>& reported,
+                     std::vector<mem::Mem>& outtile_pieces,
+                     RunStats& stats) const;
+
+ private:
+  Result run_simt(const seq::Sequence& ref, const seq::Sequence& query) const;
+  Result run_native(const seq::Sequence& ref, const seq::Sequence& query,
+                    const NativeIndex* prebuilt = nullptr) const;
+
+  Config cfg_;
+};
+
+}  // namespace gm::core

@@ -1,0 +1,36 @@
+// Implementation of mem/registry.h — lives here because the GPUMEM finders
+// need the core pipeline (see src/mem/CMakeLists.txt).
+#include "mem/registry.h"
+
+#include <stdexcept>
+
+#include "core/finders.h"
+#include "mem/essamem.h"
+#include "mem/mummer.h"
+#include "mem/naive.h"
+#include "mem/slamem.h"
+#include "mem/sparsemem.h"
+
+namespace gm::mem {
+
+std::unique_ptr<MemFinder> create_finder(const std::string& name) {
+  if (name == "naive") return std::make_unique<NaiveFinder>();
+  if (name == "mummer") return std::make_unique<MummerFinder>();
+  if (name == "sparsemem") return std::make_unique<SparseMemFinder>();
+  if (name == "essamem") return std::make_unique<EssaMemFinder>();
+  if (name == "slamem") return std::make_unique<SlaMemFinder>();
+  if (name == "gpumem") {
+    return std::make_unique<core::GpumemFinder>(core::Backend::kSimt);
+  }
+  if (name == "gpumem-native") {
+    return std::make_unique<core::GpumemFinder>(core::Backend::kNative);
+  }
+  throw std::invalid_argument("create_finder: unknown finder '" + name + "'");
+}
+
+std::vector<std::string> finder_names() {
+  return {"naive",  "mummer", "sparsemem",    "essamem",
+          "slamem", "gpumem", "gpumem-native"};
+}
+
+}  // namespace gm::mem

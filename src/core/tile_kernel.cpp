@@ -1,0 +1,105 @@
+#include "core/tile_kernel.h"
+
+#include <algorithm>
+
+#include "core/host_stitch.h"
+#include "simt/executor.h"
+
+namespace gm::core {
+namespace {
+
+// Sort key: (diagonal, q, len); sentinel entries (r == UINT32_MAX) sort last.
+bool triplet_less(const mem::Mem& a, const mem::Mem& b) {
+  if (a.diagonal() != b.diagonal()) return a.diagonal() < b.diagonal();
+  if (a.q != b.q) return a.q < b.q;
+  return a.len < b.len;
+}
+
+simt::KernelTask tile_combine_kernel(simt::ThreadCtx& ctx, simt::NoShared&,
+                                     const TileCombineParams& P) {
+  const std::uint32_t tau = ctx.block_dim();
+  const std::uint32_t tid = ctx.thread_id();
+  const std::size_t m = P.triplets.size();  // power of two (padded)
+  const seq::Sequence& R = *P.ref;
+  const seq::Sequence& Q = *P.query;
+
+  // --- bitonic sort by (diagonal, q) ---------------------------------------
+  for (std::size_t size = 2; size <= m; size <<= 1) {
+    for (std::size_t stride = size >> 1; stride > 0; stride >>= 1) {
+      for (std::size_t idx = tid; idx < m; idx += tau) {
+        const std::size_t partner = idx ^ stride;
+        if (partner <= idx) continue;
+        const bool ascending = (idx & size) == 0;
+        mem::Mem& a = P.triplets[idx];
+        mem::Mem& b = P.triplets[partner];
+        if (triplet_less(b, a) == ascending) std::swap(a, b);
+        ctx.alu(4);
+        ctx.gmem_txn(2);
+      }
+      co_await ctx.sync();
+    }
+  }
+
+  // --- run-start detection (reads only pre-merge values) -------------------
+  for (std::size_t i = tid; i < P.count; i += tau) {
+    bool start = true;
+    if (i > 0) {
+      const mem::Mem& prev = P.triplets[i - 1];
+      const mem::Mem& cur = P.triplets[i];
+      start = !(prev.diagonal() == cur.diagonal() &&
+                static_cast<std::uint64_t>(prev.q) + prev.len >= cur.q);
+    }
+    P.run_start[i] = start ? 1 : 0;
+    ctx.alu(4);
+    ctx.gmem_txn(2);
+  }
+  co_await ctx.sync();
+
+  // --- chain merge: each run walked by the thread owning its start ---------
+  for (std::size_t i = tid; i < P.count; i += tau) {
+    if (!P.run_start[i]) continue;
+    mem::Mem& head = P.triplets[i];
+    for (std::size_t j = i + 1; j < P.count && !P.run_start[j]; ++j) {
+      mem::Mem& t = P.triplets[j];
+      const std::uint32_t delta = t.q - head.q;
+      head.len = std::max(head.len, delta + t.len);
+      t.len = 0;
+      ctx.alu(3);
+      ctx.gmem_txn(1);
+    }
+  }
+  co_await ctx.sync();
+
+  // --- expansion + in-tile / out-tile classification -----------------------
+  for (std::size_t i = tid; i < P.count; i += tau) {
+    const mem::Mem t = P.triplets[i];
+    if (t.len == 0) continue;
+    const mem::Mem e = expand_clamped(R, Q, t, P.tile);
+    ctx.alu(e.len / 8 + 4);
+    ctx.gmem_txn(2 + e.len / 64);
+    ctx.gmem(e.len / 2);
+    if (touches_edge(e, P.tile)) {
+      const std::uint32_t idx = simt::atomic_fetch_add(&P.outtile_count[0], 1u);
+      if (idx < P.outtile.size()) P.outtile[idx] = e;
+      ctx.atomic_op();
+    } else if (e.len >= P.min_len) {
+      const std::uint32_t idx = simt::atomic_fetch_add(&P.intile_count[0], 1u);
+      if (idx < P.intile.size()) P.intile[idx] = e;
+      ctx.atomic_op();
+    }
+    ctx.gmem_txn(1);
+  }
+}
+
+}  // namespace
+
+void launch_tile_combine(simt::Device& dev, std::uint32_t threads,
+                         const TileCombineParams& params) {
+  simt::LaunchConfig cfg;
+  cfg.grid = 1;
+  cfg.block = threads;
+  cfg.label = "tile-combine";
+  simt::launch<simt::NoShared>(dev, cfg, tile_combine_kernel, params);
+}
+
+}  // namespace gm::core

@@ -1,0 +1,43 @@
+// Tile-level stitching — paper Section III-C1.
+//
+// Input: the out-block triplets collected from all blocks of one tile.
+// The kernel bitonic-sorts them by (diagonal, q), merges co-diagonal
+// overlapping chains conflict-free (run starts are detected in a separate
+// phase from the merge walk), then expands each survivor against the tile
+// rectangle and classifies it in-tile (reported) or out-tile (kept for the
+// global merge).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/geometry.h"
+#include "mem/mem.h"
+#include "seq/sequence.h"
+#include "simt/device.h"
+
+namespace gm::core {
+
+struct TileCombineParams {
+  const seq::Sequence* ref = nullptr;
+  const seq::Sequence* query = nullptr;
+  Rect tile;
+  std::uint32_t min_len = 0;
+
+  /// Sorted/merged in place. Must be padded to a power of two with
+  /// sentinel triplets (len == 0, r == q == UINT32_MAX); `count` is the
+  /// number of real entries at the front after... before sorting.
+  std::span<mem::Mem> triplets;
+  std::uint32_t count = 0;
+  std::span<std::uint8_t> run_start;  ///< scratch, size >= count
+
+  std::span<mem::Mem> intile;
+  std::span<std::uint32_t> intile_count;
+  std::span<mem::Mem> outtile;
+  std::span<std::uint32_t> outtile_count;
+};
+
+void launch_tile_combine(simt::Device& dev, std::uint32_t threads,
+                         const TileCombineParams& params);
+
+}  // namespace gm::core

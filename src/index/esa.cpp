@@ -1,0 +1,145 @@
+#include "index/esa.h"
+
+#include <stdexcept>
+
+#include "index/lcp.h"
+#include "index/suffix_array.h"
+
+namespace gm::index {
+
+EnhancedSuffixArray::EnhancedSuffixArray(const seq::Sequence& ref,
+                                         std::uint32_t k)
+    : ref_(ref), k_(k) {
+  if (k == 0) throw std::invalid_argument("EnhancedSuffixArray: K must be >= 1");
+  if (k == 1) {
+    sa_ = build_suffix_array(ref);
+    lcp_ = build_lcp_kasai(ref, sa_);
+  } else {
+    sa_.reserve(ref.size() / k + 1);
+    for (std::uint32_t p = 0; p < ref.size(); p += k) sa_.push_back(p);
+    sort_suffix_positions(ref, sa_);
+    lcp_ = build_lcp_direct(ref, sa_);
+  }
+  const std::size_t n = sa_.size();
+  lcp_.push_back(0);  // virtual lcp_[n]
+  up_.assign(n + 1, -1);
+  down_.assign(n + 1, -1);
+  next_.assign(n + 1, -1);
+  if (n < 2) return;
+
+  // lv(i): lcp with virtual -1 sentinels at both ends, per the child-table
+  // construction of Abouelhoda et al. (2004), Algorithms 6.2/6.5.
+  auto lv = [&](std::size_t i) -> std::int64_t {
+    if (i == 0 || i == n) return -1;
+    return static_cast<std::int64_t>(lcp_[i]);
+  };
+
+  {  // up/down
+    std::vector<std::size_t> stack{0};
+    std::int64_t last = -1;  // index, -1 = none
+    for (std::size_t i = 1; i <= n; ++i) {
+      while (lv(i) < lv(stack.back())) {
+        last = static_cast<std::int64_t>(stack.back());
+        stack.pop_back();
+        if (lv(i) <= lv(stack.back()) &&
+            lv(stack.back()) != lv(static_cast<std::size_t>(last))) {
+          down_[stack.back()] = static_cast<std::int32_t>(last);
+        }
+      }
+      if (last != -1) {
+        up_[i] = static_cast<std::int32_t>(last);
+        last = -1;
+      }
+      stack.push_back(i);
+    }
+  }
+  {  // nextlIndex
+    std::vector<std::size_t> stack{0};
+    for (std::size_t i = 1; i <= n; ++i) {
+      while (lv(i) < lv(stack.back())) stack.pop_back();
+      if (lv(i) == lv(stack.back())) {
+        next_[stack.back()] = static_cast<std::int32_t>(i);
+        stack.pop_back();
+      }
+      stack.push_back(i);
+    }
+  }
+}
+
+std::int32_t EnhancedSuffixArray::first_child_boundary(std::int32_t i,
+                                                       std::int32_t j) const {
+  const std::int32_t u = up_[static_cast<std::size_t>(j) + 1];
+  if (u > i && u <= j) return u;
+  return down_[static_cast<std::size_t>(i)];
+}
+
+EnhancedSuffixArray::Descent EnhancedSuffixArray::descend(
+    const seq::Sequence& query, std::size_t qpos, std::size_t cap) const {
+  const std::size_t n = sa_.size();
+  Descent out;
+  out.interval = {0, static_cast<std::uint32_t>(n)};
+  out.matched = 0;
+  if (n == 0) return out;
+  cap = std::min(cap, query.size() > qpos ? query.size() - qpos : 0);
+
+  std::int32_t i = 0, j = static_cast<std::int32_t>(n) - 1;
+  std::size_t d = 0;
+  while (true) {
+    if (i == j) {
+      // Leaf: finish by direct comparison against the single suffix.
+      d += ref_.common_prefix(sa_[static_cast<std::size_t>(i)] + d, query,
+                              qpos + d, cap - d);
+      out.interval = {static_cast<std::uint32_t>(i),
+                      static_cast<std::uint32_t>(i) + 1};
+      out.matched = static_cast<std::uint32_t>(d);
+      return out;
+    }
+    const std::int32_t boundary = first_child_boundary(i, j);
+    const std::size_t ell = lcp_[static_cast<std::size_t>(boundary)];
+    const std::size_t lim = std::min(ell, cap);
+    // Characters d..lim are shared by the whole interval ("edge" of the
+    // lcp-interval tree); compare them once against the first suffix.
+    d += ref_.common_prefix(sa_[static_cast<std::size_t>(i)] + d, query,
+                            qpos + d, lim - d);
+    if (d < lim || d == cap) {
+      out.interval = {static_cast<std::uint32_t>(i),
+                      static_cast<std::uint32_t>(j) + 1};
+      out.matched = static_cast<std::uint32_t>(d);
+      return out;
+    }
+    // d == ell < cap: branch on the next query character.
+    const std::uint8_t c = query.base(qpos + d);
+    std::int32_t child_lo = i;
+    std::int32_t child_hi = boundary - 1;  // first child
+    std::int32_t cursor = boundary;
+    bool found = false;
+    while (true) {
+      const std::uint32_t p = sa_[static_cast<std::size_t>(child_lo)];
+      // A suffix of length exactly `ell` forms the (first) leaf child with
+      // no character at this depth; it cannot match.
+      if (p + d < ref_.size() && ref_.base(p + d) == c) {
+        found = true;
+        break;
+      }
+      if (child_hi == j) break;  // that was the last child
+      child_lo = cursor;
+      const std::int32_t nx = next_[static_cast<std::size_t>(cursor)];
+      if (nx != -1 && nx <= j) {
+        child_hi = nx - 1;
+        cursor = nx;
+      } else {
+        child_hi = j;
+      }
+    }
+    if (!found) {
+      out.interval = {static_cast<std::uint32_t>(i),
+                      static_cast<std::uint32_t>(j) + 1};
+      out.matched = static_cast<std::uint32_t>(d);
+      return out;
+    }
+    i = child_lo;
+    j = child_hi;
+  }
+}
+
+}  // namespace gm::index

@@ -1,0 +1,54 @@
+// Enhanced (sparse) suffix array — suffix array + LCP + child table
+// (Abouelhoda, Kurtz & Ohlebusch 2004, the paper's reference [2] and the
+// substrate of essaMEM). The child table lets pattern descent run in
+// O(pattern) independent of log n, which is essaMEM's matching advantage
+// over sparseMEM's binary search.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "index/sa_search.h"
+#include "seq/sequence.h"
+
+namespace gm::index {
+
+class EnhancedSuffixArray {
+ public:
+  /// Builds SA (sparse with step K), LCP, and the child table for `ref`.
+  /// The reference must outlive the index (positions refer into it).
+  EnhancedSuffixArray(const seq::Sequence& ref, std::uint32_t k);
+
+  std::uint32_t sparseness() const noexcept { return k_; }
+  const std::vector<std::uint32_t>& positions() const noexcept { return sa_; }
+  const std::vector<std::uint32_t>& lcp() const noexcept { return lcp_; }
+
+  /// Top-down descent matching query[qpos..qpos+cap) as far as possible.
+  /// Returns the deepest non-empty interval and the number of characters
+  /// matched (<= cap).
+  struct Descent {
+    SaInterval interval;
+    std::uint32_t matched = 0;
+  };
+  Descent descend(const seq::Sequence& query, std::size_t qpos,
+                  std::size_t cap) const;
+
+  std::size_t bytes() const noexcept {
+    return sa_.size() * sizeof(std::uint32_t) * 2 +
+           (up_.size() + down_.size() + next_.size()) * sizeof(std::int32_t);
+  }
+
+ private:
+  // Child-interval enumeration helpers over inclusive intervals [i, j].
+  std::int32_t first_child_boundary(std::int32_t i, std::int32_t j) const;
+
+  const seq::Sequence& ref_;
+  std::uint32_t k_;
+  std::vector<std::uint32_t> sa_;
+  std::vector<std::uint32_t> lcp_;   // size sa_.size() + 1; lcp_[n] == 0 sentinel
+  std::vector<std::int32_t> up_;
+  std::vector<std::int32_t> down_;
+  std::vector<std::int32_t> next_;
+};
+
+}  // namespace gm::index

@@ -1,0 +1,151 @@
+#include "index/fm_index.h"
+
+#include <bit>
+#include <stdexcept>
+
+#include "index/lcp.h"
+#include "index/suffix_array.h"
+
+namespace gm::index {
+
+FmIndex::FmIndex(const seq::Sequence& text, std::uint32_t sa_sample)
+    : n_(static_cast<std::uint32_t>(text.size())), sa_sample_(sa_sample) {
+  if (sa_sample_ == 0) {
+    throw std::invalid_argument("FmIndex: sa_sample must be >= 1");
+  }
+  const std::uint32_t rows = n_ + 1;
+  const std::vector<std::uint32_t> sa = build_suffix_array(text);
+
+  // Suffix position per row: row 0 is '$' (position n), rows 1..n follow sa.
+  auto row_pos = [&](std::uint32_t row) -> std::uint32_t {
+    return row == 0 ? n_ : sa[row - 1];
+  };
+
+  // BWT codes; the '$' at the primary row is stored as code 0 and corrected
+  // for in rank().
+  const std::uint32_t nblocks = (rows + 63) / 64 + 1;  // +1 sentinel block
+  blocks_.assign(nblocks, {});
+  std::array<std::uint32_t, 4> running{};
+  primary_ = 0;
+  for (std::uint32_t row = 0; row < rows; ++row) {
+    if ((row & 63u) == 0) blocks_[row >> 6].cnt = running;
+    const std::uint32_t pos = row_pos(row);
+    std::uint8_t code = 0;
+    if (pos == 0) {
+      // BWT char is '$'. It is stored as code 0 in the bitplanes, so the
+      // checkpoint counts must include that fake 'A' too — rank() then
+      // uniformly subtracts it once for any i past the primary row.
+      primary_ = row;
+      ++running[0];
+    } else {
+      code = text.base(pos - 1);
+      ++running[code];
+    }
+    RankBlock& b = blocks_[row >> 6];
+    const unsigned off = row & 63u;
+    b.lo |= static_cast<std::uint64_t>(code & 1) << off;
+    b.hi |= static_cast<std::uint64_t>((code >> 1) & 1) << off;
+  }
+  blocks_.back().cnt = running;
+  if ((rows & 63u) == 0 && (rows >> 6) < nblocks) {
+    blocks_[rows >> 6].cnt = running;
+  }
+
+  // C array: '$' is the single smallest symbol.
+  std::array<std::uint32_t, 4> char_counts{};
+  for (std::uint32_t i = 0; i < n_; ++i) ++char_counts[text.base(i)];
+  std::uint32_t acc = 1;  // the '$'
+  for (int c = 0; c < 4; ++c) {
+    c_[static_cast<std::size_t>(c)] = acc;
+    acc += char_counts[static_cast<std::size_t>(c)];
+  }
+
+  // Sampled SA marks.
+  mark_bits_.assign((rows + 63) / 64, 0);
+  std::vector<std::uint32_t> values;
+  for (std::uint32_t row = 0; row < rows; ++row) {
+    const std::uint32_t pos = row_pos(row);
+    if (pos % sa_sample_ == 0 || row == 0) {
+      mark_bits_[row >> 6] |= std::uint64_t{1} << (row & 63u);
+    }
+  }
+  mark_rank_.assign(mark_bits_.size() + 1, 0);
+  for (std::size_t w = 0; w < mark_bits_.size(); ++w) {
+    mark_rank_[w + 1] =
+        mark_rank_[w] + static_cast<std::uint32_t>(std::popcount(mark_bits_[w]));
+  }
+  values.reserve(mark_rank_.back());
+  for (std::uint32_t row = 0; row < rows; ++row) {
+    if (mark_bits_[row >> 6] >> (row & 63u) & 1) values.push_back(row_pos(row));
+  }
+  mark_values_ = std::move(values);
+
+  // LCP over rows: row 1 borders the '$' suffix (lcp 0); rows >= 2 use the
+  // Kasai LCP of the plain suffix array.
+  const std::vector<std::uint32_t> lcp = build_lcp_kasai(text, sa);
+  lcp8_.assign(rows, 0);
+  for (std::uint32_t row = 2; row < rows; ++row) {
+    const std::uint32_t v = lcp[row - 1];
+    if (v >= 255) {
+      lcp8_[row] = 255;
+      lcp_exceptions_.emplace(row, v);
+    } else {
+      lcp8_[row] = static_cast<std::uint8_t>(v);
+    }
+  }
+}
+
+std::uint32_t FmIndex::rank(std::uint8_t c, std::uint32_t i) const noexcept {
+  const RankBlock& b = blocks_[i >> 6];
+  std::uint32_t r = b.cnt[c];
+  const unsigned off = i & 63u;
+  if (off != 0) {
+    const std::uint64_t lo_match = (c & 1) ? b.lo : ~b.lo;
+    const std::uint64_t hi_match = (c & 2) ? b.hi : ~b.hi;
+    const std::uint64_t within = ~std::uint64_t{0} >> (64 - off);
+    r += static_cast<std::uint32_t>(
+        std::popcount(lo_match & hi_match & within));
+  }
+  // The primary row's '$' was stored as code 0; undo its contribution.
+  if (c == 0 && primary_ < i) --r;
+  return r;
+}
+
+std::uint32_t FmIndex::locate(std::uint32_t row) const {
+  std::uint32_t steps = 0;
+  while (!(mark_bits_[row >> 6] >> (row & 63u) & 1)) {
+    row = lf(row);
+    ++steps;
+  }
+  const std::uint32_t word = row >> 6;
+  const std::uint64_t before = (row & 63u) == 0
+                                   ? 0
+                                   : mark_bits_[word] &
+                                         (~std::uint64_t{0} >> (64 - (row & 63u)));
+  const std::uint32_t idx =
+      mark_rank_[word] + static_cast<std::uint32_t>(std::popcount(before));
+  return mark_values_[idx] + steps;
+}
+
+std::uint32_t FmIndex::lcp_at(std::uint32_t row) const {
+  if (row == 0 || row > n_) return 0;
+  const std::uint8_t v = lcp8_[row];
+  if (v < 255) return v;
+  return lcp_exceptions_.at(row);
+}
+
+SaInterval FmIndex::widen(SaInterval iv, std::uint32_t depth) const {
+  while (iv.lo > 0 && lcp_at(iv.lo) >= depth) --iv.lo;
+  while (iv.hi <= n_ && lcp_at(iv.hi) >= depth) ++iv.hi;
+  return iv;
+}
+
+std::size_t FmIndex::bytes() const noexcept {
+  return blocks_.size() * sizeof(RankBlock) +
+         mark_bits_.size() * sizeof(std::uint64_t) +
+         mark_rank_.size() * sizeof(std::uint32_t) +
+         mark_values_.size() * sizeof(std::uint32_t) + lcp8_.size() +
+         lcp_exceptions_.size() * 16;
+}
+
+}  // namespace gm::index

@@ -1,0 +1,52 @@
+#include "index/kmer_index.h"
+
+#include <stdexcept>
+
+#include "util/bits.h"
+#include "util/parallel.h"
+
+namespace gm::index {
+
+KmerIndex::KmerIndex(const seq::Sequence& ref, std::size_t start,
+                     std::size_t end, unsigned seed_len, std::uint32_t step)
+    : seed_len_(seed_len), step_(step) {
+  if (seed_len == 0 || seed_len > 16) {
+    throw std::invalid_argument("KmerIndex: seed_len must be in [1, 16]");
+  }
+  if (step == 0) throw std::invalid_argument("KmerIndex: step must be >= 1");
+  end = std::min(end, ref.size());
+
+  const std::size_t buckets = std::size_t{1} << (2 * seed_len);
+  ptrs_.assign(buckets + 1, 0);
+
+  // Align the first sampled position to the global grid.
+  const std::size_t first = util::round_up(start, static_cast<std::size_t>(step));
+
+  // Pass 1: counts (shifted by one for the in-place prefix sum).
+  std::size_t count = 0;
+  for (std::size_t p = first; p < end && p + seed_len <= ref.size(); p += step) {
+    ++ptrs_[ref.kmer(p, seed_len) + 1];
+    ++count;
+  }
+  // Prefix sum.
+  for (std::size_t s = 1; s <= buckets; ++s) ptrs_[s] += ptrs_[s - 1];
+
+  // Pass 2: fill. Ascending position order lands each bucket pre-sorted,
+  // which is the invariant Algorithm 1's step 4 establishes with a sort.
+  locs_.resize(count);
+  std::vector<std::uint32_t> cursor(ptrs_.begin(), ptrs_.end() - 1);
+  for (std::size_t p = first; p < end && p + seed_len <= ref.size(); p += step) {
+    locs_[cursor[ref.kmer(p, seed_len)]++] = static_cast<std::uint32_t>(p);
+  }
+}
+
+util::Histogram KmerIndex::occurrence_histogram() const {
+  util::Histogram h;
+  for (std::size_t s = 0; s + 1 < ptrs_.size(); ++s) {
+    const std::uint32_t occ = ptrs_[s + 1] - ptrs_[s];
+    if (occ > 0) h.add(occ);
+  }
+  return h;
+}
+
+}  // namespace gm::index

@@ -1,0 +1,60 @@
+// Host-side twin of GPUMEM's lightweight index (paper Fig. 1, Section III-A):
+// two flat arrays, `ptrs` (per-seed bucket offsets: prefix sums of seed
+// occurrence counts) and `locs` (sorted seed start positions). Seeds of
+// length ℓs are sampled every Δs positions of the indexed reference range.
+//
+// The GPU backend builds exactly this structure on the device via
+// Algorithm 1 (src/core/index_kernels.*); this class is the reference
+// implementation used by the native backend, Fig. 6, and cross-checks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "seq/sequence.h"
+#include "util/stats.h"
+
+namespace gm::index {
+
+class KmerIndex {
+ public:
+  /// Indexes seeds of `ref` whose start position p satisfies
+  /// start <= p, p + seed_len <= ref.size(), p < end, and p % step == 0
+  /// (the sampling grid is *global*, so tiled construction over adjacent
+  /// ranges covers every MEM — see core/pipeline.cc for why this matters).
+  KmerIndex(const seq::Sequence& ref, std::size_t start, std::size_t end,
+            unsigned seed_len, std::uint32_t step);
+
+  unsigned seed_len() const noexcept { return seed_len_; }
+  std::uint32_t step() const noexcept { return step_; }
+
+  /// All indexed locations of the packed seed value, ascending.
+  std::span<const std::uint32_t> lookup(std::uint64_t seed) const noexcept {
+    return {locs_.data() + ptrs_[seed], locs_.data() + ptrs_[seed + 1]};
+  }
+
+  std::uint64_t occurrences(std::uint64_t seed) const noexcept {
+    return ptrs_[seed + 1] - ptrs_[seed];
+  }
+
+  const std::vector<std::uint32_t>& ptrs() const noexcept { return ptrs_; }
+  const std::vector<std::uint32_t>& locs() const noexcept { return locs_; }
+
+  /// Fig. 6: histogram over "number of locations a seed occurs at" for all
+  /// seeds present at least once.
+  util::Histogram occurrence_histogram() const;
+
+  std::size_t bytes() const noexcept {
+    return ptrs_.size() * sizeof(std::uint32_t) +
+           locs_.size() * sizeof(std::uint32_t);
+  }
+
+ private:
+  unsigned seed_len_;
+  std::uint32_t step_;
+  std::vector<std::uint32_t> ptrs_;  // size 4^seed_len + 1
+  std::vector<std::uint32_t> locs_;
+};
+
+}  // namespace gm::index

@@ -1,0 +1,34 @@
+#include "index/lcp.h"
+
+namespace gm::index {
+
+std::vector<std::uint32_t> build_lcp_kasai(const seq::Sequence& seq,
+                                           const std::vector<std::uint32_t>& sa) {
+  const std::size_t n = sa.size();
+  std::vector<std::uint32_t> rank(n), lcp(n, 0);
+  for (std::size_t i = 0; i < n; ++i) rank[sa[i]] = static_cast<std::uint32_t>(i);
+  std::size_t h = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rank[i] == 0) {
+      h = 0;
+      continue;
+    }
+    const std::size_t j = sa[rank[i] - 1];
+    if (h > 0) --h;
+    h += seq.common_prefix(i + h, seq, j + h, n);
+    lcp[rank[i]] = static_cast<std::uint32_t>(h);
+  }
+  return lcp;
+}
+
+std::vector<std::uint32_t> build_lcp_direct(const seq::Sequence& seq,
+                                            const std::vector<std::uint32_t>& sa) {
+  std::vector<std::uint32_t> lcp(sa.size(), 0);
+  for (std::size_t i = 1; i < sa.size(); ++i) {
+    lcp[i] = static_cast<std::uint32_t>(
+        seq.common_prefix(sa[i - 1], seq, sa[i], seq.size()));
+  }
+  return lcp;
+}
+
+}  // namespace gm::index

@@ -1,0 +1,48 @@
+// Sparse-table range-minimum queries, used for O(1) LCE between suffix-array
+// ranks and for LCP-interval navigation in tests.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "util/bits.h"
+
+namespace gm::index {
+
+/// Classic O(n log n) space, O(1) query sparse table over uint32 values.
+class RmqSparseTable {
+ public:
+  RmqSparseTable() = default;
+
+  explicit RmqSparseTable(const std::vector<std::uint32_t>& values) {
+    n_ = values.size();
+    if (n_ == 0) return;
+    const std::uint32_t levels = util::floor_log2(n_) + 1;
+    table_.resize(levels);
+    table_[0] = values;
+    for (std::uint32_t k = 1; k < levels; ++k) {
+      const std::size_t span = std::size_t{1} << k;
+      table_[k].resize(n_ - span + 1);
+      for (std::size_t i = 0; i + span <= n_; ++i) {
+        table_[k][i] =
+            std::min(table_[k - 1][i], table_[k - 1][i + span / 2]);
+      }
+    }
+  }
+
+  /// Minimum of values[lo..hi], inclusive bounds, lo <= hi < n.
+  std::uint32_t min_inclusive(std::size_t lo, std::size_t hi) const {
+    assert(lo <= hi && hi < n_);
+    const std::uint32_t k = util::floor_log2(hi - lo + 1);
+    return std::min(table_[k][lo], table_[k][hi + 1 - (std::size_t{1} << k)]);
+  }
+
+  bool empty() const { return n_ == 0; }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::vector<std::uint32_t>> table_;
+};
+
+}  // namespace gm::index

@@ -1,0 +1,70 @@
+#include "index/sa_search.h"
+
+#include <algorithm>
+
+namespace gm::index {
+namespace {
+
+// Three-way compare of ref suffix at p (limited to `depth` chars) against
+// query[qpos..qpos+depth). A ref suffix shorter than the pattern compares
+// less when it is a prefix of it.
+int compare_suffix(const seq::Sequence& ref, std::uint32_t p,
+                   const seq::Sequence& query, std::size_t qpos,
+                   std::size_t depth) {
+  const std::size_t ref_avail = ref.size() - p;
+  const std::size_t cmp_len = std::min(depth, ref_avail);
+  const std::size_t common = ref.common_prefix(p, query, qpos, cmp_len);
+  if (common == depth) return 0;
+  if (common == ref_avail) return -1;  // ref suffix exhausted: prefix => less
+  return ref.base(p + common) < query.base(qpos + common) ? -1 : 1;
+}
+
+}  // namespace
+
+SaInterval find_interval(const seq::Sequence& ref,
+                         const std::vector<std::uint32_t>& sa,
+                         const seq::Sequence& query, std::size_t qpos,
+                         std::size_t depth) {
+  if (depth == 0) {
+    return {0, static_cast<std::uint32_t>(sa.size())};
+  }
+  if (qpos + depth > query.size()) return {0, 0};
+  auto lo_it = std::lower_bound(
+      sa.begin(), sa.end(), 0u, [&](std::uint32_t p, std::uint32_t) {
+        return compare_suffix(ref, p, query, qpos, depth) < 0;
+      });
+  auto hi_it = std::upper_bound(
+      lo_it, sa.end(), 0u, [&](std::uint32_t, std::uint32_t p) {
+        return compare_suffix(ref, p, query, qpos, depth) > 0;
+      });
+  return {static_cast<std::uint32_t>(lo_it - sa.begin()),
+          static_cast<std::uint32_t>(hi_it - sa.begin())};
+}
+
+LongestMatch find_longest(const seq::Sequence& ref,
+                          const std::vector<std::uint32_t>& sa,
+                          const seq::Sequence& query, std::size_t qpos,
+                          std::size_t max_depth) {
+  max_depth = std::min(max_depth, query.size() - qpos);
+  LongestMatch best;
+  best.interval = {0, static_cast<std::uint32_t>(sa.size())};
+  best.length = 0;
+  // Exponential-then-binary search over depth. Each probe is a full interval
+  // search; fine for the binary-search-based finders which are the paper's
+  // slower baselines anyway.
+  std::size_t lo = 0, hi = max_depth;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi + 1) / 2;
+    const SaInterval iv = find_interval(ref, sa, query, qpos, mid);
+    if (!iv.empty()) {
+      best.interval = iv;
+      best.length = static_cast<std::uint32_t>(mid);
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return best;
+}
+
+}  // namespace gm::index

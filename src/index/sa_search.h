@@ -1,0 +1,39 @@
+// Pattern-interval binary search over (full or sparse) suffix arrays.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "seq/sequence.h"
+
+namespace gm::index {
+
+/// Half-open run [lo, hi) of suffix-array entries.
+struct SaInterval {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+  bool empty() const noexcept { return lo >= hi; }
+  std::uint32_t size() const noexcept { return empty() ? 0 : hi - lo; }
+};
+
+/// Interval of suffixes in `sa` (sorted positions into `ref`) whose first
+/// `depth` characters equal query[qpos .. qpos+depth). Plain double binary
+/// search with word-parallel comparisons: O(log |sa| * depth / 32).
+SaInterval find_interval(const seq::Sequence& ref,
+                         const std::vector<std::uint32_t>& sa,
+                         const seq::Sequence& query, std::size_t qpos,
+                         std::size_t depth);
+
+/// Longest-match search: the largest m <= max_depth such that
+/// query[qpos..qpos+m) occurs in `sa`, along with its interval. Returns
+/// m == 0 with the full-array interval when even one character fails.
+struct LongestMatch {
+  SaInterval interval;
+  std::uint32_t length = 0;
+};
+LongestMatch find_longest(const seq::Sequence& ref,
+                          const std::vector<std::uint32_t>& sa,
+                          const seq::Sequence& query, std::size_t qpos,
+                          std::size_t max_depth);
+
+}  // namespace gm::index

@@ -1,0 +1,22 @@
+#include "index/sparse_suffix_array.h"
+
+#include <stdexcept>
+
+#include "index/suffix_array.h"
+
+namespace gm::index {
+
+SparseSuffixArray::SparseSuffixArray(const seq::Sequence& ref, std::uint32_t k,
+                                     bool sort_based)
+    : k_(k) {
+  if (k == 0) throw std::invalid_argument("SparseSuffixArray: K must be >= 1");
+  if (k == 1 && !sort_based) {
+    sa_ = build_suffix_array(ref);
+    return;
+  }
+  sa_.reserve(ref.size() / k + 1);
+  for (std::uint32_t p = 0; p < ref.size(); p += k) sa_.push_back(p);
+  sort_suffix_positions(ref, sa_);
+}
+
+}  // namespace gm::index

@@ -1,0 +1,43 @@
+// Sparse suffix array (Khan et al. 2009, the sparseMEM index): only suffixes
+// starting at positions ≡ 0 (mod K) are indexed. Memory shrinks by K at the
+// cost of extra match-extension work, which is exactly the trade-off the
+// paper discusses for sparseMEM in Tables III/IV.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "index/sa_search.h"
+#include "seq/sequence.h"
+
+namespace gm::index {
+
+class SparseSuffixArray {
+ public:
+  /// Builds the index for `ref` with sparseness K >= 1. With
+  /// `sort_based == false` (default), K == 1 uses linear-time SA-IS; with
+  /// `sort_based == true` every K sorts the sampled suffixes by comparison,
+  /// so build cost scales with n/K at *every* K — this reproduces the
+  /// sparseMEM tool's build-time-vs-sparseness behaviour (Table III), where
+  /// the dense index is strictly the slowest to build.
+  SparseSuffixArray(const seq::Sequence& ref, std::uint32_t k,
+                    bool sort_based = false);
+
+  std::uint32_t sparseness() const noexcept { return k_; }
+  const std::vector<std::uint32_t>& positions() const noexcept { return sa_; }
+
+  /// Suffixes matching query[qpos..qpos+depth).
+  SaInterval interval(const seq::Sequence& ref, const seq::Sequence& query,
+                      std::size_t qpos, std::size_t depth) const {
+    return find_interval(ref, sa_, query, qpos, depth);
+  }
+
+  /// Approximate index memory footprint in bytes (for reporting).
+  std::size_t bytes() const noexcept { return sa_.size() * sizeof(std::uint32_t); }
+
+ private:
+  std::uint32_t k_;
+  std::vector<std::uint32_t> sa_;
+};
+
+}  // namespace gm::index

@@ -1,0 +1,227 @@
+#include "index/suffix_array.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace gm::index {
+namespace {
+
+// SA-IS over an integer string s[0..n-1] where s[n-1] is a unique sentinel 0
+// and all other symbols are in [1, K]. SA receives the n suffix ranks.
+class SaIs {
+ public:
+  static void run(const std::int32_t* s, std::int32_t* sa, std::int32_t n,
+                  std::int32_t k_alpha) {
+    SaIs builder(s, sa, n, k_alpha);
+    builder.solve();
+  }
+
+ private:
+  SaIs(const std::int32_t* s, std::int32_t* sa, std::int32_t n,
+       std::int32_t k_alpha)
+      : s_(s), sa_(sa), n_(n), k_(k_alpha), is_s_(static_cast<std::size_t>(n)) {}
+
+  void solve() {
+    classify();
+    std::vector<std::int32_t> lms;
+    lms.reserve(static_cast<std::size_t>(n_) / 2 + 1);
+    for (std::int32_t i = 1; i < n_; ++i) {
+      if (is_lms(i)) lms.push_back(i);
+    }
+
+    induced_sort(lms);
+
+    // Compact the sorted LMS positions from sa_ and name LMS substrings.
+    std::vector<std::int32_t> sorted_lms;
+    sorted_lms.reserve(lms.size());
+    for (std::int32_t i = 0; i < n_; ++i) {
+      if (sa_[i] > 0 && is_lms(sa_[i])) sorted_lms.push_back(sa_[i]);
+    }
+
+    std::vector<std::int32_t> name_of(static_cast<std::size_t>(n_), -1);
+    std::int32_t names = 0;
+    std::int32_t prev = -1;
+    for (std::int32_t pos : sorted_lms) {
+      if (prev >= 0 && !lms_substring_equal(prev, pos)) ++names;
+      name_of[static_cast<std::size_t>(pos)] = names;
+      prev = pos;
+    }
+    ++names;  // count, not max index
+
+    // Reduced string: names of LMS substrings in text order.
+    std::vector<std::int32_t> reduced;
+    reduced.reserve(lms.size());
+    for (std::int32_t pos : lms) {
+      reduced.push_back(name_of[static_cast<std::size_t>(pos)]);
+    }
+
+    std::vector<std::int32_t> lms_order(lms.size());
+    if (names == static_cast<std::int32_t>(lms.size())) {
+      // All names unique: order is immediate.
+      for (std::size_t i = 0; i < lms.size(); ++i) {
+        lms_order[static_cast<std::size_t>(reduced[i])] =
+            static_cast<std::int32_t>(i);
+      }
+    } else {
+      // Recurse on the reduced string (its own sentinel is the final LMS,
+      // which is the sentinel position of s_ and is the unique minimum).
+      std::vector<std::int32_t> sub_sa(lms.size());
+      SaIs::run(reduced.data(), sub_sa.data(),
+                static_cast<std::int32_t>(reduced.size()), names - 1);
+      for (std::size_t i = 0; i < lms.size(); ++i) {
+        lms_order[i] = sub_sa[i];
+      }
+    }
+
+    // Final pass: seed buckets with LMS suffixes in sorted order, re-induce.
+    std::vector<std::int32_t> sorted(lms.size());
+    for (std::size_t i = 0; i < lms.size(); ++i) {
+      sorted[i] = lms[static_cast<std::size_t>(lms_order[i])];
+    }
+    induced_sort(sorted);
+  }
+
+  bool is_lms(std::int32_t i) const {
+    return i > 0 && is_s_[static_cast<std::size_t>(i)] &&
+           !is_s_[static_cast<std::size_t>(i - 1)];
+  }
+
+  void classify() {
+    is_s_[static_cast<std::size_t>(n_ - 1)] = true;
+    for (std::int32_t i = n_ - 2; i >= 0; --i) {
+      const std::size_t ui = static_cast<std::size_t>(i);
+      is_s_[ui] = s_[i] < s_[i + 1] || (s_[i] == s_[i + 1] && is_s_[ui + 1]);
+    }
+  }
+
+  void bucket_bounds(std::vector<std::int32_t>& heads,
+                     std::vector<std::int32_t>& tails) const {
+    std::vector<std::int32_t> count(static_cast<std::size_t>(k_) + 1, 0);
+    for (std::int32_t i = 0; i < n_; ++i) ++count[static_cast<std::size_t>(s_[i])];
+    heads.assign(static_cast<std::size_t>(k_) + 1, 0);
+    tails.assign(static_cast<std::size_t>(k_) + 1, 0);
+    std::int32_t sum = 0;
+    for (std::int32_t c = 0; c <= k_; ++c) {
+      heads[static_cast<std::size_t>(c)] = sum;
+      sum += count[static_cast<std::size_t>(c)];
+      tails[static_cast<std::size_t>(c)] = sum;  // one past end
+    }
+  }
+
+  // lms_seed: LMS positions, placed at their bucket tails in given order.
+  void induced_sort(const std::vector<std::int32_t>& lms_seed) {
+    std::vector<std::int32_t> heads, tails;
+    bucket_bounds(heads, tails);
+    std::fill(sa_, sa_ + n_, -1);
+
+    {
+      std::vector<std::int32_t> tail_cursor = tails;
+      for (auto it = lms_seed.rbegin(); it != lms_seed.rend(); ++it) {
+        const std::int32_t pos = *it;
+        std::int32_t& cur = tail_cursor[static_cast<std::size_t>(s_[pos])];
+        sa_[--cur] = pos;
+      }
+    }
+
+    // Induce L-type suffixes, left to right from bucket heads.
+    {
+      std::vector<std::int32_t> head_cursor = heads;
+      for (std::int32_t i = 0; i < n_; ++i) {
+        const std::int32_t j = sa_[i];
+        if (j > 0 && !is_s_[static_cast<std::size_t>(j - 1)]) {
+          std::int32_t& cur = head_cursor[static_cast<std::size_t>(s_[j - 1])];
+          sa_[cur++] = j - 1;
+        }
+      }
+    }
+
+    // Induce S-type suffixes, right to left from bucket tails. This
+    // overwrites the seeded LMS entries with the final order.
+    {
+      std::vector<std::int32_t> tail_cursor = tails;
+      for (std::int32_t i = n_ - 1; i >= 0; --i) {
+        const std::int32_t j = sa_[i];
+        if (j > 0 && is_s_[static_cast<std::size_t>(j - 1)]) {
+          std::int32_t& cur = tail_cursor[static_cast<std::size_t>(s_[j - 1])];
+          sa_[--cur] = j - 1;
+        }
+      }
+    }
+  }
+
+  bool lms_substring_equal(std::int32_t a, std::int32_t b) const {
+    // Compare the LMS substrings starting at a and b (inclusive of the next
+    // LMS position).
+    for (std::int32_t d = 0;; ++d) {
+      const bool a_end = d > 0 && is_lms(a + d);
+      const bool b_end = d > 0 && is_lms(b + d);
+      if (a_end && b_end) return true;
+      if (a_end != b_end) return false;
+      if (a + d >= n_ || b + d >= n_) return false;
+      if (s_[a + d] != s_[b + d]) return false;
+      if (is_s_[static_cast<std::size_t>(a + d)] !=
+          is_s_[static_cast<std::size_t>(b + d)]) {
+        return false;
+      }
+    }
+  }
+
+  const std::int32_t* s_;
+  std::int32_t* sa_;
+  std::int32_t n_;
+  std::int32_t k_;
+  std::vector<bool> is_s_;
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> build_suffix_array(const seq::Sequence& seq) {
+  const std::size_t n = seq.size();
+  if (n == 0) return {};
+  // Shift codes to 1..4 and append the unique sentinel 0.
+  std::vector<std::int32_t> s(n + 1);
+  for (std::size_t i = 0; i < n; ++i) s[i] = seq.base(i) + 1;
+  s[n] = 0;
+  std::vector<std::int32_t> sa(n + 1);
+  SaIs::run(s.data(), sa.data(), static_cast<std::int32_t>(n + 1), 4);
+  // Drop the sentinel suffix (always first).
+  std::vector<std::uint32_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint32_t>(sa[i + 1]);
+  }
+  return out;
+}
+
+namespace {
+
+// Lexicographic suffix comparison, 32 bases per iteration. A shorter suffix
+// that is a prefix of the other sorts first (consistent with sentinel-based
+// construction, since the sentinel is the minimum symbol).
+bool suffix_less(const seq::Sequence& seq, std::uint32_t a, std::uint32_t b) {
+  if (a == b) return false;
+  const std::size_t n = seq.size();
+  const std::size_t la = n - a;
+  const std::size_t lb = n - b;
+  const std::size_t common = seq.common_prefix(a, seq, b, std::min(la, lb));
+  if (common == la || common == lb) return la < lb;
+  return seq.base(a + common) < seq.base(b + common);
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> build_suffix_array_bruteforce(const seq::Sequence& seq) {
+  std::vector<std::uint32_t> sa(seq.size());
+  for (std::uint32_t i = 0; i < sa.size(); ++i) sa[i] = i;
+  sort_suffix_positions(seq, sa);
+  return sa;
+}
+
+void sort_suffix_positions(const seq::Sequence& seq,
+                           std::vector<std::uint32_t>& positions) {
+  std::sort(positions.begin(), positions.end(),
+            [&seq](std::uint32_t a, std::uint32_t b) {
+              return suffix_less(seq, a, b);
+            });
+}
+
+}  // namespace gm::index

@@ -1,0 +1,34 @@
+// Suffix array construction.
+//
+// Primary constructor is SA-IS (Nong, Zhang & Chan 2009), linear time and
+// memory-lean — this is the index substrate for the MUMmer-class and
+// essaMEM-class finders and (via the BWT) the slaMEM-class finder.
+// A comparison-sort fallback exists for cross-validation in tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "seq/sequence.h"
+
+namespace gm::index {
+
+/// Suffix array of `seq` (positions of suffixes in lexicographic order,
+/// using the 2-bit code order A < C < G < T). Does NOT include an imaginary
+/// sentinel suffix; result has exactly seq.size() entries. Empty input gives
+/// an empty array.
+std::vector<std::uint32_t> build_suffix_array(const seq::Sequence& seq);
+
+/// O(n log^2 n)-ish reference implementation via std::sort with word-level
+/// suffix comparison; used to validate SA-IS and to directly sort *sampled*
+/// suffix sets (sparse suffix arrays).
+std::vector<std::uint32_t> build_suffix_array_bruteforce(const seq::Sequence& seq);
+
+/// Sorts an arbitrary set of suffix start positions lexicographically
+/// (word-parallel comparison). This is how the sparse suffix array is built:
+/// cost scales with the number of sampled suffixes, which reproduces
+/// sparseMEM's build-time-vs-sparseness behaviour (Table III).
+void sort_suffix_positions(const seq::Sequence& seq,
+                           std::vector<std::uint32_t>& positions);
+
+}  // namespace gm::index

@@ -1,0 +1,68 @@
+// Shared candidate-to-MEM emission logic.
+//
+// Every finder in this project reduces to: generate candidate aligned pairs
+// (r, q) that are guaranteed to lie inside any MEM of length >= L, then
+// validate maximality and length. Two candidate flavours exist:
+//
+//  * exact-start candidates (full indexes: MUMmer-, slaMEM-class): (r, q) is
+//    the would-be MEM start; left-maximality is a single character test and
+//    the length is the right extension.
+//  * sampled candidates (sparse indexes: sparseMEM-class, GPUMEM): (p, j)
+//    lies somewhere inside the MEM with p on a global sampling grid of step
+//    K; the MEM start is recovered by full left extension, and the pair is
+//    emitted only when p is the first grid point inside the MEM on its
+//    diagonal, which dedupes multi-hit MEMs exactly once.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/mem.h"
+#include "seq/sequence.h"
+
+namespace gm::mem {
+
+/// True when (r, q) cannot be extended one character to the left.
+inline bool left_maximal(const seq::Sequence& ref, const seq::Sequence& query,
+                         std::uint32_t r, std::uint32_t q) noexcept {
+  return r == 0 || q == 0 || ref.base(r - 1) != query.base(q - 1);
+}
+
+/// Exact-start candidate: emits (r, q, λ) when left-maximal and λ >= L.
+/// λ is the full right extension, so right-maximality is structural.
+inline void emit_exact_candidate(const seq::Sequence& ref,
+                                 const seq::Sequence& query, std::uint32_t r,
+                                 std::uint32_t q, std::uint32_t min_len,
+                                 std::vector<Mem>& out) {
+  if (!left_maximal(ref, query, r, q)) return;
+  const std::size_t len = ref.common_prefix(r, query, q, ref.size());
+  if (len >= min_len) {
+    out.push_back({r, q, static_cast<std::uint32_t>(len)});
+  }
+}
+
+/// Sampled candidate at grid step `grid`: p is an indexed reference position
+/// (p % grid == 0 on the global grid) aligned with query position j.
+/// Recovers the containing MEM by bidirectional extension; emits it only via
+/// its first in-MEM grid point.
+inline void emit_sampled_candidate(const seq::Sequence& ref,
+                                   const seq::Sequence& query, std::uint32_t p,
+                                   std::uint32_t j, std::uint32_t grid,
+                                   std::uint32_t min_len,
+                                   std::vector<Mem>& out) {
+  std::uint32_t back = 0;
+  if (p > 0 && j > 0) {
+    back = static_cast<std::uint32_t>(
+        ref.common_suffix(p - 1, query, j - 1, ref.size()));
+  }
+  if (back >= grid) return;  // an earlier grid point lies inside this MEM
+  const std::uint32_t r = p - back;
+  const std::uint32_t q = j - back;
+  const std::size_t fwd = ref.common_prefix(p, query, j, ref.size());
+  const std::size_t len = back + fwd;
+  if (len >= min_len) {
+    out.push_back({r, q, static_cast<std::uint32_t>(len)});
+  }
+}
+
+}  // namespace gm::mem

@@ -1,0 +1,31 @@
+// essaMEM-class finder (Vyverman et al. 2013, paper reference [16]):
+// enhanced *sparse* suffix array whose child table replaces binary search
+// with O(pattern) top-down descent — the matching-speed edge essaMEM has
+// over sparseMEM in the paper's Table IV. τ-way parallel over query shards
+// with a fixed sparseness (independent of τ, unlike sparseMEM).
+#pragma once
+
+#include <memory>
+
+#include "index/esa.h"
+#include "mem/finder.h"
+
+namespace gm::mem {
+
+class EssaMemFinder final : public MemFinder {
+ public:
+  std::string name() const override { return "essamem"; }
+
+  void build_index(const seq::Sequence& ref, const FinderOptions& opt) override;
+  std::vector<Mem> find(const seq::Sequence& query) const override;
+  double last_find_modeled_seconds() const override { return last_seconds_; }
+  std::size_t index_bytes() const override { return esa_ ? esa_->bytes() : 0; }
+
+ private:
+  const seq::Sequence* ref_ = nullptr;
+  FinderOptions opt_;
+  std::unique_ptr<index::EnhancedSuffixArray> esa_;
+  mutable double last_seconds_ = 0.0;
+};
+
+}  // namespace gm::mem

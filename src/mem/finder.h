@@ -1,0 +1,50 @@
+// Abstract interface shared by every MEM extraction tool in the project.
+//
+// Index construction (Table III) and matching (Table IV) are separate calls
+// so the benchmark harness can time them the way the paper does; I/O never
+// happens inside either call.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/mem.h"
+#include "seq/sequence.h"
+
+namespace gm::mem {
+
+struct FinderOptions {
+  std::uint32_t min_length = 20;  ///< L, the MEM length threshold
+  std::uint32_t threads = 1;      ///< τ for tools with shared-memory support
+  std::uint32_t sparseness = 1;   ///< index sparseness K (sparse/essa tools)
+
+  /// For timing studies on hosts with fewer than `threads` cores the
+  /// sharded executor can run shards sequentially and report max-shard time
+  /// (see DESIGN.md). true = always run shards sequentially.
+  bool sequential_shards = false;
+};
+
+class MemFinder {
+ public:
+  virtual ~MemFinder() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Builds (or rebuilds) the reference index. Must be called before find().
+  virtual void build_index(const seq::Sequence& ref,
+                           const FinderOptions& opt) = 0;
+
+  /// Extracts all MEMs of length >= opt.min_length between the indexed
+  /// reference and `query`, in canonical sorted order with no duplicates.
+  virtual std::vector<Mem> find(const seq::Sequence& query) const = 0;
+
+  /// Modeled parallel seconds of the last find() (max shard time); equals
+  /// measured wall time for single-threaded tools. See DESIGN.md.
+  virtual double last_find_modeled_seconds() const { return 0.0; }
+
+  /// Approximate index footprint, for memory reporting.
+  virtual std::size_t index_bytes() const { return 0; }
+};
+
+}  // namespace gm::mem

@@ -1,0 +1,42 @@
+#include "mem/matching_stats.h"
+
+#include <algorithm>
+
+namespace gm::mem {
+
+std::vector<std::uint32_t> matching_statistics(const index::FmIndex& fm,
+                                               const seq::Sequence& query) {
+  std::vector<std::uint32_t> ms(query.size(), 0);
+  index::SaInterval iv = fm.all_rows();
+  std::uint32_t m = 0;
+  for (std::size_t jj = query.size(); jj-- > 0;) {
+    const std::uint8_t c = query.base(jj);
+    for (;;) {
+      const index::SaInterval grown = fm.extend(iv, c);
+      if (!grown.empty()) {
+        iv = grown;
+        ++m;
+        break;
+      }
+      if (m == 0) {
+        iv = fm.all_rows();
+        break;
+      }
+      const std::uint32_t parent_depth =
+          std::max(fm.lcp_at(iv.lo), fm.lcp_at(iv.hi));
+      m = std::min(m - 1, parent_depth);
+      iv = fm.widen(iv, m);
+      if (m == 0) iv = fm.all_rows();
+    }
+    ms[jj] = m;
+  }
+  return ms;
+}
+
+std::vector<std::uint32_t> matching_statistics(const seq::Sequence& ref,
+                                               const seq::Sequence& query) {
+  const index::FmIndex fm(ref);
+  return matching_statistics(fm, query);
+}
+
+}  // namespace gm::mem

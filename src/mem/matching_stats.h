@@ -1,0 +1,25 @@
+// Matching statistics: ms[j] = length of the longest prefix of query[j..]
+// that occurs anywhere in the reference. The classic primitive underlying
+// sparseMEM/essaMEM/slaMEM (Section II-A), exposed as a library feature;
+// also the basis of MEM-count estimation and composition-distance methods.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "index/fm_index.h"
+#include "seq/sequence.h"
+
+namespace gm::mem {
+
+/// Computes ms[j] for every query position against a prebuilt FM index of
+/// the reference, via the right-to-left backward-search sweep with
+/// LCP-parent shortening (amortized O(|Q|) index operations).
+std::vector<std::uint32_t> matching_statistics(const index::FmIndex& fm,
+                                               const seq::Sequence& query);
+
+/// Convenience overload that builds the index internally.
+std::vector<std::uint32_t> matching_statistics(const seq::Sequence& ref,
+                                               const seq::Sequence& query);
+
+}  // namespace gm::mem

@@ -1,0 +1,40 @@
+// The maximal-exact-match triplet and canonical orderings.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gm::mem {
+
+/// A maximal exact match (r, q, λ) per the paper's Section II:
+/// R[r+i] == Q[q+i] for i in [0, len), the characters just before (r, q) and
+/// just after (r+len, q+len) differ or fall off a sequence end.
+struct Mem {
+  std::uint32_t r = 0;    ///< start in the reference
+  std::uint32_t q = 0;    ///< start in the query
+  std::uint32_t len = 0;  ///< λ
+
+  /// Diagonal identifier r - q; co-diagonal matches are the ones the
+  /// combine step (Algorithm 3) can merge.
+  std::int64_t diagonal() const noexcept {
+    return static_cast<std::int64_t>(r) - static_cast<std::int64_t>(q);
+  }
+
+  friend auto operator<=>(const Mem&, const Mem&) = default;
+};
+
+/// Canonical report order: by reference position, then query, then length.
+void sort_mems(std::vector<Mem>& mems);
+
+/// Sorts by (diagonal, q) — the order the out-block/out-tile combine stages
+/// use (paper Section III-C1).
+void sort_mems_diagonal(std::vector<Mem>& mems);
+
+/// Sorts canonically and removes exact duplicates in place.
+void sort_unique(std::vector<Mem>& mems);
+
+std::string to_string(const Mem& m);
+
+}  // namespace gm::mem

@@ -1,0 +1,39 @@
+#include "mem/mummer.h"
+
+#include <stdexcept>
+
+#include "index/sa_search.h"
+#include "index/suffix_array.h"
+#include "mem/common.h"
+#include "util/timer.h"
+
+namespace gm::mem {
+
+void MummerFinder::build_index(const seq::Sequence& ref,
+                               const FinderOptions& opt) {
+  ref_ = &ref;
+  opt_ = opt;
+  sa_ = index::build_suffix_array(ref);
+}
+
+std::vector<Mem> MummerFinder::find(const seq::Sequence& query) const {
+  if (ref_ == nullptr) throw std::logic_error("MummerFinder: no index built");
+  util::Timer timer;
+  const std::uint32_t L = opt_.min_length;
+  std::vector<Mem> out;
+  if (query.size() >= L) {
+    for (std::size_t q = 0; q + L <= query.size(); ++q) {
+      const index::SaInterval iv =
+          index::find_interval(*ref_, sa_, query, q, L);
+      for (std::uint32_t i = iv.lo; i < iv.hi; ++i) {
+        emit_exact_candidate(*ref_, query, sa_[i],
+                             static_cast<std::uint32_t>(q), L, out);
+      }
+    }
+  }
+  sort_unique(out);
+  last_seconds_ = timer.seconds();
+  return out;
+}
+
+}  // namespace gm::mem

@@ -1,0 +1,31 @@
+// MUMmer-class finder: full SA-IS suffix array, per-query-position interval
+// search at depth L, exact-start candidate emission (Kurtz et al. 2004 /
+// Delcher et al. 1999, the paper's references [12], [6]). Single-threaded,
+// as in the paper's experiments.
+#pragma once
+
+#include <vector>
+
+#include "mem/finder.h"
+
+namespace gm::mem {
+
+class MummerFinder final : public MemFinder {
+ public:
+  std::string name() const override { return "mummer"; }
+
+  void build_index(const seq::Sequence& ref, const FinderOptions& opt) override;
+  std::vector<Mem> find(const seq::Sequence& query) const override;
+  double last_find_modeled_seconds() const override { return last_seconds_; }
+  std::size_t index_bytes() const override {
+    return sa_.size() * sizeof(std::uint32_t);
+  }
+
+ private:
+  const seq::Sequence* ref_ = nullptr;
+  FinderOptions opt_;
+  std::vector<std::uint32_t> sa_;
+  mutable double last_seconds_ = 0.0;
+};
+
+}  // namespace gm::mem

@@ -1,0 +1,41 @@
+#include "mem/naive.h"
+
+#include <stdexcept>
+
+namespace gm::mem {
+
+std::vector<Mem> find_mems_naive(const seq::Sequence& ref,
+                                 const seq::Sequence& query,
+                                 std::uint32_t min_len) {
+  std::vector<Mem> out;
+  if (ref.empty() || query.empty() || min_len == 0) return out;
+  const std::int64_t n = static_cast<std::int64_t>(ref.size());
+  const std::int64_t m = static_cast<std::int64_t>(query.size());
+  // Walk every diagonal d = r - q. Runs of equal characters along a diagonal
+  // are exactly the maximal matches on it.
+  for (std::int64_t d = -(m - 1); d < n; ++d) {
+    std::int64_t r = std::max<std::int64_t>(d, 0);
+    std::int64_t q = r - d;
+    while (r < n && q < m) {
+      const std::size_t run = ref.common_prefix(
+          static_cast<std::size_t>(r), query, static_cast<std::size_t>(q),
+          static_cast<std::size_t>(std::min(n - r, m - q)));
+      if (run >= min_len) {
+        out.push_back({static_cast<std::uint32_t>(r),
+                       static_cast<std::uint32_t>(q),
+                       static_cast<std::uint32_t>(run)});
+      }
+      r += static_cast<std::int64_t>(run) + 1;
+      q += static_cast<std::int64_t>(run) + 1;
+    }
+  }
+  sort_unique(out);
+  return out;
+}
+
+std::vector<Mem> NaiveFinder::find(const seq::Sequence& query) const {
+  if (ref_ == nullptr) throw std::logic_error("NaiveFinder: no index built");
+  return find_mems_naive(*ref_, query, opt_.min_length);
+}
+
+}  // namespace gm::mem

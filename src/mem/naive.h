@@ -1,0 +1,32 @@
+// Brute-force MEM extraction by diagonal scanning — O(|R|·|Q|) worst case,
+// word-accelerated. The ground truth every other finder is validated against.
+#pragma once
+
+#include <vector>
+
+#include "mem/finder.h"
+
+namespace gm::mem {
+
+class NaiveFinder final : public MemFinder {
+ public:
+  std::string name() const override { return "naive"; }
+
+  void build_index(const seq::Sequence& ref, const FinderOptions& opt) override {
+    ref_ = &ref;
+    opt_ = opt;
+  }
+
+  std::vector<Mem> find(const seq::Sequence& query) const override;
+
+ private:
+  const seq::Sequence* ref_ = nullptr;
+  FinderOptions opt_;
+};
+
+/// Free-function form used directly by tests.
+std::vector<Mem> find_mems_naive(const seq::Sequence& ref,
+                                 const seq::Sequence& query,
+                                 std::uint32_t min_len);
+
+}  // namespace gm::mem

@@ -1,0 +1,21 @@
+// Name-based construction of every MEM finder, so tests, examples, and the
+// benchmark harness enumerate tools uniformly.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/finder.h"
+
+namespace gm::mem {
+
+/// Known names: "naive", "mummer", "sparsemem", "essamem", "slamem",
+/// "gpumem" (SIMT-simulated device backend), "gpumem-native" (same pipeline
+/// on host threads). Throws std::invalid_argument for anything else.
+std::unique_ptr<MemFinder> create_finder(const std::string& name);
+
+/// All registered names, baseline tools first.
+std::vector<std::string> finder_names();
+
+}  // namespace gm::mem

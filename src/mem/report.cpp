@@ -1,0 +1,78 @@
+#include "mem/report.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace gm::mem {
+namespace {
+
+void write_section(std::ostream& out, const std::string& name,
+                   const std::vector<Mem>& mems, bool reverse) {
+  out << "> " << name << (reverse ? " Reverse" : "") << '\n';
+  for (const Mem& m : mems) {
+    out << "  " << m.r + 1 << '\t' << m.q + 1 << '\t' << m.len << '\n';
+  }
+}
+
+}  // namespace
+
+void write_mummer(std::ostream& out, const std::string& query_name,
+                  const std::vector<Mem>& mems, bool reverse) {
+  write_section(out, query_name, mems, reverse);
+}
+
+void write_mummer(std::ostream& out, const std::string& query_name,
+                  const std::vector<StrandedMem>& mems) {
+  std::vector<Mem> fwd, rev;
+  for (const StrandedMem& s : mems) {
+    (s.strand == Strand::kForward ? fwd : rev).push_back(s.match);
+  }
+  write_section(out, query_name, fwd, /*reverse=*/false);
+  if (!rev.empty()) write_section(out, query_name, rev, /*reverse=*/true);
+}
+
+std::vector<MummerRecord> read_mummer(std::istream& in) {
+  std::vector<MummerRecord> records;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      MummerRecord rec;
+      std::string tag;
+      ls >> tag;  // consume '>'
+      std::string token;
+      std::vector<std::string> tokens;
+      while (ls >> token) tokens.push_back(token);
+      if (!tokens.empty() && tokens.back() == "Reverse") {
+        rec.reverse = true;
+        tokens.pop_back();
+      }
+      std::string name;
+      for (std::size_t i = 0; i < tokens.size(); ++i) {
+        if (i) name += ' ';
+        name += tokens[i];
+      }
+      rec.query_name = std::move(name);
+      records.push_back(std::move(rec));
+      continue;
+    }
+    if (records.empty()) {
+      throw std::runtime_error("read_mummer: match data before any header (line " +
+                               std::to_string(lineno) + ")");
+    }
+    std::uint64_t r1 = 0, q1 = 0, len = 0;
+    if (!(ls >> r1 >> q1 >> len) || r1 == 0 || q1 == 0) {
+      throw std::runtime_error("read_mummer: malformed match line " +
+                               std::to_string(lineno) + ": '" + line + "'");
+    }
+    records.back().mems.push_back({static_cast<std::uint32_t>(r1 - 1),
+                                   static_cast<std::uint32_t>(q1 - 1),
+                                   static_cast<std::uint32_t>(len)});
+  }
+  return records;
+}
+
+}  // namespace gm::mem

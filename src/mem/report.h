@@ -1,0 +1,38 @@
+// MUMmer-compatible match reporting: the 3-column text format the original
+// tools print (`mummer -maxmatch`), so downstream scripts (mummerplot-style
+// tooling) can consume this library's output, plus a parser for round
+// tripping and for comparing against other tools' outputs.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "mem/mem.h"
+#include "mem/stranded.h"
+
+namespace gm::mem {
+
+/// One query record's matches in MUMmer format:
+///   > name [Reverse]
+///     <ref_pos>  <query_pos>  <length>      (1-based positions)
+void write_mummer(std::ostream& out, const std::string& query_name,
+                  const std::vector<Mem>& mems, bool reverse = false);
+
+/// Stranded overload: forward matches first, then a "Reverse" section
+/// (printed only when reverse matches exist).
+void write_mummer(std::ostream& out, const std::string& query_name,
+                  const std::vector<StrandedMem>& mems);
+
+struct MummerRecord {
+  std::string query_name;
+  bool reverse = false;
+  std::vector<Mem> mems;  ///< positions converted back to 0-based
+};
+
+/// Parses the format write_mummer emits. Throws std::runtime_error on
+/// malformed input.
+std::vector<MummerRecord> read_mummer(std::istream& in);
+
+}  // namespace gm::mem

@@ -1,0 +1,70 @@
+#include "mem/slamem.h"
+
+#include <stdexcept>
+
+#include "mem/common.h"
+#include "util/timer.h"
+
+namespace gm::mem {
+
+void SlaMemFinder::build_index(const seq::Sequence& ref,
+                               const FinderOptions& opt) {
+  ref_ = &ref;
+  opt_ = opt;
+  fm_ = std::make_unique<index::FmIndex>(ref);
+}
+
+std::vector<Mem> SlaMemFinder::find(const seq::Sequence& query) const {
+  if (!fm_) throw std::logic_error("SlaMemFinder: no index built");
+  util::Timer timer;
+  const std::uint32_t L = opt_.min_length;
+  std::vector<Mem> out;
+  if (query.empty()) {
+    last_seconds_ = timer.seconds();
+    return out;
+  }
+
+  // Right-to-left matching-statistics sweep (Ohlebusch-style backward
+  // search): (iv, m) is the FM row interval of the longest reference match
+  // of the window query[j .. j+m). Prepending query[j-1] is one backward
+  // step; when it fails, the window is shortened from the right by jumping
+  // to the parent LCP interval — the operation slaMEM's sampled LCP array
+  // accelerates.
+  index::SaInterval iv = fm_->all_rows();
+  std::uint32_t m = 0;
+  for (std::size_t jj = query.size(); jj-- > 0;) {
+    const std::uint32_t j = static_cast<std::uint32_t>(jj);
+    const std::uint8_t c = query.base(j);
+    for (;;) {
+      const index::SaInterval grown = fm_->extend(iv, c);
+      if (!grown.empty()) {
+        iv = grown;
+        ++m;
+        break;
+      }
+      if (m == 0) {
+        iv = fm_->all_rows();
+        break;
+      }
+      // Parent jump: widen to the deepest branching depth below m.
+      const std::uint32_t parent_depth =
+          std::max(fm_->lcp_at(iv.lo), fm_->lcp_at(iv.hi));
+      m = std::min(m - 1, parent_depth);
+      iv = fm_->widen(iv, m);
+      if (m == 0) iv = fm_->all_rows();
+    }
+    if (m < L) continue;
+    // All reference positions matching >= L characters at j: the interval of
+    // query[j .. j+L), reached by widening (trimming the window's right end).
+    const index::SaInterval at_L = fm_->widen(iv, L);
+    for (std::uint32_t row = at_L.lo; row < at_L.hi; ++row) {
+      const std::uint32_t r = fm_->locate(row);
+      emit_exact_candidate(*ref_, query, r, j, L, out);
+    }
+  }
+  sort_unique(out);
+  last_seconds_ = timer.seconds();
+  return out;
+}
+
+}  // namespace gm::mem

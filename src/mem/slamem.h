@@ -1,0 +1,32 @@
+// slaMEM-class finder (Fernandes & Freitas 2013, paper reference [8]):
+// FM-index of the *reversed* reference so that growing a query window
+// right-ward is one backward-search step, matching statistics maintained
+// across consecutive query positions via LCP-driven parent-interval
+// widening (the "sampled LCP array" idea), and candidate rows located
+// through the sampled suffix array.
+#pragma once
+
+#include <memory>
+
+#include "index/fm_index.h"
+#include "mem/finder.h"
+
+namespace gm::mem {
+
+class SlaMemFinder final : public MemFinder {
+ public:
+  std::string name() const override { return "slamem"; }
+
+  void build_index(const seq::Sequence& ref, const FinderOptions& opt) override;
+  std::vector<Mem> find(const seq::Sequence& query) const override;
+  double last_find_modeled_seconds() const override { return last_seconds_; }
+  std::size_t index_bytes() const override { return fm_ ? fm_->bytes() : 0; }
+
+ private:
+  const seq::Sequence* ref_ = nullptr;
+  FinderOptions opt_;
+  std::unique_ptr<index::FmIndex> fm_;  // over reverse(ref)
+  mutable double last_seconds_ = 0.0;
+};
+
+}  // namespace gm::mem

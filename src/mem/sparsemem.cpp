@@ -1,0 +1,59 @@
+#include "mem/sparsemem.h"
+
+#include <stdexcept>
+
+#include "mem/common.h"
+#include "util/parallel.h"
+
+namespace gm::mem {
+
+void SparseMemFinder::build_index(const seq::Sequence& ref,
+                                  const FinderOptions& opt) {
+  if (opt.sparseness == 0 || opt.sparseness > opt.min_length) {
+    throw std::invalid_argument(
+        "SparseMemFinder: need 1 <= sparseness <= min_length");
+  }
+  ref_ = &ref;
+  opt_ = opt;
+  ssa_ = std::make_unique<index::SparseSuffixArray>(ref, opt.sparseness,
+                                                    /*sort_based=*/true);
+}
+
+std::vector<Mem> SparseMemFinder::find(const seq::Sequence& query) const {
+  if (!ssa_) throw std::logic_error("SparseMemFinder: no index built");
+  const std::uint32_t L = opt_.min_length;
+  const std::uint32_t K = opt_.sparseness;
+  const std::uint32_t depth = L - K + 1;  // sampled suffixes inside a MEM of
+                                          // length >= L match at least this
+  const std::uint32_t shards = std::max(1u, opt_.threads);
+
+  std::vector<std::vector<Mem>> partial(shards);
+  auto body = [&](std::size_t shard) {
+    std::vector<Mem>& out = partial[shard];
+    if (query.size() < depth) return;
+    const std::size_t total = query.size() - depth + 1;
+    const std::size_t chunk = (total + shards - 1) / shards;
+    const std::size_t begin = shard * chunk;
+    const std::size_t end = std::min(total, begin + chunk);
+    for (std::size_t j = begin; j < end; ++j) {
+      const index::SaInterval iv = ssa_->interval(*ref_, query, j, depth);
+      for (std::uint32_t i = iv.lo; i < iv.hi; ++i) {
+        emit_sampled_candidate(*ref_, query, ssa_->positions()[i],
+                               static_cast<std::uint32_t>(j), K, L, out);
+      }
+    }
+  };
+
+  const util::ShardedExecutor exec(opt_.sequential_shards
+                                       ? util::ShardedExecutor::Policy::kSequential
+                                       : util::ShardedExecutor::Policy::kAuto);
+  const util::ShardReport report = exec.run(shards, body);
+  last_seconds_ = report.modeled_parallel_seconds();
+
+  std::vector<Mem> out;
+  for (auto& p : partial) out.insert(out.end(), p.begin(), p.end());
+  sort_unique(out);
+  return out;
+}
+
+}  // namespace gm::mem

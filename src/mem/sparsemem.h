@@ -1,0 +1,37 @@
+// sparseMEM-class finder (Khan et al. 2009, paper reference [11]): sparse
+// suffix array with sparseness K, binary-search interval lookup at the
+// reduced depth L-K+1, sampled-candidate emission with bidirectional
+// extension. τ-way parallel over query shards.
+//
+// As the paper notes (Section IV-B), sparseMEM couples its sparseness to the
+// core count to shrink the index, so *more threads mean a harder matching
+// problem* — the benchmark harness reproduces that by setting
+// sparseness = threads for this finder.
+#pragma once
+
+#include <memory>
+
+#include "index/sparse_suffix_array.h"
+#include "mem/finder.h"
+
+namespace gm::mem {
+
+class SparseMemFinder final : public MemFinder {
+ public:
+  std::string name() const override { return "sparsemem"; }
+
+  void build_index(const seq::Sequence& ref, const FinderOptions& opt) override;
+  std::vector<Mem> find(const seq::Sequence& query) const override;
+  double last_find_modeled_seconds() const override { return last_seconds_; }
+  std::size_t index_bytes() const override {
+    return ssa_ ? ssa_->bytes() : 0;
+  }
+
+ private:
+  const seq::Sequence* ref_ = nullptr;
+  FinderOptions opt_;
+  std::unique_ptr<index::SparseSuffixArray> ssa_;
+  mutable double last_seconds_ = 0.0;
+};
+
+}  // namespace gm::mem

@@ -1,0 +1,28 @@
+#include "mem/stranded.h"
+
+#include <algorithm>
+
+namespace gm::mem {
+
+std::vector<StrandedMem> find_mems_both_strands(const MemFinder& finder,
+                                                const seq::Sequence& query) {
+  std::vector<StrandedMem> out;
+  for (const Mem& m : finder.find(query)) {
+    out.push_back({m, Strand::kForward});
+  }
+  const seq::Sequence rc = query.reverse_complement();
+  const std::uint32_t n = static_cast<std::uint32_t>(query.size());
+  for (const Mem& m : finder.find(rc)) {
+    Mem mapped = m;
+    mapped.q = n - m.q - m.len;
+    out.push_back({mapped, Strand::kReverse});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StrandedMem& a, const StrandedMem& b) {
+              if (a.match != b.match) return a.match < b.match;
+              return a.strand < b.strand;
+            });
+  return out;
+}
+
+}  // namespace gm::mem

@@ -1,0 +1,32 @@
+// Both-strand MEM extraction — the standard tool workflow (MUMmer's -b):
+// match the query as given, then its reverse complement, and report every
+// match in *forward query coordinates* with a strand flag.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/finder.h"
+#include "mem/mem.h"
+
+namespace gm::mem {
+
+enum class Strand : std::uint8_t { kForward, kReverse };
+
+struct StrandedMem {
+  Mem match;       ///< reverse-strand: q is the match start in the *forward*
+                   ///< query of the region whose reverse complement equals
+                   ///< the reference segment
+  Strand strand = Strand::kForward;
+
+  friend bool operator==(const StrandedMem&, const StrandedMem&) = default;
+};
+
+/// Runs `finder` (whose index must already be built) on the query and on its
+/// reverse complement. Reverse-strand coordinates are mapped back to the
+/// forward query: a match at RC position q' of length λ starts at forward
+/// position |Q| - q' - λ.
+std::vector<StrandedMem> find_mems_both_strands(const MemFinder& finder,
+                                                const seq::Sequence& query);
+
+}  // namespace gm::mem

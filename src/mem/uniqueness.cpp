@@ -1,0 +1,30 @@
+#include "mem/uniqueness.h"
+
+#include "index/sa_search.h"
+#include "index/suffix_array.h"
+
+namespace gm::mem {
+
+std::vector<Mem> filter_rare_matches(const std::vector<Mem>& mems,
+                                     const seq::Sequence& ref,
+                                     const seq::Sequence& query,
+                                     const RarenessLimits& limits) {
+  const std::vector<std::uint32_t> ref_sa = index::build_suffix_array(ref);
+  const std::vector<std::uint32_t> query_sa = index::build_suffix_array(query);
+  std::vector<Mem> out;
+  out.reserve(mems.size());
+  for (const Mem& m : mems) {
+    // The matched substring read from the reference; counting its interval
+    // in each suffix array counts its occurrences in each sequence.
+    const index::SaInterval in_ref =
+        index::find_interval(ref, ref_sa, ref, m.r, m.len);
+    if (in_ref.size() > limits.max_ref_occurrences) continue;
+    const index::SaInterval in_query =
+        index::find_interval(query, query_sa, ref, m.r, m.len);
+    if (in_query.size() > limits.max_query_occurrences) continue;
+    out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace gm::mem

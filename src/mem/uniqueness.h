@@ -1,0 +1,34 @@
+// Uniqueness/rareness post-filters over a MEM stream — the paper's stated
+// future work (Section V: "variants of the maximal exact match extraction
+// problem such as unique and rare exact match extraction").
+//
+// A MEM is a MUM when its matched substring occurs exactly once in the
+// reference and once in the query; a rare match occurs at most t times in
+// each. Counting occurrences of each MEM's substring against the two suffix
+// arrays answers both.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/mem.h"
+#include "seq/sequence.h"
+
+namespace gm::mem {
+
+struct RarenessLimits {
+  std::uint32_t max_ref_occurrences = 1;
+  std::uint32_t max_query_occurrences = 1;
+};
+
+/// Filters `mems` down to those whose matched substring occurs at most
+/// `limits.max_ref_occurrences` times in `ref` and
+/// `limits.max_query_occurrences` times in `query`. With the default (1,1)
+/// limits this extracts MUMs. Builds a suffix array per sequence; intended
+/// for post-processing, not inner loops.
+std::vector<Mem> filter_rare_matches(const std::vector<Mem>& mems,
+                                     const seq::Sequence& ref,
+                                     const seq::Sequence& query,
+                                     const RarenessLimits& limits = {});
+
+}  // namespace gm::mem

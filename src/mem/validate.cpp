@@ -1,0 +1,50 @@
+#include "mem/validate.h"
+
+#include "mem/common.h"
+
+namespace gm::mem {
+namespace {
+
+std::string describe(const Mem& m, const char* what) {
+  return to_string(m) + ": " + what;
+}
+
+}  // namespace
+
+ValidationReport validate_mems(const seq::Sequence& ref,
+                               const seq::Sequence& query,
+                               const std::vector<Mem>& mems,
+                               std::uint32_t min_len) {
+  ValidationReport report;
+  const Mem* prev = nullptr;
+  for (const Mem& m : mems) {
+    ++report.checked;
+    const char* error = nullptr;
+    if (m.len < min_len) {
+      error = "shorter than L";
+    } else if (std::size_t{m.r} + m.len > ref.size() ||
+               std::size_t{m.q} + m.len > query.size()) {
+      error = "out of bounds";
+    } else if (ref.common_prefix(m.r, query, m.q, m.len) != m.len) {
+      error = "characters differ inside the match";
+    } else if (!left_maximal(ref, query, m.r, m.q)) {
+      error = "extendable to the left";
+    } else if (std::size_t{m.r} + m.len < ref.size() &&
+               std::size_t{m.q} + m.len < query.size() &&
+               ref.base(m.r + m.len) == query.base(m.q + m.len)) {
+      error = "extendable to the right";
+    } else if (prev != nullptr && !(*prev < m)) {
+      error = "not in canonical sorted order / duplicate";
+    }
+    if (error != nullptr) {
+      ++report.violations;
+      if (report.first_error.empty()) {
+        report.first_error = describe(m, error);
+      }
+    }
+    prev = &m;
+  }
+  return report;
+}
+
+}  // namespace gm::mem

@@ -1,0 +1,34 @@
+// Definition-level MEM validation, independent of any finder: checks that
+// every reported triplet satisfies Section II's definition (characters
+// equal, maximal on both sides, length >= L) and that the set is sorted and
+// duplicate-free. Used by tests and by the benchmark harness to self-check
+// outputs at scales where the O(|R|·|Q|) ground truth is infeasible.
+//
+// Note this checks soundness (everything reported is a true MEM), not
+// completeness (nothing was missed) — completeness is established by the
+// cross-finder equality tests at tractable scales.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/mem.h"
+#include "seq/sequence.h"
+
+namespace gm::mem {
+
+struct ValidationReport {
+  std::uint64_t checked = 0;
+  std::uint64_t violations = 0;
+  std::string first_error;  ///< human-readable description of the first issue
+
+  bool ok() const { return violations == 0; }
+};
+
+ValidationReport validate_mems(const seq::Sequence& ref,
+                               const seq::Sequence& query,
+                               const std::vector<Mem>& mems,
+                               std::uint32_t min_len);
+
+}  // namespace gm::mem

@@ -1,0 +1,40 @@
+// DNA alphabet codec. The paper (Section III-A) encodes bases in 2 bits:
+// A=00, C=01, G=10, T=11; this file is the single source of truth for that
+// mapping.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace gm::seq {
+
+inline constexpr std::uint8_t kA = 0;
+inline constexpr std::uint8_t kC = 1;
+inline constexpr std::uint8_t kG = 2;
+inline constexpr std::uint8_t kT = 3;
+inline constexpr std::uint8_t kInvalidBase = 0xFF;
+inline constexpr int kAlphabetSize = 4;
+
+/// ASCII (case-insensitive) -> 2-bit code, kInvalidBase for non-ACGT.
+constexpr std::uint8_t encode_base(char c) noexcept {
+  switch (c) {
+    case 'A': case 'a': return kA;
+    case 'C': case 'c': return kC;
+    case 'G': case 'g': return kG;
+    case 'T': case 't': return kT;
+    default: return kInvalidBase;
+  }
+}
+
+/// 2-bit code -> ASCII.
+constexpr char decode_base(std::uint8_t b) noexcept {
+  constexpr std::array<char, 4> tab{'A', 'C', 'G', 'T'};
+  return tab[b & 3];
+}
+
+/// Watson–Crick complement in code space (A<->T, C<->G) is 3 - b.
+constexpr std::uint8_t complement(std::uint8_t b) noexcept {
+  return static_cast<std::uint8_t>(3 - (b & 3));
+}
+
+}  // namespace gm::seq

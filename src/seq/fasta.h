@@ -1,0 +1,49 @@
+// FASTA reading/writing with an explicit policy for non-ACGT characters.
+//
+// The genomic files the paper uses contain N runs and IUPAC codes; the tools
+// it compares against treat them as match breakers. Our 2-bit Sequence has
+// no room for a fifth symbol, so the reader exposes three policies and
+// records how many characters were touched, keeping the substitution
+// auditable.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "seq/sequence.h"
+
+namespace gm::seq {
+
+enum class NonAcgtPolicy {
+  kReject,     ///< throw std::runtime_error on the first non-ACGT character
+  kRandomize,  ///< replace with a deterministic pseudo-random base (seeded
+               ///< by record index and offset) — breaks spurious matches the
+               ///< way real tools' N handling does, while staying in Σ
+  kSkip,       ///< drop the character (shifts coordinates; for quick looks)
+};
+
+struct FastaRecord {
+  std::string name;            ///< header text after '>'
+  Sequence sequence;
+  std::uint64_t non_acgt = 0;  ///< characters affected by the policy
+};
+
+/// Parses every record in the stream. Throws on malformed input (sequence
+/// data before any header) or on policy violations.
+std::vector<FastaRecord> read_fasta(std::istream& in,
+                                    NonAcgtPolicy policy = NonAcgtPolicy::kRandomize);
+
+std::vector<FastaRecord> read_fasta_file(const std::string& path,
+                                         NonAcgtPolicy policy = NonAcgtPolicy::kRandomize);
+
+/// Writes one record wrapped at `width` columns.
+void write_fasta(std::ostream& out, const std::string& name,
+                 const Sequence& seq, std::size_t width = 70);
+
+void write_fasta_file(const std::string& path, const std::string& name,
+                      const Sequence& seq, std::size_t width = 70);
+
+}  // namespace gm::seq

@@ -1,0 +1,140 @@
+#include "seq/sequence.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+namespace gm::seq {
+
+Sequence Sequence::from_string(std::string_view s) {
+  Sequence seq;
+  seq.reserve(s.size());
+  for (char c : s) {
+    const std::uint8_t b = encode_base(c);
+    if (b == kInvalidBase) {
+      throw std::invalid_argument(
+          std::string("Sequence::from_string: invalid base '") + c + "'");
+    }
+    seq.push_back(b);
+  }
+  return seq;
+}
+
+Sequence Sequence::from_codes(const std::vector<std::uint8_t>& codes) {
+  Sequence seq;
+  seq.reserve(codes.size());
+  for (std::uint8_t b : codes) {
+    if (b > 3) throw std::invalid_argument("Sequence::from_codes: code > 3");
+    seq.push_back(b);
+  }
+  return seq;
+}
+
+void Sequence::push_back(std::uint8_t code) {
+  if (size_ > std::numeric_limits<Pos>::max() - 1) {
+    throw std::length_error("Sequence: > 2^32 - 1 bases unsupported");
+  }
+  const std::size_t word = size_ >> 5;
+  const unsigned shift = static_cast<unsigned>((size_ & 31) * 2);
+  if (word == words_.size()) words_.push_back(0);
+  words_[word] |= static_cast<std::uint64_t>(code & 3) << shift;
+  ++size_;
+}
+
+void Sequence::append(const Sequence& other, std::size_t pos, std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i) push_back(other.base(pos + i));
+}
+
+std::uint64_t Sequence::window64(std::size_t i) const noexcept {
+  const std::size_t word = i >> 5;
+  const unsigned shift = static_cast<unsigned>((i & 31) * 2);
+  if (word >= words_.size()) return 0;
+  std::uint64_t lo = words_[word] >> shift;
+  if (shift != 0 && word + 1 < words_.size()) {
+    lo |= words_[word + 1] << (64 - shift);
+  }
+  return lo;
+}
+
+std::string Sequence::to_string() const { return to_string(0, size_); }
+
+std::string Sequence::to_string(std::size_t pos, std::size_t len) const {
+  std::string out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) out.push_back(decode_base(base(pos + i)));
+  return out;
+}
+
+Sequence Sequence::subsequence(std::size_t pos, std::size_t len) const {
+  Sequence out;
+  out.reserve(len);
+  out.append(*this, pos, len);
+  return out;
+}
+
+Sequence Sequence::reverse_complement() const {
+  Sequence out;
+  out.reserve(size_);
+  for (std::size_t i = size_; i-- > 0;) out.push_back(complement(base(i)));
+  return out;
+}
+
+std::vector<std::uint8_t> Sequence::codes() const {
+  std::vector<std::uint8_t> out(size_);
+  for (std::size_t i = 0; i < size_; ++i) out[i] = base(i);
+  return out;
+}
+
+std::size_t Sequence::common_prefix(std::size_t i, const Sequence& other,
+                                    std::size_t j,
+                                    std::size_t max_len) const noexcept {
+  max_len = std::min({max_len, size_ > i ? size_ - i : 0,
+                      other.size_ > j ? other.size_ - j : 0});
+  std::size_t matched = 0;
+  while (matched + 32 <= max_len) {
+    const std::uint64_t x = window64(i + matched) ^ other.window64(j + matched);
+    if (x != 0) {
+      return matched + static_cast<std::size_t>(std::countr_zero(x)) / 2;
+    }
+    matched += 32;
+  }
+  if (matched < max_len) {
+    const std::uint64_t x = window64(i + matched) ^ other.window64(j + matched);
+    const std::size_t tail =
+        x == 0 ? 32 : static_cast<std::size_t>(std::countr_zero(x)) / 2;
+    matched += std::min(tail, max_len - matched);
+  }
+  return matched;
+}
+
+std::size_t Sequence::common_suffix(std::size_t i, const Sequence& other,
+                                    std::size_t j,
+                                    std::size_t max_len) const noexcept {
+  max_len = std::min({max_len, i + 1, j + 1});
+  // Backward scan; word-parallel variant would need reversed packing, and
+  // leftward expansions are short in practice (bounded by Δs or tile edges),
+  // so a straight loop is the right trade-off here.
+  std::size_t matched = 0;
+  while (matched < max_len &&
+         base(i - matched) == other.base(j - matched)) {
+    ++matched;
+  }
+  return matched;
+}
+
+bool Sequence::operator==(const Sequence& other) const noexcept {
+  if (size_ != other.size_) return false;
+  if (size_ == 0) return true;
+  const std::size_t full = size_ / 32;
+  for (std::size_t w = 0; w < full; ++w) {
+    if (words_[w] != other.words_[w]) return false;
+  }
+  const unsigned rem = static_cast<unsigned>(size_ & 31);
+  if (rem != 0) {
+    const std::uint64_t mask = (std::uint64_t{1} << (2 * rem)) - 1;
+    if ((words_[full] & mask) != (other.words_[full] & mask)) return false;
+  }
+  return true;
+}
+
+}  // namespace gm::seq

@@ -1,0 +1,84 @@
+// 2-bit packed DNA sequence with word-level longest-common-extension
+// primitives. Every index structure and matcher in the project operates on
+// this representation (the paper stores sequences the same way, Section IV).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "seq/alphabet.h"
+
+namespace gm::seq {
+
+/// Position type: sequences are limited to < 2^32 bases, which covers every
+/// chromosome-scale input the paper uses.
+using Pos = std::uint32_t;
+
+class Sequence {
+ public:
+  Sequence() = default;
+
+  /// Builds from an ASCII ACGT string; throws std::invalid_argument on any
+  /// other character (FASTA-level policies live in fasta.h).
+  static Sequence from_string(std::string_view s);
+
+  /// Builds from 2-bit codes (values 0..3).
+  static Sequence from_codes(const std::vector<std::uint8_t>& codes);
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// 2-bit code of base i (0 <= i < size()).
+  std::uint8_t base(std::size_t i) const noexcept {
+    return static_cast<std::uint8_t>((words_[i >> 5] >> ((i & 31) * 2)) & 3);
+  }
+
+  void push_back(std::uint8_t code);
+  void append(const Sequence& other, std::size_t pos, std::size_t len);
+  void reserve(std::size_t bases) { words_.reserve((bases + 31) / 32 + 1); }
+
+  /// 64-bit window holding up to 32 bases starting at position i, base i in
+  /// the lowest 2 bits. Positions past the end are zero-filled; callers must
+  /// bound match lengths by size() themselves.
+  std::uint64_t window64(std::size_t i) const noexcept;
+
+  /// Packed k-mer (k <= 32) starting at i, first base in the lowest bits.
+  /// Caller guarantees i + k <= size().
+  std::uint64_t kmer(std::size_t i, unsigned k) const noexcept {
+    std::uint64_t w = window64(i);
+    return k >= 32 ? w : (w & ((std::uint64_t{1} << (2 * k)) - 1));
+  }
+
+  std::string to_string() const;
+  std::string to_string(std::size_t pos, std::size_t len) const;
+
+  /// Copy of the subsequence [pos, pos+len).
+  Sequence subsequence(std::size_t pos, std::size_t len) const;
+
+  /// Reverse complement of the whole sequence.
+  Sequence reverse_complement() const;
+
+  /// Unpacked 2-bit codes (for algorithms that want byte access, e.g. SA-IS).
+  std::vector<std::uint8_t> codes() const;
+
+  /// Length of the common prefix of (*this)[i..] and other[j..], capped at
+  /// `max_len`. Word-parallel: compares 32 bases per step.
+  std::size_t common_prefix(std::size_t i, const Sequence& other,
+                            std::size_t j, std::size_t max_len) const noexcept;
+
+  /// Length of the common suffix of (*this)[..i] and other[..j] (inclusive
+  /// end positions), capped at `max_len`. Used for leftward MEM expansion.
+  std::size_t common_suffix(std::size_t i, const Sequence& other,
+                            std::size_t j, std::size_t max_len) const noexcept;
+
+  bool operator==(const Sequence& other) const noexcept;
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace gm::seq

@@ -1,0 +1,262 @@
+#include "seq/synthetic.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace gm::seq {
+namespace {
+
+std::vector<std::uint8_t> random_codes(std::size_t n, util::Xoshiro256& rng) {
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.bounded(4));
+  return v;
+}
+
+void point_mutate(std::vector<std::uint8_t>& v, double rate,
+                  util::Xoshiro256& rng) {
+  if (rate <= 0.0) return;
+  for (auto& b : v) {
+    if (rng.chance(rate)) {
+      b = static_cast<std::uint8_t>((b + 1 + rng.bounded(3)) & 3);
+    }
+  }
+}
+
+}  // namespace
+
+Sequence GenomeModel::generate(std::uint64_t seed) const {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> genome = random_codes(length, rng);
+
+  // Interspersed repeat families.
+  auto plant_family = [&](std::size_t flen, unsigned copies, double div) {
+    if (flen == 0 || flen >= length) return;
+    const std::vector<std::uint8_t> master = random_codes(flen, rng);
+    for (unsigned c = 0; c < copies; ++c) {
+      std::vector<std::uint8_t> copy = master;
+      point_mutate(copy, div, rng);
+      const std::size_t at = rng.bounded(length - flen);
+      std::copy(copy.begin(), copy.end(),
+                genome.begin() + static_cast<std::ptrdiff_t>(at));
+    }
+  };
+  for (unsigned f = 0; f < families; ++f) {
+    plant_family(family_length, copies_per_family, copy_divergence);
+  }
+  const unsigned auto_sine_copies =
+      sine_copies != 0
+          ? sine_copies
+          : std::max<unsigned>(
+                2, static_cast<unsigned>(
+                       length / (1200 * std::max(1u, sine_families))));
+  for (unsigned f = 0; f < sine_families; ++f) {
+    plant_family(sine_length, auto_sine_copies, sine_divergence);
+  }
+
+  // Tandem repeats.
+  for (unsigned t = 0; t < tandem_loci; ++t) {
+    if (tandem_motif == 0 || tandem_span >= length) break;
+    const std::vector<std::uint8_t> motif = random_codes(tandem_motif, rng);
+    const std::size_t at = rng.bounded(length - tandem_span);
+    for (std::size_t i = 0; i < tandem_span; ++i) {
+      genome[at + i] = motif[i % tandem_motif];
+    }
+  }
+
+  // Satellite arrays: one shared dinucleotide motif per genome. The count
+  // scales with genome length (~one array per 100 kbp, capped) so small
+  // sequences do not become satellite-dominated.
+  const unsigned arrays_eff = std::min<unsigned>(
+      satellite_arrays, static_cast<unsigned>(length / 100000));
+  if (arrays_eff > 0 && satellite_len > 0 && length > 4 * satellite_len) {
+    const std::uint8_t m0 = static_cast<std::uint8_t>(rng.bounded(4));
+    const std::uint8_t m1 = static_cast<std::uint8_t>((m0 + 1 + rng.bounded(3)) & 3);
+    for (unsigned a = 0; a < arrays_eff; ++a) {
+      const std::size_t at = rng.bounded(length - satellite_len);
+      for (std::size_t i = 0; i < satellite_len; ++i) {
+        genome[at + i] = (i & 1) ? m1 : m0;
+      }
+    }
+  }
+
+  // Low-complexity runs from a fixed motif set.
+  if (microsat_spacing > 0 && microsat_len_mean > 0 &&
+      length > 2 * microsat_spacing) {
+    static constexpr const char* kMotifs[] = {"A",  "T",  "C",   "G",  "AT",
+                                              "CA", "AG", "AAT", "TTG"};
+    for (std::size_t at = rng.bounded(microsat_spacing); at + 256 < length;
+         at += microsat_spacing / 2 + rng.bounded(microsat_spacing)) {
+      const char* motif = kMotifs[rng.bounded(std::size(kMotifs))];
+      const std::size_t mlen = std::strlen(motif);
+      const std::size_t run =
+          microsat_len_mean / 2 + rng.bounded(microsat_len_mean);
+      for (std::size_t i = 0; i < run && at + i < length; ++i) {
+        genome[at + i] = encode_base(motif[i % mlen]);
+      }
+    }
+  }
+
+  return Sequence::from_codes(genome);
+}
+
+Sequence MutationModel::apply(const Sequence& src, std::uint64_t seed) const {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> v = src.codes();
+  const std::size_t n = v.size();
+  if (n == 0) return Sequence();
+
+  auto seg_len = [&]() {
+    const std::size_t len = 1 + rng.bounded(std::max<std::size_t>(1, 2 * segment_mean));
+    return std::min(len, std::max<std::size_t>(1, n / 4));
+  };
+
+  // Structural variants first so point mutations also touch the moved copies.
+  for (unsigned i = 0; i < inversions && n > 2; ++i) {
+    const std::size_t len = seg_len();
+    if (len >= n) continue;
+    const std::size_t at = rng.bounded(n - len);
+    // Reverse complement, the biologically meaningful inversion.
+    std::reverse(v.begin() + static_cast<std::ptrdiff_t>(at),
+                 v.begin() + static_cast<std::ptrdiff_t>(at + len));
+    for (std::size_t j = 0; j < len; ++j) v[at + j] = complement(v[at + j]);
+  }
+  for (unsigned i = 0; i < translocations && n > 2; ++i) {
+    const std::size_t len = seg_len();
+    if (2 * len >= n) continue;
+    const std::size_t from = rng.bounded(n - len);
+    const std::size_t to = rng.bounded(n - len);
+    std::vector<std::uint8_t> seg(v.begin() + static_cast<std::ptrdiff_t>(from),
+                                  v.begin() + static_cast<std::ptrdiff_t>(from + len));
+    std::copy(seg.begin(), seg.end(), v.begin() + static_cast<std::ptrdiff_t>(to));
+  }
+  for (unsigned i = 0; i < duplications && n > 2; ++i) {
+    const std::size_t len = seg_len();
+    if (len >= n) continue;
+    const std::size_t from = rng.bounded(n - len);
+    std::vector<std::uint8_t> seg(v.begin() + static_cast<std::ptrdiff_t>(from),
+                                  v.begin() + static_cast<std::ptrdiff_t>(from + len));
+    const std::size_t at = rng.bounded(n);
+    v.insert(v.begin() + static_cast<std::ptrdiff_t>(at), seg.begin(), seg.end());
+  }
+
+  // Point mutations and indels in one left-to-right pass.
+  std::vector<std::uint8_t> out;
+  out.reserve(v.size() + v.size() / 16);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (indel_rate > 0.0 && rng.chance(indel_rate)) {
+      std::size_t len = 1;
+      while (rng.chance(indel_extend)) ++len;
+      if (rng.chance(0.5)) {
+        i += len - 1;  // deletion: skip bases (loop ++ consumes one)
+        continue;
+      }
+      for (std::size_t j = 0; j < len; ++j) {
+        out.push_back(static_cast<std::uint8_t>(rng.bounded(4)));
+      }
+    }
+    std::uint8_t b = v[i];
+    if (snp_rate > 0.0 && rng.chance(snp_rate)) {
+      b = static_cast<std::uint8_t>((b + 1 + rng.bounded(3)) & 3);
+    }
+    out.push_back(b);
+  }
+
+  if (target_length != 0) {
+    if (out.size() > target_length) {
+      out.resize(target_length);
+    } else {
+      while (out.size() < target_length) {
+        out.push_back(static_cast<std::uint8_t>(rng.bounded(4)));
+      }
+    }
+  }
+  return Sequence::from_codes(out);
+}
+
+namespace {
+
+struct Preset {
+  const char* name;
+  std::size_t ancestor_len;   // shared ancestor length
+  std::size_t ref_len;        // target reference length
+  std::size_t query_len;      // target query length
+  double ref_div;             // SNP divergence ancestor -> reference
+  double query_div;           // SNP divergence ancestor -> query
+  bool related;               // false = independent genomes (dmel vs ecoli)
+};
+
+// Lengths are ~1/64 of the paper's Table II (Mbp -> tens of kbp .. Mbp),
+// chosen so every benchmark config completes in minutes on one core while
+// preserving the relative size ordering of the four pairs.
+constexpr Preset kPresets[] = {
+    // mouse chr1 (195.75 Mbp) vs human chr2 (242.97 Mbp): diverged mammals
+    // (~6% effective divergence in alignable regions).
+    {"chr1m_s/chr2h_s", 3200000, 3058593, 3796406, 0.03, 0.03, true},
+    // chimp X (133.55) vs human X (154.12): closely related.
+    {"chrXc_s/chrXh_s", 2200000, 2086718, 2408125, 0.005, 0.005, true},
+    // D. melanogaster 2L (23.30) vs E. coli K12 (4.71): unrelated genomes.
+    {"dmel_s/ecoli_s", 364062, 364062, 73593, 0.0, 0.0, false},
+    // yeast chrXII (1.09) vs yeast chrI: same species, high identity.
+    {"chrXII_s/chrI_s", 131072, 131072, 262144, 0.002, 0.004, true},
+};
+
+}  // namespace
+
+std::vector<std::string> dataset_presets() {
+  std::vector<std::string> names;
+  for (const auto& p : kPresets) names.emplace_back(p.name);
+  return names;
+}
+
+DatasetPair make_dataset(const std::string& preset_name, std::uint64_t seed,
+                         std::size_t scale_divisor) {
+  const Preset* preset = nullptr;
+  for (const auto& p : kPresets) {
+    if (preset_name == p.name) {
+      preset = &p;
+      break;
+    }
+  }
+  if (preset == nullptr) {
+    throw std::invalid_argument("make_dataset: unknown preset " + preset_name);
+  }
+  if (scale_divisor == 0) scale_divisor = 1;
+
+  DatasetPair pair;
+  pair.name = preset->name;
+
+  GenomeModel ancestor_model;
+  ancestor_model.length = std::max<std::size_t>(1024, preset->ancestor_len / scale_divisor);
+  // Hold repeat *density* constant across scales (~30% interspersed repeat
+  // bases plus tandem loci), approximating real chromosomes' repeat content;
+  // this drives the Fig. 6 heavy tail and the Fig. 7 load-imbalance effect.
+  ancestor_model.families = 16;
+  ancestor_model.copies_per_family = std::max<unsigned>(
+      4, static_cast<unsigned>(ancestor_model.length * 32 / 1000000));
+  ancestor_model.tandem_loci = std::max<unsigned>(
+      2, static_cast<unsigned>(ancestor_model.length * 16 / 1000000));
+
+  if (preset->related) {
+    const Sequence ancestor = ancestor_model.generate(seed);
+    MutationModel to_ref;
+    to_ref.snp_rate = preset->ref_div;
+    to_ref.indel_rate = preset->ref_div / 10.0;
+    to_ref.target_length = std::max<std::size_t>(1024, preset->ref_len / scale_divisor);
+    MutationModel to_query;
+    to_query.snp_rate = preset->query_div;
+    to_query.indel_rate = preset->query_div / 10.0;
+    to_query.target_length = std::max<std::size_t>(1024, preset->query_len / scale_divisor);
+    pair.reference = to_ref.apply(ancestor, seed * 2 + 1);
+    pair.query = to_query.apply(ancestor, seed * 2 + 2);
+  } else {
+    GenomeModel query_model = ancestor_model;
+    query_model.length = std::max<std::size_t>(1024, preset->query_len / scale_divisor);
+    ancestor_model.length = std::max<std::size_t>(1024, preset->ref_len / scale_divisor);
+    pair.reference = ancestor_model.generate(seed);
+    pair.query = query_model.generate(seed + 7919);
+  }
+  return pair;
+}
+
+}  // namespace gm::seq

@@ -1,0 +1,103 @@
+// Synthetic genome generation — the data substitution for the paper's
+// chromosome inputs (see DESIGN.md).
+//
+// Two pieces:
+//  * GenomeModel: samples a base genome with planted interspersed repeat
+//    families and tandem repeats, which is what gives real chromosomes their
+//    heavy-tailed seed-occurrence histogram (paper Fig. 6).
+//  * Mutator: derives a diverged relative of a genome (SNPs, indels,
+//    segmental duplications, inversions, translocations), which is what
+//    creates the long shared MEMs the tools extract.
+//
+// Dataset presets pairing a "reference species" and a "query species" from a
+// shared ancestor mimic the paper's chromosome pairs at a reduced scale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "seq/sequence.h"
+#include "util/rng.h"
+
+namespace gm::seq {
+
+struct GenomeModel {
+  std::size_t length = 1 << 20;
+
+  // Interspersed repeat families (LINE-like): `families` distinct master
+  // elements, each pasted `copies_per_family` times with per-copy point
+  // divergence `copy_divergence`.
+  unsigned families = 12;
+  std::size_t family_length = 600;
+  unsigned copies_per_family = 40;
+  double copy_divergence = 0.03;
+
+  // High-copy short elements (SINE/Alu-like): real chromosomes carry ~one
+  // per kilobase, which is what gives the paper's Fig. 6 seed-occurrence
+  // histogram its heavy tail and makes load balancing matter (Fig. 7).
+  unsigned sine_families = 4;
+  std::size_t sine_length = 300;
+  unsigned sine_copies = 0;  ///< per family; 0 = auto (~1 copy per 1.2 kbp)
+  double sine_divergence = 0.08;
+
+  // Tandem repeats: `tandem_loci` loci, each tiling a short motif.
+  unsigned tandem_loci = 24;
+  std::size_t tandem_motif = 8;
+  std::size_t tandem_span = 400;
+
+  // Low-complexity DNA: short homopolymer/microsatellite runs scattered
+  // every ~`microsat_spacing` bases, drawn from a small fixed motif set
+  // (poly-A, (CA)n, ...). Identical motifs recur genome-wide, so their
+  // seeds reach occurrence counts in the tens-to-hundreds — the extreme
+  // end of the paper's Fig. 6 histogram and the main reason one query seed
+  // can carry orders of magnitude more work than its neighbours (Fig. 7).
+  std::size_t microsat_spacing = 3000;  ///< 0 disables
+  std::size_t microsat_len_mean = 36;
+
+  // Satellite arrays: a few long dinucleotide arrays (centromeric/telomeric
+  // satellite analogue). Their seeds stay heavy even at large sampling
+  // steps, because occurrence count scales with total array length.
+  unsigned satellite_arrays = 4;
+  std::size_t satellite_len = 600;
+
+  /// Samples a genome. Deterministic in (model, seed).
+  Sequence generate(std::uint64_t seed) const;
+};
+
+struct MutationModel {
+  double snp_rate = 0.01;          ///< per-base substitution probability
+  double indel_rate = 0.001;       ///< per-base indel open probability
+  double indel_extend = 0.7;       ///< geometric extension of indel length
+  unsigned inversions = 2;         ///< count of segment inversions
+  unsigned translocations = 2;     ///< count of segment moves
+  unsigned duplications = 2;       ///< count of segmental duplications
+  std::size_t segment_mean = 5000; ///< mean length of structural segments
+
+  /// Target length of the derived sequence; 0 keeps the source length
+  /// (subject to indel drift). When non-zero the result is trimmed or
+  /// extended with fresh random sequence.
+  std::size_t target_length = 0;
+
+  /// Derives a diverged relative. Deterministic in (model, input, seed).
+  Sequence apply(const Sequence& src, std::uint64_t seed) const;
+};
+
+/// A reference/query pair plus the parameters the benchmarks need to report.
+struct DatasetPair {
+  std::string name;        ///< preset name, e.g. "chr1m_s/chr2h_s"
+  Sequence reference;
+  Sequence query;
+};
+
+/// Named presets mirroring the paper's Table II pairs at reduced scale.
+/// `scale_divisor` divides the preset's default lengths (1 = full preset
+/// scale, which is already ~1/64 of the paper's chromosomes).
+DatasetPair make_dataset(const std::string& preset_name,
+                         std::uint64_t seed = 42,
+                         std::size_t scale_divisor = 1);
+
+/// All preset names, in the order the paper's tables list the configs.
+std::vector<std::string> dataset_presets();
+
+}  // namespace gm::seq

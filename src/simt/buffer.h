@@ -1,0 +1,75 @@
+// RAII device-memory buffer. Backed by host memory (the simulator runs on
+// the CPU) but accounted against the device's global-memory capacity, so
+// exceeding the card aborts exactly like a real cudaMalloc failure.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "simt/device.h"
+
+namespace gm::simt {
+
+template <typename T>
+class Buffer {
+ public:
+  Buffer(Device& dev, std::size_t count) : dev_(&dev) {
+    // Account against device capacity *before* touching host memory, so an
+    // oversized request fails with DeviceOutOfMemory instead of bad_alloc.
+    dev_->allocate(count * sizeof(T));
+    try {
+      data_.resize(count);
+    } catch (...) {
+      dev_->release(count * sizeof(T));
+      throw;
+    }
+  }
+  ~Buffer() {
+    if (dev_ != nullptr) dev_->release(bytes());
+  }
+
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+  Buffer(Buffer&& other) noexcept
+      : dev_(other.dev_), data_(std::move(other.data_)) {
+    other.dev_ = nullptr;
+  }
+  Buffer& operator=(Buffer&&) = delete;
+
+  std::size_t size() const noexcept { return data_.size(); }
+  std::size_t bytes() const noexcept { return data_.size() * sizeof(T); }
+
+  std::span<T> span() noexcept { return {data_.data(), data_.size()}; }
+  std::span<const T> span() const noexcept { return {data_.data(), data_.size()}; }
+  T* data() noexcept { return data_.data(); }
+  const T* data() const noexcept { return data_.data(); }
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  /// cudaMemset equivalent: zero-fill with modeled cost.
+  void zero() {
+    std::memset(data_.data(), 0, bytes());
+    dev_->account_memset(bytes());
+  }
+
+  /// cudaMemcpy H->D with modeled PCIe cost.
+  void upload(std::span<const T> host) {
+    std::memcpy(data_.data(), host.data(),
+                std::min(bytes(), host.size() * sizeof(T)));
+    dev_->account_copy(host.size() * sizeof(T));
+  }
+
+  /// cudaMemcpy D->H with modeled PCIe cost.
+  std::vector<T> download(std::size_t count) const {
+    count = std::min(count, data_.size());
+    dev_->account_copy(count * sizeof(T));
+    return std::vector<T>(data_.begin(), data_.begin() + static_cast<std::ptrdiff_t>(count));
+  }
+
+ private:
+  Device* dev_;
+  std::vector<T> data_;
+};
+
+}  // namespace gm::simt

@@ -1,0 +1,27 @@
+#include "simt/device.h"
+
+namespace gm::simt {
+
+DeviceSpec DeviceSpec::k20c() {
+  DeviceSpec spec;
+  spec.name = "Tesla K20c (simulated)";
+  spec.sm_count = 13;
+  spec.cores_per_sm = 192;
+  spec.clock_hz = 705e6;
+  spec.mem_bandwidth = 208e9;
+  spec.global_mem_bytes = std::size_t{4800} * 1000 * 1000;  // 4.8 GB
+  return spec;
+}
+
+DeviceSpec DeviceSpec::k40() {
+  DeviceSpec spec;
+  spec.name = "Tesla K40 (simulated)";
+  spec.sm_count = 15;
+  spec.cores_per_sm = 192;
+  spec.clock_hz = 745e6;
+  spec.mem_bandwidth = 288e9;
+  spec.global_mem_bytes = std::size_t{12000} * 1000 * 1000;  // 12 GB
+  return spec;
+}
+
+}  // namespace gm::simt

@@ -1,0 +1,198 @@
+// Simulated SIMT device: specifications, memory arena with capacity
+// enforcement, and the performance ledger that accumulates modeled time.
+//
+// See DESIGN.md ("Hardware substitutions"): kernels execute with real
+// barrier/atomic semantics on host threads; *reported* device time comes
+// from the documented cost model in perf_model.h, parameterized by these
+// specs. The K20c preset mirrors the paper's Section IV test card.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace gm::simt {
+
+struct DeviceSpec {
+  std::string name;
+  std::uint32_t sm_count = 13;
+  std::uint32_t cores_per_sm = 192;
+  std::uint32_t warp_size = 32;
+  double clock_hz = 705e6;            ///< core clock
+  double mem_bandwidth = 208e9;       ///< global memory, bytes/s
+  double pcie_bandwidth = 6e9;        ///< host<->device copies, bytes/s
+  std::size_t global_mem_bytes = std::size_t{48} * 100 * 1000 * 1000;  // 4.8 GB
+  std::uint32_t max_threads_per_block = 1024;
+  std::uint32_t max_blocks_per_sm = 8;
+
+  // Cost-model constants (cycles).
+  double cycles_per_alu = 1.0;        ///< per lock-step warp ALU op
+  double cycles_per_shared = 2.0;     ///< per shared-memory access
+  double cycles_per_atomic = 48.0;    ///< per global atomic (serialized)
+  double cycles_per_txn = 48.0;       ///< effective per-lane latency of a
+                                      ///< dependent random access (partially
+                                      ///< hidden by other resident warps)
+  double cycles_per_barrier = 32.0;   ///< __syncthreads latency
+  double kernel_launch_seconds = 5e-6;
+
+  /// NVIDIA Tesla K20c — the paper's experimental device.
+  static DeviceSpec k20c();
+  /// NVIDIA Tesla K40 — the "newer GPU" the paper's future work names.
+  static DeviceSpec k40();
+};
+
+/// Thrown when a device allocation exceeds the card's global memory — the
+/// restriction that motivates the paper's 2D tiling.
+class DeviceOutOfMemory : public std::runtime_error {
+ public:
+  explicit DeviceOutOfMemory(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Accumulates modeled device-side time. Thread-safe.
+class PerfLedger {
+ public:
+  /// Per-kernel-label aggregation (launch count + modeled seconds).
+  struct LabelStats {
+    std::uint64_t launches = 0;
+    double seconds = 0.0;
+  };
+
+  void add_kernel_seconds(double s, const std::string& label = {}) {
+    std::lock_guard lock(mu_);
+    kernel_seconds_ += s;
+    ++kernels_;
+    if (!label.empty()) {
+      LabelStats& ls = by_label_[label];
+      ++ls.launches;
+      ls.seconds += s;
+    }
+  }
+
+  /// Snapshot of the per-label breakdown, sorted by descending time.
+  std::vector<std::pair<std::string, LabelStats>> breakdown() const {
+    std::lock_guard lock(mu_);
+    std::vector<std::pair<std::string, LabelStats>> out(by_label_.begin(),
+                                                        by_label_.end());
+    std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+      return a.second.seconds > b.second.seconds;
+    });
+    return out;
+  }
+  void add_transfer_seconds(double s) {
+    std::lock_guard lock(mu_);
+    transfer_seconds_ += s;
+  }
+  double kernel_seconds() const {
+    std::lock_guard lock(mu_);
+    return kernel_seconds_;
+  }
+  double transfer_seconds() const {
+    std::lock_guard lock(mu_);
+    return transfer_seconds_;
+  }
+  double total_seconds() const {
+    std::lock_guard lock(mu_);
+    return kernel_seconds_ + transfer_seconds_;
+  }
+  std::uint64_t kernels_launched() const {
+    std::lock_guard lock(mu_);
+    return kernels_;
+  }
+  void reset() {
+    std::lock_guard lock(mu_);
+    kernel_seconds_ = transfer_seconds_ = 0.0;
+    kernels_ = 0;
+    by_label_.clear();
+  }
+
+  struct Snapshot {
+    double kernel_seconds = 0.0;
+    double transfer_seconds = 0.0;
+    std::uint64_t kernels = 0;
+    std::map<std::string, LabelStats> by_label;
+  };
+  Snapshot snapshot() const {
+    std::lock_guard lock(mu_);
+    return {kernel_seconds_, transfer_seconds_, kernels_, by_label_};
+  }
+  /// Rewinds to a snapshot — used when a tile is retried with larger
+  /// buffers so the abandoned attempt's modeled time is not double-counted.
+  void rollback(const Snapshot& s) {
+    std::lock_guard lock(mu_);
+    kernel_seconds_ = s.kernel_seconds;
+    transfer_seconds_ = s.transfer_seconds;
+    kernels_ = s.kernels;
+    by_label_ = s.by_label;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  double kernel_seconds_ = 0.0;
+  double transfer_seconds_ = 0.0;
+  std::uint64_t kernels_ = 0;
+  std::map<std::string, LabelStats> by_label_;
+};
+
+class Device {
+ public:
+  explicit Device(DeviceSpec spec = DeviceSpec::k20c())
+      : spec_(std::move(spec)) {}
+
+  const DeviceSpec& spec() const noexcept { return spec_; }
+  PerfLedger& ledger() noexcept { return ledger_; }
+  const PerfLedger& ledger() const noexcept { return ledger_; }
+
+  std::size_t bytes_in_use() const {
+    std::lock_guard lock(mu_);
+    return bytes_in_use_;
+  }
+  std::size_t peak_bytes() const {
+    std::lock_guard lock(mu_);
+    return peak_bytes_;
+  }
+
+  /// cudaMemset equivalent: models a bandwidth-bound fill.
+  void account_memset(std::size_t bytes) {
+    ledger_.add_transfer_seconds(static_cast<double>(bytes) /
+                                 spec_.mem_bandwidth);
+  }
+  /// cudaMemcpy equivalent (host<->device over PCIe).
+  void account_copy(std::size_t bytes) {
+    ledger_.add_transfer_seconds(static_cast<double>(bytes) /
+                                 spec_.pcie_bandwidth);
+  }
+
+ private:
+  template <typename T>
+  friend class Buffer;
+
+  void allocate(std::size_t bytes) {
+    std::lock_guard lock(mu_);
+    if (bytes_in_use_ + bytes > spec_.global_mem_bytes) {
+      throw DeviceOutOfMemory(
+          "device allocation of " + std::to_string(bytes) + " bytes exceeds " +
+          spec_.name + " capacity (" + std::to_string(spec_.global_mem_bytes) +
+          " bytes, " + std::to_string(bytes_in_use_) + " in use)");
+    }
+    bytes_in_use_ += bytes;
+    peak_bytes_ = std::max(peak_bytes_, bytes_in_use_);
+  }
+  void release(std::size_t bytes) noexcept {
+    std::lock_guard lock(mu_);
+    bytes_in_use_ -= bytes;
+  }
+
+  DeviceSpec spec_;
+  PerfLedger ledger_;
+  mutable std::mutex mu_;
+  std::size_t bytes_in_use_ = 0;
+  std::size_t peak_bytes_ = 0;
+};
+
+}  // namespace gm::simt

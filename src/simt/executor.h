@@ -1,0 +1,79 @@
+// Kernel launch machinery: runs one coroutine per logical thread, drives
+// phases between barriers, executes collectives, charges the cost model,
+// and schedules blocks across host worker threads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "simt/device.h"
+#include "simt/kernel.h"
+#include "simt/perf_model.h"
+#include "util/parallel.h"
+
+namespace gm::simt {
+
+struct LaunchConfig {
+  std::uint32_t grid = 1;    ///< number of blocks
+  std::uint32_t block = 256; ///< threads per block (τ)
+  std::uint32_t blocks_per_sm = 0;  ///< 0 = device maximum
+  std::string label;         ///< for diagnostics
+};
+
+struct LaunchStats {
+  double modeled_seconds = 0.0;
+  std::uint64_t phases = 0;       ///< total barrier phases across blocks
+  PhaseCounters work{};           ///< total accounted work
+};
+
+/// Executes the threads of one block to completion. Exposed separately from
+/// launch() so tests can drive single blocks deterministically.
+struct BlockResult {
+  double cycles = 0.0;
+  std::uint64_t phases = 0;
+  PhaseCounters work{};
+};
+BlockResult run_block(const DeviceSpec& spec, std::uint32_t block_id,
+                      std::uint32_t grid_dim, std::uint32_t block_dim,
+                      const std::function<KernelTask(ThreadCtx&)>& make_task);
+
+/// Launches `fn(ctx, smem, args...)` over cfg.grid blocks of cfg.block
+/// threads. SharedT is default-constructed once per block (the shared
+/// memory). `fn` must be a plain function / stateless functor — a capturing
+/// lambda coroutine would dangle. Returns modeled device time and adds it to
+/// the device ledger.
+template <typename SharedT, typename Fn, typename... Args>
+LaunchStats launch(Device& dev, const LaunchConfig& cfg, Fn&& fn,
+                   Args&&... args) {
+  std::vector<double> block_cycles(cfg.grid, 0.0);
+  std::vector<BlockResult> results(cfg.grid);
+  util::parallel_for_chunked(
+      0, cfg.grid, util::ThreadPool::global().size(),
+      [&](std::size_t b0, std::size_t b1) {
+        for (std::size_t b = b0; b < b1; ++b) {
+          SharedT smem{};
+          auto make = [&](ThreadCtx& ctx) -> KernelTask {
+            return fn(ctx, smem, args...);
+          };
+          results[b] = run_block(dev.spec(), static_cast<std::uint32_t>(b),
+                                 cfg.grid, cfg.block, make);
+          block_cycles[b] = results[b].cycles;
+        }
+      });
+  LaunchStats stats;
+  for (const BlockResult& r : results) {
+    stats.phases += r.phases;
+    stats.work += r.work;
+  }
+  stats.modeled_seconds = launch_seconds(
+      dev.spec(), block_cycles, cfg.blocks_per_sm, stats.work.global_bytes);
+  dev.ledger().add_kernel_seconds(stats.modeled_seconds, cfg.label);
+  return stats;
+}
+
+/// Shared-memory tag for kernels that use none.
+struct NoShared {};
+
+}  // namespace gm::simt

@@ -1,0 +1,53 @@
+#include "simt/perf_model.h"
+
+#include <algorithm>
+
+namespace gm::simt {
+
+double phase_cycles(const DeviceSpec& spec, std::span<const ThreadSlot> slots) {
+  const std::uint32_t warp = spec.warp_size;
+  double compute = 0.0, shared = 0.0;
+  std::uint64_t total_atomics = 0;
+  double latency = 0.0;
+  for (std::size_t w = 0; w < slots.size(); w += warp) {
+    std::uint64_t warp_alu = 0, warp_shared = 0, warp_txn = 0;
+    const std::size_t end = std::min(slots.size(), w + warp);
+    for (std::size_t t = w; t < end; ++t) {
+      warp_alu = std::max(warp_alu, slots[t].phase.alu);
+      warp_shared = std::max(warp_shared, slots[t].phase.shared_ops);
+      warp_txn = std::max(warp_txn, slots[t].phase.txns);
+      total_atomics += slots[t].phase.atomics;
+    }
+    compute += static_cast<double>(warp_alu);
+    shared += static_cast<double>(warp_shared);
+    latency += static_cast<double>(warp_txn);
+  }
+  const double warp_ipc =
+      static_cast<double>(spec.cores_per_sm) / static_cast<double>(warp);
+  compute = compute * spec.cycles_per_alu / warp_ipc;
+  shared *= spec.cycles_per_shared;
+  latency *= spec.cycles_per_txn;
+  const double atomics =
+      static_cast<double>(total_atomics) * spec.cycles_per_atomic;
+  return compute + shared + latency + atomics + spec.cycles_per_barrier;
+}
+
+double launch_seconds(const DeviceSpec& spec,
+                      std::span<const double> block_cycles,
+                      std::uint32_t blocks_per_sm,
+                      std::uint64_t total_global_bytes) {
+  if (blocks_per_sm == 0) blocks_per_sm = spec.max_blocks_per_sm;
+  double sum = 0.0, mx = 0.0;
+  for (double c : block_cycles) {
+    sum += c;
+    mx = std::max(mx, c);
+  }
+  const double resident =
+      static_cast<double>(spec.sm_count) * static_cast<double>(blocks_per_sm);
+  const double cycles = std::max(sum / resident, mx);
+  return cycles / spec.clock_hz +
+         static_cast<double>(total_global_bytes) / spec.mem_bandwidth +
+         spec.kernel_launch_seconds;
+}
+
+}  // namespace gm::simt

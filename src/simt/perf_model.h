@@ -1,0 +1,54 @@
+// The documented device-time model (see DESIGN.md, hardware substitutions).
+//
+// Per phase (the code between two barriers) of one block:
+//
+//   compute  = sum over warps of max-over-lanes(alu) / warp_ipc
+//              -- lanes run in lock step, so a warp pays its slowest lane;
+//                 warp_ipc = cores_per_sm / warp_size warps issue per cycle.
+//   shared   = sum over warps of max-over-lanes(shared_ops) * c_shared
+//   atomics  = total atomics * c_atomic  -- serialized worst case.
+//   barrier  = c_barrier.
+//
+//   latency  = sum over warps of max-over-lanes(txns) * c_txn
+//              -- a lane's dependent random accesses serialize; this is the
+//                 term the load-balancing heuristic (Fig. 7) reduces.
+//
+//   phase_cycles = compute + shared + latency + atomics + barrier
+//
+// Global-memory traffic is a *device-wide* resource, so it is charged at
+// launch level rather than per phase: kernels account bytes (coalesced) or
+// 128-byte transactions (random access, ctx.gmem_txn), and the launch adds
+// total_bytes / mem_bandwidth.
+//
+// The max-over-lanes term is what makes the load-balancing experiment
+// (paper Fig. 7) meaningful in simulation: imbalanced work raises the phase
+// maximum even though total work is unchanged.
+//
+// Per launch:
+//
+//   resident  = sm_count * blocks_per_sm
+//   seconds   = max(sum(block_cycles) / resident, max(block_cycles)) / clock
+//               + total_bytes / mem_bandwidth + kernel_launch_seconds
+//
+// i.e. blocks execute in waves; a grid shorter than one wave is bounded by
+// its slowest block; DRAM is shared by the whole device.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "simt/device.h"
+#include "simt/kernel.h"
+
+namespace gm::simt {
+
+/// Cycles one block spends in the phase described by `slots` (one entry per
+/// thread; counters are the phase's).
+double phase_cycles(const DeviceSpec& spec, std::span<const ThreadSlot> slots);
+
+/// Launch-level aggregation, in seconds.
+double launch_seconds(const DeviceSpec& spec, std::span<const double> block_cycles,
+                      std::uint32_t blocks_per_sm,
+                      std::uint64_t total_global_bytes = 0);
+
+}  // namespace gm::simt

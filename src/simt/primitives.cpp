@@ -1,0 +1,94 @@
+#include "simt/primitives.h"
+
+#include <vector>
+
+#include "simt/buffer.h"
+#include "simt/executor.h"
+#include "util/bits.h"
+
+namespace gm::simt {
+namespace {
+
+constexpr std::uint32_t kScanBlock = 256;   // threads per block
+constexpr std::uint32_t kItemsPerThread = 64;
+constexpr std::uint32_t kChunk = kScanBlock * kItemsPerThread;
+
+// Pass A: sums[b] = sum of chunk b.
+KernelTask chunk_sums_kernel(ThreadCtx& ctx, NoShared&,
+                             std::span<const std::uint32_t> data,
+                             std::span<std::uint32_t> sums) {
+  const std::size_t base = static_cast<std::size_t>(ctx.block_id()) * kChunk +
+                           static_cast<std::size_t>(ctx.thread_id()) * kItemsPerThread;
+  std::uint64_t local = 0;
+  for (std::size_t i = base; i < std::min<std::size_t>(base + kItemsPerThread, data.size()); ++i) {
+    local += data[i];
+  }
+  ctx.alu(kItemsPerThread);
+  ctx.gmem(kItemsPerThread * sizeof(std::uint32_t));
+  const ScanResult scan = co_await ctx.scan_add(local);
+  if (ctx.thread_id() == 0) {
+    sums[ctx.block_id()] = static_cast<std::uint32_t>(scan.total);
+    ctx.gmem(sizeof(std::uint32_t));
+  }
+}
+
+// Pass C: rewrite chunk b as an inclusive scan offset by offsets[b]
+// (exclusive chunk prefix).
+KernelTask apply_kernel(ThreadCtx& ctx, NoShared&,
+                        std::span<std::uint32_t> data,
+                        std::span<const std::uint32_t> offsets) {
+  const std::size_t base = static_cast<std::size_t>(ctx.block_id()) * kChunk +
+                           static_cast<std::size_t>(ctx.thread_id()) * kItemsPerThread;
+  const std::size_t end = std::min<std::size_t>(base + kItemsPerThread, data.size());
+  std::uint64_t local = 0;
+  for (std::size_t i = base; i < end; ++i) local += data[i];
+  const ScanResult scan = co_await ctx.scan_add(local);
+  std::uint64_t running =
+      static_cast<std::uint64_t>(offsets[ctx.block_id()]) + scan.exclusive;
+  for (std::size_t i = base; i < end; ++i) {
+    running += data[i];
+    data[i] = static_cast<std::uint32_t>(running);
+  }
+  ctx.alu(2 * kItemsPerThread);
+  ctx.gmem(2 * kItemsPerThread * sizeof(std::uint32_t));
+  co_return;
+}
+
+}  // namespace
+
+void device_inclusive_scan(Device& dev, std::span<std::uint32_t> data) {
+  if (data.empty()) return;
+  const std::uint32_t nchunks =
+      static_cast<std::uint32_t>(util::ceil_div<std::size_t>(data.size(), kChunk));
+
+  Buffer<std::uint32_t> sums(dev, nchunks);
+  {
+    LaunchConfig cfg;
+    cfg.grid = nchunks;
+    cfg.block = kScanBlock;
+    cfg.label = "scan/chunk-sums";
+    launch<NoShared>(dev, cfg, chunk_sums_kernel,
+                     std::span<const std::uint32_t>(data), sums.span());
+  }
+
+  // Turn chunk sums into exclusive chunk offsets: inclusive-scan them
+  // (recursively) and shift right by one.
+  if (nchunks > 1) {
+    device_inclusive_scan(dev, sums.span());
+  }
+  Buffer<std::uint32_t> offsets(dev, nchunks);
+  offsets[0] = 0;
+  for (std::uint32_t i = 1; i < nchunks; ++i) offsets[i] = sums[i - 1];
+  dev.account_memset(nchunks * sizeof(std::uint32_t));
+
+  {
+    LaunchConfig cfg;
+    cfg.grid = nchunks;
+    cfg.block = kScanBlock;
+    cfg.label = "scan/apply";
+    launch<NoShared>(dev, cfg, apply_kernel, data,
+                     std::span<const std::uint32_t>(offsets.span()));
+  }
+}
+
+}  // namespace gm::simt

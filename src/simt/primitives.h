@@ -1,0 +1,17 @@
+// Device-wide primitives built from kernels (the CUB DeviceScan analogue).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "simt/device.h"
+
+namespace gm::simt {
+
+/// In-place device-wide *inclusive* prefix sum over 32-bit values, the
+/// operation Algorithm 1's step 2 ("GPUPrefixSum(ptrs)") needs. Runs as a
+/// chunk-sums / recursive-scan / apply kernel cascade; modeled time goes to
+/// the device ledger.
+void device_inclusive_scan(Device& dev, std::span<std::uint32_t> data);
+
+}  // namespace gm::simt

@@ -1,0 +1,40 @@
+// Bit-manipulation helpers shared across the project.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+namespace gm::util {
+
+/// Smallest power of two >= x (x == 0 yields 1).
+constexpr std::uint64_t ceil_pow2(std::uint64_t x) noexcept {
+  return x <= 1 ? 1 : std::bit_ceil(x);
+}
+
+/// floor(log2(x)) for x > 0.
+constexpr std::uint32_t floor_log2(std::uint64_t x) noexcept {
+  return 63u - static_cast<std::uint32_t>(std::countl_zero(x));
+}
+
+/// ceil(log2(x)) for x > 0; number of bits needed to distinguish x values.
+constexpr std::uint32_t ceil_log2(std::uint64_t x) noexcept {
+  return x <= 1 ? 0 : floor_log2(x - 1) + 1;
+}
+
+/// ceil(a / b) for integral types, b > 0.
+template <typename T>
+constexpr T ceil_div(T a, T b) noexcept {
+  static_assert(std::is_integral_v<T>);
+  return static_cast<T>((a + b - 1) / b);
+}
+
+/// Round a up to the next multiple of b (b > 0).
+template <typename T>
+constexpr T round_up(T a, T b) noexcept {
+  return ceil_div(a, b) * b;
+}
+
+constexpr bool is_pow2(std::uint64_t x) noexcept { return x != 0 && (x & (x - 1)) == 0; }
+
+}  // namespace gm::util

@@ -1,0 +1,45 @@
+// Minimal command-line flag parser used by examples and bench binaries.
+//
+// Syntax: --name value | --name=value | --flag (boolean). Unknown flags are
+// an error so typos in experiment scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gm::util {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool has(const std::string& name) const { return flags_.count(name) != 0; }
+
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Registers documentation for --help output.
+  void describe(const std::string& name, const std::string& help);
+
+  /// True when --help was passed; prints usage to stdout.
+  bool handle_help(const std::string& program_summary) const;
+
+  /// Names that were passed but never queried/described — surfaced so tests
+  /// can assert CLI hygiene.
+  std::vector<std::string> flag_names() const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+  std::vector<std::pair<std::string, std::string>> docs_;
+};
+
+}  // namespace gm::util

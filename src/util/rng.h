@@ -1,0 +1,98 @@
+// Deterministic, fast PRNG used everywhere randomness is needed.
+//
+// All experiments in this repository must be reproducible from a seed, so we
+// avoid std::random_device / std::mt19937 state-size pitfalls and ship a
+// single xoshiro256** implementation (Blackman & Vigna, public domain
+// reference algorithm) with convenience samplers.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace gm::util {
+
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a 64-bit seed via splitmix64, the
+  /// initialization recommended by the xoshiro authors.
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  /// multiply-shift rejection-free mapping (bias below 2^-64, irrelevant at
+  /// our sample counts but documented).
+  std::uint64_t bounded(std::uint64_t bound) noexcept {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>((*this)()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    bounded(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Geometric-ish sample: number of failures before a success with
+  /// probability p (capped so pathological p does not spin forever).
+  std::uint32_t geometric(double p, std::uint32_t cap = 1u << 20) noexcept {
+    std::uint32_t n = 0;
+    while (n < cap && !chance(p)) ++n;
+    return n;
+  }
+
+  /// Derives an independent stream for task `i` (for per-shard RNGs).
+  Xoshiro256 fork(std::uint64_t i) const noexcept {
+    Xoshiro256 child;
+    child.state_[0] = state_[0] ^ (0xA0761D6478BD642Full * (i + 1));
+    child.state_[1] = state_[1] + 0xE7037ED1A0B428DBull * (i + 1);
+    child.state_[2] = state_[2] ^ (0x8EBC6AF09C88C6E3ull * (i + 0x2545F491));
+    child.state_[3] = state_[3] + 0x589965CC75374CC3ull * (i + 7);
+    // Scramble so nearby forks decorrelate.
+    for (int k = 0; k < 8; ++k) child();
+    return child;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace gm::util

@@ -1,0 +1,48 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace gm::util {
+
+std::uint64_t Histogram::total() const {
+  std::uint64_t t = 0;
+  for (const auto& [k, v] : bins_) t += v;
+  return t;
+}
+
+std::uint64_t Histogram::max_key() const {
+  return bins_.empty() ? 0 : bins_.rbegin()->first;
+}
+
+Histogram Histogram::capped(std::uint64_t cap) const {
+  Histogram out;
+  for (const auto& [k, v] : bins_) out.add(std::min(k, cap), v);
+  return out;
+}
+
+std::string Histogram::to_tsv() const {
+  std::ostringstream os;
+  for (const auto& [k, v] : bins_) os << k << '\t' << v << '\n';
+  return os.str();
+}
+
+void Summary::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  sum2_ += x * x;
+}
+
+double Summary::variance() const {
+  if (n_ < 2) return 0.0;
+  const double m = mean();
+  return (sum2_ - static_cast<double>(n_) * m * m) / static_cast<double>(n_ - 1);
+}
+
+}  // namespace gm::util

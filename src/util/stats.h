@@ -1,0 +1,49 @@
+// Small statistics helpers: integer histograms (Fig. 6) and summaries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gm::util {
+
+/// Sparse histogram over non-negative integer keys (e.g. "number of seeds
+/// that occur at exactly k reference locations", paper Fig. 6).
+class Histogram {
+ public:
+  void add(std::uint64_t key, std::uint64_t count = 1) { bins_[key] += count; }
+
+  const std::map<std::uint64_t, std::uint64_t>& bins() const { return bins_; }
+
+  std::uint64_t total() const;
+  std::uint64_t max_key() const;
+
+  /// Collapses keys >= `cap` into a single overflow bin at `cap` — matches
+  /// how Fig. 6 plots a bounded x-axis over a heavy-tailed distribution.
+  Histogram capped(std::uint64_t cap) const;
+
+  /// Renders "key<TAB>count" lines, one per bin.
+  std::string to_tsv() const;
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> bins_;
+};
+
+/// Streaming mean/min/max/variance.
+class Summary {
+ public:
+  void add(double x);
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double variance() const;
+
+ private:
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0, sum2_ = 0.0;
+  double min_ = 0.0, max_ = 0.0;
+};
+
+}  // namespace gm::util

@@ -1,0 +1,40 @@
+// Console table / CSV rendering for the benchmark harness, so every bench
+// binary prints rows in the same layout as the paper's tables and also dumps
+// machine-readable CSV next to it.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace gm::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats arithmetic cells with fixed precision.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::uint64_t v);
+
+  /// Pretty, column-aligned rendering for terminals.
+  std::string to_string() const;
+
+  /// RFC-4180-ish CSV (values with commas/quotes get quoted).
+  std::string to_csv() const;
+
+  /// Writes CSV to `path`; returns false (and logs) on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gm::util

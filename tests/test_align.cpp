@@ -1,0 +1,191 @@
+// Gap alignment and chain-stitching tests.
+#include <gtest/gtest.h>
+
+#include "anchor/align.h"
+#include "anchor/chain.h"
+#include "mem/naive.h"
+#include "seq/synthetic.h"
+#include "util/rng.h"
+
+namespace gm {
+namespace {
+
+using anchor::align_chain;
+using anchor::align_region;
+using anchor::Alignment;
+using seq::Sequence;
+
+// Replays a CIGAR over the two regions and checks every column.
+void verify_cigar(const Alignment& aln, const Sequence& ref,
+                  const Sequence& query) {
+  std::uint32_t r = aln.r_begin, q = aln.q_begin;
+  std::size_t i = 0;
+  anchor::AlignmentStats replay;
+  while (i < aln.cigar.size()) {
+    std::uint64_t count = 0;
+    while (i < aln.cigar.size() && std::isdigit(aln.cigar[i])) {
+      count = count * 10 + static_cast<std::uint64_t>(aln.cigar[i] - '0');
+      ++i;
+    }
+    ASSERT_LT(i, aln.cigar.size());
+    const char op = aln.cigar[i++];
+    switch (op) {
+      case '=':
+        for (std::uint64_t k = 0; k < count; ++k, ++r, ++q) {
+          ASSERT_EQ(ref.base(r), query.base(q)) << "at (" << r << "," << q << ")";
+        }
+        replay.matches += count;
+        break;
+      case 'X':
+        // Block-substitution escape hatches may contain agreeing columns;
+        // only advance.
+        r += static_cast<std::uint32_t>(count);
+        q += static_cast<std::uint32_t>(count);
+        replay.mismatches += count;
+        break;
+      case 'D':
+        r += static_cast<std::uint32_t>(count);
+        replay.deletions += count;
+        break;
+      case 'I':
+        q += static_cast<std::uint32_t>(count);
+        replay.insertions += count;
+        break;
+      default:
+        FAIL() << "bad op " << op;
+    }
+  }
+  EXPECT_EQ(r, aln.r_end);
+  EXPECT_EQ(q, aln.q_end);
+  EXPECT_EQ(replay.deletions, aln.stats.deletions);
+  EXPECT_EQ(replay.insertions, aln.stats.insertions);
+}
+
+TEST(AlignRegion, IdenticalSequences) {
+  const Sequence s = Sequence::from_string("ACGTACGTACGT");
+  const Alignment a = align_region(s, 0, 12, s, 0, 12);
+  EXPECT_EQ(a.cigar, "12=");
+  EXPECT_DOUBLE_EQ(a.stats.identity(), 1.0);
+}
+
+TEST(AlignRegion, SingleSubstitution) {
+  const Sequence r = Sequence::from_string("ACGTACGT");
+  const Sequence q = Sequence::from_string("ACGAACGT");
+  const Alignment a = align_region(r, 0, 8, q, 0, 8);
+  EXPECT_EQ(a.cigar, "3=1X4=");
+  EXPECT_EQ(a.stats.mismatches, 1u);
+}
+
+TEST(AlignRegion, InsertionAndDeletion) {
+  const Sequence r = Sequence::from_string("ACGTCCGT");
+  const Sequence q = Sequence::from_string("ACGTGCCGT");  // extra G
+  const Alignment a = align_region(r, 0, 8, q, 0, 9);
+  EXPECT_EQ(a.stats.insertions, 1u);
+  EXPECT_EQ(a.stats.matches, 8u);
+  verify_cigar(a, r, q);
+}
+
+TEST(AlignRegion, EmptySides) {
+  const Sequence r = Sequence::from_string("ACGT");
+  const Sequence q = Sequence::from_string("ACGT");
+  EXPECT_EQ(align_region(r, 0, 4, q, 2, 2).cigar, "4D");
+  EXPECT_EQ(align_region(r, 2, 2, q, 0, 4).cigar, "4I");
+  EXPECT_EQ(align_region(r, 2, 2, q, 2, 2).cigar, "");
+}
+
+TEST(AlignRegion, BadCoordinatesThrow) {
+  const Sequence r = Sequence::from_string("ACGT");
+  EXPECT_THROW(align_region(r, 3, 2, r, 0, 1), std::invalid_argument);
+  EXPECT_THROW(align_region(r, 0, 9, r, 0, 1), std::invalid_argument);
+}
+
+TEST(AlignRegion, EscapeHatchForGiantGaps) {
+  util::Xoshiro256 rng(3);
+  std::vector<std::uint8_t> a(3000), b(2500);
+  for (auto& x : a) x = static_cast<std::uint8_t>(rng.bounded(4));
+  for (auto& x : b) x = static_cast<std::uint8_t>(rng.bounded(4));
+  const Sequence ra = Sequence::from_codes(a);
+  const Sequence rb = Sequence::from_codes(b);
+  const Alignment aln = align_region(ra, 0, 3000, rb, 0, 2500,
+                                     /*max_cells=*/1000);
+  // Block substitution: 2500 columns + 500 deletions; ~25% of the diagonal
+  // agrees by chance and is credited to matches in the stats.
+  EXPECT_EQ(aln.stats.columns(), 3000u);
+  EXPECT_EQ(aln.stats.deletions, 500u);
+  EXPECT_NEAR(static_cast<double>(aln.stats.matches) / 2500.0, 0.25, 0.05);
+}
+
+TEST(AlignRegion, RandomizedEditDistanceOptimality) {
+  // DP must reproduce edits <= the number of injected mutations.
+  util::Xoshiro256 rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Sequence base = seq::GenomeModel{.length = 300}.generate(trial);
+    seq::MutationModel mut;
+    mut.snp_rate = 0.05;
+    mut.indel_rate = 0.01;
+    mut.inversions = mut.translocations = mut.duplications = 0;
+    const Sequence derived = mut.apply(base, trial + 100);
+    const Alignment a = align_region(
+        base, 0, static_cast<std::uint32_t>(base.size()), derived, 0,
+        static_cast<std::uint32_t>(derived.size()));
+    verify_cigar(a, base, derived);
+    EXPECT_GT(a.stats.identity(), 0.75);
+  }
+}
+
+TEST(AlignChain, StitchesAnchorsAndGaps) {
+  // Build ref/query sharing two exact anchors with a small diverged gap.
+  const Sequence ref = Sequence::from_string(
+      "AAAAAAAAAACCCCCGGGGGGGGGG");  // anchor1 = A^10, gap CCCCC, anchor2 = G^10
+  const Sequence query = Sequence::from_string(
+      "AAAAAAAAAACTCCCGGGGGGGGGG");  // gap has one substitution
+  const std::vector<mem::Mem> anchors{{0, 0, 10}, {15, 15, 10}};
+  anchor::Chain chain;
+  chain.anchors = {0, 1};
+  const Alignment a = align_chain(ref, query, anchors, chain);
+  EXPECT_EQ(a.stats.matches, 24u);
+  EXPECT_EQ(a.stats.mismatches, 1u);
+  EXPECT_EQ(a.r_begin, 0u);
+  EXPECT_EQ(a.q_end, 25u);
+  verify_cigar(a, ref, query);
+}
+
+TEST(AlignChain, EmptyChain) {
+  const Alignment a = align_chain(Sequence(), Sequence(), {}, anchor::Chain{});
+  EXPECT_TRUE(a.cigar.empty());
+  EXPECT_EQ(a.stats.columns(), 0u);
+}
+
+TEST(AlignChain, EndToEndWithRealChain) {
+  const Sequence base = seq::GenomeModel{.length = 20000}.generate(17);
+  seq::MutationModel mut;
+  mut.snp_rate = 0.01;
+  mut.indel_rate = 0.002;
+  mut.inversions = mut.translocations = mut.duplications = 0;
+  const Sequence derived = mut.apply(base, 18);
+  const auto anchors = mem::find_mems_naive(base, derived, 30);
+  ASSERT_FALSE(anchors.empty());
+  const anchor::Chain chain = anchor::best_chain(anchors);
+  ASSERT_GT(chain.anchors.size(), 3u);
+  const Alignment a = align_chain(base, derived, anchors, chain);
+  verify_cigar(a, base, derived);
+  EXPECT_GT(a.stats.identity(), 0.95);
+}
+
+TEST(TopChainsMasked, SuppressesParallelDuplicates) {
+  // Two near-identical anchor ladders one diagonal apart (a repeat family):
+  // with masking the second chain over the same query span is suppressed.
+  std::vector<mem::Mem> anchors;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    anchors.push_back({100 + 100 * i, 100 + 100 * i, 50});
+    anchors.push_back({5100 + 100 * i, 103 + 100 * i, 50});  // parallel copy
+  }
+  const auto plain = anchor::top_chains(anchors, 4, {});
+  const auto masked = anchor::top_chains(anchors, 4, {},
+                                         anchor::MaskPolicy::kQueryOverlap);
+  EXPECT_GE(plain.size(), 2u);
+  EXPECT_EQ(masked.size(), 1u);
+}
+
+}  // namespace
+}  // namespace gm

@@ -1,0 +1,100 @@
+// Anchor chaining tests.
+#include <gtest/gtest.h>
+
+#include "anchor/chain.h"
+
+namespace gm {
+namespace {
+
+using anchor::best_chain;
+using anchor::Chain;
+using anchor::ChainParams;
+using anchor::top_chains;
+using mem::Mem;
+
+TEST(Chain, EmptyInput) {
+  const Chain c = best_chain({});
+  EXPECT_TRUE(c.anchors.empty());
+  EXPECT_EQ(c.score, 0.0);
+}
+
+TEST(Chain, SingleAnchor) {
+  const std::vector<Mem> anchors{{100, 200, 50}};
+  const Chain c = best_chain(anchors);
+  ASSERT_EQ(c.anchors.size(), 1u);
+  EXPECT_EQ(c.anchors[0], 0u);
+  EXPECT_DOUBLE_EQ(c.score, 50.0);
+  EXPECT_EQ(c.r_begin, 100u);
+  EXPECT_EQ(c.r_end, 150u);
+}
+
+TEST(Chain, PicksColinearSubset) {
+  // Three colinear anchors plus one far-off-diagonal distractor.
+  const std::vector<Mem> anchors{
+      {100, 100, 30}, {200, 205, 40}, {300, 310, 30}, {5000, 120, 35}};
+  const Chain c = best_chain(anchors);
+  ASSERT_EQ(c.anchors.size(), 3u);
+  EXPECT_EQ(c.anchors, (std::vector<std::uint32_t>{0, 1, 2}));
+  EXPECT_GT(c.score, 60.0);
+}
+
+TEST(Chain, RejectsCrossingAnchors) {
+  // Second anchor goes backwards in the reference: cannot chain.
+  const std::vector<Mem> anchors{{500, 100, 30}, {100, 200, 30}};
+  const Chain c = best_chain(anchors);
+  EXPECT_EQ(c.anchors.size(), 1u);
+}
+
+TEST(Chain, GapPenaltyPrefersTighterChain) {
+  // Two alternatives from anchor 0: near continuation vs far continuation
+  // with the same length; the near one must win.
+  const std::vector<Mem> anchors{
+      {100, 100, 30}, {140, 140, 30}, {900000, 145, 30}};
+  ChainParams p;
+  p.max_gap = 1 << 30;
+  const Chain c = best_chain(anchors, p);
+  ASSERT_EQ(c.anchors.size(), 2u);
+  EXPECT_EQ(c.anchors[1], 1u);
+}
+
+TEST(Chain, MaxGapBreaksChains) {
+  const std::vector<Mem> anchors{{0, 0, 30}, {100000, 100000, 30}};
+  ChainParams p;
+  p.max_gap = 1000;
+  const Chain c = best_chain(anchors, p);
+  EXPECT_EQ(c.anchors.size(), 1u);
+}
+
+TEST(TopChains, DisjointAndOrdered) {
+  // Two separate colinear clusters (a translocation): top-2 chains should
+  // recover both without sharing anchors.
+  std::vector<Mem> anchors;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    anchors.push_back({100 + 50 * i, 100 + 50 * i, 40});          // cluster A
+    anchors.push_back({90000 + 50 * i, 5000 + 50 * i, 30});       // cluster B
+  }
+  const auto chains = top_chains(anchors, 3);
+  ASSERT_GE(chains.size(), 2u);
+  EXPECT_GE(chains[0].score, chains[1].score);
+  std::vector<bool> used(anchors.size(), false);
+  for (const auto& c : chains) {
+    for (std::uint32_t idx : c.anchors) {
+      EXPECT_FALSE(used[idx]) << "anchor reused across chains";
+      used[idx] = true;
+    }
+  }
+  EXPECT_EQ(chains[0].anchors.size(), 5u);
+  EXPECT_EQ(chains[1].anchors.size(), 5u);
+}
+
+TEST(TopChains, KLimitsCount) {
+  std::vector<Mem> anchors;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    anchors.push_back({i * 100000, 50, 20});  // mutually unchainable (same q)
+  }
+  EXPECT_EQ(top_chains(anchors, 2).size(), 2u);
+  EXPECT_LE(top_chains(anchors, 10).size(), 4u);
+}
+
+}  // namespace
+}  // namespace gm

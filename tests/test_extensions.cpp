@@ -1,0 +1,134 @@
+// Paper-future-work extensions: MUM / rare-match filtering and
+// reverse-complement matching support.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mem/naive.h"
+#include "mem/report.h"
+#include "mem/stranded.h"
+#include "mem/uniqueness.h"
+#include "seq/synthetic.h"
+
+namespace gm {
+namespace {
+
+TEST(Uniqueness, MumFilterKeepsSingletons) {
+  // "ACGTACGTAC" appears once in each; "GGGGG" (inside the tandem) repeats.
+  const auto R = seq::Sequence::from_string("ACGTACGTACTTGGGGGTTGGGGGTT");
+  const auto Q = seq::Sequence::from_string("AAACGTACGTACAAGGGGGAA");
+  const auto mems = mem::find_mems_naive(R, Q, 5);
+  ASSERT_GE(mems.size(), 3u);  // unique match + two copies of GGGGG
+  const auto mums = mem::filter_rare_matches(mems, R, Q);
+  ASSERT_EQ(mums.size(), 1u);
+  EXPECT_EQ(mums[0].len, 10u);
+  EXPECT_EQ(mums[0].r, 0u);
+}
+
+TEST(Uniqueness, RareLimitsAreRespected) {
+  const auto R = seq::Sequence::from_string("ACGTACGTACTTGGGGGTTGGGGGTT");
+  const auto Q = seq::Sequence::from_string("AAACGTACGTACAAGGGGGAA");
+  const auto mems = mem::find_mems_naive(R, Q, 5);
+  mem::RarenessLimits limits;
+  limits.max_ref_occurrences = 2;
+  limits.max_query_occurrences = 2;
+  const auto rare = mem::filter_rare_matches(mems, R, Q, limits);
+  // Now the GGGGG matches (2 ref copies, 1 query copy) also pass.
+  EXPECT_GT(rare.size(), 1u);
+  EXPECT_EQ(rare.size(), mems.size());
+}
+
+TEST(Uniqueness, AllPassOnUniqueGenome) {
+  // Random genomes have essentially no long repeats: every MEM is a MUM.
+  seq::GenomeModel model;
+  model.length = 3000;
+  model.families = 0;
+  model.tandem_loci = 0;
+  model.sine_families = 0;
+  model.satellite_arrays = 0;
+  model.microsat_spacing = 0;
+  const auto base = model.generate(5);
+  seq::MutationModel mut;
+  mut.snp_rate = 0.02;
+  // No structural variants: duplications would make some query substrings
+  // non-unique, which is exactly what this test wants to exclude.
+  mut.inversions = mut.translocations = mut.duplications = 0;
+  const auto query = mut.apply(base, 6);
+  const auto mems = mem::find_mems_naive(base, query, 25);
+  ASSERT_FALSE(mems.empty());
+  const auto mums = mem::filter_rare_matches(mems, base, query);
+  EXPECT_EQ(mums.size(), mems.size());
+}
+
+TEST(ReverseComplement, MatchesAppearOnRcQuery) {
+  // A reference chunk inserted reverse-complemented into the query is
+  // invisible to forward matching but found against the RC query — the
+  // standard both-strands workflow of MUMmer-class tools.
+  const auto base = seq::GenomeModel{.length = 2000}.generate(7);
+  seq::Sequence query = seq::GenomeModel{.length = 500}.generate(8);
+  const seq::Sequence chunk = base.subsequence(700, 120);
+  const seq::Sequence rc_chunk = chunk.reverse_complement();
+  query.append(rc_chunk, 0, rc_chunk.size());
+
+  const auto fwd = mem::find_mems_naive(base, query, 100);
+  EXPECT_TRUE(fwd.empty());
+  const auto rc = mem::find_mems_naive(base, query.reverse_complement(), 100);
+  ASSERT_FALSE(rc.empty());
+  // Some RC-strand MEM must cover the planted chunk (it may extend past it
+  // when flanking characters happen to match too).
+  bool covered = false;
+  for (const auto& m : rc) {
+    covered |= m.r <= 700 && m.r + m.len >= 820 && m.len >= 120;
+  }
+  EXPECT_TRUE(covered);
+}
+
+TEST(Report, RoundTripPlain) {
+  const std::vector<mem::Mem> mems{{0, 5, 20}, {100, 200, 33}};
+  std::ostringstream os;
+  mem::write_mummer(os, "query one", mems);
+  std::istringstream is(os.str());
+  const auto records = mem::read_mummer(is);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].query_name, "query one");
+  EXPECT_FALSE(records[0].reverse);
+  EXPECT_EQ(records[0].mems, mems);
+}
+
+TEST(Report, RoundTripStranded) {
+  std::vector<mem::StrandedMem> mems;
+  mems.push_back({{10, 20, 30}, mem::Strand::kForward});
+  mems.push_back({{40, 50, 60}, mem::Strand::kReverse});
+  std::ostringstream os;
+  mem::write_mummer(os, "q", mems);
+  std::istringstream is(os.str());
+  const auto records = mem::read_mummer(is);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_FALSE(records[0].reverse);
+  EXPECT_TRUE(records[1].reverse);
+  EXPECT_EQ(records[1].mems[0], (mem::Mem{40, 50, 60}));
+}
+
+TEST(Report, OneBasedPositionsOnTheWire) {
+  std::ostringstream os;
+  mem::write_mummer(os, "q", std::vector<mem::Mem>{{0, 0, 7}});
+  EXPECT_NE(os.str().find("1\t1\t7"), std::string::npos);
+}
+
+TEST(Report, ParserRejectsGarbage) {
+  {
+    std::istringstream is("  1\t2\t3\n");
+    EXPECT_THROW(mem::read_mummer(is), std::runtime_error);  // data first
+  }
+  {
+    std::istringstream is("> q\n  0\t2\t3\n");
+    EXPECT_THROW(mem::read_mummer(is), std::runtime_error);  // 0-based pos
+  }
+  {
+    std::istringstream is("> q\n  banana\n");
+    EXPECT_THROW(mem::read_mummer(is), std::runtime_error);
+  }
+}
+
+}  // namespace
+}  // namespace gm

@@ -1,0 +1,142 @@
+// Matching statistics and both-strand matching tests.
+#include <gtest/gtest.h>
+
+#include "index/sa_search.h"
+#include "index/suffix_array.h"
+#include "mem/matching_stats.h"
+#include "mem/mummer.h"
+#include "mem/naive.h"
+#include "mem/stranded.h"
+#include "seq/synthetic.h"
+#include "util/rng.h"
+
+namespace gm {
+namespace {
+
+seq::Sequence random_seq(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> codes(n);
+  for (auto& c : codes) c = static_cast<std::uint8_t>(rng.bounded(4));
+  return seq::Sequence::from_codes(codes);
+}
+
+std::vector<std::uint32_t> ms_bruteforce(const seq::Sequence& ref,
+                                         const seq::Sequence& query) {
+  const auto sa = index::build_suffix_array(ref);
+  std::vector<std::uint32_t> ms(query.size());
+  for (std::size_t j = 0; j < query.size(); ++j) {
+    ms[j] = index::find_longest(ref, sa, query, j, query.size() - j).length;
+  }
+  return ms;
+}
+
+TEST(MatchingStats, MatchesBruteForceOnRandomPairs) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const seq::Sequence ref = random_seq(1500, seed);
+    const seq::Sequence query = random_seq(400, seed + 10);
+    EXPECT_EQ(mem::matching_statistics(ref, query), ms_bruteforce(ref, query));
+  }
+}
+
+TEST(MatchingStats, MatchesBruteForceOnRelatedPair) {
+  const seq::Sequence base = seq::GenomeModel{.length = 3000}.generate(4);
+  seq::MutationModel mut;
+  mut.snp_rate = 0.03;
+  const seq::Sequence query = mut.apply(base, 5);
+  EXPECT_EQ(mem::matching_statistics(base, query), ms_bruteforce(base, query));
+}
+
+TEST(MatchingStats, ExactCopyGivesDecreasingTail) {
+  const seq::Sequence ref = random_seq(500, 6);
+  // Query = exact chunk of the reference: ms[j] should run to the chunk end.
+  const seq::Sequence query = ref.subsequence(100, 80);
+  const auto ms = mem::matching_statistics(ref, query);
+  for (std::size_t j = 0; j < query.size(); ++j) {
+    EXPECT_GE(ms[j], static_cast<std::uint32_t>(query.size() - j)) << j;
+  }
+}
+
+TEST(MatchingStats, ShiftPropertyHolds) {
+  // ms[j] >= ms[j-1] - 1, the invariant the sweep exploits.
+  const seq::Sequence base = seq::GenomeModel{.length = 4000}.generate(7);
+  seq::MutationModel mut;
+  mut.snp_rate = 0.05;
+  const seq::Sequence query = mut.apply(base, 8);
+  const auto ms = mem::matching_statistics(base, query);
+  for (std::size_t j = 1; j < ms.size(); ++j) {
+    EXPECT_GE(ms[j] + 1, ms[j - 1]) << j;
+  }
+}
+
+TEST(MatchingStats, EmptyQuery) {
+  EXPECT_TRUE(mem::matching_statistics(random_seq(100, 9), seq::Sequence())
+                  .empty());
+}
+
+TEST(Stranded, ForwardOnlyWhenNoRcMatches) {
+  const seq::Sequence base = seq::GenomeModel{.length = 2000}.generate(10);
+  seq::MutationModel mut;
+  mut.snp_rate = 0.02;
+  mut.inversions = 0;
+  const seq::Sequence query = mut.apply(base, 11);
+
+  mem::MummerFinder finder;
+  mem::FinderOptions opt;
+  opt.min_length = 40;
+  finder.build_index(base, opt);
+  const auto both = mem::find_mems_both_strands(finder, query);
+  const auto fwd = finder.find(query);
+  std::size_t fwd_count = 0;
+  for (const auto& s : both) {
+    if (s.strand == mem::Strand::kForward) ++fwd_count;
+  }
+  EXPECT_EQ(fwd_count, fwd.size());
+}
+
+TEST(Stranded, InvertedSegmentFoundOnReverseStrand) {
+  // Plant an exact reverse-complement insert and verify coordinates map
+  // back to the forward query.
+  const seq::Sequence base = seq::GenomeModel{.length = 3000}.generate(12);
+  seq::Sequence query = seq::GenomeModel{.length = 400}.generate(13);
+  const std::uint32_t insert_at = static_cast<std::uint32_t>(query.size());
+  const seq::Sequence chunk = base.subsequence(1000, 150);
+  const seq::Sequence rc = chunk.reverse_complement();
+  query.append(rc, 0, rc.size());
+
+  mem::MummerFinder finder;
+  mem::FinderOptions opt;
+  opt.min_length = 120;
+  finder.build_index(base, opt);
+  const auto both = mem::find_mems_both_strands(finder, query);
+  bool found = false;
+  for (const auto& s : both) {
+    if (s.strand != mem::Strand::kReverse) continue;
+    // Forward-query coordinates of the planted insert.
+    if (s.match.q <= insert_at && s.match.q + s.match.len >= insert_at + 150 &&
+        s.match.r <= 1000 && s.match.r + s.match.len >= 1150) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Stranded, PalindromicContentAppearsOnBothStrands) {
+  // A perfect DNA palindrome matches itself reverse-complemented.
+  const seq::Sequence ref = seq::Sequence::from_string("AAACGCGTTTCCC");
+  //                         RC of ACGCGT is ACGCGT (palindrome)
+  mem::MummerFinder finder;
+  mem::FinderOptions opt;
+  opt.min_length = 6;
+  finder.build_index(ref, opt);
+  const seq::Sequence query = seq::Sequence::from_string("ACGCGT");
+  const auto both = mem::find_mems_both_strands(finder, query);
+  int fwd = 0, rev = 0;
+  for (const auto& s : both) {
+    (s.strand == mem::Strand::kForward ? fwd : rev) += 1;
+  }
+  EXPECT_GE(fwd, 1);
+  EXPECT_GE(rev, 1);
+}
+
+}  // namespace
+}  // namespace gm

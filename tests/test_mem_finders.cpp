@@ -1,0 +1,320 @@
+// Cross-validation: every MEM finder must produce the identical MEM set.
+// The naive diagonal scanner is the ground truth; it is itself validated on
+// hand-constructed cases first.
+#include <gtest/gtest.h>
+
+#include "mem/common.h"
+#include "mem/essamem.h"
+#include "mem/mummer.h"
+#include "mem/naive.h"
+#include "mem/registry.h"
+#include "mem/slamem.h"
+#include "mem/sparsemem.h"
+#include "mem/validate.h"
+#include "seq/synthetic.h"
+#include "util/rng.h"
+
+namespace gm {
+namespace {
+
+using mem::Mem;
+
+seq::Sequence random_seq(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> codes(n);
+  for (auto& c : codes) c = static_cast<std::uint8_t>(rng.bounded(4));
+  return seq::Sequence::from_codes(codes);
+}
+
+TEST(Naive, HandConstructedCases) {
+  const auto R = seq::Sequence::from_string("AAAACGTAAAA");
+  const auto Q = seq::Sequence::from_string("TTTACGTTTT");
+  // Shared substring "ACGT" at R[3], Q[3]; maximal both sides.
+  const auto mems = mem::find_mems_naive(R, Q, 4);
+  ASSERT_EQ(mems.size(), 1u);
+  EXPECT_EQ(mems[0], (Mem{3, 3, 4}));
+}
+
+TEST(Naive, BoundaryMaximality) {
+  // Match runs to both sequence starts and ends: still a MEM.
+  const auto R = seq::Sequence::from_string("ACGTACGT");
+  const auto Q = seq::Sequence::from_string("ACGTACGT");
+  const auto mems = mem::find_mems_naive(R, Q, 8);
+  ASSERT_EQ(mems.size(), 1u);
+  EXPECT_EQ(mems[0], (Mem{0, 0, 8}));
+}
+
+TEST(Naive, RepeatedSeedManyMems) {
+  const auto R = seq::Sequence::from_string("ACGTGGACGTCCACGT");
+  const auto Q = seq::Sequence::from_string("TTACGTTT");
+  // "ACGT" occurs three times in R, once in Q -> three MEMs of length 4.
+  const auto mems = mem::find_mems_naive(R, Q, 4);
+  ASSERT_EQ(mems.size(), 3u);
+  for (const auto& m : mems) EXPECT_EQ(m.len, 4u);
+}
+
+TEST(Naive, SubMaximalMatchesExcluded) {
+  // Q's "CGT" also matches inside R's "ACGT" but is not left-maximal there.
+  const auto R = seq::Sequence::from_string("AACGTAA");
+  const auto Q = seq::Sequence::from_string("GACGTAG");
+  const auto mems = mem::find_mems_naive(R, Q, 3);
+  // Expect exactly the maximal "ACGTA".
+  ASSERT_EQ(mems.size(), 1u);
+  EXPECT_EQ(mems[0], (Mem{1, 1, 5}));
+}
+
+TEST(Naive, EmptyInputs) {
+  const auto R = seq::Sequence::from_string("ACGT");
+  EXPECT_TRUE(mem::find_mems_naive(R, seq::Sequence(), 2).empty());
+  EXPECT_TRUE(mem::find_mems_naive(seq::Sequence(), R, 2).empty());
+}
+
+TEST(CommonHelpers, LeftMaximalAtBoundaries) {
+  const auto R = seq::Sequence::from_string("ACGT");
+  const auto Q = seq::Sequence::from_string("ACGT");
+  EXPECT_TRUE(mem::left_maximal(R, Q, 0, 2));
+  EXPECT_TRUE(mem::left_maximal(R, Q, 2, 0));
+  EXPECT_FALSE(mem::left_maximal(R, Q, 2, 2));
+  EXPECT_TRUE(mem::left_maximal(R, Q, 1, 2));  // C vs A differ
+}
+
+TEST(CommonHelpers, SampledCandidateDedupe) {
+  // MEM of length 12 at (r=4, q=0); grid step 4 -> in-MEM grid points at
+  // r=4, 8, 12; only the first may emit.
+  const auto R = seq::Sequence::from_string("TTTTACGTACGTACGTTTTT");
+  const auto Q = seq::Sequence::from_string("ACGTACGTACGTGGGG");
+  std::vector<Mem> out;
+  mem::emit_sampled_candidate(R, Q, 4, 0, 4, 8, out);   // first grid point
+  mem::emit_sampled_candidate(R, Q, 8, 4, 4, 8, out);   // interior: skipped
+  mem::emit_sampled_candidate(R, Q, 12, 8, 4, 8, out);  // interior: skipped
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (Mem{4, 0, 12}));
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized cross-finder equivalence sweep.
+// ---------------------------------------------------------------------------
+
+struct SweepCase {
+  std::size_t ref_len;
+  std::size_t query_len;
+  double divergence;  // < 0: unrelated random pair
+  std::uint32_t min_len;
+  std::uint64_t seed;
+};
+
+void print_case(const SweepCase& c, std::ostream* os) {
+  *os << "ref=" << c.ref_len << " query=" << c.query_len
+      << " div=" << c.divergence << " L=" << c.min_len << " seed=" << c.seed;
+}
+
+std::ostream& operator<<(std::ostream& os, const SweepCase& c) {
+  print_case(c, &os);
+  return os;
+}
+
+class FinderEquivalence : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  void build_pair(seq::Sequence& ref, seq::Sequence& query) const {
+    const SweepCase& c = GetParam();
+    if (c.divergence < 0) {
+      ref = random_seq(c.ref_len, c.seed);
+      query = random_seq(c.query_len, c.seed + 1);
+    } else {
+      const seq::Sequence base =
+          seq::GenomeModel{.length = c.ref_len}.generate(c.seed);
+      ref = base;
+      seq::MutationModel mut;
+      mut.snp_rate = c.divergence;
+      mut.indel_rate = c.divergence / 5;
+      mut.inversions = 1;
+      mut.translocations = 1;
+      mut.duplications = 1;
+      mut.segment_mean = c.ref_len / 8;
+      mut.target_length = c.query_len;
+      query = mut.apply(base, c.seed + 2);
+    }
+  }
+};
+
+TEST_P(FinderEquivalence, AllFindersAgree) {
+  const SweepCase& c = GetParam();
+  seq::Sequence ref, query;
+  build_pair(ref, query);
+  const std::vector<Mem> truth = mem::find_mems_naive(ref, query, c.min_len);
+
+  mem::FinderOptions opt;
+  opt.min_length = c.min_len;
+
+  {
+    mem::MummerFinder f;
+    f.build_index(ref, opt);
+    EXPECT_EQ(f.find(query), truth) << "mummer";
+  }
+  for (std::uint32_t k : {1u, 3u, std::min(8u, c.min_len)}) {
+    mem::FinderOptions sparse_opt = opt;
+    sparse_opt.sparseness = k;
+    sparse_opt.threads = 3;  // exercise sharding
+    {
+      mem::SparseMemFinder f;
+      f.build_index(ref, sparse_opt);
+      EXPECT_EQ(f.find(query), truth) << "sparsemem K=" << k;
+    }
+    {
+      mem::EssaMemFinder f;
+      f.build_index(ref, sparse_opt);
+      EXPECT_EQ(f.find(query), truth) << "essamem K=" << k;
+    }
+  }
+  {
+    mem::SlaMemFinder f;
+    f.build_index(ref, opt);
+    EXPECT_EQ(f.find(query), truth) << "slamem";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FinderEquivalence,
+    ::testing::Values(
+        // Related pairs across divergence levels and L values.
+        SweepCase{2000, 2000, 0.01, 20, 1},
+        SweepCase{2000, 2500, 0.05, 15, 2},
+        SweepCase{3000, 1500, 0.002, 30, 3},
+        SweepCase{1000, 1000, 0.10, 10, 4},
+        // Unrelated pair: few, short MEMs.
+        SweepCase{2000, 2000, -1.0, 12, 5},
+        // Tiny L (dense output), tiny sequences.
+        SweepCase{300, 300, 0.02, 8, 6},
+        SweepCase{64, 64, 0.05, 6, 7},
+        // Identical sequences: one giant MEM + repeat structure.
+        SweepCase{1500, 1500, 0.0, 25, 8},
+        // Highly repetitive genomes (tandem-heavy model).
+        SweepCase{1200, 1200, 0.03, 14, 9}));
+
+TEST(FinderEquivalence, RepetitiveTandemStress) {
+  // Tandem repeats create seeds with hundreds of occurrences — the load
+  // imbalance scenario of the paper's Fig. 6 — and many co-diagonal MEMs.
+  std::string motif = "ACGGT";
+  std::string r_str, q_str;
+  for (int i = 0; i < 120; ++i) r_str += motif;
+  q_str = r_str.substr(7, 400);
+  q_str += "TTTT";
+  q_str += r_str.substr(100, 200);
+  const auto R = seq::Sequence::from_string(r_str);
+  const auto Q = seq::Sequence::from_string(q_str);
+  const auto truth = mem::find_mems_naive(R, Q, 12);
+  ASSERT_FALSE(truth.empty());
+
+  mem::FinderOptions opt;
+  opt.min_length = 12;
+  for (const std::string name : {"mummer", "sparsemem", "essamem", "slamem"}) {
+    auto f = mem::create_finder(name);
+    mem::FinderOptions o = opt;
+    o.sparseness = (name == "sparsemem" || name == "essamem") ? 4 : 1;
+    f->build_index(R, o);
+    EXPECT_EQ(f->find(Q), truth) << name;
+  }
+}
+
+TEST(Validate, AcceptsGroundTruthRejectsCorruptions) {
+  const auto base = seq::GenomeModel{.length = 2000}.generate(33);
+  seq::MutationModel mut;
+  mut.snp_rate = 0.02;
+  const auto query = mut.apply(base, 34);
+  auto truth = mem::find_mems_naive(base, query, 15);
+  ASSERT_FALSE(truth.empty());
+  EXPECT_TRUE(mem::validate_mems(base, query, truth, 15).ok());
+
+  {  // too-short entry
+    auto bad = truth;
+    bad[0].len = 3;
+    const auto rep = mem::validate_mems(base, query, bad, 15);
+    EXPECT_FALSE(rep.ok());
+    EXPECT_NE(rep.first_error.find("shorter"), std::string::npos);
+  }
+  {  // shifted start breaks character equality (or maximality)
+    auto bad = truth;
+    bad[0].r += 1;
+    EXPECT_FALSE(mem::validate_mems(base, query, bad, 15).ok());
+  }
+  {  // truncation breaks right-maximality
+    auto bad = truth;
+    bad[0].len -= 1;
+    const auto rep = mem::validate_mems(base, query, bad, 15);
+    EXPECT_FALSE(rep.ok());
+  }
+  {  // duplicate breaks canonical order
+    auto bad = truth;
+    bad.push_back(bad.back());
+    EXPECT_FALSE(mem::validate_mems(base, query, bad, 15).ok());
+  }
+  {  // out of bounds
+    auto bad = truth;
+    bad[0].r = static_cast<std::uint32_t>(base.size());
+    const auto rep = mem::validate_mems(base, query, bad, 15);
+    EXPECT_FALSE(rep.ok());
+    EXPECT_NE(rep.first_error.find("bounds"), std::string::npos);
+  }
+}
+
+TEST(Validate, EveryFinderPassesOnMediumInput) {
+  const auto base = seq::GenomeModel{.length = 20000}.generate(35);
+  seq::MutationModel mut;
+  mut.snp_rate = 0.03;
+  const auto query = mut.apply(base, 36);
+  mem::FinderOptions opt;
+  opt.min_length = 20;
+  for (const auto& name : mem::finder_names()) {
+    if (name == "naive") continue;
+    auto finder = mem::create_finder(name);
+    mem::FinderOptions o = opt;
+    o.sparseness = (name == "sparsemem" || name == "essamem") ? 4 : 1;
+    finder->build_index(base, o);
+    const auto mems = finder->find(query);
+    const auto rep = mem::validate_mems(base, query, mems, 20);
+    EXPECT_TRUE(rep.ok()) << name << ": " << rep.first_error;
+    EXPECT_GT(rep.checked, 0u) << name;
+  }
+}
+
+TEST(FinderOptions, SparsenessBounds) {
+  const auto R = random_seq(500, 30);
+  mem::FinderOptions opt;
+  opt.min_length = 10;
+  opt.sparseness = 11;  // > L
+  mem::SparseMemFinder sf;
+  EXPECT_THROW(sf.build_index(R, opt), std::invalid_argument);
+  mem::EssaMemFinder ef;
+  EXPECT_THROW(ef.build_index(R, opt), std::invalid_argument);
+}
+
+TEST(Registry, CreatesEveryRegisteredFinder) {
+  for (const auto& name : mem::finder_names()) {
+    EXPECT_NO_THROW({ auto f = mem::create_finder(name); EXPECT_EQ(f->name(), name); })
+        << name;
+  }
+  EXPECT_THROW(mem::create_finder("bogus"), std::invalid_argument);
+}
+
+TEST(Finders, FindBeforeBuildThrows) {
+  const auto Q = random_seq(100, 31);
+  EXPECT_THROW(mem::MummerFinder().find(Q), std::logic_error);
+  EXPECT_THROW(mem::SparseMemFinder().find(Q), std::logic_error);
+  EXPECT_THROW(mem::EssaMemFinder().find(Q), std::logic_error);
+  EXPECT_THROW(mem::SlaMemFinder().find(Q), std::logic_error);
+}
+
+TEST(Finders, QueryShorterThanL) {
+  const auto R = random_seq(500, 32);
+  const auto Q = random_seq(8, 33);
+  mem::FinderOptions opt;
+  opt.min_length = 20;
+  for (const std::string name : {"mummer", "sparsemem", "essamem", "slamem"}) {
+    auto f = mem::create_finder(name);
+    f->build_index(R, opt);
+    EXPECT_TRUE(f->find(Q).empty()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace gm

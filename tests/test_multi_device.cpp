@@ -1,0 +1,105 @@
+// Multi-device partitioning tests: any device count must reproduce the
+// exact single-device MEM set, with concurrent (max-over-devices) timing.
+#include <gtest/gtest.h>
+
+#include "core/multi_device.h"
+#include "mem/naive.h"
+#include "seq/synthetic.h"
+
+namespace gm {
+namespace {
+
+using core::Config;
+using core::run_multi_device;
+
+Config small_config() {
+  Config cfg;
+  cfg.min_length = 12;
+  cfg.seed_len = 6;
+  cfg.threads = 16;
+  cfg.tile_blocks = 2;  // tiny tiles -> several rows to partition
+  return cfg;
+}
+
+class MultiDevice : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(MultiDevice, MatchesNaiveAtAnyDeviceCount) {
+  const std::uint32_t devices = GetParam();
+  const auto base = seq::GenomeModel{.length = 3000}.generate(41);
+  seq::MutationModel mut;
+  mut.snp_rate = 0.02;
+  mut.indel_rate = 0.003;
+  const auto query = mut.apply(base, 42);
+  const auto truth = mem::find_mems_naive(base, query, 12);
+  ASSERT_FALSE(truth.empty());
+
+  const auto result = run_multi_device(small_config(), devices, base, query);
+  EXPECT_EQ(result.mems, truth);
+  EXPECT_EQ(result.per_device.size(), devices);
+}
+
+INSTANTIATE_TEST_SUITE_P(DeviceCounts, MultiDevice,
+                         ::testing::Values(1u, 2u, 3u, 4u, 16u));
+
+TEST(MultiDevice, CombinedTimeIsMaxNotSum) {
+  const auto base = seq::GenomeModel{.length = 4000}.generate(43);
+  seq::MutationModel mut;
+  mut.snp_rate = 0.02;
+  const auto query = mut.apply(base, 44);
+
+  const auto result = run_multi_device(small_config(), 3, base, query);
+  double sum = 0.0, mx = 0.0;
+  for (const auto& s : result.per_device) {
+    sum += s.match_seconds;
+    mx = std::max(mx, s.match_seconds);
+  }
+  EXPECT_GE(result.combined.match_seconds + 1e-12, mx);
+  EXPECT_LT(result.combined.device_match_seconds(), sum + 1e-12);
+}
+
+TEST(MultiDevice, ScalingReducesModeledTime) {
+  // With several rows of real work, 4 devices should beat 1 device on
+  // modeled extraction time (not necessarily 4x: query scans repeat).
+  const auto base = seq::GenomeModel{.length = 30000}.generate(45);
+  seq::MutationModel mut;
+  mut.snp_rate = 0.02;
+  const auto query = mut.apply(base, 46);
+  Config cfg = small_config();
+  cfg.min_length = 16;
+  cfg.seed_len = 8;
+
+  const auto one = run_multi_device(cfg, 1, base, query);
+  const auto four = run_multi_device(cfg, 4, base, query);
+  EXPECT_EQ(one.mems, four.mems);
+  EXPECT_GT(one.combined.device_match_seconds(),
+            four.combined.device_match_seconds());
+}
+
+TEST(MultiDevice, RowPartitionCoversEverything) {
+  // Per-device tile_rows must sum to the total row count.
+  const auto base = seq::GenomeModel{.length = 8000}.generate(47);
+  const auto result = run_multi_device(small_config(), 5, base, base);
+  std::uint32_t rows = 0;
+  for (const auto& s : result.per_device) rows += s.tile_rows;
+  EXPECT_EQ(rows, result.combined.tile_rows);
+  EXPECT_EQ(result.mems, mem::find_mems_naive(base, base, 12));
+}
+
+TEST(MultiDevice, InvalidArguments) {
+  const auto base = seq::GenomeModel{.length = 1000}.generate(48);
+  EXPECT_THROW(run_multi_device(small_config(), 0, base, base),
+               std::invalid_argument);
+  Config native = small_config();
+  native.backend = core::Backend::kNative;
+  EXPECT_THROW(run_multi_device(native, 2, base, base),
+               std::invalid_argument);
+}
+
+TEST(MultiDevice, EmptyInputs) {
+  const auto result =
+      run_multi_device(small_config(), 2, seq::Sequence(), seq::Sequence());
+  EXPECT_TRUE(result.mems.empty());
+}
+
+}  // namespace
+}  // namespace gm

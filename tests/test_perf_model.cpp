@@ -1,0 +1,171 @@
+// Direct formula-level tests of the device cost model (perf_model.h) — the
+// quantity every "GPU seconds" figure in the benchmarks is built from.
+#include <gtest/gtest.h>
+
+#include "simt/perf_model.h"
+
+namespace gm {
+namespace {
+
+using simt::DeviceSpec;
+using simt::PhaseCounters;
+using simt::ThreadSlot;
+
+DeviceSpec unit_spec() {
+  DeviceSpec spec = DeviceSpec::k20c();
+  spec.cycles_per_alu = 1.0;
+  spec.cycles_per_shared = 2.0;
+  spec.cycles_per_atomic = 48.0;
+  spec.cycles_per_txn = 48.0;
+  spec.cycles_per_barrier = 32.0;
+  return spec;
+}
+
+std::vector<ThreadSlot> slots_with(std::size_t n,
+                                   const PhaseCounters& each) {
+  std::vector<ThreadSlot> slots(n);
+  for (auto& s : slots) s.phase = each;
+  return slots;
+}
+
+TEST(PhaseCycles, EmptyPhaseCostsOneBarrier) {
+  const auto spec = unit_spec();
+  const auto slots = slots_with(64, {});
+  EXPECT_DOUBLE_EQ(simt::phase_cycles(spec, slots), spec.cycles_per_barrier);
+}
+
+TEST(PhaseCycles, UniformAluDividedByWarpIpc) {
+  const auto spec = unit_spec();
+  PhaseCounters c;
+  c.alu = 60;
+  // 64 threads = 2 warps; each warp contributes max-lane alu (60); warp_ipc
+  // = 192/32 = 6 -> compute = 2*60/6 = 20 cycles.
+  const auto slots = slots_with(64, c);
+  EXPECT_DOUBLE_EQ(simt::phase_cycles(spec, slots),
+                   20.0 + spec.cycles_per_barrier);
+}
+
+TEST(PhaseCycles, MaxOverLanesNotSum) {
+  const auto spec = unit_spec();
+  // One lane with 600 alu in a 32-thread warp costs the same as all lanes
+  // with 600 — lock-step execution.
+  std::vector<ThreadSlot> one(32);
+  one[7].phase.alu = 600;
+  const auto all = slots_with(32, PhaseCounters{.alu = 600});
+  EXPECT_DOUBLE_EQ(simt::phase_cycles(spec, one),
+                   simt::phase_cycles(spec, all));
+}
+
+TEST(PhaseCycles, TxnLatencyIsPerWarpMax) {
+  const auto spec = unit_spec();
+  std::vector<ThreadSlot> slots(32);
+  slots[0].phase.txns = 10;
+  slots[1].phase.txns = 3;  // hidden behind lane 0's 10
+  EXPECT_DOUBLE_EQ(simt::phase_cycles(spec, slots),
+                   10 * spec.cycles_per_txn + spec.cycles_per_barrier);
+}
+
+TEST(PhaseCycles, AtomicsAreSummedAcrossLanes) {
+  const auto spec = unit_spec();
+  PhaseCounters c;
+  c.atomics = 1;
+  const auto slots = slots_with(32, c);
+  EXPECT_DOUBLE_EQ(simt::phase_cycles(spec, slots),
+                   32 * spec.cycles_per_atomic + spec.cycles_per_barrier);
+}
+
+TEST(PhaseCycles, SharedOpsUseWarpMax) {
+  const auto spec = unit_spec();
+  std::vector<ThreadSlot> slots(64);
+  slots[0].phase.shared_ops = 5;   // warp 0 max
+  slots[33].phase.shared_ops = 7;  // warp 1 max
+  EXPECT_DOUBLE_EQ(simt::phase_cycles(spec, slots),
+                   (5 + 7) * spec.cycles_per_shared + spec.cycles_per_barrier);
+}
+
+TEST(LaunchSeconds, WaveModel) {
+  DeviceSpec spec = unit_spec();
+  spec.kernel_launch_seconds = 0.0;
+  // resident = 13 * 8 = 104 blocks. 208 equal blocks = exactly two waves.
+  const std::vector<double> blocks(208, 1.04e6);
+  const double expect = (208 * 1.04e6 / 104.0) / spec.clock_hz;
+  EXPECT_NEAR(simt::launch_seconds(spec, blocks, 0), expect, 1e-12);
+}
+
+TEST(LaunchSeconds, SlowestBlockBoundsShortGrids) {
+  DeviceSpec spec = unit_spec();
+  spec.kernel_launch_seconds = 0.0;
+  const std::vector<double> blocks{5e6, 1.0, 1.0};
+  EXPECT_NEAR(simt::launch_seconds(spec, blocks, 0), 5e6 / spec.clock_hz,
+              1e-12);
+}
+
+TEST(LaunchSeconds, BandwidthTermIsDeviceWide) {
+  DeviceSpec spec = unit_spec();
+  spec.kernel_launch_seconds = 0.0;
+  const std::vector<double> blocks{0.0};
+  const std::uint64_t bytes = 208'000'000'000ull;  // one second at 208 GB/s
+  EXPECT_NEAR(simt::launch_seconds(spec, blocks, 0, bytes), 1.0, 1e-9);
+}
+
+TEST(LaunchSeconds, LaunchOverheadAlwaysPaid) {
+  DeviceSpec spec = unit_spec();
+  const std::vector<double> blocks{0.0};
+  EXPECT_NEAR(simt::launch_seconds(spec, blocks, 0),
+              spec.kernel_launch_seconds, 1e-12);
+}
+
+TEST(LaunchSeconds, BlocksPerSmOverride) {
+  DeviceSpec spec = unit_spec();
+  spec.kernel_launch_seconds = 0.0;
+  const std::vector<double> blocks(26, 1e6);
+  // 2 blocks/SM -> resident 26 -> one wave of 1e6 cycles.
+  EXPECT_NEAR(simt::launch_seconds(spec, blocks, 2), 1e6 / spec.clock_hz,
+              1e-12);
+  // 8/SM (default): resident 104 > grid -> bounded by slowest block anyway.
+  EXPECT_NEAR(simt::launch_seconds(spec, blocks, 0), 1e6 / spec.clock_hz,
+              1e-12);
+}
+
+TEST(PhaseCounters, AccumulateAcrossPhases) {
+  PhaseCounters total, a, b;
+  a.alu = 5;
+  a.global_bytes = 100;
+  a.txns = 2;
+  b.shared_ops = 3;
+  b.atomics = 1;
+  total += a;
+  total += b;
+  EXPECT_EQ(total.alu, 5u);
+  EXPECT_EQ(total.global_bytes, 100u);
+  EXPECT_EQ(total.txns, 2u);
+  EXPECT_EQ(total.shared_ops, 3u);
+  EXPECT_EQ(total.atomics, 1u);
+}
+
+TEST(Ledger, LabelBreakdownSortedByTime) {
+  simt::PerfLedger ledger;
+  ledger.add_kernel_seconds(1.0, "small");
+  ledger.add_kernel_seconds(5.0, "big");
+  ledger.add_kernel_seconds(2.0, "big");
+  const auto breakdown = ledger.breakdown();
+  ASSERT_EQ(breakdown.size(), 2u);
+  EXPECT_EQ(breakdown[0].first, "big");
+  EXPECT_EQ(breakdown[0].second.launches, 2u);
+  EXPECT_DOUBLE_EQ(breakdown[0].second.seconds, 7.0);
+  EXPECT_EQ(breakdown[1].first, "small");
+}
+
+TEST(Ledger, RollbackRestoresBreakdown) {
+  simt::PerfLedger ledger;
+  ledger.add_kernel_seconds(1.0, "a");
+  const auto snap = ledger.snapshot();
+  ledger.add_kernel_seconds(9.0, "b");
+  ledger.rollback(snap);
+  const auto breakdown = ledger.breakdown();
+  ASSERT_EQ(breakdown.size(), 1u);
+  EXPECT_EQ(breakdown[0].first, "a");
+}
+
+}  // namespace
+}  // namespace gm

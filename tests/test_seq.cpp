@@ -1,0 +1,276 @@
+// Sequence, FASTA, and synthetic-genome tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "seq/fasta.h"
+#include "seq/sequence.h"
+#include "seq/synthetic.h"
+#include "util/rng.h"
+
+namespace gm {
+namespace {
+
+using seq::Sequence;
+
+TEST(Alphabet, EncodeDecodeRoundTrip) {
+  EXPECT_EQ(seq::encode_base('A'), seq::kA);
+  EXPECT_EQ(seq::encode_base('c'), seq::kC);
+  EXPECT_EQ(seq::encode_base('G'), seq::kG);
+  EXPECT_EQ(seq::encode_base('t'), seq::kT);
+  EXPECT_EQ(seq::encode_base('N'), seq::kInvalidBase);
+  for (std::uint8_t b = 0; b < 4; ++b) {
+    EXPECT_EQ(seq::encode_base(seq::decode_base(b)), b);
+  }
+}
+
+TEST(Alphabet, ComplementIsInvolution) {
+  for (std::uint8_t b = 0; b < 4; ++b) {
+    EXPECT_EQ(seq::complement(seq::complement(b)), b);
+    EXPECT_NE(seq::complement(b), b);
+  }
+}
+
+TEST(Sequence, FromStringAndBack) {
+  const std::string s = "ACGTACGTTTGGCCAA";
+  const Sequence seq = Sequence::from_string(s);
+  ASSERT_EQ(seq.size(), s.size());
+  EXPECT_EQ(seq.to_string(), s);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(seq::decode_base(seq.base(i)), s[i]);
+  }
+}
+
+TEST(Sequence, FromStringRejectsInvalid) {
+  EXPECT_THROW(Sequence::from_string("ACGN"), std::invalid_argument);
+}
+
+TEST(Sequence, CrossWordBoundaries) {
+  // 100 bases spans four 32-base words; every base must survive packing.
+  util::Xoshiro256 rng(7);
+  std::string s;
+  for (int i = 0; i < 100; ++i) s.push_back(seq::decode_base(rng.bounded(4) & 3));
+  const Sequence seq = Sequence::from_string(s);
+  EXPECT_EQ(seq.to_string(), s);
+}
+
+TEST(Sequence, Window64GathersAcrossWords) {
+  util::Xoshiro256 rng(11);
+  std::vector<std::uint8_t> codes(200);
+  for (auto& c : codes) c = static_cast<std::uint8_t>(rng.bounded(4));
+  const Sequence seq = Sequence::from_codes(codes);
+  for (std::size_t i = 0; i + 32 <= codes.size(); i += 7) {
+    const std::uint64_t w = seq.window64(i);
+    for (unsigned k = 0; k < 32; ++k) {
+      EXPECT_EQ((w >> (2 * k)) & 3, codes[i + k]) << "i=" << i << " k=" << k;
+    }
+  }
+}
+
+TEST(Sequence, KmerMatchesSubstring) {
+  const Sequence seq = Sequence::from_string("ACGTACGTGGTTCCAA");
+  for (unsigned k = 1; k <= 8; ++k) {
+    for (std::size_t i = 0; i + k <= seq.size(); ++i) {
+      const std::uint64_t a = seq.kmer(i, k);
+      const Sequence sub = seq.subsequence(i, k);
+      EXPECT_EQ(a, sub.kmer(0, k));
+    }
+  }
+}
+
+TEST(Sequence, CommonPrefixExact) {
+  util::Xoshiro256 rng(13);
+  std::vector<std::uint8_t> a(500), b(500);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = static_cast<std::uint8_t>(rng.bounded(4));
+  b = a;
+  b[123] = static_cast<std::uint8_t>((b[123] + 1) & 3);
+  b[457] = static_cast<std::uint8_t>((b[457] + 1) & 3);
+  const Sequence sa = Sequence::from_codes(a);
+  const Sequence sb = Sequence::from_codes(b);
+  EXPECT_EQ(sa.common_prefix(0, sb, 0, 500), 123u);
+  EXPECT_EQ(sa.common_prefix(124, sb, 124, 500), 457u - 124u);
+  EXPECT_EQ(sa.common_prefix(0, sb, 0, 50), 50u);  // capped
+  EXPECT_EQ(sa.common_prefix(458, sb, 458, 500), 42u);  // runs to the end
+}
+
+TEST(Sequence, CommonSuffixExact) {
+  const Sequence a = Sequence::from_string("TTTACGTACGT");
+  const Sequence b = Sequence::from_string("GGGACGTACGT");
+  // Compare backwards from the last characters.
+  EXPECT_EQ(a.common_suffix(10, b, 10, 100), 8u);
+  EXPECT_EQ(a.common_suffix(10, b, 10, 3), 3u);  // capped
+}
+
+TEST(Sequence, CommonPrefixAtBoundaries) {
+  const Sequence a = Sequence::from_string("ACGT");
+  const Sequence b = Sequence::from_string("ACGTTT");
+  EXPECT_EQ(a.common_prefix(0, b, 0, 100), 4u);
+  EXPECT_EQ(a.common_prefix(4, b, 4, 100), 0u);  // off the end of a
+  EXPECT_EQ(a.common_prefix(0, b, 6, 100), 0u);
+}
+
+TEST(Sequence, ReverseComplement) {
+  const Sequence s = Sequence::from_string("AACGT");
+  EXPECT_EQ(s.reverse_complement().to_string(), "ACGTT");
+  EXPECT_EQ(s.reverse_complement().reverse_complement().to_string(), "AACGT");
+}
+
+TEST(Sequence, EqualityIgnoresPaddingBits) {
+  const Sequence a = Sequence::from_string("ACGTA");
+  Sequence b = Sequence::from_string("ACGTAC");
+  const Sequence c = b.subsequence(0, 5);
+  EXPECT_TRUE(a == c);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Fasta, RoundTrip) {
+  const Sequence s = seq::GenomeModel{.length = 1000}.generate(3);
+  std::ostringstream os;
+  seq::write_fasta(os, "chr_test", s, 60);
+  std::istringstream is(os.str());
+  const auto records = seq::read_fasta(is);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].name, "chr_test");
+  EXPECT_TRUE(records[0].sequence == s);
+  EXPECT_EQ(records[0].non_acgt, 0u);
+}
+
+TEST(Fasta, MultiRecordAndComments) {
+  std::istringstream is(">one\nACGT\n;comment\nAC\n>two desc here\nGGGG\n");
+  const auto records = seq::read_fasta(is);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].sequence.to_string(), "ACGTAC");
+  EXPECT_EQ(records[1].name, "two desc here");
+  EXPECT_EQ(records[1].sequence.to_string(), "GGGG");
+}
+
+TEST(Fasta, NonAcgtPolicies) {
+  {
+    std::istringstream is(">x\nACNNGT\n");
+    EXPECT_THROW(seq::read_fasta(is, seq::NonAcgtPolicy::kReject),
+                 std::runtime_error);
+  }
+  {
+    std::istringstream is(">x\nACNNGT\n");
+    const auto rec = seq::read_fasta(is, seq::NonAcgtPolicy::kRandomize);
+    EXPECT_EQ(rec[0].sequence.size(), 6u);
+    EXPECT_EQ(rec[0].non_acgt, 2u);
+  }
+  {
+    std::istringstream is(">x\nACNNGT\n");
+    const auto rec = seq::read_fasta(is, seq::NonAcgtPolicy::kSkip);
+    EXPECT_EQ(rec[0].sequence.to_string(), "ACGT");
+  }
+}
+
+TEST(Fasta, RandomizePolicyIsDeterministic) {
+  auto parse = [] {
+    std::istringstream is(">x\nNNNNNNNNNN\n");
+    return seq::read_fasta(is, seq::NonAcgtPolicy::kRandomize)[0]
+        .sequence.to_string();
+  };
+  EXPECT_EQ(parse(), parse());
+}
+
+TEST(Fasta, DataBeforeHeaderThrows) {
+  std::istringstream is("ACGT\n");
+  EXPECT_THROW(seq::read_fasta(is), std::runtime_error);
+}
+
+TEST(Synthetic, DeterministicInSeed) {
+  const seq::GenomeModel model{.length = 5000};
+  EXPECT_TRUE(model.generate(42) == model.generate(42));
+  EXPECT_FALSE(model.generate(42) == model.generate(43));
+}
+
+TEST(Synthetic, MutatorPreservesSimilarity) {
+  const Sequence base = seq::GenomeModel{.length = 20000}.generate(1);
+  seq::MutationModel mut;
+  mut.snp_rate = 0.01;
+  mut.indel_rate = 0.0;
+  mut.inversions = mut.translocations = mut.duplications = 0;
+  const Sequence derived = mut.apply(base, 2);
+  ASSERT_EQ(derived.size(), base.size());
+  std::size_t diffs = 0;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    diffs += base.base(i) != derived.base(i);
+  }
+  // ~1% substitutions (2/3 of trials actually change the base? No — the
+  // mutator always picks a different base). Allow generous slack.
+  EXPECT_GT(diffs, base.size() / 300);
+  EXPECT_LT(diffs, base.size() / 30);
+}
+
+TEST(Synthetic, MutatorHitsTargetLength) {
+  const Sequence base = seq::GenomeModel{.length = 4096}.generate(5);
+  seq::MutationModel mut;
+  mut.target_length = 2000;
+  EXPECT_EQ(mut.apply(base, 1).size(), 2000u);
+  mut.target_length = 9000;
+  EXPECT_EQ(mut.apply(base, 1).size(), 9000u);
+}
+
+TEST(Synthetic, DatasetPresetsExist) {
+  const auto names = seq::dataset_presets();
+  ASSERT_EQ(names.size(), 4u);
+  for (const auto& n : names) {
+    const seq::DatasetPair pair = seq::make_dataset(n, 42, 64);
+    EXPECT_GT(pair.reference.size(), 0u) << n;
+    EXPECT_GT(pair.query.size(), 0u) << n;
+  }
+  EXPECT_THROW(seq::make_dataset("nope", 1, 1), std::invalid_argument);
+}
+
+TEST(Synthetic, RelatedPairsShareLongMatches) {
+  const seq::DatasetPair pair = seq::make_dataset("chrXII_s/chrI_s", 7, 8);
+  // High-identity pair: some exact 64-mer of the reference should appear in
+  // the query (probabilistic but essentially certain at 0.2% divergence).
+  bool found = false;
+  for (std::size_t i = 0; i + 64 < pair.reference.size() && !found; i += 997) {
+    for (std::size_t j = 0; j + 64 < pair.query.size() && !found; ++j) {
+      if (pair.reference.common_prefix(i, pair.query, j, 64) == 64) found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Fasta, FileRoundTrip) {
+  const Sequence s = seq::GenomeModel{.length = 700}.generate(21);
+  const std::string path = ::testing::TempDir() + "/gm_fasta_roundtrip.fa";
+  seq::write_fasta_file(path, "rec1", s, 50);
+  const auto records = seq::read_fasta_file(path);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].name, "rec1");
+  EXPECT_TRUE(records[0].sequence == s);
+  EXPECT_THROW(seq::read_fasta_file(path + ".does-not-exist"),
+               std::runtime_error);
+}
+
+TEST(Sequence, WindowPastEndIsZeroFilled) {
+  const Sequence s = Sequence::from_string("TTTT");  // code 3 everywhere
+  const std::uint64_t w = s.window64(2);
+  EXPECT_EQ(w & 0xF, 0xFull);        // two T's
+  EXPECT_EQ(w >> 4, 0ull);           // zero-fill beyond the end
+  EXPECT_EQ(s.window64(100), 0ull);  // fully out of range
+}
+
+TEST(Sequence, FromCodesRejectsBadCode) {
+  EXPECT_THROW(Sequence::from_codes({0, 1, 4}), std::invalid_argument);
+}
+
+TEST(Sequence, AppendConcatenates) {
+  Sequence a = Sequence::from_string("ACGT");
+  const Sequence b = Sequence::from_string("GGTT");
+  a.append(b, 1, 2);  // "GT"
+  EXPECT_EQ(a.to_string(), "ACGTGT");
+}
+
+TEST(Sequence, CommonSuffixStopsAtSequenceStart) {
+  const Sequence a = Sequence::from_string("ACG");
+  const Sequence b = Sequence::from_string("TACG");
+  // Compare backwards from the ends: 3 common, then a runs out.
+  EXPECT_EQ(a.common_suffix(2, b, 3, 100), 3u);
+}
+
+}  // namespace
+}  // namespace gm

@@ -1,0 +1,276 @@
+// SIMT simulator tests: memory accounting, kernel execution semantics
+// (barriers, collectives, atomics), device-wide scan, and the cost model's
+// load-imbalance sensitivity (the property Fig. 7 depends on).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "simt/buffer.h"
+#include "simt/executor.h"
+#include "simt/primitives.h"
+
+namespace gm {
+namespace {
+
+using simt::Device;
+using simt::DeviceSpec;
+using simt::KernelTask;
+using simt::LaunchConfig;
+using simt::NoShared;
+using simt::ThreadCtx;
+
+TEST(Device, TracksAllocationAndOom) {
+  DeviceSpec spec = DeviceSpec::k20c();
+  spec.global_mem_bytes = 1024;
+  Device dev(spec);
+  {
+    simt::Buffer<std::uint32_t> a(dev, 128);  // 512 bytes
+    EXPECT_EQ(dev.bytes_in_use(), 512u);
+    EXPECT_THROW(simt::Buffer<std::uint32_t>(dev, 200),
+                 simt::DeviceOutOfMemory);
+    simt::Buffer<std::uint32_t> b(dev, 128);
+    EXPECT_EQ(dev.bytes_in_use(), 1024u);
+    EXPECT_EQ(dev.peak_bytes(), 1024u);
+  }
+  EXPECT_EQ(dev.bytes_in_use(), 0u);
+  EXPECT_EQ(dev.peak_bytes(), 1024u);
+}
+
+TEST(Device, SpecsAreDistinct) {
+  const DeviceSpec k20 = DeviceSpec::k20c();
+  const DeviceSpec k40 = DeviceSpec::k40();
+  EXPECT_LT(k20.sm_count, k40.sm_count);
+  EXPECT_LT(k20.global_mem_bytes, k40.global_mem_bytes);
+  EXPECT_EQ(k20.sm_count, 13u);       // the paper's card
+  EXPECT_EQ(k20.cores_per_sm, 192u);  // 2496 CUDA cores total
+}
+
+KernelTask saxpy_kernel(ThreadCtx& ctx, NoShared&, std::span<float> y,
+                        std::span<const float> x, float a) {
+  const std::uint64_t i = ctx.global_id();
+  if (i < y.size()) {
+    y[i] = a * x[i] + y[i];
+    ctx.alu(2);
+    ctx.gmem(12);
+  }
+  co_return;
+}
+
+TEST(Executor, GridCoversAllThreads) {
+  Device dev;
+  std::vector<float> y(1000, 1.0f), x(1000, 2.0f);
+  LaunchConfig cfg;
+  cfg.grid = 8;
+  cfg.block = 128;
+  const auto stats = simt::launch<NoShared>(
+      dev, cfg, saxpy_kernel, std::span<float>(y),
+      std::span<const float>(x), 3.0f);
+  for (float v : y) EXPECT_FLOAT_EQ(v, 7.0f);
+  EXPECT_GT(stats.modeled_seconds, 0.0);
+  EXPECT_EQ(dev.ledger().kernels_launched(), 1u);
+}
+
+struct PingPongShared {
+  std::vector<int> slots;
+};
+
+KernelTask pingpong_kernel(ThreadCtx& ctx, PingPongShared& smem,
+                           std::span<int> out) {
+  const std::uint32_t tid = ctx.thread_id();
+  const std::uint32_t n = ctx.block_dim();
+  if (tid == 0) smem.slots.assign(n, 0);
+  co_await ctx.sync();
+  smem.slots[tid] = static_cast<int>(tid);
+  co_await ctx.sync();
+  // Read the neighbour's value — only correct if the barrier worked.
+  out[tid] = smem.slots[(tid + 1) % n];
+  co_return;
+}
+
+TEST(Executor, BarriersOrderSharedMemory) {
+  Device dev;
+  std::vector<int> out(64, -1);
+  LaunchConfig cfg;
+  cfg.grid = 1;
+  cfg.block = 64;
+  simt::launch<PingPongShared>(dev, cfg, pingpong_kernel, std::span<int>(out));
+  for (std::uint32_t t = 0; t < 64; ++t) {
+    EXPECT_EQ(out[t], static_cast<int>((t + 1) % 64));
+  }
+}
+
+KernelTask scan_kernel(ThreadCtx& ctx, NoShared&, std::span<std::uint64_t> ex,
+                       std::span<std::uint64_t> tot) {
+  const std::uint32_t tid = ctx.thread_id();
+  const simt::ScanResult r = co_await ctx.scan_add(tid + 1);
+  ex[tid] = r.exclusive;
+  tot[tid] = r.total;
+  co_return;
+}
+
+TEST(Executor, BlockScanCollective) {
+  Device dev;
+  const std::uint32_t n = 128;
+  std::vector<std::uint64_t> ex(n), tot(n);
+  LaunchConfig cfg;
+  cfg.grid = 1;
+  cfg.block = n;
+  simt::launch<NoShared>(dev, cfg, scan_kernel, std::span<std::uint64_t>(ex),
+                         std::span<std::uint64_t>(tot));
+  std::uint64_t expect = 0;
+  for (std::uint32_t t = 0; t < n; ++t) {
+    EXPECT_EQ(ex[t], expect);
+    expect += t + 1;
+    EXPECT_EQ(tot[t], static_cast<std::uint64_t>(n) * (n + 1) / 2);
+  }
+}
+
+KernelTask atomic_kernel(ThreadCtx& ctx, NoShared&,
+                         std::span<std::uint32_t> counter) {
+  simt::atomic_fetch_add(&counter[0], 1u);
+  ctx.atomic_op();
+  co_return;
+}
+
+TEST(Executor, DeviceWideAtomics) {
+  Device dev;
+  std::vector<std::uint32_t> counter(1, 0);
+  LaunchConfig cfg;
+  cfg.grid = 32;
+  cfg.block = 64;
+  simt::launch<NoShared>(dev, cfg, atomic_kernel,
+                         std::span<std::uint32_t>(counter));
+  EXPECT_EQ(counter[0], 32u * 64u);
+}
+
+KernelTask divergent_kernel(ThreadCtx& ctx, NoShared&) {
+  if (ctx.thread_id() % 2 == 0) {
+    co_await ctx.sync();
+  } else {
+    co_await ctx.scan_add(1);
+  }
+}
+
+TEST(Executor, DivergentCollectiveDetected) {
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = 1;
+  cfg.block = 4;
+  EXPECT_THROW(simt::launch<NoShared>(dev, cfg, divergent_kernel),
+               std::logic_error);
+}
+
+KernelTask throwing_kernel(ThreadCtx& ctx, NoShared&) {
+  if (ctx.thread_id() == 3) throw std::runtime_error("kernel bug");
+  co_return;
+}
+
+TEST(Executor, KernelExceptionsPropagate) {
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = 1;
+  cfg.block = 8;
+  EXPECT_THROW(simt::launch<NoShared>(dev, cfg, throwing_kernel),
+               std::runtime_error);
+}
+
+TEST(Executor, RejectsOversizedBlock) {
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = 1;
+  cfg.block = 4096;  // > max_threads_per_block
+  EXPECT_THROW(simt::launch<NoShared>(dev, cfg, throwing_kernel),
+               std::invalid_argument);
+}
+
+TEST(Primitives, DeviceScanMatchesStd) {
+  Device dev;
+  for (std::size_t n : {1u, 100u, 16384u, 16385u, 100000u}) {
+    simt::Buffer<std::uint32_t> data(dev, n);
+    std::vector<std::uint32_t> host(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      host[i] = static_cast<std::uint32_t>((i * 2654435761u) % 7);
+      data[i] = host[i];
+    }
+    simt::device_inclusive_scan(dev, data.span());
+    std::partial_sum(host.begin(), host.end(), host.begin());
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(data[i], host[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+// --- cost model -------------------------------------------------------------
+
+KernelTask imbalance_kernel(ThreadCtx& ctx, NoShared&, std::uint64_t total,
+                            bool balanced) {
+  const std::uint32_t tid = ctx.thread_id();
+  if (balanced) {
+    ctx.alu(total / ctx.block_dim());
+  } else if (tid == 0) {
+    ctx.alu(total);  // all work on one lane
+  }
+  co_await ctx.sync();
+  co_return;
+}
+
+TEST(PerfModel, ImbalanceCostsMoreThanBalance) {
+  // Same total work; the lock-step max-over-lanes term must make the
+  // imbalanced variant far slower — the effect the paper's load-balancing
+  // heuristic (Fig. 7) exploits.
+  Device dev_bal, dev_imb;
+  LaunchConfig cfg;
+  cfg.grid = 1;
+  cfg.block = 256;
+  const auto bal = simt::launch<NoShared>(dev_bal, cfg, imbalance_kernel,
+                                          std::uint64_t{1} << 20, true);
+  const auto imb = simt::launch<NoShared>(dev_imb, cfg, imbalance_kernel,
+                                          std::uint64_t{1} << 20, false);
+  EXPECT_GT(imb.modeled_seconds, 2.0 * bal.modeled_seconds);
+}
+
+TEST(PerfModel, MoreBlocksMoreTime) {
+  Device dev;
+  std::vector<double> one{1e6};
+  std::vector<double> many(400, 1e6);
+  const double t1 = simt::launch_seconds(dev.spec(), one, 0);
+  const double tn = simt::launch_seconds(dev.spec(), many, 0);
+  EXPECT_GT(tn, t1);
+  // A grid smaller than one wave is bounded by its slowest block.
+  std::vector<double> wave(4, 1e6);
+  EXPECT_NEAR(simt::launch_seconds(dev.spec(), wave, 0), t1, 1e-9);
+}
+
+TEST(PerfModel, K40BeatsK20OnSameWork) {
+  std::vector<double> blocks(1000, 5e5);
+  const double k20 = simt::launch_seconds(DeviceSpec::k20c(), blocks, 0);
+  const double k40 = simt::launch_seconds(DeviceSpec::k40(), blocks, 0);
+  EXPECT_LT(k40, k20);
+}
+
+TEST(Ledger, SnapshotRollback) {
+  Device dev;
+  dev.ledger().add_kernel_seconds(1.0);
+  const auto snap = dev.ledger().snapshot();
+  dev.ledger().add_kernel_seconds(5.0);
+  dev.ledger().add_transfer_seconds(2.0);
+  dev.ledger().rollback(snap);
+  EXPECT_DOUBLE_EQ(dev.ledger().kernel_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(dev.ledger().transfer_seconds(), 0.0);
+  EXPECT_EQ(dev.ledger().kernels_launched(), 1u);  // one launch pre-snapshot
+}
+
+TEST(Buffer, UploadDownloadAccountTransfers) {
+  Device dev;
+  simt::Buffer<std::uint32_t> buf(dev, 1000);
+  std::vector<std::uint32_t> host(1000, 7);
+  buf.upload(host);
+  const auto back = buf.download(1000);
+  EXPECT_EQ(back, host);
+  EXPECT_GT(dev.ledger().transfer_seconds(), 0.0);
+  buf.zero();
+  EXPECT_EQ(buf[500], 0u);
+}
+
+}  // namespace
+}  // namespace gm

@@ -1,0 +1,143 @@
+// Property tests for the stitching machinery and randomized configuration
+// fuzz over the whole GPUMEM pipeline.
+#include <gtest/gtest.h>
+
+#include "core/host_stitch.h"
+#include "core/pipeline.h"
+#include "mem/naive.h"
+#include "seq/synthetic.h"
+#include "util/rng.h"
+
+namespace gm {
+namespace {
+
+using mem::Mem;
+
+TEST(CombineChains, Idempotent) {
+  util::Xoshiro256 rng(1);
+  std::vector<Mem> triplets;
+  for (int i = 0; i < 200; ++i) {
+    triplets.push_back({static_cast<std::uint32_t>(rng.bounded(1000)),
+                        static_cast<std::uint32_t>(rng.bounded(1000)),
+                        static_cast<std::uint32_t>(1 + rng.bounded(30))});
+  }
+  std::vector<Mem> once = triplets;
+  core::combine_chains(once);
+  std::vector<Mem> twice = once;
+  core::combine_chains(twice);
+  EXPECT_EQ(once, twice);
+}
+
+TEST(CombineChains, OrderInvariant) {
+  util::Xoshiro256 rng(2);
+  std::vector<Mem> triplets;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint32_t diag = static_cast<std::uint32_t>(rng.bounded(5)) * 100;
+    const std::uint32_t q = static_cast<std::uint32_t>(rng.bounded(300));
+    triplets.push_back({diag + q, q, static_cast<std::uint32_t>(1 + rng.bounded(40))});
+  }
+  std::vector<Mem> a = triplets;
+  std::vector<Mem> b(triplets.rbegin(), triplets.rend());
+  core::combine_chains(a);
+  core::combine_chains(b);
+  mem::sort_mems(a);
+  mem::sort_mems(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(CombineChains, CoversExactUnionOfEachChain) {
+  // Pieces of one chain (contiguous/overlapping on a diagonal) must merge
+  // into exactly the union extent.
+  std::vector<Mem> pieces{{100, 40, 10}, {108, 48, 5}, {113, 53, 20},
+                          {130, 70, 3}};
+  core::combine_chains(pieces);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], (Mem{100, 40, 33}));
+}
+
+// Shred a MEM set into per-tile pieces and verify the final stitch
+// reconstructs it exactly.
+TEST(FinalizeOutTile, ReconstructsShreddedMems) {
+  util::Xoshiro256 rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto base =
+        seq::GenomeModel{.length = 3000}.generate(static_cast<std::uint64_t>(trial));
+    seq::MutationModel mut;
+    mut.snp_rate = 0.02;
+    const auto query = mut.apply(base, static_cast<std::uint64_t>(trial) + 50);
+    const std::uint32_t L = 16;
+    const auto truth = mem::find_mems_naive(base, query, L);
+    if (truth.empty()) continue;
+
+    // Shred: cut every MEM into random co-diagonal pieces; duplicate some;
+    // shuffle implicitly via diagonal sort inside the stitcher.
+    std::vector<Mem> pieces;
+    for (const Mem& m : truth) {
+      std::uint32_t offset = 0;
+      while (offset < m.len) {
+        const std::uint32_t piece =
+            std::min<std::uint32_t>(m.len - offset,
+                                    1 + static_cast<std::uint32_t>(rng.bounded(9)));
+        pieces.push_back({m.r + offset, m.q + offset, piece});
+        if (rng.chance(0.2)) {
+          pieces.push_back({m.r + offset, m.q + offset, piece});  // duplicate
+        }
+        offset += piece;
+      }
+    }
+    auto rebuilt = core::finalize_out_tile(base, query, pieces, L);
+    mem::sort_unique(rebuilt);
+    EXPECT_EQ(rebuilt, truth) << "trial " << trial;
+  }
+}
+
+TEST(FinalizeOutTile, DropsShortMatchesAfterExpansion) {
+  // A piece whose full expansion stays below L must be filtered out.
+  const auto R = seq::Sequence::from_string("AAAACGTTTTT");
+  const auto Q = seq::Sequence::from_string("CCCACGGGGG");
+  // Shared "ACG" is only 3 long.
+  const auto out = core::finalize_out_tile(R, Q, {{3, 3, 3}}, 5);
+  EXPECT_TRUE(out.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Randomized configuration fuzz over the full pipeline (both backends).
+// ---------------------------------------------------------------------------
+
+TEST(PipelineFuzz, RandomConfigsMatchNaive) {
+  util::Xoshiro256 rng(0xF00D);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t ref_len = 500 + rng.bounded(2500);
+    const auto base = seq::GenomeModel{.length = ref_len}.generate(rng());
+    seq::MutationModel mut;
+    mut.snp_rate = 0.005 + rng.uniform() * 0.08;
+    mut.indel_rate = rng.uniform() * 0.01;
+    mut.segment_mean = ref_len / 8 + 1;
+    const auto query = mut.apply(base, rng());
+
+    core::Config cfg;
+    cfg.min_length = 8 + static_cast<std::uint32_t>(rng.bounded(25));
+    cfg.seed_len = std::min<std::uint32_t>(
+        cfg.min_length, 4 + static_cast<std::uint32_t>(rng.bounded(8)));
+    cfg.threads = 1u << (1 + rng.bounded(6));  // 2..64
+    cfg.tile_blocks = 1 + static_cast<std::uint32_t>(rng.bounded(5));
+    cfg.load_balance = rng.chance(0.5);
+    cfg.combine = rng.chance(0.5);
+    cfg.round_capacity = 256 + static_cast<std::uint32_t>(rng.bounded(4096));
+    // Occasionally a nonmaximal step.
+    if (rng.chance(0.3)) {
+      cfg.step = 1 + static_cast<std::uint32_t>(
+                         rng.bounded(cfg.min_length - cfg.seed_len + 1));
+    }
+
+    const auto truth = mem::find_mems_naive(base, query, cfg.min_length);
+    SCOPED_TRACE("trial " + std::to_string(trial) + ": " + cfg.describe());
+    cfg.backend = core::Backend::kSimt;
+    EXPECT_EQ(core::Engine(cfg).run(base, query).mems, truth);
+    cfg.backend = core::Backend::kNative;
+    EXPECT_EQ(core::Engine(cfg).run(base, query).mems, truth);
+  }
+}
+
+}  // namespace
+}  // namespace gm

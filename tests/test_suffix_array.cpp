@@ -1,0 +1,134 @@
+// SA-IS, LCP, and RMQ validation against brute-force constructions.
+#include <gtest/gtest.h>
+
+#include "index/lcp.h"
+#include "index/rmq.h"
+#include "index/suffix_array.h"
+#include "seq/synthetic.h"
+#include "util/rng.h"
+
+namespace gm {
+namespace {
+
+seq::Sequence random_seq(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> codes(n);
+  for (auto& c : codes) c = static_cast<std::uint8_t>(rng.bounded(4));
+  return seq::Sequence::from_codes(codes);
+}
+
+TEST(SuffixArray, EmptyAndTiny) {
+  EXPECT_TRUE(index::build_suffix_array(seq::Sequence()).empty());
+  const auto sa1 = index::build_suffix_array(seq::Sequence::from_string("A"));
+  ASSERT_EQ(sa1.size(), 1u);
+  EXPECT_EQ(sa1[0], 0u);
+}
+
+TEST(SuffixArray, KnownSmallCase) {
+  // banana-analogue in DNA: "ATAATA"; suffixes sorted:
+  // A(5) < AATA(2) < ATA(3)?? — verify against brute force instead of hand
+  // ordering, then spot-check the first entry.
+  const seq::Sequence s = seq::Sequence::from_string("ATAATA");
+  const auto sa = index::build_suffix_array(s);
+  const auto ref = index::build_suffix_array_bruteforce(s);
+  EXPECT_EQ(sa, ref);
+}
+
+class SaIsRandom : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SaIsRandom, MatchesBruteForce) {
+  const auto [n, seed] = GetParam();
+  const seq::Sequence s = random_seq(static_cast<std::size_t>(n),
+                                     static_cast<std::uint64_t>(seed));
+  EXPECT_EQ(index::build_suffix_array(s),
+            index::build_suffix_array_bruteforce(s));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SaIsRandom,
+    ::testing::Combine(::testing::Values(2, 3, 7, 16, 100, 1000, 5000),
+                       ::testing::Values(1, 2, 3, 4, 5)));
+
+TEST(SaIs, RepetitiveInput) {
+  // Highly repetitive strings stress the recursion.
+  std::string s;
+  for (int i = 0; i < 400; ++i) s += "ACGT";
+  for (int i = 0; i < 100; ++i) s += "A";
+  const seq::Sequence t = seq::Sequence::from_string(s);
+  EXPECT_EQ(index::build_suffix_array(t),
+            index::build_suffix_array_bruteforce(t));
+}
+
+TEST(SaIs, AllSameCharacter) {
+  const seq::Sequence t = seq::Sequence::from_string(std::string(257, 'G'));
+  const auto sa = index::build_suffix_array(t);
+  // Suffixes of G^n sort shortest-first.
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i], static_cast<std::uint32_t>(sa.size() - 1 - i));
+  }
+}
+
+TEST(SaIs, GenomicScaleSmoke) {
+  const seq::Sequence s = seq::GenomeModel{.length = 200000}.generate(9);
+  const auto sa = index::build_suffix_array(s);
+  ASSERT_EQ(sa.size(), s.size());
+  // Spot-check sortedness on a stride.
+  for (std::size_t i = 1; i < sa.size(); i += 1777) {
+    const std::size_t common = s.common_prefix(sa[i - 1], s, sa[i], s.size());
+    const bool prev_exhausted = sa[i - 1] + common == s.size();
+    if (!prev_exhausted) {
+      EXPECT_LT(s.base(sa[i - 1] + common), s.base(sa[i] + common)) << i;
+    }
+  }
+}
+
+TEST(Lcp, KasaiMatchesDirect) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const seq::Sequence s = random_seq(2000, seed);
+    const auto sa = index::build_suffix_array(s);
+    EXPECT_EQ(index::build_lcp_kasai(s, sa), index::build_lcp_direct(s, sa));
+  }
+}
+
+TEST(Lcp, RepetitiveValues) {
+  const seq::Sequence s = seq::Sequence::from_string("AAAAAAAA");
+  const auto sa = index::build_suffix_array(s);
+  const auto lcp = index::build_lcp_kasai(s, sa);
+  // sa = [7,6,...,0]; lcp[i] = i.
+  for (std::size_t i = 0; i < lcp.size(); ++i) {
+    EXPECT_EQ(lcp[i], static_cast<std::uint32_t>(i));
+  }
+}
+
+TEST(Rmq, MatchesNaive) {
+  util::Xoshiro256 rng(4);
+  std::vector<std::uint32_t> v(300);
+  for (auto& x : v) x = static_cast<std::uint32_t>(rng.bounded(1000));
+  const index::RmqSparseTable rmq(v);
+  for (std::size_t lo = 0; lo < v.size(); lo += 7) {
+    for (std::size_t hi = lo; hi < v.size(); hi += 11) {
+      std::uint32_t expect = v[lo];
+      for (std::size_t i = lo; i <= hi; ++i) expect = std::min(expect, v[i]);
+      EXPECT_EQ(rmq.min_inclusive(lo, hi), expect);
+    }
+  }
+}
+
+TEST(SortSuffixPositions, SortsSampledSubsets) {
+  const seq::Sequence s = random_seq(5000, 77);
+  const auto full = index::build_suffix_array(s);
+  // Filter the full SA to multiples of K: must equal directly sorting them.
+  for (std::uint32_t k : {2u, 5u, 16u}) {
+    std::vector<std::uint32_t> expect;
+    for (std::uint32_t p : full) {
+      if (p % k == 0) expect.push_back(p);
+    }
+    std::vector<std::uint32_t> got;
+    for (std::uint32_t p = 0; p < s.size(); p += k) got.push_back(p);
+    index::sort_suffix_positions(s, got);
+    EXPECT_EQ(got, expect) << "K=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace gm

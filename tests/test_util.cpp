@@ -1,0 +1,213 @@
+// util substrate tests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "util/bits.h"
+#include "util/cli.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace gm {
+namespace {
+
+TEST(Bits, CeilPow2) {
+  EXPECT_EQ(util::ceil_pow2(0), 1u);
+  EXPECT_EQ(util::ceil_pow2(1), 1u);
+  EXPECT_EQ(util::ceil_pow2(2), 2u);
+  EXPECT_EQ(util::ceil_pow2(3), 4u);
+  EXPECT_EQ(util::ceil_pow2(1025), 2048u);
+}
+
+TEST(Bits, Logs) {
+  EXPECT_EQ(util::floor_log2(1), 0u);
+  EXPECT_EQ(util::floor_log2(255), 7u);
+  EXPECT_EQ(util::floor_log2(256), 8u);
+  EXPECT_EQ(util::ceil_log2(1), 0u);
+  EXPECT_EQ(util::ceil_log2(2), 1u);
+  EXPECT_EQ(util::ceil_log2(3), 2u);
+  EXPECT_EQ(util::ceil_log2(256), 8u);
+}
+
+TEST(Bits, CeilDivRoundUp) {
+  EXPECT_EQ(util::ceil_div(10, 3), 4);
+  EXPECT_EQ(util::ceil_div(9, 3), 3);
+  EXPECT_EQ(util::round_up(10, 4), 12);
+  EXPECT_EQ(util::round_up(12, 4), 12);
+  EXPECT_TRUE(util::is_pow2(64));
+  EXPECT_FALSE(util::is_pow2(65));
+  EXPECT_FALSE(util::is_pow2(0));
+}
+
+TEST(Rng, DeterministicAndDistributed) {
+  util::Xoshiro256 a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a();
+    EXPECT_EQ(va, b());
+  }
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) differs |= a() != c();
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  util::Xoshiro256 rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.bounded(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  util::Xoshiro256 rng(8);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  util::Xoshiro256 rng(9);
+  auto f1 = rng.fork(1);
+  auto f2 = rng.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += f1() == f2();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(ThreadPool, ExecutesAllTasks) {
+  util::ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  util::ThreadPool pool(1);
+  auto fut = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(Parallel, ForCoversRangeOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  util::parallel_for(0, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, ChunkedPropagatesFirstError) {
+  EXPECT_THROW(util::parallel_for_chunked(
+                   0, 100, 4,
+                   [](std::size_t b, std::size_t) {
+                     if (b == 0) throw std::invalid_argument("x");
+                   }),
+               std::invalid_argument);
+}
+
+TEST(Parallel, ExclusiveScan) {
+  std::vector<int> v{3, 1, 4, 1, 5};
+  const int total = util::exclusive_scan_inplace(v);
+  EXPECT_EQ(total, 14);
+  EXPECT_EQ(v, (std::vector<int>{0, 3, 4, 8, 9}));
+}
+
+TEST(ShardedExecutor, ReportsPerShardTimes) {
+  const util::ShardedExecutor exec(util::ShardedExecutor::Policy::kSequential);
+  std::vector<int> order;
+  const util::ShardReport report = exec.run(4, [&](std::size_t s) {
+    order.push_back(static_cast<int>(s));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(report.shard_seconds.size(), 4u);
+  EXPECT_GE(report.modeled_parallel_seconds(), 0.0);
+  EXPECT_LE(report.modeled_parallel_seconds(), report.wall_seconds + 1e-9);
+}
+
+TEST(ShardedExecutor, ConcurrentAlsoRuns) {
+  const util::ShardedExecutor exec(util::ShardedExecutor::Policy::kConcurrent);
+  std::atomic<int> n{0};
+  exec.run(5, [&](std::size_t) { ++n; });
+  EXPECT_EQ(n.load(), 5);
+}
+
+TEST(Histogram, CapAndTotals) {
+  util::Histogram h;
+  h.add(1, 10);
+  h.add(2, 5);
+  h.add(100, 1);
+  EXPECT_EQ(h.total(), 16u);
+  EXPECT_EQ(h.max_key(), 100u);
+  const auto capped = h.capped(10);
+  EXPECT_EQ(capped.max_key(), 10u);
+  EXPECT_EQ(capped.total(), 16u);
+  EXPECT_NE(h.to_tsv().find("100\t1"), std::string::npos);
+}
+
+TEST(Summary, Moments) {
+  util::Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Table, RendersAlignedAndCsv) {
+  util::Table t({"tool", "seconds"});
+  t.add_row({"gpumem", util::Table::num(1.5)});
+  t.add_row({"essamem", util::Table::num(12.25)});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("gpumem"), std::string::npos);
+  EXPECT_NE(s.find("12.25"), std::string::npos);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("tool,seconds"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvEscaping) {
+  util::Table t({"a"});
+  t.add_row({"x,y\"z"});
+  EXPECT_NE(t.to_csv().find("\"x,y\"\"z\""), std::string::npos);
+}
+
+TEST(Cli, ParsesFlagsAndPositional) {
+  // Note: "--flag value" consumes the next token, so bare booleans must be
+  // last or use the --flag=true form (documented parser semantics).
+  const char* argv[] = {"prog", "pos1", "--alpha", "3", "--beta=0.5",
+                        "--gamma", "hello", "--flag"};
+  util::Cli cli(8, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("alpha", 0), 3);
+  EXPECT_DOUBLE_EQ(cli.get_double("beta", 0), 0.5);
+  EXPECT_TRUE(cli.get_bool("flag", false));
+  EXPECT_EQ(cli.get("gamma", ""), "hello");
+  EXPECT_EQ(cli.get("missing", "dflt"), "dflt");
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+}
+
+TEST(Cli, BoolFalseSpellings) {
+  const char* argv[] = {"prog", "--a=false", "--b=0", "--c=no", "--d=yes"};
+  util::Cli cli(5, const_cast<char**>(argv));
+  EXPECT_FALSE(cli.get_bool("a", true));
+  EXPECT_FALSE(cli.get_bool("b", true));
+  EXPECT_FALSE(cli.get_bool("c", true));
+  EXPECT_TRUE(cli.get_bool("d", false));
+}
+
+}  // namespace
+}  // namespace gm
