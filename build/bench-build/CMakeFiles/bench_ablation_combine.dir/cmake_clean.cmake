@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_combine"
+  "../bench/bench_ablation_combine.pdb"
+  "CMakeFiles/bench_ablation_combine.dir/bench_ablation_combine.cpp.o"
+  "CMakeFiles/bench_ablation_combine.dir/bench_ablation_combine.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_combine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

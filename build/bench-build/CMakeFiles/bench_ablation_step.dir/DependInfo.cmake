@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_step.cpp" "bench-build/CMakeFiles/bench_ablation_step.dir/bench_ablation_step.cpp.o" "gcc" "bench-build/CMakeFiles/bench_ablation_step.dir/bench_ablation_step.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/gm_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/gm_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/gm_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/gm_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

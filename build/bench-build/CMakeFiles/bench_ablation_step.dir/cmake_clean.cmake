@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_step"
+  "../bench/bench_ablation_step.pdb"
+  "CMakeFiles/bench_ablation_step.dir/bench_ablation_step.cpp.o"
+  "CMakeFiles/bench_ablation_step.dir/bench_ablation_step.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

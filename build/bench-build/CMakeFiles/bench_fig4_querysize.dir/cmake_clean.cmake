@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_querysize"
+  "../bench/bench_fig4_querysize.pdb"
+  "CMakeFiles/bench_fig4_querysize.dir/bench_fig4_querysize.cpp.o"
+  "CMakeFiles/bench_fig4_querysize.dir/bench_fig4_querysize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_querysize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_minlen"
+  "../bench/bench_fig5_minlen.pdb"
+  "CMakeFiles/bench_fig5_minlen.dir/bench_fig5_minlen.cpp.o"
+  "CMakeFiles/bench_fig5_minlen.dir/bench_fig5_minlen.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_minlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

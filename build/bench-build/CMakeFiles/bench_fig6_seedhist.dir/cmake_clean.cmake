@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_seedhist"
+  "../bench/bench_fig6_seedhist.pdb"
+  "CMakeFiles/bench_fig6_seedhist.dir/bench_fig6_seedhist.cpp.o"
+  "CMakeFiles/bench_fig6_seedhist.dir/bench_fig6_seedhist.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_seedhist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_index"
+  "../bench/bench_table3_index.pdb"
+  "CMakeFiles/bench_table3_index.dir/bench_table3_index.cpp.o"
+  "CMakeFiles/bench_table3_index.dir/bench_table3_index.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_extract"
+  "../bench/bench_table4_extract.pdb"
+  "CMakeFiles/bench_table4_extract.dir/bench_table4_extract.cpp.o"
+  "CMakeFiles/bench_table4_extract.dir/bench_table4_extract.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

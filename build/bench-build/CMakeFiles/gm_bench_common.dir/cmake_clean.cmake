@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/gm_bench_common.dir/bench_common.cpp.o.d"
+  "libgm_bench_common.a"
+  "libgm_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genome_compare.dir/genome_compare.cpp.o"
+  "CMakeFiles/genome_compare.dir/genome_compare.cpp.o.d"
+  "genome_compare"
+  "genome_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genome_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

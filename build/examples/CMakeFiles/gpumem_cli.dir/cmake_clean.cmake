@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpumem_cli.dir/gpumem_cli.cpp.o"
+  "CMakeFiles/gpumem_cli.dir/gpumem_cli.cpp.o.d"
+  "gpumem_cli"
+  "gpumem_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpumem_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

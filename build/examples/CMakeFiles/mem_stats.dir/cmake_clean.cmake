@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_stats.dir/mem_stats.cpp.o"
+  "CMakeFiles/mem_stats.dir/mem_stats.cpp.o.d"
+  "mem_stats"
+  "mem_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_anchor.dir/align.cpp.o"
+  "CMakeFiles/gm_anchor.dir/align.cpp.o.d"
+  "CMakeFiles/gm_anchor.dir/chain.cpp.o"
+  "CMakeFiles/gm_anchor.dir/chain.cpp.o.d"
+  "libgm_anchor.a"
+  "libgm_anchor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_anchor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

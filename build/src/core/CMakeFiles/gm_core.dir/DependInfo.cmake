@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/balance.cpp" "src/core/CMakeFiles/gm_core.dir/balance.cpp.o" "gcc" "src/core/CMakeFiles/gm_core.dir/balance.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/gm_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/gm_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/host_stitch.cpp" "src/core/CMakeFiles/gm_core.dir/host_stitch.cpp.o" "gcc" "src/core/CMakeFiles/gm_core.dir/host_stitch.cpp.o.d"
+  "/root/repo/src/core/index_kernels.cpp" "src/core/CMakeFiles/gm_core.dir/index_kernels.cpp.o" "gcc" "src/core/CMakeFiles/gm_core.dir/index_kernels.cpp.o.d"
+  "/root/repo/src/core/match_kernel.cpp" "src/core/CMakeFiles/gm_core.dir/match_kernel.cpp.o" "gcc" "src/core/CMakeFiles/gm_core.dir/match_kernel.cpp.o.d"
+  "/root/repo/src/core/multi_device.cpp" "src/core/CMakeFiles/gm_core.dir/multi_device.cpp.o" "gcc" "src/core/CMakeFiles/gm_core.dir/multi_device.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/gm_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/gm_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/gm_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/gm_core.dir/registry.cpp.o.d"
+  "/root/repo/src/core/tile_kernel.cpp" "src/core/CMakeFiles/gm_core.dir/tile_kernel.cpp.o" "gcc" "src/core/CMakeFiles/gm_core.dir/tile_kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/gm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/gm_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/gm_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/gm_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

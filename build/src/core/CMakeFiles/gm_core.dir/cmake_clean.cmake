@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_core.dir/balance.cpp.o"
+  "CMakeFiles/gm_core.dir/balance.cpp.o.d"
+  "CMakeFiles/gm_core.dir/config.cpp.o"
+  "CMakeFiles/gm_core.dir/config.cpp.o.d"
+  "CMakeFiles/gm_core.dir/host_stitch.cpp.o"
+  "CMakeFiles/gm_core.dir/host_stitch.cpp.o.d"
+  "CMakeFiles/gm_core.dir/index_kernels.cpp.o"
+  "CMakeFiles/gm_core.dir/index_kernels.cpp.o.d"
+  "CMakeFiles/gm_core.dir/match_kernel.cpp.o"
+  "CMakeFiles/gm_core.dir/match_kernel.cpp.o.d"
+  "CMakeFiles/gm_core.dir/multi_device.cpp.o"
+  "CMakeFiles/gm_core.dir/multi_device.cpp.o.d"
+  "CMakeFiles/gm_core.dir/pipeline.cpp.o"
+  "CMakeFiles/gm_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/gm_core.dir/registry.cpp.o"
+  "CMakeFiles/gm_core.dir/registry.cpp.o.d"
+  "CMakeFiles/gm_core.dir/tile_kernel.cpp.o"
+  "CMakeFiles/gm_core.dir/tile_kernel.cpp.o.d"
+  "libgm_core.a"
+  "libgm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/esa.cpp" "src/index/CMakeFiles/gm_index.dir/esa.cpp.o" "gcc" "src/index/CMakeFiles/gm_index.dir/esa.cpp.o.d"
+  "/root/repo/src/index/fm_index.cpp" "src/index/CMakeFiles/gm_index.dir/fm_index.cpp.o" "gcc" "src/index/CMakeFiles/gm_index.dir/fm_index.cpp.o.d"
+  "/root/repo/src/index/kmer_index.cpp" "src/index/CMakeFiles/gm_index.dir/kmer_index.cpp.o" "gcc" "src/index/CMakeFiles/gm_index.dir/kmer_index.cpp.o.d"
+  "/root/repo/src/index/lcp.cpp" "src/index/CMakeFiles/gm_index.dir/lcp.cpp.o" "gcc" "src/index/CMakeFiles/gm_index.dir/lcp.cpp.o.d"
+  "/root/repo/src/index/sa_search.cpp" "src/index/CMakeFiles/gm_index.dir/sa_search.cpp.o" "gcc" "src/index/CMakeFiles/gm_index.dir/sa_search.cpp.o.d"
+  "/root/repo/src/index/sparse_suffix_array.cpp" "src/index/CMakeFiles/gm_index.dir/sparse_suffix_array.cpp.o" "gcc" "src/index/CMakeFiles/gm_index.dir/sparse_suffix_array.cpp.o.d"
+  "/root/repo/src/index/suffix_array.cpp" "src/index/CMakeFiles/gm_index.dir/suffix_array.cpp.o" "gcc" "src/index/CMakeFiles/gm_index.dir/suffix_array.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/seq/CMakeFiles/gm_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

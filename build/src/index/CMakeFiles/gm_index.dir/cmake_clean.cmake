@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_index.dir/esa.cpp.o"
+  "CMakeFiles/gm_index.dir/esa.cpp.o.d"
+  "CMakeFiles/gm_index.dir/fm_index.cpp.o"
+  "CMakeFiles/gm_index.dir/fm_index.cpp.o.d"
+  "CMakeFiles/gm_index.dir/kmer_index.cpp.o"
+  "CMakeFiles/gm_index.dir/kmer_index.cpp.o.d"
+  "CMakeFiles/gm_index.dir/lcp.cpp.o"
+  "CMakeFiles/gm_index.dir/lcp.cpp.o.d"
+  "CMakeFiles/gm_index.dir/sa_search.cpp.o"
+  "CMakeFiles/gm_index.dir/sa_search.cpp.o.d"
+  "CMakeFiles/gm_index.dir/sparse_suffix_array.cpp.o"
+  "CMakeFiles/gm_index.dir/sparse_suffix_array.cpp.o.d"
+  "CMakeFiles/gm_index.dir/suffix_array.cpp.o"
+  "CMakeFiles/gm_index.dir/suffix_array.cpp.o.d"
+  "libgm_index.a"
+  "libgm_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

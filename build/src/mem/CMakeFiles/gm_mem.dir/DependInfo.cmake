@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/essamem.cpp" "src/mem/CMakeFiles/gm_mem.dir/essamem.cpp.o" "gcc" "src/mem/CMakeFiles/gm_mem.dir/essamem.cpp.o.d"
+  "/root/repo/src/mem/matching_stats.cpp" "src/mem/CMakeFiles/gm_mem.dir/matching_stats.cpp.o" "gcc" "src/mem/CMakeFiles/gm_mem.dir/matching_stats.cpp.o.d"
+  "/root/repo/src/mem/mem.cpp" "src/mem/CMakeFiles/gm_mem.dir/mem.cpp.o" "gcc" "src/mem/CMakeFiles/gm_mem.dir/mem.cpp.o.d"
+  "/root/repo/src/mem/mummer.cpp" "src/mem/CMakeFiles/gm_mem.dir/mummer.cpp.o" "gcc" "src/mem/CMakeFiles/gm_mem.dir/mummer.cpp.o.d"
+  "/root/repo/src/mem/naive.cpp" "src/mem/CMakeFiles/gm_mem.dir/naive.cpp.o" "gcc" "src/mem/CMakeFiles/gm_mem.dir/naive.cpp.o.d"
+  "/root/repo/src/mem/report.cpp" "src/mem/CMakeFiles/gm_mem.dir/report.cpp.o" "gcc" "src/mem/CMakeFiles/gm_mem.dir/report.cpp.o.d"
+  "/root/repo/src/mem/slamem.cpp" "src/mem/CMakeFiles/gm_mem.dir/slamem.cpp.o" "gcc" "src/mem/CMakeFiles/gm_mem.dir/slamem.cpp.o.d"
+  "/root/repo/src/mem/sparsemem.cpp" "src/mem/CMakeFiles/gm_mem.dir/sparsemem.cpp.o" "gcc" "src/mem/CMakeFiles/gm_mem.dir/sparsemem.cpp.o.d"
+  "/root/repo/src/mem/stranded.cpp" "src/mem/CMakeFiles/gm_mem.dir/stranded.cpp.o" "gcc" "src/mem/CMakeFiles/gm_mem.dir/stranded.cpp.o.d"
+  "/root/repo/src/mem/uniqueness.cpp" "src/mem/CMakeFiles/gm_mem.dir/uniqueness.cpp.o" "gcc" "src/mem/CMakeFiles/gm_mem.dir/uniqueness.cpp.o.d"
+  "/root/repo/src/mem/validate.cpp" "src/mem/CMakeFiles/gm_mem.dir/validate.cpp.o" "gcc" "src/mem/CMakeFiles/gm_mem.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/index/CMakeFiles/gm_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/gm_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

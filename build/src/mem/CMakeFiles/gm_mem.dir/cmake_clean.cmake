@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_mem.dir/essamem.cpp.o"
+  "CMakeFiles/gm_mem.dir/essamem.cpp.o.d"
+  "CMakeFiles/gm_mem.dir/matching_stats.cpp.o"
+  "CMakeFiles/gm_mem.dir/matching_stats.cpp.o.d"
+  "CMakeFiles/gm_mem.dir/mem.cpp.o"
+  "CMakeFiles/gm_mem.dir/mem.cpp.o.d"
+  "CMakeFiles/gm_mem.dir/mummer.cpp.o"
+  "CMakeFiles/gm_mem.dir/mummer.cpp.o.d"
+  "CMakeFiles/gm_mem.dir/naive.cpp.o"
+  "CMakeFiles/gm_mem.dir/naive.cpp.o.d"
+  "CMakeFiles/gm_mem.dir/report.cpp.o"
+  "CMakeFiles/gm_mem.dir/report.cpp.o.d"
+  "CMakeFiles/gm_mem.dir/slamem.cpp.o"
+  "CMakeFiles/gm_mem.dir/slamem.cpp.o.d"
+  "CMakeFiles/gm_mem.dir/sparsemem.cpp.o"
+  "CMakeFiles/gm_mem.dir/sparsemem.cpp.o.d"
+  "CMakeFiles/gm_mem.dir/stranded.cpp.o"
+  "CMakeFiles/gm_mem.dir/stranded.cpp.o.d"
+  "CMakeFiles/gm_mem.dir/uniqueness.cpp.o"
+  "CMakeFiles/gm_mem.dir/uniqueness.cpp.o.d"
+  "CMakeFiles/gm_mem.dir/validate.cpp.o"
+  "CMakeFiles/gm_mem.dir/validate.cpp.o.d"
+  "libgm_mem.a"
+  "libgm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_seq.dir/fasta.cpp.o"
+  "CMakeFiles/gm_seq.dir/fasta.cpp.o.d"
+  "CMakeFiles/gm_seq.dir/sequence.cpp.o"
+  "CMakeFiles/gm_seq.dir/sequence.cpp.o.d"
+  "CMakeFiles/gm_seq.dir/synthetic.cpp.o"
+  "CMakeFiles/gm_seq.dir/synthetic.cpp.o.d"
+  "libgm_seq.a"
+  "libgm_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simt/device.cpp" "src/simt/CMakeFiles/gm_simt.dir/device.cpp.o" "gcc" "src/simt/CMakeFiles/gm_simt.dir/device.cpp.o.d"
+  "/root/repo/src/simt/executor.cpp" "src/simt/CMakeFiles/gm_simt.dir/executor.cpp.o" "gcc" "src/simt/CMakeFiles/gm_simt.dir/executor.cpp.o.d"
+  "/root/repo/src/simt/perf_model.cpp" "src/simt/CMakeFiles/gm_simt.dir/perf_model.cpp.o" "gcc" "src/simt/CMakeFiles/gm_simt.dir/perf_model.cpp.o.d"
+  "/root/repo/src/simt/primitives.cpp" "src/simt/CMakeFiles/gm_simt.dir/primitives.cpp.o" "gcc" "src/simt/CMakeFiles/gm_simt.dir/primitives.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_simt.dir/device.cpp.o"
+  "CMakeFiles/gm_simt.dir/device.cpp.o.d"
+  "CMakeFiles/gm_simt.dir/executor.cpp.o"
+  "CMakeFiles/gm_simt.dir/executor.cpp.o.d"
+  "CMakeFiles/gm_simt.dir/perf_model.cpp.o"
+  "CMakeFiles/gm_simt.dir/perf_model.cpp.o.d"
+  "CMakeFiles/gm_simt.dir/primitives.cpp.o"
+  "CMakeFiles/gm_simt.dir/primitives.cpp.o.d"
+  "libgm_simt.a"
+  "libgm_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

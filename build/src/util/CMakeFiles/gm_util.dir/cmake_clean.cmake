@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_util.dir/cli.cpp.o"
+  "CMakeFiles/gm_util.dir/cli.cpp.o.d"
+  "CMakeFiles/gm_util.dir/parallel.cpp.o"
+  "CMakeFiles/gm_util.dir/parallel.cpp.o.d"
+  "CMakeFiles/gm_util.dir/stats.cpp.o"
+  "CMakeFiles/gm_util.dir/stats.cpp.o.d"
+  "CMakeFiles/gm_util.dir/table.cpp.o"
+  "CMakeFiles/gm_util.dir/table.cpp.o.d"
+  "CMakeFiles/gm_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/gm_util.dir/thread_pool.cpp.o.d"
+  "libgm_util.a"
+  "libgm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

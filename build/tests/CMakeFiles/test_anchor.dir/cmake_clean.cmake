@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_anchor.dir/test_anchor.cpp.o"
+  "CMakeFiles/test_anchor.dir/test_anchor.cpp.o.d"
+  "test_anchor"
+  "test_anchor.pdb"
+  "test_anchor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_anchor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_finders.dir/test_mem_finders.cpp.o"
+  "CMakeFiles/test_mem_finders.dir/test_mem_finders.cpp.o.d"
+  "test_mem_finders"
+  "test_mem_finders.pdb"
+  "test_mem_finders[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_finders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
