@@ -5,6 +5,9 @@
 #include <iostream>
 #include <map>
 
+#include <fstream>
+
+#include "obs/registry.h"
 #include "util/cli.h"
 
 namespace gm::bench {
@@ -60,9 +63,21 @@ void emit(const std::string& name, const util::Table& table) {
   if (table.write_csv(path)) {
     std::cout << "(csv written to " << path << ")\n\n";
   }
+  if (obs::Registry::global().enabled()) {
+    const std::string metrics_path = name + ".metrics.json";
+    const std::string trace_path = name + ".trace.json";
+    std::ofstream metrics(metrics_path);
+    obs::Registry::global().metrics().write_json(metrics);
+    std::ofstream trace(trace_path);
+    obs::Registry::global().trace().write_chrome_json(trace);
+    std::cout << "(run report: " << metrics_path << ", " << trace_path
+              << " [" << obs::Registry::global().trace().size()
+              << " spans])\n\n";
+  }
 }
 
 std::size_t default_scale(int argc, char** argv) {
+  observability_from_args(argc, argv);
   util::Cli cli(argc, argv);
   if (cli.has("scale")) {
     return static_cast<std::size_t>(std::max<std::int64_t>(1, cli.get_int("scale", 2)));
@@ -71,6 +86,21 @@ std::size_t default_scale(int argc, char** argv) {
     return static_cast<std::size_t>(std::max(1l, std::strtol(env, nullptr, 10)));
   }
   return 2;
+}
+
+bool observability_from_args(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  bool on = cli.get_bool("obs", false);
+  if (!on) {
+    if (const char* env = std::getenv("GPUMEM_OBS")) {
+      const std::string v(env);
+      on = !v.empty() && v != "0" && v != "false" && v != "no";
+    }
+  }
+  if (on) {
+    obs::Registry::global().set_enabled(true);
+  }
+  return obs::Registry::global().enabled();
 }
 
 }  // namespace gm::bench

@@ -44,11 +44,20 @@ core::Config gpumem_config(const PaperConfig& pc, core::Backend backend,
                            std::size_t ref_len = 0);
 
 /// Writes the table to stdout and to `<name>.csv` in the working directory.
+/// When observability is on (see `observability_from_args`), also dumps the
+/// machine-readable run report next to the CSV: `<name>.metrics.json` and
+/// `<name>.trace.json` (Chrome-trace format, loadable in ui.perfetto.dev).
 void emit(const std::string& name, const util::Table& table);
 
 /// Default scale divisor for the bench binaries (presets are already ~1/64
 /// of the paper's chromosomes; this divides further so a full run finishes
 /// in minutes on one core). Overridable via --scale or GPUMEM_BENCH_SCALE.
 std::size_t default_scale(int argc, char** argv);
+
+/// Enables the global obs::Registry when `--obs` is passed or GPUMEM_OBS is
+/// set to a truthy value; returns whether it is enabled. Every bench calls
+/// this (via default_scale) so any paper table can be re-run with a full
+/// trace without recompiling.
+bool observability_from_args(int argc, char** argv);
 
 }  // namespace gm::bench

@@ -4,6 +4,8 @@
 //   ./gpumem_cli --ref ref.fa --query query.fa [--min-len 50] [--seed-len 13]
 //                [--backend native|simt] [--both-strands] [--mum]
 //                [--finder gpumem|mummer|sparsemem|essamem|slamem]
+//                [--trace-out trace.json] [--metrics-out metrics.json]
+//                [--stats]
 //   ./gpumem_cli --demo          # runs on generated data, no files needed
 //
 // Output format (MUMmer's show-coords flavour):
@@ -16,6 +18,7 @@
 #include "mem/registry.h"
 #include "mem/report.h"
 #include "mem/uniqueness.h"
+#include "obs/registry.h"
 #include "seq/fasta.h"
 #include "seq/synthetic.h"
 #include "util/cli.h"
@@ -33,6 +36,13 @@ int main(int argc, char** argv) {
   cli.describe("both-strands", "also match the reverse-complement query");
   cli.describe("mum", "keep only matches unique in both sequences");
   cli.describe("out", "write matches to this file instead of stdout");
+  cli.describe("trace-out",
+               "record the run and write a Chrome-trace JSON here (open in "
+               "chrome://tracing or ui.perfetto.dev)");
+  cli.describe("metrics-out", "write run metrics as JSON here");
+  cli.describe("stats",
+               "print RunStats incl. per-kernel launch counts to stderr "
+               "(gpumem finder only)");
   if (cli.handle_help("gpumem_cli: extract maximal exact matches from FASTA"))
     return 0;
 
@@ -66,13 +76,22 @@ int main(int argc, char** argv) {
       queries = gm::seq::read_fasta_file(query_path);
     }
 
+    const std::string trace_out = cli.get("trace-out", "");
+    const std::string metrics_out = cli.get("metrics-out", "");
+    const bool print_stats = cli.get_bool("stats", false);
+    if (!trace_out.empty() || !metrics_out.empty()) {
+      gm::obs::Registry::global().set_enabled(true);
+    }
+
     const std::string finder_name = cli.get("finder", "gpumem");
     std::unique_ptr<gm::mem::MemFinder> finder;
+    gm::core::GpumemFinder* gpumem = nullptr;
     if (finder_name == "gpumem") {
       auto g = std::make_unique<gm::core::GpumemFinder>(
           cli.get("backend", "native") == "simt" ? gm::core::Backend::kSimt
                                                  : gm::core::Backend::kNative);
       g->mutable_config().seed_len = seed_len;
+      gpumem = g.get();
       finder = std::move(g);
     } else {
       finder = gm::mem::create_finder(finder_name);
@@ -106,6 +125,18 @@ int main(int argc, char** argv) {
       }
       std::cerr << "[" << record.name << "] " << mems.size() << " matches in "
                 << match_timer.seconds() << " s\n";
+      if (print_stats && gpumem != nullptr) {
+        const auto& st = gpumem->last_stats();
+        std::cerr << "[stats] index " << st.index_seconds << " s, match "
+                  << st.match_seconds << " s (host stitch "
+                  << st.host_stitch_seconds << " s), " << st.kernels_launched
+                  << " kernel launches, " << st.mem_count << " MEMs\n";
+        for (const auto& ks : st.kernel_breakdown) {
+          std::cerr << "[stats]   " << ks.label << ": " << ks.seconds
+                    << " s over " << ks.launches << " launch"
+                    << (ks.launches == 1 ? "" : "es") << '\n';
+        }
+      }
       gm::mem::write_mummer(*os, record.name, mems);
 
       if (cli.get_bool("both-strands", false)) {
@@ -116,6 +147,27 @@ int main(int argc, char** argv) {
         }
         gm::mem::write_mummer(*os, record.name, rc_mems, /*reverse=*/true);
       }
+    }
+
+    if (!trace_out.empty()) {
+      std::ofstream f(trace_out);
+      if (!f) {
+        std::cerr << "cannot open --trace-out file\n";
+        return 2;
+      }
+      gm::obs::Registry::global().trace().write_chrome_json(f);
+      std::cerr << "[obs] trace ("
+                << gm::obs::Registry::global().trace().size()
+                << " spans) written to " << trace_out << '\n';
+    }
+    if (!metrics_out.empty()) {
+      std::ofstream f(metrics_out);
+      if (!f) {
+        std::cerr << "cannot open --metrics-out file\n";
+        return 2;
+      }
+      gm::obs::Registry::global().metrics().write_json(f);
+      std::cerr << "[obs] metrics written to " << metrics_out << '\n';
     }
     return 0;
   } catch (const std::exception& e) {

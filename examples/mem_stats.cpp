@@ -79,5 +79,21 @@ int main(int argc, char** argv) {
     print_bar(count, max_count);
     std::cout << '\n';
   }
+
+  // Modeled device profile: the same extraction on the SIMT backend, broken
+  // down by kernel label with modeled seconds and launch counts.
+  gm::core::GpumemFinder simt(gm::core::Backend::kSimt);
+  simt.mutable_config().seed_len = std::min<std::uint32_t>(11, min_len);
+  simt.build_index(pair.reference, opt);
+  (void)simt.find(pair.query);
+  const auto& st = simt.last_stats();
+  std::cout << "\nmodeled device profile (simt backend): "
+            << st.kernels_launched << " kernel launches over " << st.tile_rows
+            << "x" << st.tile_cols << " tiles\n";
+  std::cout << std::scientific << std::setprecision(3);
+  for (const auto& ks : st.kernel_breakdown) {
+    std::cout << "  " << std::setw(24) << std::left << ks.label << std::right
+              << "  " << ks.seconds << " s  x" << ks.launches << '\n';
+  }
   return 0;
 }

@@ -35,6 +35,12 @@ struct Config {
   Backend backend = Backend::kSimt;
   simt::DeviceSpec device = simt::DeviceSpec::k20c();
 
+  /// Turns on the process-global observability registry (obs::Registry) at
+  /// run start: stage/kernel/transfer spans and run metrics are recorded
+  /// for export. Leaving it false never disables a registry the front-end
+  /// enabled itself.
+  bool observe = false;
+
   // --- capacities -----------------------------------------------------------
   /// Per-block scratch capacity in triplets for one round. Rounds whose
   /// total load exceeds it fall back to the host path (rare; counted in

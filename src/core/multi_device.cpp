@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/host_stitch.h"
+#include "obs/registry.h"
 #include "util/bits.h"
 #include "util/timer.h"
 
@@ -20,6 +21,9 @@ MultiDeviceResult run_multi_device(const Config& cfg, std::uint32_t devices,
     throw std::invalid_argument(
         "run_multi_device: only the SIMT backend is device-partitionable");
   }
+  if (cfg.observe) obs::Registry::global().set_enabled(true);
+  obs::Span fleet_span("pipeline/multi-device", "pipeline");
+  fleet_span.attr("devices", std::uint64_t{devices});
   util::Timer wall;
   MultiDeviceResult result;
   if (ref.empty() || query.empty()) {
@@ -37,9 +41,15 @@ MultiDeviceResult run_multi_device(const Config& cfg, std::uint32_t devices,
   for (std::uint32_t d = 0; d < devices; ++d) {
     const std::uint32_t row_begin = d * rows_per_device;
     const std::uint32_t row_end = std::min(n_r, row_begin + rows_per_device);
-    simt::Device dev(cfg.device);
+    // The ordinal tags every span the device emits with its id, keeping the
+    // fleet's modeled timelines on separate trace tracks.
+    simt::Device dev(cfg.device, d);
     RunStats stats;
     if (row_begin < row_end) {
+      obs::Span device_span("device/partition", "pipeline");
+      device_span.attr("device", std::uint64_t{d});
+      device_span.attr("row_begin", std::uint64_t{row_begin});
+      device_span.attr("row_end", std::uint64_t{row_end});
       engine.run_simt_rows(dev, ref, query, row_begin, row_end, reported,
                            outtile_pieces, stats);
     }
@@ -67,6 +77,7 @@ MultiDeviceResult run_multi_device(const Config& cfg, std::uint32_t devices,
   // Host merge over the union of all devices' out-tile pieces; matches
   // crossing device partitions stitch here exactly like cross-row matches.
   {
+    obs::Span stitch_span("stitch/host-merge", "stage");
     util::Timer host_merge;
     result.combined.outtile_pieces = outtile_pieces.size();
     std::vector<mem::Mem> finished = finalize_out_tile(
@@ -75,10 +86,12 @@ MultiDeviceResult run_multi_device(const Config& cfg, std::uint32_t devices,
     mem::sort_unique(reported);
     result.combined.host_stitch_seconds = host_merge.seconds();
     result.combined.match_seconds += result.combined.host_stitch_seconds;
+    stitch_span.attr("outtile_pieces", result.combined.outtile_pieces);
   }
   result.mems = std::move(reported);
   result.combined.mem_count = result.mems.size();
   result.combined.wall_seconds = wall.seconds();
+  publish_run_stats(result.combined);
   return result;
 }
 

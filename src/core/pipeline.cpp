@@ -10,6 +10,7 @@
 #include "core/match_kernel.h"
 #include "core/tile_kernel.h"
 #include "index/kmer_index.h"
+#include "obs/registry.h"
 #include "simt/buffer.h"
 #include "util/bits.h"
 #include "util/parallel.h"
@@ -27,7 +28,53 @@ struct TileOutputs {
   std::uint64_t overflow_rounds = 0;
 };
 
+/// Records the host out-tile merge as a wall-clock stage span whose
+/// duration is exactly RunStats::host_stitch_seconds, so the "stage" spans
+/// of a traced run decompose index_seconds + match_seconds precisely.
+void record_stitch_span(double start_us, const RunStats& stats) {
+  obs::SpanEvent ev;
+  ev.name = "stitch/host-merge";
+  ev.category = "stage";
+  ev.clock = obs::Clock::kWall;
+  ev.start_us = start_us;
+  ev.duration_us = stats.host_stitch_seconds * 1e6;
+  ev.attrs.push_back({"outtile_pieces", stats.outtile_pieces});
+  obs::Registry::global().trace().record(std::move(ev));
+}
+
 }  // namespace
+
+void publish_run_stats(const RunStats& stats) {
+  if (!obs::enabled()) return;
+  obs::Metrics& m = obs::Registry::global().metrics();
+  const auto set = [&m](const std::string& name, double v,
+                        const std::string& help = {}) {
+    m.gauge(name, help).set(v);
+  };
+  set("run.index_seconds", stats.index_seconds,
+      "index-generation time (paper Table III)");
+  set("run.match_seconds", stats.match_seconds,
+      "MEM-extraction time incl. host merge (paper Table IV)");
+  set("run.host_stitch_seconds", stats.host_stitch_seconds,
+      "measured host out-tile merge portion of match_seconds");
+  set("run.device_match_seconds", stats.device_match_seconds(),
+      "match_seconds minus the host merge");
+  set("run.wall_seconds", stats.wall_seconds, "host wall clock of the run");
+  set("run.mem_count", static_cast<double>(stats.mem_count));
+  set("run.tile_rows", stats.tile_rows);
+  set("run.tile_cols", stats.tile_cols);
+  set("run.inblock_mems", static_cast<double>(stats.inblock_mems));
+  set("run.intile_mems", static_cast<double>(stats.intile_mems));
+  set("run.outtile_pieces", static_cast<double>(stats.outtile_pieces));
+  set("run.overflow_rounds", static_cast<double>(stats.overflow_rounds));
+  set("run.kernels_launched", static_cast<double>(stats.kernels_launched));
+  set("run.device_peak_bytes", static_cast<double>(stats.device_peak_bytes));
+  for (const RunStats::KernelStat& ks : stats.kernel_breakdown) {
+    m.gauge("kernel." + ks.label + ".seconds").set(ks.seconds);
+    m.gauge("kernel." + ks.label + ".launches")
+        .set(static_cast<double>(ks.launches));
+  }
+}
 
 Result Engine::run(const seq::Sequence& ref, const seq::Sequence& query) const {
   return cfg_.backend == Backend::kSimt ? run_simt(ref, query)
@@ -94,7 +141,12 @@ void Engine::run_simt_rows(simt::Device& dev, const seq::Sequence& ref,
     {
       const double before = dev.ledger().total_seconds();
       build_partial_index(dev, ref, r0, r1, cfg_.threads, index);
-      stats.index_seconds += dev.ledger().total_seconds() - before;
+      const double delta = dev.ledger().total_seconds() - before;
+      stats.index_seconds += delta;
+      if (obs::enabled()) {
+        obs::record_modeled_span("index/build-row", "stage", before, delta,
+                                 dev.ordinal(), {{"row", std::uint64_t{row}}});
+      }
     }
 
     for (std::uint32_t col = 0; col < n_c; ++col) {
@@ -108,6 +160,8 @@ void Engine::run_simt_rows(simt::Device& dev, const seq::Sequence& ref,
       TileOutputs outs;
       for (;;) {
         const simt::PerfLedger::Snapshot snap = dev.ledger().snapshot();
+        const std::size_t trace_mark =
+            obs::enabled() ? obs::Registry::global().trace().size() : 0;
         simt::Buffer<mem::Mem> scratch(
             dev, std::size_t{cfg_.tile_blocks} * cfg_.round_capacity);
         simt::Buffer<mem::Mem> inblock_buf(dev, cap_in);
@@ -149,6 +203,9 @@ void Engine::run_simt_rows(simt::Device& dev, const seq::Sequence& ref,
             cap_out = static_cast<std::uint32_t>(util::ceil_pow2(out_count[0]));
           }
           dev.ledger().rollback(snap);
+          if (obs::enabled()) {
+            obs::Registry::global().trace().truncate(trace_mark);
+          }
           continue;
         }
 
@@ -174,6 +231,8 @@ void Engine::run_simt_rows(simt::Device& dev, const seq::Sequence& ref,
       if (!outs.outblock.empty()) {
         for (;;) {
           const simt::PerfLedger::Snapshot snap = dev.ledger().snapshot();
+          const std::size_t trace_mark =
+              obs::enabled() ? obs::Registry::global().trace().size() : 0;
           const std::size_t padded = util::ceil_pow2(outs.outblock.size());
           simt::Buffer<mem::Mem> triplets(dev, padded);
           std::copy(outs.outblock.begin(), outs.outblock.end(),
@@ -211,6 +270,9 @@ void Engine::run_simt_rows(simt::Device& dev, const seq::Sequence& ref,
               cap_out = static_cast<std::uint32_t>(util::ceil_pow2(out_count[0]));
             }
             dev.ledger().rollback(snap);
+            if (obs::enabled()) {
+              obs::Registry::global().trace().truncate(trace_mark);
+            }
             continue;
           }
           const std::vector<mem::Mem> intile = intile_buf.download(in_count[0]);
@@ -222,7 +284,17 @@ void Engine::run_simt_rows(simt::Device& dev, const seq::Sequence& ref,
           break;
         }
       }
-      stats.match_seconds += dev.ledger().total_seconds() - before;
+      const double delta = dev.ledger().total_seconds() - before;
+      stats.match_seconds += delta;
+      if (obs::enabled()) {
+        obs::record_modeled_span(
+            "match/tile", "stage", before, delta, dev.ordinal(),
+            {{"row", std::uint64_t{row}},
+             {"col", std::uint64_t{col}},
+             {"inblock_mems", std::uint64_t{outs.inblock.size()}},
+             {"outblock_pieces", std::uint64_t{outs.outblock.size()}},
+             {"overflow_rounds", outs.overflow_rounds}});
+      }
     }
   }
 
@@ -231,6 +303,11 @@ void Engine::run_simt_rows(simt::Device& dev, const seq::Sequence& ref,
 Result Engine::run_simt(const seq::Sequence& ref,
                         const seq::Sequence& query) const {
   const Config::Geometry g = cfg_.validated();
+  if (cfg_.observe) obs::Registry::global().set_enabled(true);
+  obs::Span run_span("pipeline/run", "pipeline");
+  run_span.attr("backend", std::string("simt"));
+  run_span.attr("ref_bp", std::uint64_t{ref.size()});
+  run_span.attr("query_bp", std::uint64_t{query.size()});
   util::Timer wall;
   Result result;
 
@@ -249,6 +326,8 @@ Result Engine::run_simt(const seq::Sequence& ref,
 
   // ---- final host merge of out-tile triplets (Section III-C2) -------------
   {
+    const double stitch_start_us =
+        obs::enabled() ? obs::Registry::global().wall_now_us() : 0.0;
     util::Timer host_merge;
     result.stats.outtile_pieces = outtile_pieces.size();
     std::vector<mem::Mem> finished = finalize_out_tile(
@@ -257,6 +336,7 @@ Result Engine::run_simt(const seq::Sequence& ref,
     mem::sort_unique(reported);
     result.stats.host_stitch_seconds = host_merge.seconds();
     result.stats.match_seconds += result.stats.host_stitch_seconds;
+    if (obs::enabled()) record_stitch_span(stitch_start_us, result.stats);
   }
 
   result.mems = std::move(reported);
@@ -264,9 +344,10 @@ Result Engine::run_simt(const seq::Sequence& ref,
   result.stats.kernels_launched = dev.ledger().kernels_launched();
   result.stats.device_peak_bytes = dev.peak_bytes();
   for (const auto& [label, ls] : dev.ledger().breakdown()) {
-    result.stats.kernel_breakdown.emplace_back(label, ls.seconds);
+    result.stats.kernel_breakdown.push_back({label, ls.seconds, ls.launches});
   }
   result.stats.wall_seconds = wall.seconds();
+  publish_run_stats(result.stats);
   return result;
 }
 
@@ -274,6 +355,11 @@ Result Engine::run_native(const seq::Sequence& ref,
                           const seq::Sequence& query,
                           const NativeIndex* prebuilt) const {
   const Config::Geometry g = cfg_.validated();
+  if (cfg_.observe) obs::Registry::global().set_enabled(true);
+  obs::Span run_span("pipeline/run", "pipeline");
+  run_span.attr("backend", std::string("native"));
+  run_span.attr("ref_bp", std::uint64_t{ref.size()});
+  run_span.attr("query_bp", std::uint64_t{query.size()});
   util::Timer wall;
   Result result;
   if (ref.empty() || query.empty()) {
@@ -299,6 +385,8 @@ Result Engine::run_native(const seq::Sequence& ref,
     // Reuse prebuilt row indexes when available (build-once / query-many).
     std::optional<index::KmerIndex> local;
     if (prebuilt == nullptr) {
+      obs::Span index_span("index/build-row", "stage");
+      index_span.attr("row", std::uint64_t{row});
       util::Timer index_timer;
       local.emplace(ref, r0, r1, cfg_.seed_len, g.step);
       result.stats.index_seconds += index_timer.seconds();
@@ -306,6 +394,8 @@ Result Engine::run_native(const seq::Sequence& ref,
     const index::KmerIndex& idx =
         prebuilt != nullptr ? prebuilt->rows.at(row) : *local;
 
+    obs::Span match_span("match/row", "stage");
+    match_span.attr("row", std::uint64_t{row});
     util::Timer match_timer;
     for (std::uint32_t col = 0; col < n_c; ++col) {
       const std::uint32_t c0 = col * g.tile_len;
@@ -360,6 +450,8 @@ Result Engine::run_native(const seq::Sequence& ref,
   }
 
   {
+    const double stitch_start_us =
+        obs::enabled() ? obs::Registry::global().wall_now_us() : 0.0;
     util::Timer host_merge;
     result.stats.outtile_pieces = outtile_pieces.size();
     std::vector<mem::Mem> finished = finalize_out_tile(
@@ -368,11 +460,13 @@ Result Engine::run_native(const seq::Sequence& ref,
     mem::sort_unique(reported);
     result.stats.host_stitch_seconds = host_merge.seconds();
     result.stats.match_seconds += result.stats.host_stitch_seconds;
+    if (obs::enabled()) record_stitch_span(stitch_start_us, result.stats);
   }
 
   result.mems = std::move(reported);
   result.stats.mem_count = result.mems.size();
   result.stats.wall_seconds = wall.seconds();
+  publish_run_stats(result.stats);
   return result;
 }
 

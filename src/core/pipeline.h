@@ -46,9 +46,23 @@ struct RunStats {
   std::uint64_t overflow_rounds = 0; ///< rounds processed by host fallback
   std::uint64_t kernels_launched = 0;
   std::size_t device_peak_bytes = 0;
-  /// Modeled seconds per kernel label (SIMT backend), descending.
-  std::vector<std::pair<std::string, double>> kernel_breakdown;
+
+  /// One kernel label's modeled totals (SIMT backend).
+  struct KernelStat {
+    std::string label;
+    double seconds = 0.0;
+    std::uint64_t launches = 0;
+  };
+  /// Per-label kernel totals, descending by modeled seconds.
+  std::vector<KernelStat> kernel_breakdown;
 };
+
+/// Mirrors every RunStats field into the global metrics registry under the
+/// "run." / "kernel.<label>." names documented in docs/OBSERVABILITY.md.
+/// No-op when observability is disabled. Engines call this at the end of a
+/// run; front-ends may call it again for derived stats (e.g. the combined
+/// multi-device view).
+void publish_run_stats(const RunStats& stats);
 
 struct Result {
   std::vector<mem::Mem> mems;  ///< canonical order, no duplicates

@@ -1,0 +1,148 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace gm::obs {
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+void write_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+}  // namespace
+
+void Distribution::observe(double x) {
+  std::lock_guard lock(mu_);
+  summary_.add(x);
+  if (x >= 0.0) {
+    hist_.add(static_cast<std::uint64_t>(x));
+  }
+}
+
+util::Summary Distribution::summary() const {
+  std::lock_guard lock(mu_);
+  return summary_;
+}
+
+util::Histogram Distribution::histogram() const {
+  std::lock_guard lock(mu_);
+  return hist_;
+}
+
+Counter& Metrics::counter(const std::string& name, const std::string& help) {
+  std::lock_guard lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  if (!help.empty()) help_[name] = help;
+  return *slot;
+}
+
+Gauge& Metrics::gauge(const std::string& name, const std::string& help) {
+  std::lock_guard lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  if (!help.empty()) help_[name] = help;
+  return *slot;
+}
+
+Distribution& Metrics::distribution(const std::string& name,
+                                    const std::string& help) {
+  std::lock_guard lock(mu_);
+  auto& slot = dists_[name];
+  if (!slot) slot = std::make_unique<Distribution>();
+  if (!help.empty()) help_[name] = help;
+  return *slot;
+}
+
+bool Metrics::has_gauge(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  return gauges_.count(name) != 0;
+}
+
+void Metrics::clear() {
+  std::lock_guard lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  dists_.clear();
+  help_.clear();
+}
+
+void Metrics::write_json(std::ostream& os) const {
+  std::lock_guard lock(mu_);
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ",";
+    first = false;
+    write_escaped(os, name);
+    os << ":" << c->value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ",";
+    first = false;
+    write_escaped(os, name);
+    os << ":";
+    write_number(os, g->value());
+  }
+  os << "},\"distributions\":{";
+  first = true;
+  for (const auto& [name, d] : dists_) {
+    if (!first) os << ",";
+    first = false;
+    write_escaped(os, name);
+    const util::Summary s = d->summary();
+    os << ":{\"count\":" << s.count() << ",\"mean\":";
+    write_number(os, s.mean());
+    os << ",\"min\":";
+    write_number(os, s.min());
+    os << ",\"max\":";
+    write_number(os, s.max());
+    os << ",\"variance\":";
+    write_number(os, s.variance());
+    os << "}";
+  }
+  os << "}}";
+}
+
+void Metrics::write_tsv(std::ostream& os) const {
+  std::lock_guard lock(mu_);
+  char buf[32];
+  const auto num = [&buf](double v) -> const char* {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+  };
+  for (const auto& [name, c] : counters_) {
+    os << "counter\t" << name << '\t' << c->value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << "gauge\t" << name << '\t' << num(g->value()) << '\n';
+  }
+  for (const auto& [name, d] : dists_) {
+    const util::Summary s = d->summary();
+    os << "distribution\t" << name << ".count\t" << s.count() << '\n';
+    os << "distribution\t" << name << ".mean\t" << num(s.mean()) << '\n';
+    os << "distribution\t" << name << ".min\t" << num(s.min()) << '\n';
+    os << "distribution\t" << name << ".max\t" << num(s.max()) << '\n';
+  }
+}
+
+}  // namespace gm::obs

@@ -1,0 +1,93 @@
+// Metrics registry: named counters, gauges, and distributions with JSON and
+// TSV exporters — the machine-readable replacement for reading numbers out
+// of ad-hoc stat structs. RunStats/LaunchStats remain the in-process API;
+// core::publish_run_stats mirrors every field here under stable names so
+// two runs can be diffed mechanically (see docs/OBSERVABILITY.md for the
+// naming scheme).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "util/stats.h"
+
+namespace gm::obs {
+
+/// Monotone event count. Lock-free; safe to bump from kernel-driving
+/// threads.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written value (e.g. a per-run stat). Lock-free.
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Value distribution backed by util::Summary (moments) plus a
+/// util::Histogram over floor(value) for integer-like observations (seed
+/// occurrence counts, per-launch phase counts, ...).
+class Distribution {
+ public:
+  void observe(double x);
+
+  util::Summary summary() const;
+  util::Histogram histogram() const;
+
+ private:
+  mutable std::mutex mu_;
+  util::Summary summary_;
+  util::Histogram hist_;
+};
+
+/// Name -> metric registry. Lookup is mutex-guarded; returned references
+/// stay valid for the registry's lifetime, so hot paths should look up once
+/// and hold the reference.
+class Metrics {
+ public:
+  Counter& counter(const std::string& name, const std::string& help = {});
+  Gauge& gauge(const std::string& name, const std::string& help = {});
+  Distribution& distribution(const std::string& name,
+                             const std::string& help = {});
+
+  /// True when `name` exists as the given kind.
+  bool has_gauge(const std::string& name) const;
+
+  void clear();
+
+  /// {"counters":{...},"gauges":{...},"distributions":{name:{count,mean,
+  /// min,max,variance}}} — non-finite values render as null.
+  void write_json(std::ostream& os) const;
+
+  /// "kind<TAB>name<TAB>value" lines (distributions emit one line per
+  /// moment), for spreadsheet-free diffing of two runs.
+  void write_tsv(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Distribution>> dists_;
+  std::map<std::string, std::string> help_;
+};
+
+}  // namespace gm::obs

@@ -1,0 +1,24 @@
+#include "obs/registry.h"
+
+namespace gm::obs {
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+void record_modeled_span(std::string name, std::string category,
+                         double start_seconds, double duration_seconds,
+                         std::uint32_t device, std::vector<Attr> attrs) {
+  SpanEvent ev;
+  ev.name = std::move(name);
+  ev.category = std::move(category);
+  ev.clock = Clock::kModeled;
+  ev.start_us = start_seconds * 1e6;
+  ev.duration_us = duration_seconds * 1e6;
+  ev.device = device;
+  ev.attrs = std::move(attrs);
+  Registry::global().trace().record(std::move(ev));
+}
+
+}  // namespace gm::obs

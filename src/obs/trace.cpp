@@ -1,0 +1,135 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <set>
+
+namespace gm::obs {
+namespace {
+
+/// JSON string escaping for names, categories, and attribute values.
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// JSON numbers cannot be NaN/inf; emit null instead.
+void write_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+void write_attr_value(std::ostream& os, const AttrValue& v) {
+  if (const auto* s = std::get_if<std::string>(&v)) {
+    write_escaped(os, *s);
+  } else if (const auto* d = std::get_if<double>(&v)) {
+    write_number(os, *d);
+  } else {
+    os << std::get<std::uint64_t>(v);
+  }
+}
+
+std::uint32_t pid_for(const SpanEvent& ev) {
+  return ev.clock == Clock::kWall ? 0u : 1u + ev.device;
+}
+
+}  // namespace
+
+void TraceRecorder::record(SpanEvent ev) {
+  std::lock_guard lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard lock(mu_);
+  return events_.size();
+}
+
+void TraceRecorder::truncate(std::size_t n) {
+  std::lock_guard lock(mu_);
+  if (n < events_.size()) events_.resize(n);
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard lock(mu_);
+  events_.clear();
+}
+
+std::vector<SpanEvent> TraceRecorder::events() const {
+  std::lock_guard lock(mu_);
+  return events_;
+}
+
+void TraceRecorder::write_chrome_json(std::ostream& os) const {
+  const std::vector<SpanEvent> evs = events();
+  os << "{\"traceEvents\":[";
+  bool first = true;
+
+  // Process metadata: name the clock-domain tracks.
+  std::set<std::uint32_t> pids;
+  for (const SpanEvent& ev : evs) pids.insert(pid_for(ev));
+  for (const std::uint32_t pid : pids) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":";
+    if (pid == 0) {
+      write_escaped(os, "host (wall clock)");
+    } else {
+      write_escaped(os, "device " + std::to_string(pid - 1) + " (modeled)");
+    }
+    os << "}}";
+  }
+
+  for (const SpanEvent& ev : evs) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":";
+    write_escaped(os, ev.name);
+    os << ",\"cat\":";
+    write_escaped(os, ev.category);
+    os << ",\"ph\":\"X\",\"ts\":";
+    write_number(os, ev.start_us);
+    os << ",\"dur\":";
+    write_number(os, ev.duration_us);
+    os << ",\"pid\":" << pid_for(ev) << ",\"tid\":0";
+    if (!ev.attrs.empty()) {
+      os << ",\"args\":{";
+      bool first_attr = true;
+      for (const Attr& a : ev.attrs) {
+        if (!first_attr) os << ",";
+        first_attr = false;
+        write_escaped(os, a.key);
+        os << ":";
+        write_attr_value(os, a.value);
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+}
+
+}  // namespace gm::obs

@@ -1,6 +1,15 @@
 #include "simt/device.h"
 
+#include "obs/registry.h"
+
 namespace gm::simt {
+
+void Device::note_transfer(const char* kind, std::size_t bytes,
+                           double seconds) {
+  if (!obs::enabled()) return;
+  obs::record_modeled_span(kind, "transfer", ledger_.total_seconds(), seconds,
+                           ordinal_, {{"bytes", std::uint64_t{bytes}}});
+}
 
 DeviceSpec DeviceSpec::k20c() {
   DeviceSpec spec;

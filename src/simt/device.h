@@ -141,10 +141,14 @@ class PerfLedger {
 
 class Device {
  public:
-  explicit Device(DeviceSpec spec = DeviceSpec::k20c())
-      : spec_(std::move(spec)) {}
+  /// `ordinal` identifies the device in traces (multi-device runs tag each
+  /// device's spans with it; single-device runs use 0).
+  explicit Device(DeviceSpec spec = DeviceSpec::k20c(),
+                  std::uint32_t ordinal = 0)
+      : spec_(std::move(spec)), ordinal_(ordinal) {}
 
   const DeviceSpec& spec() const noexcept { return spec_; }
+  std::uint32_t ordinal() const noexcept { return ordinal_; }
   PerfLedger& ledger() noexcept { return ledger_; }
   const PerfLedger& ledger() const noexcept { return ledger_; }
 
@@ -159,16 +163,21 @@ class Device {
 
   /// cudaMemset equivalent: models a bandwidth-bound fill.
   void account_memset(std::size_t bytes) {
-    ledger_.add_transfer_seconds(static_cast<double>(bytes) /
-                                 spec_.mem_bandwidth);
+    const double secs = static_cast<double>(bytes) / spec_.mem_bandwidth;
+    note_transfer("memset", bytes, secs);
+    ledger_.add_transfer_seconds(secs);
   }
   /// cudaMemcpy equivalent (host<->device over PCIe).
   void account_copy(std::size_t bytes) {
-    ledger_.add_transfer_seconds(static_cast<double>(bytes) /
-                                 spec_.pcie_bandwidth);
+    const double secs = static_cast<double>(bytes) / spec_.pcie_bandwidth;
+    note_transfer("memcpy", bytes, secs);
+    ledger_.add_transfer_seconds(secs);
   }
 
  private:
+  /// Trace hook for modeled transfers; no-op unless observability is on.
+  void note_transfer(const char* kind, std::size_t bytes, double seconds);
+
   template <typename T>
   friend class Buffer;
 
@@ -189,6 +198,7 @@ class Device {
   }
 
   DeviceSpec spec_;
+  std::uint32_t ordinal_ = 0;
   PerfLedger ledger_;
   mutable std::mutex mu_;
   std::size_t bytes_in_use_ = 0;

@@ -1,7 +1,9 @@
 #include "simt/executor.h"
 
 #include <stdexcept>
+#include <vector>
 
+#include "obs/registry.h"
 #include "util/bits.h"
 
 namespace gm::simt {
@@ -44,7 +46,9 @@ BlockResult run_block(const DeviceSpec& spec, std::uint32_t block_id,
     }
 
     // Charge the phase (counters of finished threads included).
-    result.cycles += phase_cycles(spec, slots);
+    const CycleBreakdown terms = phase_cycle_terms(spec, slots);
+    result.cycles += terms.total();
+    result.cycle_terms += terms;
     ++result.phases;
     for (const ThreadSlot& s : slots) result.work += s.phase;
 
@@ -73,11 +77,45 @@ BlockResult run_block(const DeviceSpec& spec, std::uint32_t block_id,
       }
       // A block scan costs ~2 log2(block) lock-step steps on real hardware;
       // charge it as extra cycles beyond the barrier already counted.
-      result.cycles += 2.0 * static_cast<double>(util::ceil_log2(block_dim)) *
-                       spec.cycles_per_shared;
+      const double scan_cycles = 2.0 *
+                                 static_cast<double>(util::ceil_log2(block_dim)) *
+                                 spec.cycles_per_shared;
+      result.cycles += scan_cycles;
+      result.cycle_terms.shared += scan_cycles;
     }
   }
   return result;
+}
+
+void record_launch_span(const Device& dev, const LaunchConfig& cfg,
+                        const LaunchStats& stats, double modeled_start) {
+  const DeviceSpec& spec = dev.spec();
+  const std::uint32_t per_sm =
+      cfg.blocks_per_sm == 0 ? spec.max_blocks_per_sm : cfg.blocks_per_sm;
+  const std::uint64_t resident = std::uint64_t{spec.sm_count} * per_sm;
+  const std::uint64_t waves = util::ceil_div<std::uint64_t>(cfg.grid, resident);
+  std::vector<obs::Attr> attrs;
+  attrs.reserve(16);
+  attrs.push_back({"grid", std::uint64_t{cfg.grid}});
+  attrs.push_back({"block", std::uint64_t{cfg.block}});
+  attrs.push_back({"waves", waves});
+  attrs.push_back({"occupancy",
+                   static_cast<double>(cfg.grid) /
+                       static_cast<double>(waves * resident)});
+  attrs.push_back({"phases", stats.phases});
+  attrs.push_back({"work.alu", stats.work.alu});
+  attrs.push_back({"work.global_bytes", stats.work.global_bytes});
+  attrs.push_back({"work.txns", stats.work.txns});
+  attrs.push_back({"work.shared_ops", stats.work.shared_ops});
+  attrs.push_back({"work.atomics", stats.work.atomics});
+  attrs.push_back({"cycles.compute", stats.cycle_terms.compute});
+  attrs.push_back({"cycles.shared", stats.cycle_terms.shared});
+  attrs.push_back({"cycles.latency", stats.cycle_terms.latency});
+  attrs.push_back({"cycles.atomics", stats.cycle_terms.atomics});
+  attrs.push_back({"cycles.barrier", stats.cycle_terms.barrier});
+  obs::record_modeled_span(cfg.label.empty() ? "kernel" : cfg.label, "kernel",
+                           modeled_start, stats.modeled_seconds, dev.ordinal(),
+                           std::move(attrs));
 }
 
 }  // namespace gm::simt

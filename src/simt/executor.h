@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/registry.h"
 #include "simt/device.h"
 #include "simt/kernel.h"
 #include "simt/perf_model.h"
@@ -26,6 +27,7 @@ struct LaunchStats {
   double modeled_seconds = 0.0;
   std::uint64_t phases = 0;       ///< total barrier phases across blocks
   PhaseCounters work{};           ///< total accounted work
+  CycleBreakdown cycle_terms{};   ///< per-term cycles summed over blocks
 };
 
 /// Executes the threads of one block to completion. Exposed separately from
@@ -34,10 +36,18 @@ struct BlockResult {
   double cycles = 0.0;
   std::uint64_t phases = 0;
   PhaseCounters work{};
+  CycleBreakdown cycle_terms{};
 };
 BlockResult run_block(const DeviceSpec& spec, std::uint32_t block_id,
                       std::uint32_t grid_dim, std::uint32_t block_dim,
                       const std::function<KernelTask(ThreadCtx&)>& make_task);
+
+/// Emits the launch's span on the modeled-device trace track: phase count,
+/// work counters, wave/occupancy figures, and the per-term cycle breakdown.
+/// Call only when obs::enabled(); `modeled_start` is the ledger total just
+/// before the launch's seconds were added.
+void record_launch_span(const Device& dev, const LaunchConfig& cfg,
+                        const LaunchStats& stats, double modeled_start);
 
 /// Launches `fn(ctx, smem, args...)` over cfg.grid blocks of cfg.block
 /// threads. SharedT is default-constructed once per block (the shared
@@ -66,10 +76,13 @@ LaunchStats launch(Device& dev, const LaunchConfig& cfg, Fn&& fn,
   for (const BlockResult& r : results) {
     stats.phases += r.phases;
     stats.work += r.work;
+    stats.cycle_terms += r.cycle_terms;
   }
   stats.modeled_seconds = launch_seconds(
       dev.spec(), block_cycles, cfg.blocks_per_sm, stats.work.global_bytes);
+  const double modeled_start = dev.ledger().total_seconds();
   dev.ledger().add_kernel_seconds(stats.modeled_seconds, cfg.label);
+  if (obs::enabled()) record_launch_span(dev, cfg, stats, modeled_start);
   return stats;
 }
 

@@ -4,7 +4,8 @@
 
 namespace gm::simt {
 
-double phase_cycles(const DeviceSpec& spec, std::span<const ThreadSlot> slots) {
+CycleBreakdown phase_cycle_terms(const DeviceSpec& spec,
+                                 std::span<const ThreadSlot> slots) {
   const std::uint32_t warp = spec.warp_size;
   double compute = 0.0, shared = 0.0;
   std::uint64_t total_atomics = 0;
@@ -24,12 +25,17 @@ double phase_cycles(const DeviceSpec& spec, std::span<const ThreadSlot> slots) {
   }
   const double warp_ipc =
       static_cast<double>(spec.cores_per_sm) / static_cast<double>(warp);
-  compute = compute * spec.cycles_per_alu / warp_ipc;
-  shared *= spec.cycles_per_shared;
-  latency *= spec.cycles_per_txn;
-  const double atomics =
-      static_cast<double>(total_atomics) * spec.cycles_per_atomic;
-  return compute + shared + latency + atomics + spec.cycles_per_barrier;
+  CycleBreakdown terms;
+  terms.compute = compute * spec.cycles_per_alu / warp_ipc;
+  terms.shared = shared * spec.cycles_per_shared;
+  terms.latency = latency * spec.cycles_per_txn;
+  terms.atomics = static_cast<double>(total_atomics) * spec.cycles_per_atomic;
+  terms.barrier = spec.cycles_per_barrier;
+  return terms;
+}
+
+double phase_cycles(const DeviceSpec& spec, std::span<const ThreadSlot> slots) {
+  return phase_cycle_terms(spec, slots).total();
 }
 
 double launch_seconds(const DeviceSpec& spec,

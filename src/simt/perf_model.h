@@ -42,8 +42,35 @@
 
 namespace gm::simt {
 
-/// Cycles one block spends in the phase described by `slots` (one entry per
-/// thread; counters are the phase's).
+/// The five cost-model terms of one or more phases, kept separate so
+/// observability can show *where* modeled cycles go (the latency term is
+/// what the paper's Fig. 7 load balancing reduces).
+struct CycleBreakdown {
+  double compute = 0.0;
+  double shared = 0.0;
+  double latency = 0.0;
+  double atomics = 0.0;
+  double barrier = 0.0;
+
+  double total() const {
+    return compute + shared + latency + atomics + barrier;
+  }
+  CycleBreakdown& operator+=(const CycleBreakdown& o) {
+    compute += o.compute;
+    shared += o.shared;
+    latency += o.latency;
+    atomics += o.atomics;
+    barrier += o.barrier;
+    return *this;
+  }
+};
+
+/// Per-term cycles one block spends in the phase described by `slots` (one
+/// entry per thread; counters are the phase's).
+CycleBreakdown phase_cycle_terms(const DeviceSpec& spec,
+                                 std::span<const ThreadSlot> slots);
+
+/// Total cycles of the phase — phase_cycle_terms(...).total().
 double phase_cycles(const DeviceSpec& spec, std::span<const ThreadSlot> slots);
 
 /// Launch-level aggregation, in seconds.

@@ -1,6 +1,7 @@
 #include "util/stats.h"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 
 namespace gm::util {
@@ -39,8 +40,23 @@ void Summary::add(double x) {
   sum2_ += x * x;
 }
 
+double Summary::mean() const {
+  if (n_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  return sum_ / static_cast<double>(n_);
+}
+
+double Summary::min() const {
+  if (n_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  return min_;
+}
+
+double Summary::max() const {
+  if (n_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  return max_;
+}
+
 double Summary::variance() const {
-  if (n_ < 2) return 0.0;
+  if (n_ < 2) return std::numeric_limits<double>::quiet_NaN();
   const double m = mean();
   return (sum2_ - static_cast<double>(n_) * m * m) / static_cast<double>(n_ - 1);
 }

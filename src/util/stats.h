@@ -31,13 +31,19 @@ class Histogram {
 };
 
 /// Streaming mean/min/max/variance.
+///
+/// Empty-summary contract: with no samples there is no meaningful value, so
+/// mean(), min(), and max() return quiet NaN — never a fabricated 0.0 that
+/// a report could mistake for data. variance() needs two samples and
+/// likewise returns NaN for count() < 2. Exporters that must emit valid
+/// JSON render non-finite values as null (see obs::Metrics).
 class Summary {
  public:
   void add(double x);
   std::uint64_t count() const { return n_; }
-  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
-  double min() const { return min_; }
-  double max() const { return max_; }
+  double mean() const;
+  double min() const;
+  double max() const;
   double variance() const;
 
  private:

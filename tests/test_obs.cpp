@@ -1,0 +1,187 @@
+// Observability layer tests: span recording across clock domains, the
+// Chrome-trace exporter, metrics registry semantics, and thread safety of
+// both under the same parallel substrate the pipeline uses.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "util/parallel.h"
+
+namespace gm {
+namespace {
+
+/// Every test runs against the process-global registry; this guard gives
+/// each one a clean, enabled registry and restores the disabled default.
+class ObsTestGuard {
+ public:
+  ObsTestGuard() {
+    obs::Registry::global().reset();
+    obs::Registry::global().set_enabled(true);
+  }
+  ~ObsTestGuard() {
+    obs::Registry::global().set_enabled(false);
+    obs::Registry::global().reset();
+  }
+};
+
+TEST(Trace, SpanNestingRecordsContainedIntervals) {
+  ObsTestGuard guard;
+  {
+    obs::Span outer("outer", "stage");
+    outer.attr("k", std::string("v"));
+    {
+      obs::Span inner("inner", "stage");
+    }
+  }
+  const auto evs = obs::Registry::global().trace().events();
+  ASSERT_EQ(evs.size(), 2u);
+  // RAII order: the inner span finishes (records) first.
+  EXPECT_EQ(evs[0].name, "inner");
+  EXPECT_EQ(evs[1].name, "outer");
+  // The outer interval contains the inner one.
+  EXPECT_LE(evs[1].start_us, evs[0].start_us);
+  EXPECT_GE(evs[1].start_us + evs[1].duration_us,
+            evs[0].start_us + evs[0].duration_us);
+  EXPECT_EQ(evs[0].clock, obs::Clock::kWall);
+}
+
+TEST(Trace, ClockDomainsStaySeparate) {
+  ObsTestGuard guard;
+  { obs::Span wall("host-work", "pipeline"); }
+  obs::record_modeled_span("kernel-x", "kernel", 1.5, 0.25, /*device=*/2);
+  const auto evs = obs::Registry::global().trace().events();
+  ASSERT_EQ(evs.size(), 2u);
+  EXPECT_EQ(evs[0].clock, obs::Clock::kWall);
+  EXPECT_EQ(evs[1].clock, obs::Clock::kModeled);
+  EXPECT_DOUBLE_EQ(evs[1].start_us, 1.5e6);   // ledger seconds -> us
+  EXPECT_DOUBLE_EQ(evs[1].duration_us, 0.25e6);
+  EXPECT_EQ(evs[1].device, 2u);
+
+  // The exporter puts the domains on different tracks: wall on pid 0,
+  // modeled device 2 on pid 3.
+  std::ostringstream os;
+  obs::Registry::global().trace().write_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"name\":\"host-work\",\"cat\":\"pipeline\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"pid\":3"), std::string::npos);
+  EXPECT_NE(json.find("device 2 (modeled)"), std::string::npos);
+  EXPECT_NE(json.find("host (wall clock)"), std::string::npos);
+}
+
+TEST(Trace, ChromeJsonGolden) {
+  ObsTestGuard guard;
+  // Power-of-two seconds so the seconds -> microseconds conversion is exact
+  // and the golden string is deterministic.
+  obs::record_modeled_span("match", "kernel", 0.25, 0.125, 0,
+                           {{"grid", std::uint64_t{8}},
+                            {"occupancy", 0.5},
+                            {"note", std::string("a\"b")}});
+  std::ostringstream os;
+  obs::Registry::global().trace().write_chrome_json(os);
+  EXPECT_EQ(os.str(),
+            "{\"traceEvents\":["
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+            "\"args\":{\"name\":\"device 0 (modeled)\"}},"
+            "{\"name\":\"match\",\"cat\":\"kernel\",\"ph\":\"X\","
+            "\"ts\":250000,\"dur\":125000,\"pid\":1,\"tid\":0,"
+            "\"args\":{\"grid\":8,\"occupancy\":0.5,\"note\":\"a\\\"b\"}}"
+            "],\"displayTimeUnit\":\"ms\"}");
+}
+
+TEST(Trace, TruncateDropsEventsAfterMark) {
+  ObsTestGuard guard;
+  obs::TraceRecorder& trace = obs::Registry::global().trace();
+  obs::record_modeled_span("keep", "kernel", 0.0, 1.0, 0);
+  const std::size_t mark = trace.size();
+  obs::record_modeled_span("abandoned-1", "kernel", 1.0, 1.0, 0);
+  obs::record_modeled_span("abandoned-2", "kernel", 2.0, 1.0, 0);
+  trace.truncate(mark);
+  const auto evs = trace.events();
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].name, "keep");
+}
+
+TEST(Trace, DisabledRegistryRecordsNothing) {
+  obs::Registry::global().reset();
+  obs::Registry::global().set_enabled(false);
+  {
+    obs::Span span("invisible", "stage");
+    span.attr("k", std::uint64_t{1});
+    EXPECT_FALSE(span.armed());
+  }
+  EXPECT_EQ(obs::Registry::global().trace().size(), 0u);
+}
+
+TEST(Metrics, CountersGaugesDistributions) {
+  ObsTestGuard guard;
+  obs::Metrics& m = obs::Registry::global().metrics();
+  m.counter("events", "test counter").add(3);
+  m.counter("events").add();
+  EXPECT_EQ(m.counter("events").value(), 4u);
+
+  m.gauge("speed").set(2.5);
+  EXPECT_DOUBLE_EQ(m.gauge("speed").value(), 2.5);
+  EXPECT_TRUE(m.has_gauge("speed"));
+  EXPECT_FALSE(m.has_gauge("missing"));
+
+  obs::Distribution& d = m.distribution("sizes");
+  d.observe(2.0);
+  d.observe(4.0);
+  EXPECT_EQ(d.summary().count(), 2u);
+  EXPECT_DOUBLE_EQ(d.summary().mean(), 3.0);
+  EXPECT_EQ(d.histogram().total(), 2u);
+}
+
+TEST(Metrics, JsonAndTsvExporters) {
+  ObsTestGuard guard;
+  obs::Metrics& m = obs::Registry::global().metrics();
+  m.counter("runs").add(2);
+  m.gauge("run.index_seconds").set(0.125);
+  m.distribution("seed_occurrences").observe(3.0);
+  std::ostringstream json;
+  m.write_json(json);
+  EXPECT_NE(json.str().find("\"runs\":2"), std::string::npos);
+  EXPECT_NE(json.str().find("\"run.index_seconds\":0.125"), std::string::npos);
+  EXPECT_NE(json.str().find("\"seed_occurrences\":{\"count\":1"),
+            std::string::npos);
+  // Single-sample variance is undefined (NaN) and must render as null.
+  EXPECT_NE(json.str().find("\"variance\":null"), std::string::npos);
+
+  std::ostringstream tsv;
+  m.write_tsv(tsv);
+  EXPECT_NE(tsv.str().find("counter\truns\t2"), std::string::npos);
+  EXPECT_NE(tsv.str().find("gauge\trun.index_seconds\t0.125"),
+            std::string::npos);
+  EXPECT_NE(tsv.str().find("distribution\tseed_occurrences.count\t1"),
+            std::string::npos);
+}
+
+TEST(Registry, ThreadSafeUnderParallelForChunked) {
+  ObsTestGuard guard;
+  obs::Metrics& m = obs::Registry::global().metrics();
+  obs::Counter& hits = m.counter("hits");
+  obs::Distribution& dist = m.distribution("values");
+  constexpr std::size_t kN = 2000;
+  util::parallel_for_chunked(0, kN, 8, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      hits.add();
+      dist.observe(static_cast<double>(i % 7));
+      // Registry lookups and span recording from many threads at once.
+      m.gauge("last").set(static_cast<double>(i));
+      obs::record_modeled_span("op", "kernel",
+                               static_cast<double>(i) * 1e-6, 1e-6, 0);
+    }
+  });
+  EXPECT_EQ(hits.value(), kN);
+  EXPECT_EQ(dist.summary().count(), kN);
+  EXPECT_EQ(obs::Registry::global().trace().size(), kN);
+}
+
+}  // namespace
+}  // namespace gm

@@ -8,6 +8,7 @@
 #include "core/finders.h"
 #include "core/pipeline.h"
 #include "mem/naive.h"
+#include "obs/registry.h"
 #include "seq/synthetic.h"
 #include "util/rng.h"
 
@@ -204,10 +205,13 @@ TEST(Pipeline, KernelBreakdownCoversModeledTime) {
   ASSERT_FALSE(result.stats.kernel_breakdown.empty());
   std::vector<std::string> labels;
   double total = 0.0;
-  for (const auto& [label, secs] : result.stats.kernel_breakdown) {
-    labels.push_back(label);
-    total += secs;
-    EXPECT_GE(secs, 0.0);
+  std::uint64_t launches = 0;
+  for (const auto& ks : result.stats.kernel_breakdown) {
+    labels.push_back(ks.label);
+    total += ks.seconds;
+    launches += ks.launches;
+    EXPECT_GE(ks.seconds, 0.0);
+    EXPECT_GT(ks.launches, 0u) << ks.label;
   }
   // Every pipeline stage shows up.
   for (const char* expect : {"match", "index/count", "index/fill",
@@ -215,13 +219,80 @@ TEST(Pipeline, KernelBreakdownCoversModeledTime) {
     EXPECT_NE(std::find(labels.begin(), labels.end(), expect), labels.end())
         << expect;
   }
-  // Breakdown is a decomposition of (most of) the modeled kernel time.
+  // Breakdown is a decomposition of (most of) the modeled kernel time, and
+  // every labelled launch is part of the run's launch total.
   EXPECT_LE(total, result.stats.index_seconds + result.stats.match_seconds + 1e-9);
+  EXPECT_LE(launches, result.stats.kernels_launched);
   // Sorted descending.
   for (std::size_t i = 1; i < result.stats.kernel_breakdown.size(); ++i) {
-    EXPECT_GE(result.stats.kernel_breakdown[i - 1].second,
-              result.stats.kernel_breakdown[i].second);
+    EXPECT_GE(result.stats.kernel_breakdown[i - 1].seconds,
+              result.stats.kernel_breakdown[i].seconds);
   }
+}
+
+TEST(Pipeline, TracedStageSpansDecomposeRunStats) {
+  // With observability on, the "stage" spans (per-row index builds, per-tile
+  // matches, the host merge) must decompose index_seconds + match_seconds:
+  // the trace is the same accounting, just structured.
+  obs::Registry& reg = obs::Registry::global();
+  reg.reset();
+  reg.set_enabled(true);
+
+  const auto base = seq::GenomeModel{.length = 4000}.generate(41);
+  seq::MutationModel mut;
+  mut.snp_rate = 0.02;
+  const auto query = mut.apply(base, 13);
+  Config cfg;
+  cfg.min_length = 12;
+  cfg.seed_len = 6;
+  cfg.threads = 16;
+  cfg.tile_blocks = 2;
+  const auto result = Engine(cfg).run(base, query);
+
+  double stage_seconds = 0.0;
+  std::uint64_t index_spans = 0, match_spans = 0, stitch_spans = 0;
+  std::uint64_t kernel_spans = 0;
+  for (const obs::SpanEvent& ev : reg.trace().events()) {
+    if (ev.category == "stage") {
+      stage_seconds += ev.duration_us * 1e-6;
+      index_spans += ev.name == "index/build-row";
+      match_spans += ev.name == "match/tile";
+      stitch_spans += ev.name == "stitch/host-merge";
+    }
+    kernel_spans += ev.category == "kernel";
+  }
+  EXPECT_EQ(index_spans, result.stats.tile_rows);
+  EXPECT_EQ(match_spans,
+            std::uint64_t{result.stats.tile_rows} * result.stats.tile_cols);
+  EXPECT_EQ(stitch_spans, 1u);
+  EXPECT_EQ(kernel_spans, result.stats.kernels_launched);
+  const double run_seconds =
+      result.stats.index_seconds + result.stats.match_seconds;
+  EXPECT_NEAR(stage_seconds, run_seconds, 1e-9 + run_seconds * 1e-6);
+
+  // Metrics mirror every RunStats field of the same run.
+  obs::Metrics& m = reg.metrics();
+  EXPECT_DOUBLE_EQ(m.gauge("run.index_seconds").value(),
+                   result.stats.index_seconds);
+  EXPECT_DOUBLE_EQ(m.gauge("run.match_seconds").value(),
+                   result.stats.match_seconds);
+  EXPECT_DOUBLE_EQ(m.gauge("run.host_stitch_seconds").value(),
+                   result.stats.host_stitch_seconds);
+  EXPECT_DOUBLE_EQ(m.gauge("run.wall_seconds").value(),
+                   result.stats.wall_seconds);
+  EXPECT_DOUBLE_EQ(m.gauge("run.mem_count").value(),
+                   static_cast<double>(result.stats.mem_count));
+  EXPECT_DOUBLE_EQ(m.gauge("run.kernels_launched").value(),
+                   static_cast<double>(result.stats.kernels_launched));
+  for (const auto& ks : result.stats.kernel_breakdown) {
+    EXPECT_DOUBLE_EQ(m.gauge("kernel." + ks.label + ".seconds").value(),
+                     ks.seconds);
+    EXPECT_DOUBLE_EQ(m.gauge("kernel." + ks.label + ".launches").value(),
+                     static_cast<double>(ks.launches));
+  }
+
+  reg.set_enabled(false);
+  reg.reset();
 }
 
 TEST(Pipeline, StatsAreCoherent) {

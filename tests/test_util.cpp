@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <set>
 
 #include "util/bits.h"
@@ -165,6 +166,36 @@ TEST(Summary, Moments) {
   EXPECT_DOUBLE_EQ(s.min(), 1.0);
   EXPECT_DOUBLE_EQ(s.max(), 4.0);
   EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Summary, EmptyContractIsNaNNotZero) {
+  // An empty summary has no data: the documented sentinel is NaN, never a
+  // fabricated 0.0 a report could mistake for a measurement.
+  const util::Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_TRUE(std::isnan(s.mean()));
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+  EXPECT_TRUE(std::isnan(s.variance()));
+}
+
+TEST(Summary, VarianceNeedsTwoSamples) {
+  util::Summary s;
+  s.add(7.5);
+  EXPECT_TRUE(std::isnan(s.variance()));  // n < 2: undefined
+  EXPECT_DOUBLE_EQ(s.min(), 7.5);
+  EXPECT_DOUBLE_EQ(s.max(), 7.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.5);
+  s.add(7.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, NegativeOnlySamplesKeepTrueExtrema) {
+  util::Summary s;
+  s.add(-3.0);
+  s.add(-9.0);
+  EXPECT_DOUBLE_EQ(s.min(), -9.0);
+  EXPECT_DOUBLE_EQ(s.max(), -3.0);
 }
 
 TEST(Table, RendersAlignedAndCsv) {
