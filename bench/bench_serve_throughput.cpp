@@ -1,0 +1,161 @@
+// Serving throughput: queries/second with the reference index cache on vs
+// off, against the baseline of N independent Engine::run calls.
+//
+// The paper's pipeline rebuilds the tile-row index every run (Table III cost
+// paid per query). A service answering a query stream against one resident
+// reference should pay it once: the cache-off service must match independent
+// runs exactly (same MEMs, same modeled work), and the warm cache-on service
+// must beat them on modeled device time by the index-build share.
+//
+// Exits nonzero when either verification fails, so CI can gate on it.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/pipeline.h"
+#include "serve/service.h"
+#include "util/cli.h"
+
+namespace {
+
+// Modeled *device* seconds only: match_seconds minus the measured host
+// stitch, which is wall time and would add run-to-run noise to an
+// otherwise deterministic comparison.
+struct ModeTotals {
+  double index_seconds = 0.0;
+  double match_seconds = 0.0;
+  double total() const { return index_seconds + match_seconds; }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gm;
+  const std::size_t scale = bench::default_scale(argc, argv);
+  util::Cli cli(argc, argv);
+  const std::size_t n_queries =
+      static_cast<std::size_t>(cli.get_int("queries", 8));
+  const std::uint32_t devices =
+      static_cast<std::uint32_t>(cli.get_int("devices", 1));
+
+  const bench::PaperConfig pc = bench::paper_configs().front();
+  const auto& data = bench::dataset_for(pc.dataset, scale);
+  const core::Config cfg =
+      bench::gpumem_config(pc, core::Backend::kSimt, data.reference.size());
+  const core::Engine engine(cfg);
+
+  // A stream of distinct queries derived from the same reference — the
+  // read-mapping / pangenome shape that motivates build-once serving.
+  std::vector<seq::Sequence> queries;
+  for (std::size_t i = 0; i < n_queries; ++i) {
+    seq::MutationModel mut;
+    mut.snp_rate = 0.01 + 0.005 * static_cast<double>(i % 4);
+    mut.target_length = data.query.size();
+    queries.push_back(mut.apply(data.query, 100 + i));
+  }
+  std::cerr << "dataset " << pc.dataset << " (scale " << scale << "): ref "
+            << data.reference.size() << " bp, " << n_queries << " queries of "
+            << data.query.size() << " bp, " << devices << " device(s)\n";
+
+  // --- baseline: N independent Engine::run calls ---------------------------
+  ModeTotals baseline;
+  std::vector<std::vector<mem::Mem>> expected;
+  for (const auto& q : queries) {
+    const auto r = engine.run(data.reference, q);
+    baseline.index_seconds += r.stats.index_seconds;
+    baseline.match_seconds += r.stats.device_match_seconds();
+    expected.push_back(r.mems);
+  }
+
+  auto run_service = [&](bool cache_on) {
+    serve::ServiceConfig scfg;
+    scfg.engine = cfg;
+    scfg.devices = devices;
+    scfg.cache_enabled = cache_on;
+    scfg.max_batch = n_queries;
+    scfg.queue_capacity = 2 * n_queries;
+    scfg.start_paused = true;
+    serve::MemService service(scfg, data.reference);
+    std::vector<std::future<serve::QueryResult>> futures;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      std::string id = "q";
+      id += std::to_string(i);
+      futures.push_back(service.submit({std::move(id), queries[i], 0.0}));
+    }
+    service.resume();
+    std::vector<serve::QueryResult> results;
+    for (auto& f : futures) results.push_back(f.get());
+    return results;
+  };
+
+  bool ok = true;
+  auto totals_of = [&](const std::vector<serve::QueryResult>& results,
+                       const char* mode) {
+    ModeTotals t;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (results[i].status != serve::QueryStatus::kOk) {
+        std::cerr << "FAIL [" << mode << "] query " << i << ": "
+                  << to_string(results[i].status) << " " << results[i].error
+                  << '\n';
+        ok = false;
+        continue;
+      }
+      if (results[i].mems != expected[i]) {
+        std::cerr << "FAIL [" << mode << "] query " << i
+                  << ": MEMs differ from Engine::run\n";
+        ok = false;
+      }
+      t.index_seconds += results[i].stats.index_seconds;
+      t.match_seconds += results[i].stats.device_match_seconds();
+    }
+    return t;
+  };
+
+  const auto cache_off_results = run_service(false);
+  const ModeTotals cache_off = totals_of(cache_off_results, "cache-off");
+  const auto cache_on_results = run_service(true);
+  const ModeTotals cache_on = totals_of(cache_on_results, "cache-on");
+
+  // Cache-off service == independent runs: identical MEMs (checked above)
+  // and identical modeled work up to delta-accounting float noise.
+  if (devices == 1) {
+    const double tol = 1e-9 + 1e-6 * baseline.total();
+    if (std::abs(cache_off.total() - baseline.total()) > tol) {
+      std::cerr << "FAIL cache-off modeled total " << cache_off.total()
+                << " s != baseline " << baseline.total() << " s\n";
+      ok = false;
+    }
+  }
+  // The tentpole claim: warm batched serving beats independent runs.
+  if (cache_on.total() >= baseline.total()) {
+    std::cerr << "FAIL cache-on modeled total " << cache_on.total()
+              << " s is not below baseline " << baseline.total() << " s\n";
+    ok = false;
+  }
+
+  const double n = static_cast<double>(n_queries);
+  util::Table table({"mode", "index_s", "dev_match_s", "total_s",
+                     "modeled_qps", "speedup_vs_runs"});
+  auto add = [&](const char* mode, const ModeTotals& t) {
+    table.add_row({mode, util::Table::num(t.index_seconds, 4),
+                   util::Table::num(t.match_seconds, 4),
+                   util::Table::num(t.total(), 4),
+                   util::Table::num(t.total() > 0 ? n / t.total() : 0.0, 2),
+                   util::Table::num(
+                       t.total() > 0 ? baseline.total() / t.total() : 0.0, 2)});
+  };
+  add("independent_runs", baseline);
+  add("serve_cache_off", cache_off);
+  add("serve_cache_on", cache_on);
+  bench::emit("bench_serve_throughput", table);
+
+  if (!ok) {
+    std::cerr << "bench_serve_throughput: verification FAILED\n";
+    return 1;
+  }
+  std::cerr << "bench_serve_throughput: verification OK (warm speedup "
+            << util::Table::num(baseline.total() / cache_on.total(), 2)
+            << "x)\n";
+  return 0;
+}

@@ -69,11 +69,35 @@ int main(int argc, char** argv) {
       }
       auto ref_records = gm::seq::read_fasta_file(ref_path);
       if (ref_records.empty()) {
-        std::cerr << "no records in " << ref_path << '\n';
+        std::cerr << "error: reference FASTA " << ref_path
+                  << " contains no records\n";
+        return 2;
+      }
+      if (ref_records.front().sequence.empty()) {
+        std::cerr << "error: reference record '" << ref_records.front().name
+                  << "' in " << ref_path << " has an empty sequence\n";
         return 2;
       }
       ref = std::move(ref_records.front().sequence);
       queries = gm::seq::read_fasta_file(query_path);
+      if (queries.empty()) {
+        std::cerr << "error: query FASTA " << query_path
+                  << " contains no records\n";
+        return 2;
+      }
+      std::erase_if(queries, [&](const gm::seq::FastaRecord& r) {
+        if (r.sequence.empty()) {
+          std::cerr << "warning: skipping query record '" << r.name
+                    << "' with empty sequence\n";
+          return true;
+        }
+        return false;
+      });
+      if (queries.empty()) {
+        std::cerr << "error: query FASTA " << query_path
+                  << " has no non-empty records\n";
+        return 2;
+      }
     }
 
     const std::string trace_out = cli.get("trace-out", "");

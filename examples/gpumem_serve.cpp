@@ -1,0 +1,214 @@
+// gpumem_serve: replay a multi-record FASTA query file through the batched
+// MEM service (serve::MemService) and print a throughput/latency report —
+// the shape of a production deployment answering a query stream against one
+// resident reference, with the tile-index cache amortizing index builds.
+//
+//   ./gpumem_serve --ref ref.fa --queries queries.fa [--min-len 20]
+//                  [--seed-len 10] [--devices 1] [--batch 8] [--repeat 1]
+//                  [--queue-cap 256] [--deadline-ms 0] [--no-cache]
+//                  [--threads 64] [--tile-blocks 8]
+//                  [--trace-out t.json] [--metrics-out m.json]
+//   ./gpumem_serve --demo          # synthetic reference + queries, no files
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "obs/registry.h"
+#include "seq/fasta.h"
+#include "seq/synthetic.h"
+#include "serve/service.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  gm::util::Cli cli(argc, argv);
+  cli.describe("ref", "reference FASTA (first record is the served reference)");
+  cli.describe("queries", "query FASTA (every record becomes one request)");
+  cli.describe("demo", "serve synthetic data instead of files");
+  cli.describe("min-len", "minimum MEM length L (default 20)");
+  cli.describe("seed-len", "seed length ls (default 10, must be <= L)");
+  cli.describe("devices", "simulated device pool size (default 1)");
+  cli.describe("batch", "max requests per dispatch round (default 8)");
+  cli.describe("repeat", "replay the query file this many times (default 1)");
+  cli.describe("queue-cap", "admission-control queue bound (default 256)");
+  cli.describe("deadline-ms", "per-request deadline in ms, 0 = none");
+  cli.describe("no-cache", "rebuild the reference index per request");
+  cli.describe("threads", "threads per block tau (default 64)");
+  cli.describe("tile-blocks", "blocks per tile n_block (default 8)");
+  cli.describe("trace-out", "write a Chrome-trace JSON of the replay here");
+  cli.describe("metrics-out", "write run metrics as JSON here");
+  if (cli.handle_help(
+          "gpumem_serve: batched MEM serving with a reference index cache"))
+    return 0;
+
+  try {
+    gm::seq::Sequence ref;
+    std::vector<gm::seq::FastaRecord> queries;
+    if (cli.get_bool("demo", false)) {
+      const auto pair = gm::seq::make_dataset("chrXII_s/chrI_s", 42, 8);
+      ref = pair.reference;
+      for (int i = 0; i < 4; ++i) {
+        gm::seq::MutationModel mut;
+        mut.snp_rate = 0.01 + 0.01 * i;
+        queries.push_back({"demo_q" + std::to_string(i),
+                           mut.apply(pair.query, 100 + i), 0});
+      }
+      std::cerr << "[demo] ref " << ref.size() << " bp, " << queries.size()
+                << " synthetic queries\n";
+    } else {
+      const std::string ref_path = cli.get("ref", "");
+      const std::string query_path = cli.get("queries", "");
+      if (ref_path.empty() || query_path.empty()) {
+        std::cerr << "need --ref and --queries (or --demo); see --help\n";
+        return 2;
+      }
+      auto ref_records = gm::seq::read_fasta_file(ref_path);
+      if (ref_records.empty() || ref_records.front().sequence.empty()) {
+        std::cerr << "error: reference FASTA " << ref_path
+                  << " has no usable sequence\n";
+        return 2;
+      }
+      ref = std::move(ref_records.front().sequence);
+      queries = gm::seq::read_fasta_file(query_path);
+      std::erase_if(queries, [&](const gm::seq::FastaRecord& r) {
+        if (r.sequence.empty()) {
+          std::cerr << "warning: skipping empty query record '" << r.name
+                    << "'\n";
+          return true;
+        }
+        return false;
+      });
+      if (queries.empty()) {
+        std::cerr << "error: query FASTA " << query_path
+                  << " has no non-empty records\n";
+        return 2;
+      }
+    }
+
+    const std::string trace_out = cli.get("trace-out", "");
+    const std::string metrics_out = cli.get("metrics-out", "");
+    if (!trace_out.empty() || !metrics_out.empty()) {
+      gm::obs::Registry::global().set_enabled(true);
+    }
+
+    gm::serve::ServiceConfig scfg;
+    scfg.engine.min_length =
+        static_cast<std::uint32_t>(cli.get_int("min-len", 20));
+    scfg.engine.seed_len = static_cast<std::uint32_t>(cli.get_int(
+        "seed-len", std::min<std::int64_t>(10, scfg.engine.min_length)));
+    scfg.engine.threads =
+        static_cast<std::uint32_t>(cli.get_int("threads", 64));
+    scfg.engine.tile_blocks =
+        static_cast<std::uint32_t>(cli.get_int("tile-blocks", 8));
+    scfg.devices = static_cast<std::uint32_t>(cli.get_int("devices", 1));
+    scfg.max_batch = static_cast<std::size_t>(cli.get_int("batch", 8));
+    scfg.queue_capacity =
+        static_cast<std::size_t>(cli.get_int("queue-cap", 256));
+    scfg.default_deadline_seconds =
+        cli.get_double("deadline-ms", 0.0) / 1000.0;
+    scfg.cache_enabled = !cli.get_bool("no-cache", false);
+    scfg.start_paused = true;  // queue the whole replay, then dispatch
+
+    const std::size_t repeat =
+        static_cast<std::size_t>(std::max<std::int64_t>(1, cli.get_int("repeat", 1)));
+
+    gm::serve::MemService service(scfg, std::move(ref));
+    std::cerr << "[serve] reference " << service.reference().size()
+              << " bp, pool of " << scfg.devices << " device(s), cache "
+              << (scfg.cache_enabled ? "on" : "off") << '\n';
+
+    gm::util::Timer wall;
+    std::vector<std::future<gm::serve::QueryResult>> futures;
+    for (std::size_t r = 0; r < repeat; ++r) {
+      for (const auto& record : queries) {
+        gm::serve::QueryRequest req;
+        req.id = record.name;
+        if (repeat > 1) {
+          req.id += '#';
+          req.id += std::to_string(r);
+        }
+        req.query = record.sequence;
+        futures.push_back(service.submit(std::move(req)));
+      }
+    }
+    service.resume();
+
+    gm::util::Summary queue_s, service_s, modeled_s;
+    std::uint64_t ok = 0, mems = 0, warm = 0, not_ok = 0;
+    double modeled_index = 0.0, modeled_match = 0.0;
+    for (auto& fut : futures) {
+      const gm::serve::QueryResult res = fut.get();
+      if (res.status == gm::serve::QueryStatus::kOk) {
+        ++ok;
+        mems += res.stats.mem_count;
+        warm += res.stats.index_cache_hit;
+        modeled_index += res.stats.index_seconds;
+        modeled_match += res.stats.match_seconds;
+        modeled_s.add(res.stats.index_seconds + res.stats.match_seconds);
+      } else {
+        ++not_ok;
+      }
+      queue_s.add(res.queue_seconds);
+      service_s.add(res.service_seconds);
+      std::cerr << "[req " << res.id << "] " << to_string(res.status) << ", "
+                << res.stats.mem_count << " MEMs, queue "
+                << res.queue_seconds * 1e3 << " ms, service "
+                << res.service_seconds * 1e3 << " ms, modeled "
+                << (res.stats.index_seconds + res.stats.match_seconds) * 1e3
+                << " ms" << (res.stats.index_cache_hit ? " (warm index)" : "")
+                << (res.error.empty() ? "" : " — " + res.error) << '\n';
+    }
+    const double wall_seconds = wall.seconds();
+    service.shutdown();
+
+    const gm::serve::ServiceStats st = service.stats();
+    const double modeled_total = modeled_index + modeled_match;
+    std::cout << "=== gpumem_serve report ===\n"
+              << "requests:        " << futures.size() << " (" << ok
+              << " ok, " << not_ok << " not ok)\n"
+              << "MEMs reported:   " << mems << '\n'
+              << "wall time:       " << wall_seconds << " s ("
+              << (wall_seconds > 0 ? static_cast<double>(ok) / wall_seconds
+                                   : 0.0)
+              << " queries/s)\n"
+              << "modeled device:  " << modeled_total << " s total ("
+              << (modeled_total > 0 ? static_cast<double>(ok) / modeled_total
+                                    : 0.0)
+              << " queries/s), index " << modeled_index << " s, match "
+              << modeled_match << " s\n"
+              << "warm requests:   " << warm << "/" << ok << '\n'
+              << "index cache:     " << st.cache_hits << " hits, "
+              << st.cache_misses << " misses, " << st.cache_resident_bytes
+              << " resident bytes\n"
+              << "queue latency:   mean " << queue_s.mean() * 1e3
+              << " ms, max " << queue_s.max() * 1e3 << " ms (depth peak "
+              << st.max_queue_depth << ")\n"
+              << "service latency: mean " << service_s.mean() * 1e3
+              << " ms, max " << service_s.max() * 1e3 << " ms\n"
+              << "batches:         " << st.batches << '\n';
+
+    if (!trace_out.empty()) {
+      std::ofstream f(trace_out);
+      if (!f) {
+        std::cerr << "cannot open --trace-out file\n";
+        return 2;
+      }
+      gm::obs::Registry::global().trace().write_chrome_json(f);
+      std::cerr << "[obs] trace written to " << trace_out << '\n';
+    }
+    if (!metrics_out.empty()) {
+      std::ofstream f(metrics_out);
+      if (!f) {
+        std::cerr << "cannot open --metrics-out file\n";
+        return 2;
+      }
+      gm::obs::Registry::global().metrics().write_json(f);
+      std::cerr << "[obs] metrics written to " << metrics_out << '\n';
+    }
+    return not_ok == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -69,6 +69,8 @@ void publish_run_stats(const RunStats& stats) {
   set("run.overflow_rounds", static_cast<double>(stats.overflow_rounds));
   set("run.kernels_launched", static_cast<double>(stats.kernels_launched));
   set("run.device_peak_bytes", static_cast<double>(stats.device_peak_bytes));
+  set("run.index_cache_hit", stats.index_cache_hit ? 1.0 : 0.0,
+      "1 when every tile-row index was served prebuilt (no build work)");
   for (const RunStats::KernelStat& ks : stats.kernel_breakdown) {
     m.gauge("kernel." + ks.label + ".seconds").set(ks.seconds);
     m.gauge("kernel." + ks.label + ".launches")
@@ -111,7 +113,8 @@ void Engine::run_simt_rows(simt::Device& dev, const seq::Sequence& ref,
                            std::uint32_t row_begin, std::uint32_t row_end,
                            std::vector<mem::Mem>& reported,
                            std::vector<mem::Mem>& outtile_pieces,
-                           RunStats& stats) const {
+                           RunStats& stats,
+                           RowIndexSource* index_source) const {
   const Config::Geometry g = cfg_.validated();
   if (ref.empty() || query.empty() || row_begin >= row_end) return;
 
@@ -129,7 +132,13 @@ void Engine::run_simt_rows(simt::Device& dev, const seq::Sequence& ref,
 
   const std::uint32_t max_locs =
       static_cast<std::uint32_t>(g.tile_len / g.step) + 2;
-  DeviceIndex index(dev, cfg_.seed_len, g.step, max_locs);
+  // Build-per-run path owns one index rebuilt per row; the prebuilt path
+  // borrows resident indexes from the source instead.
+  std::optional<DeviceIndex> local_index;
+  if (index_source == nullptr) {
+    local_index.emplace(dev, cfg_.seed_len, g.step, max_locs);
+  }
+  std::uint32_t rows_hit = 0;
 
   std::uint32_t cap_out = cfg_.output_capacity;
   std::uint32_t cap_in = cfg_.output_capacity;
@@ -138,14 +147,29 @@ void Engine::run_simt_rows(simt::Device& dev, const seq::Sequence& ref,
     const std::uint32_t r0 = row * g.tile_len;
     const std::uint32_t r1 = static_cast<std::uint32_t>(
         std::min<std::size_t>(ref.size(), r0 + std::size_t{g.tile_len}));
+    DeviceIndex* index = nullptr;
     {
       const double before = dev.ledger().total_seconds();
-      build_partial_index(dev, ref, r0, r1, cfg_.threads, index);
+      bool hit = false;
+      if (index_source != nullptr) {
+        index = &index_source->acquire(dev, ref, row, hit);
+        if (index->seed_len != cfg_.seed_len || index->step != g.step) {
+          throw std::invalid_argument(
+              "run_simt_rows: RowIndexSource geometry does not match the "
+              "engine config (seed_len/step)");
+        }
+      } else {
+        build_partial_index(dev, ref, r0, r1, cfg_.threads, *local_index);
+        index = &*local_index;
+      }
+      rows_hit += hit;
       const double delta = dev.ledger().total_seconds() - before;
       stats.index_seconds += delta;
       if (obs::enabled()) {
         obs::record_modeled_span("index/build-row", "stage", before, delta,
-                                 dev.ordinal(), {{"row", std::uint64_t{row}}});
+                                 dev.ordinal(),
+                                 {{"row", std::uint64_t{row}},
+                                  {"cache_hit", std::uint64_t{hit}}});
       }
     }
 
@@ -176,8 +200,8 @@ void Engine::run_simt_rows(simt::Device& dev, const seq::Sequence& ref,
         MatchParams params;
         params.ref = &ref;
         params.query = &query;
-        params.ptrs = index.ptrs.span();
-        params.locs = index.locs.span();
+        params.ptrs = index->ptrs.span();
+        params.locs = index->locs.span();
         params.tile = tile;
         params.seed_len = cfg_.seed_len;
         params.w = g.w;
@@ -298,10 +322,29 @@ void Engine::run_simt_rows(simt::Device& dev, const seq::Sequence& ref,
     }
   }
 
+  stats.index_cache_hit =
+      index_source != nullptr && rows_hit == row_end - row_begin;
 }
 
 Result Engine::run_simt(const seq::Sequence& ref,
                         const seq::Sequence& query) const {
+  simt::Device dev(cfg_.device);
+  return run_simt_on(dev, ref, query, nullptr);
+}
+
+Result Engine::run_simt_cached(simt::Device& dev, const seq::Sequence& ref,
+                               const seq::Sequence& query,
+                               RowIndexSource& source) const {
+  if (cfg_.backend != Backend::kSimt) {
+    throw std::invalid_argument(
+        "run_simt_cached: row-index sources serve only the SIMT backend");
+  }
+  return run_simt_on(dev, ref, query, &source);
+}
+
+Result Engine::run_simt_on(simt::Device& dev, const seq::Sequence& ref,
+                           const seq::Sequence& query,
+                           RowIndexSource* index_source) const {
   const Config::Geometry g = cfg_.validated();
   if (cfg_.observe) obs::Registry::global().set_enabled(true);
   obs::Span run_span("pipeline/run", "pipeline");
@@ -311,7 +354,11 @@ Result Engine::run_simt(const seq::Sequence& ref,
   util::Timer wall;
   Result result;
 
-  simt::Device dev(cfg_.device);
+  // The device may be persistent (serve-layer pool, resident cache), so all
+  // ledger-derived stats are deltas from this point, and the peak watermark
+  // restarts at whatever is currently resident.
+  const simt::PerfLedger::Snapshot base = dev.ledger().snapshot();
+  dev.reset_peak();
   if (!ref.empty() && !query.empty()) {
     result.stats.tile_rows = static_cast<std::uint32_t>(
         util::ceil_div<std::size_t>(ref.size(), g.tile_len));
@@ -322,7 +369,7 @@ Result Engine::run_simt(const seq::Sequence& ref,
   std::vector<mem::Mem> reported;        // in-block + in-tile MEMs
   std::vector<mem::Mem> outtile_pieces;  // stitched at the end
   run_simt_rows(dev, ref, query, 0, result.stats.tile_rows, reported,
-                outtile_pieces, result.stats);
+                outtile_pieces, result.stats, index_source);
 
   // ---- final host merge of out-tile triplets (Section III-C2) -------------
   {
@@ -341,9 +388,9 @@ Result Engine::run_simt(const seq::Sequence& ref,
 
   result.mems = std::move(reported);
   result.stats.mem_count = result.mems.size();
-  result.stats.kernels_launched = dev.ledger().kernels_launched();
+  result.stats.kernels_launched = dev.ledger().kernels_launched() - base.kernels;
   result.stats.device_peak_bytes = dev.peak_bytes();
-  for (const auto& [label, ls] : dev.ledger().breakdown()) {
+  for (const auto& [label, ls] : dev.ledger().breakdown_since(base)) {
     result.stats.kernel_breakdown.push_back({label, ls.seconds, ls.launches});
   }
   result.stats.wall_seconds = wall.seconds();
@@ -373,6 +420,7 @@ Result Engine::run_native(const seq::Sequence& ref,
       util::ceil_div<std::size_t>(query.size(), g.tile_len));
   result.stats.tile_rows = n_r;
   result.stats.tile_cols = n_c;
+  result.stats.index_cache_hit = prebuilt != nullptr;
 
   std::vector<mem::Mem> reported;
   std::vector<mem::Mem> outtile_pieces;

@@ -46,6 +46,11 @@ struct RunStats {
   std::uint64_t overflow_rounds = 0; ///< rounds processed by host fallback
   std::uint64_t kernels_launched = 0;
   std::size_t device_peak_bytes = 0;
+  /// True when every tile-row index this run needed came ready-made — from a
+  /// RowIndexSource serving warm entries (SIMT) or a prebuilt NativeIndex —
+  /// so no Algorithm 1 / index-build work ran. The serve layer's cache
+  /// effectiveness signal.
+  bool index_cache_hit = false;
 
   /// One kernel label's modeled totals (SIMT backend).
   struct KernelStat {
@@ -67,6 +72,26 @@ void publish_run_stats(const RunStats& stats);
 struct Result {
   std::vector<mem::Mem> mems;  ///< canonical order, no duplicates
   RunStats stats;
+};
+
+struct DeviceIndex;  // core/index_kernels.h
+
+/// Supplies ready-to-use per-tile-row (ptrs, locs) indexes to the SIMT
+/// pipeline, replacing the per-run Algorithm 1 builds. The index depends
+/// only on the reference row and the (seed_len, step, tile_len) geometry, so
+/// a source can build each row once and serve it to every subsequent run —
+/// the serve layer's DeviceRowIndexCache is the canonical implementation.
+class RowIndexSource {
+ public:
+  virtual ~RowIndexSource() = default;
+
+  /// Returns the index for tile row `row` of `ref`, resident on `dev`.
+  /// Implementations build on miss (charging `dev`'s ledger the modeled
+  /// build time) and serve later calls for free; `hit` reports which
+  /// happened. The returned reference stays valid until the source is
+  /// cleared or destroyed.
+  virtual DeviceIndex& acquire(simt::Device& dev, const seq::Sequence& ref,
+                               std::uint32_t row, bool& hit) = 0;
 };
 
 class Engine {
@@ -96,20 +121,34 @@ class Engine {
                              const seq::Sequence& query,
                              const NativeIndex& prebuilt) const;
 
+  /// run() on the SIMT backend against a caller-owned (usually persistent)
+  /// device, taking every tile-row index from `source` instead of building
+  /// per run — the serve layer's warm path. RunStats are ledger *deltas*,
+  /// so `dev` may carry state from earlier runs; `source` must have been
+  /// created for this exact config (geometry is checked per row).
+  Result run_simt_cached(simt::Device& dev, const seq::Sequence& ref,
+                         const seq::Sequence& query,
+                         RowIndexSource& source) const;
+
   /// Device-level work unit: processes tile rows [row_begin, row_end) on
   /// `dev` (uploading the sequences, building the per-row partial index,
   /// matching every tile of those rows), appending reported MEMs and
   /// out-tile pieces. Exposed for the multi-device driver
-  /// (core/multi_device.h); single-device run() is this over all rows plus
-  /// the final host merge.
+  /// (core/multi_device.h) and the serve layer; single-device run() is this
+  /// over all rows plus the final host merge. When `index_source` is given,
+  /// row indexes are acquired from it instead of built, and
+  /// `stats.index_cache_hit` reports whether every row was served warm.
   void run_simt_rows(simt::Device& dev, const seq::Sequence& ref,
                      const seq::Sequence& query, std::uint32_t row_begin,
                      std::uint32_t row_end, std::vector<mem::Mem>& reported,
-                     std::vector<mem::Mem>& outtile_pieces,
-                     RunStats& stats) const;
+                     std::vector<mem::Mem>& outtile_pieces, RunStats& stats,
+                     RowIndexSource* index_source = nullptr) const;
 
  private:
   Result run_simt(const seq::Sequence& ref, const seq::Sequence& query) const;
+  Result run_simt_on(simt::Device& dev, const seq::Sequence& ref,
+                     const seq::Sequence& query,
+                     RowIndexSource* index_source) const;
   Result run_native(const seq::Sequence& ref, const seq::Sequence& query,
                     const NativeIndex* prebuilt = nullptr) const;
 

@@ -1,0 +1,104 @@
+#include "serve/index_cache.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/registry.h"
+#include "util/bits.h"
+
+namespace gm::serve {
+
+IndexCacheKey make_cache_key(std::uint64_t ref_id, const core::Config& cfg) {
+  const core::Config::Geometry g = cfg.validated();
+  return IndexCacheKey{ref_id, cfg.seed_len, g.step, g.tile_len};
+}
+
+DeviceRowIndexCache::DeviceRowIndexCache(simt::Device& dev,
+                                         const core::Config& cfg,
+                                         std::uint64_t ref_id)
+    : dev_(&dev),
+      cfg_(cfg),
+      geo_(cfg.validated()),
+      key_(make_cache_key(ref_id, cfg)),
+      max_locs_(static_cast<std::uint32_t>(geo_.tile_len / geo_.step) + 2) {
+  if (cfg_.backend != core::Backend::kSimt) {
+    throw std::invalid_argument(
+        "DeviceRowIndexCache: cached row indexes are device-resident; use "
+        "Engine::NativeIndex for the native backend");
+  }
+}
+
+core::DeviceIndex& DeviceRowIndexCache::acquire(simt::Device& dev,
+                                                const seq::Sequence& ref,
+                                                std::uint32_t row, bool& hit) {
+  if (&dev != dev_) {
+    throw std::invalid_argument(
+        "DeviceRowIndexCache: acquire on a different device than the cache "
+        "is bound to");
+  }
+  std::lock_guard lock(mu_);
+  if (const auto it = rows_.find(row); it != rows_.end()) {
+    hit = true;
+    ++hits_;
+    if (obs::enabled()) {
+      obs::Registry::global()
+          .metrics()
+          .counter("serve.index_cache.hits",
+                   "tile-row indexes served without building")
+          .add();
+    }
+    return it->second;
+  }
+
+  hit = false;
+  ++misses_;
+  const std::size_t r0 = std::size_t{row} * geo_.tile_len;
+  const std::size_t r1 =
+      std::min<std::size_t>(ref.size(), r0 + geo_.tile_len);
+  if (r0 >= ref.size()) {
+    throw std::out_of_range("DeviceRowIndexCache: row beyond the reference");
+  }
+  const auto [it, inserted] = rows_.try_emplace(
+      row, *dev_, cfg_.seed_len, geo_.step, max_locs_);
+  (void)inserted;
+  core::build_partial_index(*dev_, ref, r0, r1, cfg_.threads, it->second);
+  if (obs::enabled()) {
+    obs::Registry::global()
+        .metrics()
+        .counter("serve.index_cache.misses",
+                 "tile-row indexes built and cached")
+        .add();
+  }
+  return it->second;
+}
+
+std::uint64_t DeviceRowIndexCache::hits() const {
+  std::lock_guard lock(mu_);
+  return hits_;
+}
+
+std::uint64_t DeviceRowIndexCache::misses() const {
+  std::lock_guard lock(mu_);
+  return misses_;
+}
+
+std::size_t DeviceRowIndexCache::rows_cached() const {
+  std::lock_guard lock(mu_);
+  return rows_.size();
+}
+
+std::size_t DeviceRowIndexCache::resident_bytes() const {
+  std::lock_guard lock(mu_);
+  std::size_t bytes = 0;
+  for (const auto& [row, index] : rows_) {
+    bytes += index.ptrs.bytes() + index.locs.bytes();
+  }
+  return bytes;
+}
+
+void DeviceRowIndexCache::clear() {
+  std::lock_guard lock(mu_);
+  rows_.clear();
+}
+
+}  // namespace gm::serve

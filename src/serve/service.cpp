@@ -1,0 +1,328 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/host_stitch.h"
+#include "obs/registry.h"
+#include "util/bits.h"
+#include "util/timer.h"
+
+namespace gm::serve {
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+const char* to_string(QueryStatus status) {
+  switch (status) {
+    case QueryStatus::kOk: return "ok";
+    case QueryStatus::kRejected: return "rejected";
+    case QueryStatus::kExpired: return "expired";
+    case QueryStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+void publish_service_stats(const ServiceStats& stats) {
+  if (!obs::enabled()) return;
+  obs::Metrics& m = obs::Registry::global().metrics();
+  const auto set = [&m](const std::string& name, double v,
+                        const std::string& help = {}) {
+    m.gauge(name, help).set(v);
+  };
+  set("serve.submitted", static_cast<double>(stats.submitted),
+      "submit() calls, accepted or not");
+  set("serve.completed", static_cast<double>(stats.completed));
+  set("serve.rejected", static_cast<double>(stats.rejected),
+      "submits refused by admission control or shutdown");
+  set("serve.expired", static_cast<double>(stats.expired),
+      "requests whose deadline passed while queued");
+  set("serve.failed", static_cast<double>(stats.failed));
+  set("serve.batches", static_cast<double>(stats.batches));
+  set("serve.cache_hits", static_cast<double>(stats.cache_hits));
+  set("serve.cache_misses", static_cast<double>(stats.cache_misses));
+  set("serve.cache_resident_bytes",
+      static_cast<double>(stats.cache_resident_bytes),
+      "device bytes held by cached row indexes");
+  set("serve.queue_depth", static_cast<double>(stats.queue_depth));
+  set("serve.max_queue_depth", static_cast<double>(stats.max_queue_depth));
+  set("serve.modeled_index_seconds", stats.modeled_index_seconds,
+      "summed per-request modeled index time (device max per request)");
+  set("serve.modeled_match_seconds", stats.modeled_match_seconds);
+  set("serve.queue_seconds_total", stats.queue_seconds_total);
+}
+
+MemService::MemService(ServiceConfig cfg, seq::Sequence ref)
+    : cfg_(std::move(cfg)), ref_(std::move(ref)), engine_(cfg_.engine) {
+  if (cfg_.engine.backend != core::Backend::kSimt) {
+    throw std::invalid_argument(
+        "MemService: the device pool serves only Backend::kSimt configs");
+  }
+  if (cfg_.devices == 0) {
+    throw std::invalid_argument("MemService: need >= 1 device");
+  }
+  if (cfg_.queue_capacity == 0) {
+    throw std::invalid_argument("MemService: queue_capacity must be >= 1");
+  }
+  if (cfg_.max_batch == 0) cfg_.max_batch = 1;
+  const core::Config::Geometry g = cfg_.engine.validated();
+  tile_rows_ = ref_.empty()
+                   ? 0
+                   : static_cast<std::uint32_t>(
+                         util::ceil_div<std::size_t>(ref_.size(), g.tile_len));
+
+  // Row-contiguous partitioning across the pool, as in run_multi_device;
+  // cross-partition MEMs stitch in the per-request host merge.
+  const std::uint32_t rows_per_device =
+      tile_rows_ == 0 ? 0 : util::ceil_div(tile_rows_, cfg_.devices);
+  workers_.reserve(cfg_.devices);
+  for (std::uint32_t d = 0; d < cfg_.devices; ++d) {
+    DeviceWorker w;
+    w.dev = std::make_unique<simt::Device>(cfg_.engine.device, d);
+    if (cfg_.cache_enabled) {
+      // The reference's identity within one service is fixed; device
+      // ordinal keeps keys distinct in traces only, not in the key itself.
+      w.cache = std::make_unique<DeviceRowIndexCache>(
+          *w.dev, cfg_.engine, /*ref_id=*/reinterpret_cast<std::uintptr_t>(this));
+    }
+    w.row_begin = std::min(tile_rows_, d * rows_per_device);
+    w.row_end = std::min(tile_rows_, w.row_begin + rows_per_device);
+    workers_.push_back(std::move(w));
+  }
+
+  paused_ = cfg_.start_paused;
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+MemService::~MemService() { shutdown(); }
+
+std::future<QueryResult> MemService::submit(QueryRequest req) {
+  std::promise<QueryResult> promise;
+  std::future<QueryResult> fut = promise.get_future();
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.submitted;
+    if (stopping_ || queue_.size() >= cfg_.queue_capacity) {
+      ++stats_.rejected;
+      QueryResult r;
+      r.status = QueryStatus::kRejected;
+      r.id = std::move(req.id);
+      r.error = stopping_ ? "service is shut down"
+                          : "queue full (capacity " +
+                                std::to_string(cfg_.queue_capacity) + ")";
+      promise.set_value(std::move(r));
+      if (obs::enabled()) {
+        obs::Registry::global()
+            .metrics()
+            .counter("serve.rejected_total", "rejected submits")
+            .add();
+      }
+      return fut;
+    }
+    Pending pending;
+    pending.deadline_seconds = req.deadline_seconds > 0.0
+                                   ? req.deadline_seconds
+                                   : cfg_.default_deadline_seconds;
+    pending.req = std::move(req);
+    pending.promise = std::move(promise);
+    pending.submitted_at = std::chrono::steady_clock::now();
+    queue_.push_back(std::move(pending));
+    stats_.queue_depth = queue_.size();
+    stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
+    if (obs::enabled()) {
+      obs::Registry::global()
+          .metrics()
+          .gauge("serve.queue_depth")
+          .set(static_cast<double>(queue_.size()));
+    }
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void MemService::resume() {
+  {
+    std::lock_guard lock(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void MemService::shutdown() {
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_ && !dispatcher_.joinable()) return;
+    stopping_ = true;
+    paused_ = false;  // drain whatever is queued even if never resumed
+  }
+  cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+ServiceStats MemService::stats() const {
+  std::lock_guard lock(mu_);
+  ServiceStats out = stats_;
+  out.queue_depth = queue_.size();
+  out.cache_hits = out.cache_misses = 0;
+  out.cache_resident_bytes = 0;
+  for (const DeviceWorker& w : workers_) {
+    if (w.cache == nullptr) continue;
+    out.cache_hits += w.cache->hits();
+    out.cache_misses += w.cache->misses();
+    out.cache_resident_bytes += w.cache->resident_bytes();
+  }
+  return out;
+}
+
+void MemService::dispatcher_loop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [&] {
+        return (!paused_ && !queue_.empty()) || stopping_;
+      });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      const std::size_t n = std::min(cfg_.max_batch, queue_.size());
+      batch.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      ++stats_.batches;
+      stats_.queue_depth = queue_.size();
+    }
+
+    if (obs::enabled()) {
+      obs::Metrics& m = obs::Registry::global().metrics();
+      m.distribution("serve.batch_size", "requests per dispatch round")
+          .observe(static_cast<double>(batch.size()));
+      m.gauge("serve.queue_depth").set(static_cast<double>(stats().queue_depth));
+    }
+
+    for (Pending& pending : batch) {
+      const auto dispatched_at = std::chrono::steady_clock::now();
+      const double queue_seconds =
+          seconds_between(pending.submitted_at, dispatched_at);
+      QueryResult result = execute(pending, queue_seconds);
+      result.service_seconds =
+          seconds_between(dispatched_at, std::chrono::steady_clock::now());
+      {
+        std::lock_guard lock(mu_);
+        stats_.queue_seconds_total += queue_seconds;
+        switch (result.status) {
+          case QueryStatus::kOk:
+            ++stats_.completed;
+            stats_.modeled_index_seconds += result.stats.index_seconds;
+            stats_.modeled_match_seconds += result.stats.match_seconds;
+            break;
+          case QueryStatus::kExpired: ++stats_.expired; break;
+          case QueryStatus::kFailed: ++stats_.failed; break;
+          case QueryStatus::kRejected: ++stats_.rejected; break;
+        }
+      }
+      if (obs::enabled()) {
+        obs::Metrics& m = obs::Registry::global().metrics();
+        m.distribution("serve.queue_seconds", "submit -> dispatch wall time")
+            .observe(queue_seconds);
+        m.distribution("serve.service_seconds",
+                       "dispatch -> completion wall time")
+            .observe(result.service_seconds);
+      }
+      pending.promise.set_value(std::move(result));
+    }
+    publish_service_stats(stats());
+  }
+}
+
+QueryResult MemService::execute(Pending& pending, double queue_seconds) {
+  QueryResult result;
+  result.id = pending.req.id;
+  result.queue_seconds = queue_seconds;
+
+  if (pending.deadline_seconds > 0.0 &&
+      queue_seconds > pending.deadline_seconds) {
+    result.status = QueryStatus::kExpired;
+    result.error = "deadline of " + std::to_string(pending.deadline_seconds) +
+                   " s exceeded while queued";
+    return result;
+  }
+
+  obs::Span request_span("serve/request", "serve");
+  request_span.attr("id", result.id);
+  request_span.attr("query_bp", std::uint64_t{pending.req.query.size()});
+  request_span.attr("queue_us", queue_seconds * 1e6);
+
+  util::Timer wall;
+  try {
+    const seq::Sequence& query = pending.req.query;
+    result.stats.tile_rows = tile_rows_;
+    result.stats.tile_cols =
+        query.empty() ? 0
+                      : static_cast<std::uint32_t>(util::ceil_div<std::size_t>(
+                            query.size(),
+                            cfg_.engine.validated().tile_len));
+    if (query.empty()) result.stats.tile_rows = 0;
+
+    std::vector<mem::Mem> reported;
+    std::vector<mem::Mem> outtile_pieces;
+    bool all_rows_warm = tile_rows_ > 0 && !query.empty();
+    for (DeviceWorker& w : workers_) {
+      if (w.row_begin >= w.row_end) continue;
+      const simt::PerfLedger::Snapshot before = w.dev->ledger().snapshot();
+      w.dev->reset_peak();
+      core::RunStats dstats;
+      engine_.run_simt_rows(*w.dev, ref_, query, w.row_begin, w.row_end,
+                            reported, outtile_pieces, dstats, w.cache.get());
+      // Pool members run concurrently in the model: per-request modeled
+      // time is the slowest device, counters are totals.
+      result.stats.index_seconds =
+          std::max(result.stats.index_seconds, dstats.index_seconds);
+      result.stats.match_seconds =
+          std::max(result.stats.match_seconds, dstats.match_seconds);
+      result.stats.inblock_mems += dstats.inblock_mems;
+      result.stats.intile_mems += dstats.intile_mems;
+      result.stats.overflow_rounds += dstats.overflow_rounds;
+      result.stats.kernels_launched +=
+          w.dev->ledger().kernels_launched() - before.kernels;
+      result.stats.device_peak_bytes =
+          std::max(result.stats.device_peak_bytes, w.dev->peak_bytes());
+      all_rows_warm = all_rows_warm && dstats.index_cache_hit;
+    }
+    result.stats.index_cache_hit = all_rows_warm;
+
+    // Host merge over the union of all devices' out-tile pieces.
+    util::Timer host_merge;
+    result.stats.outtile_pieces = outtile_pieces.size();
+    std::vector<mem::Mem> finished = core::finalize_out_tile(
+        ref_, query, std::move(outtile_pieces), cfg_.engine.min_length);
+    reported.insert(reported.end(), finished.begin(), finished.end());
+    mem::sort_unique(reported);
+    result.stats.host_stitch_seconds = host_merge.seconds();
+    result.stats.match_seconds += result.stats.host_stitch_seconds;
+
+    result.mems = std::move(reported);
+    result.stats.mem_count = result.mems.size();
+    result.stats.wall_seconds = wall.seconds();
+    result.status = QueryStatus::kOk;
+    core::publish_run_stats(result.stats);
+  } catch (const std::exception& e) {
+    result.status = QueryStatus::kFailed;
+    result.error = e.what();
+    result.mems.clear();
+  }
+  request_span.attr("status", std::string(to_string(result.status)));
+  request_span.attr("mems", result.stats.mem_count);
+  return result;
+}
+
+}  // namespace gm::serve

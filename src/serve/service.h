@@ -1,0 +1,175 @@
+// Batched multi-query MEM service over a pool of simulated devices.
+//
+// MemService answers a stream of queries against one reference: a bounded
+// submit queue (admission control / backpressure), per-request deadlines, a
+// dispatcher that drains the queue in batches, and a device pool that
+// partitions tile rows per device (run_multi_device's partitioning) with a
+// per-device reference index cache — so steady-state requests pay only the
+// extraction time, not Table III's index build. See docs/SERVING.md.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/config.h"
+#include "core/pipeline.h"
+#include "mem/mem.h"
+#include "seq/sequence.h"
+#include "serve/index_cache.h"
+#include "simt/device.h"
+
+namespace gm::serve {
+
+struct ServiceConfig {
+  core::Config engine;  ///< must use Backend::kSimt
+
+  std::uint32_t devices = 1;  ///< simulated device pool size
+
+  /// Admission bound: submits beyond this many waiting requests are
+  /// rejected immediately (backpressure surfaces to the caller instead of
+  /// growing an unbounded queue).
+  std::size_t queue_capacity = 256;
+
+  /// Max requests drained per dispatch round (one batch).
+  std::size_t max_batch = 8;
+
+  /// Deadline applied to requests that don't carry their own; measured
+  /// from submit. A request still queued past its deadline is failed with
+  /// QueryStatus::kExpired without running. 0 = none.
+  double default_deadline_seconds = 0.0;
+
+  /// Keep each device's reference row indexes resident between requests.
+  /// Off = every request rebuilds, exactly like independent Engine::run
+  /// calls (the bench baseline).
+  bool cache_enabled = true;
+
+  /// Queue submissions without dispatching until resume() — deterministic
+  /// batch formation for tests and replay drivers.
+  bool start_paused = false;
+};
+
+struct QueryRequest {
+  std::string id;      ///< echoed in the result and in request spans
+  seq::Sequence query;
+  double deadline_seconds = 0.0;  ///< from submit; 0 = service default
+};
+
+enum class QueryStatus {
+  kOk,
+  kRejected,  ///< never queued: queue full or service shut down
+  kExpired,   ///< deadline passed while queued
+  kFailed,    ///< execution error (message in QueryResult::error)
+};
+
+const char* to_string(QueryStatus status);
+
+struct QueryResult {
+  QueryStatus status = QueryStatus::kFailed;
+  std::string id;
+  std::vector<mem::Mem> mems;  ///< canonical order, no duplicates
+
+  /// Per-request stats; modeled times combine over the pool like
+  /// run_multi_device (max over concurrently running devices), and
+  /// index_cache_hit means *every* device served every row warm.
+  core::RunStats stats;
+
+  double queue_seconds = 0.0;    ///< submit -> dispatch (wall)
+  double service_seconds = 0.0;  ///< dispatch -> completion (wall)
+  std::string error;
+};
+
+/// Cumulative service counters, readable at any time via MemService::stats.
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;  ///< finished OK
+  std::uint64_t rejected = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t batches = 0;
+
+  std::uint64_t cache_hits = 0;    ///< tile-row indexes served resident
+  std::uint64_t cache_misses = 0;  ///< tile-row indexes built
+  std::size_t cache_resident_bytes = 0;
+
+  std::size_t queue_depth = 0;  ///< at snapshot time
+  std::size_t max_queue_depth = 0;
+
+  double modeled_index_seconds = 0.0;  ///< summed per-request device maxima
+  double modeled_match_seconds = 0.0;
+  double queue_seconds_total = 0.0;  ///< summed over dispatched requests
+};
+
+/// Mirrors every ServiceStats field into the global metrics registry under
+/// "serve.*" names (docs/OBSERVABILITY.md). No-op when obs is disabled.
+void publish_service_stats(const ServiceStats& stats);
+
+class MemService {
+ public:
+  /// Takes ownership of the reference; the device pool and (when enabled)
+  /// per-device index caches are created immediately, but indexes build
+  /// lazily on first use.
+  MemService(ServiceConfig cfg, seq::Sequence ref);
+  ~MemService();  ///< shutdown(): drains queued requests, joins
+
+  MemService(const MemService&) = delete;
+  MemService& operator=(const MemService&) = delete;
+
+  /// Enqueues a request. Always returns a valid future: a rejected submit
+  /// (queue full, shut down) resolves immediately with kRejected.
+  std::future<QueryResult> submit(QueryRequest req);
+
+  /// Starts dispatching when the service was created start_paused.
+  void resume();
+
+  /// Stops accepting, drains everything already queued, joins the
+  /// dispatcher. Idempotent.
+  void shutdown();
+
+  ServiceStats stats() const;
+  const ServiceConfig& config() const noexcept { return cfg_; }
+  const seq::Sequence& reference() const noexcept { return ref_; }
+
+ private:
+  struct Pending {
+    QueryRequest req;
+    std::promise<QueryResult> promise;
+    std::chrono::steady_clock::time_point submitted_at;
+    double deadline_seconds = 0.0;  ///< resolved (request or default)
+  };
+
+  /// One pool member: a persistent device owning tile rows
+  /// [row_begin, row_end) and, when caching, their resident indexes.
+  struct DeviceWorker {
+    std::unique_ptr<simt::Device> dev;
+    std::unique_ptr<DeviceRowIndexCache> cache;  ///< null when cache off
+    std::uint32_t row_begin = 0;
+    std::uint32_t row_end = 0;
+  };
+
+  void dispatcher_loop();
+  QueryResult execute(Pending& pending, double queue_seconds);
+
+  ServiceConfig cfg_;
+  seq::Sequence ref_;
+  core::Engine engine_;
+  std::uint32_t tile_rows_ = 0;
+  std::vector<DeviceWorker> workers_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  ServiceStats stats_;
+  bool paused_ = false;
+  bool stopping_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace gm::serve

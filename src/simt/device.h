@@ -131,6 +131,31 @@ class PerfLedger {
     by_label_ = s.by_label;
   }
 
+  /// Per-label breakdown of everything launched *since* `since`, sorted by
+  /// descending time. Lets a persistent device (one that serves many runs,
+  /// e.g. the serve layer's pool) report per-run kernel stats as deltas.
+  std::vector<std::pair<std::string, LabelStats>> breakdown_since(
+      const Snapshot& since) const {
+    std::lock_guard lock(mu_);
+    std::vector<std::pair<std::string, LabelStats>> out;
+    for (const auto& [label, ls] : by_label_) {
+      LabelStats base;
+      if (const auto it = since.by_label.find(label);
+          it != since.by_label.end()) {
+        base = it->second;
+      }
+      const LabelStats delta{ls.launches - base.launches,
+                             ls.seconds - base.seconds};
+      if (delta.launches > 0 || delta.seconds > 0.0) {
+        out.emplace_back(label, delta);
+      }
+    }
+    std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+      return a.second.seconds > b.second.seconds;
+    });
+    return out;
+  }
+
  private:
   mutable std::mutex mu_;
   double kernel_seconds_ = 0.0;
@@ -159,6 +184,14 @@ class Device {
   std::size_t peak_bytes() const {
     std::lock_guard lock(mu_);
     return peak_bytes_;
+  }
+  /// Resets the peak watermark to the *current* usage. A persistent device
+  /// (serve-layer pool member with cached buffers resident across requests)
+  /// calls this at request start so peak_bytes() reports the per-request
+  /// peak — resident bytes included — instead of the all-time high.
+  void reset_peak() {
+    std::lock_guard lock(mu_);
+    peak_bytes_ = bytes_in_use_;
   }
 
   /// cudaMemset equivalent: models a bandwidth-bound fill.

@@ -7,9 +7,11 @@
 #include <sstream>
 #include <string>
 
+#include "core/pipeline.h"
 #include "obs/metrics.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "serve/service.h"
 #include "util/parallel.h"
 
 namespace gm {
@@ -160,6 +162,69 @@ TEST(Metrics, JsonAndTsvExporters) {
             std::string::npos);
   EXPECT_NE(tsv.str().find("distribution\tseed_occurrences.count\t1"),
             std::string::npos);
+}
+
+TEST(Metrics, PublishRunStatsMirrorsIndexCacheHit) {
+  ObsTestGuard guard;
+  core::RunStats stats;
+  stats.index_seconds = 0.0;
+  stats.match_seconds = 0.5;
+  stats.mem_count = 7;
+  stats.index_cache_hit = true;
+  core::publish_run_stats(stats);
+  obs::Metrics& m = obs::Registry::global().metrics();
+  ASSERT_TRUE(m.has_gauge("run.index_cache_hit"));
+  EXPECT_DOUBLE_EQ(m.gauge("run.index_cache_hit").value(), 1.0);
+  EXPECT_DOUBLE_EQ(m.gauge("run.mem_count").value(), 7.0);
+
+  stats.index_cache_hit = false;
+  core::publish_run_stats(stats);
+  EXPECT_DOUBLE_EQ(m.gauge("run.index_cache_hit").value(), 0.0);
+}
+
+TEST(Metrics, PublishServiceStatsMirrorsEveryField) {
+  ObsTestGuard guard;
+  serve::ServiceStats st;
+  st.submitted = 10;
+  st.completed = 7;
+  st.rejected = 1;
+  st.expired = 1;
+  st.failed = 1;
+  st.batches = 3;
+  st.cache_hits = 12;
+  st.cache_misses = 4;
+  st.cache_resident_bytes = 4096;
+  st.queue_depth = 2;
+  st.max_queue_depth = 5;
+  st.modeled_index_seconds = 0.25;
+  st.modeled_match_seconds = 0.5;
+  st.queue_seconds_total = 0.125;
+  serve::publish_service_stats(st);
+
+  obs::Metrics& m = obs::Registry::global().metrics();
+  EXPECT_DOUBLE_EQ(m.gauge("serve.submitted").value(), 10.0);
+  EXPECT_DOUBLE_EQ(m.gauge("serve.completed").value(), 7.0);
+  EXPECT_DOUBLE_EQ(m.gauge("serve.rejected").value(), 1.0);
+  EXPECT_DOUBLE_EQ(m.gauge("serve.expired").value(), 1.0);
+  EXPECT_DOUBLE_EQ(m.gauge("serve.failed").value(), 1.0);
+  EXPECT_DOUBLE_EQ(m.gauge("serve.batches").value(), 3.0);
+  EXPECT_DOUBLE_EQ(m.gauge("serve.cache_hits").value(), 12.0);
+  EXPECT_DOUBLE_EQ(m.gauge("serve.cache_misses").value(), 4.0);
+  EXPECT_DOUBLE_EQ(m.gauge("serve.cache_resident_bytes").value(), 4096.0);
+  EXPECT_DOUBLE_EQ(m.gauge("serve.queue_depth").value(), 2.0);
+  EXPECT_DOUBLE_EQ(m.gauge("serve.max_queue_depth").value(), 5.0);
+  EXPECT_DOUBLE_EQ(m.gauge("serve.modeled_index_seconds").value(), 0.25);
+  EXPECT_DOUBLE_EQ(m.gauge("serve.modeled_match_seconds").value(), 0.5);
+  EXPECT_DOUBLE_EQ(m.gauge("serve.queue_seconds_total").value(), 0.125);
+}
+
+TEST(Metrics, PublishingIsNoOpWhenDisabled) {
+  obs::Registry::global().reset();
+  obs::Registry::global().set_enabled(false);
+  core::publish_run_stats(core::RunStats{});
+  serve::publish_service_stats(serve::ServiceStats{});
+  EXPECT_FALSE(obs::Registry::global().metrics().has_gauge("run.mem_count"));
+  EXPECT_FALSE(obs::Registry::global().metrics().has_gauge("serve.submitted"));
 }
 
 TEST(Registry, ThreadSafeUnderParallelForChunked) {

@@ -1,6 +1,7 @@
 // Sequence, FASTA, and synthetic-genome tests.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "seq/fasta.h"
@@ -142,6 +143,54 @@ TEST(Fasta, MultiRecordAndComments) {
   EXPECT_EQ(records[0].sequence.to_string(), "ACGTAC");
   EXPECT_EQ(records[1].name, "two desc here");
   EXPECT_EQ(records[1].sequence.to_string(), "GGGG");
+}
+
+TEST(Fasta, CrlfLineEndingsParse) {
+  // Windows-produced FASTA: every line ends \r\n. The \r must not reach the
+  // sequence decoder or the record name.
+  std::istringstream is(">r1\r\nACGT\r\nAC\r\n>r2\r\nGG\r\n");
+  const auto records = seq::read_fasta(is);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].name, "r1");
+  EXPECT_EQ(records[0].sequence.to_string(), "ACGTAC");
+  EXPECT_EQ(records[0].non_acgt, 0u);
+  EXPECT_EQ(records[1].name, "r2");
+  EXPECT_EQ(records[1].sequence.to_string(), "GG");
+}
+
+TEST(Fasta, EmptyRecordsAreExposed) {
+  // Headers with no sequence lines still produce records — callers decide
+  // the policy (gpumem_cli/gpumem_serve skip them with a warning).
+  std::istringstream is(">a\n>b\nACGT\n>c\n");
+  const auto records = seq::read_fasta(is);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].name, "a");
+  EXPECT_TRUE(records[0].sequence.empty());
+  EXPECT_EQ(records[1].sequence.to_string(), "ACGT");
+  EXPECT_EQ(records[2].name, "c");
+  EXPECT_TRUE(records[2].sequence.empty());
+}
+
+TEST(Fasta, MultiRecordQueryFileRoundTrip) {
+  // A multi-record query file (the serve layer's input shape) survives a
+  // write/read cycle with every record intact and in order.
+  const std::string path = ::testing::TempDir() + "/gm_fasta_multi.fa";
+  std::vector<Sequence> seqs;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    seqs.push_back(seq::GenomeModel{.length = 300 + 50 * i}.generate(30 + i));
+  }
+  {
+    std::ofstream out(path);
+    for (std::size_t i = 0; i < seqs.size(); ++i) {
+      seq::write_fasta(out, "q" + std::to_string(i), seqs[i], 60);
+    }
+  }
+  const auto records = seq::read_fasta_file(path);
+  ASSERT_EQ(records.size(), seqs.size());
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    EXPECT_EQ(records[i].name, "q" + std::to_string(i));
+    EXPECT_TRUE(records[i].sequence == seqs[i]) << "record " << i;
+  }
 }
 
 TEST(Fasta, NonAcgtPolicies) {
