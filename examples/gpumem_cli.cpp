@@ -31,6 +31,8 @@ int main(int argc, char** argv) {
   cli.describe("demo", "run on generated synthetic data instead of files");
   cli.describe("min-len", "minimum MEM length L (default 50)");
   cli.describe("seed-len", "GPUMEM seed length ls (default 13, must be <= L)");
+  cli.describe("step",
+               "GPUMEM sampling step delta_s; 0 = Eq. 1 maximum L - ls + 1");
   cli.describe("backend", "gpumem backend: native (default) or simt");
   cli.describe("finder", "tool: gpumem (default), mummer, sparsemem, essamem, slamem");
   cli.describe("both-strands", "also match the reverse-complement query");
@@ -115,6 +117,8 @@ int main(int argc, char** argv) {
           cli.get("backend", "native") == "simt" ? gm::core::Backend::kSimt
                                                  : gm::core::Backend::kNative);
       g->mutable_config().seed_len = seed_len;
+      g->mutable_config().step =
+          static_cast<std::uint32_t>(cli.get_int("step", 0));
       gpumem = g.get();
       finder = std::move(g);
     } else {

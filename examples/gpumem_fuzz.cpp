@@ -1,0 +1,198 @@
+// gpumem_fuzz: property-based differential fuzzer over every MEM finder and
+// all four SIMT pipeline serving shapes (see src/fuzz/fuzz.h and
+// docs/TESTING.md).
+//
+//   ./gpumem_fuzz --runs 200 --seed 1            # bounded fuzz session
+//   ./gpumem_fuzz --seconds 300 --seed 7         # time-budgeted (CI job)
+//   ./gpumem_fuzz --replay repro.txt             # re-run a minimized case
+//   ./gpumem_fuzz --self-test                    # prove the harness catches
+//                                                # an injected stitch bug
+//
+// Exit codes: 0 = no divergence (or replay passed / self-test caught the
+// bug), 1 = divergence found (reproducer written to --out-dir), 2 = usage.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "fuzz/fuzz.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+/// Writes a minimized reproducer; returns its path ("" when writing failed).
+std::string write_repro(const std::string& out_dir, std::uint64_t index,
+                        const gm::fuzz::FuzzCase& c) {
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  const std::string path =
+      (std::filesystem::path(out_dir) /
+       ("repro-" + std::to_string(index) + ".txt"))
+          .string();
+  std::ofstream f(path);
+  if (!f) return "";
+  f << gm::fuzz::serialize_case(c);
+  return f ? path : "";
+}
+
+int replay(const std::string& path, gm::fuzz::Fault fault) {
+  std::ifstream f(path);
+  if (!f) {
+    std::cerr << "cannot open --replay file " << path << '\n';
+    return 2;
+  }
+  std::string err;
+  const auto c = gm::fuzz::parse_case(f, &err);
+  if (!c) {
+    std::cerr << "bad reproducer " << path << ": " << err << '\n';
+    return 2;
+  }
+  const auto result = gm::fuzz::run_case(*c, fault);
+  std::cerr << "[replay] ref " << c->ref.size() << " bp, query "
+            << c->query.size() << " bp, " << result.truth_mems
+            << " truth MEMs, " << result.impls_run << " oracle runs\n";
+  if (result.ok()) {
+    std::cout << "replay OK: no divergence\n";
+    return 0;
+  }
+  std::cout << "replay FAILED:\n" << gm::fuzz::describe(result);
+  return 1;
+}
+
+/// Proves the harness end to end: inject the stitch defect, catch it, and
+/// shrink the catch to a tiny reproducer. Exits nonzero when the harness
+/// would have missed a real bug of this shape.
+int self_test(std::uint64_t seed, std::uint64_t max_runs,
+              std::size_t shrink_evals) {
+  const gm::util::Xoshiro256 master(seed);
+  constexpr auto kFault = gm::fuzz::Fault::kStitchDropBoundary;
+  for (std::uint64_t i = 0; i < max_runs; ++i) {
+    auto rng = master.fork(i);
+    gm::fuzz::FuzzCase c = gm::fuzz::sample_case(rng);
+    c.seed = seed;
+    if (gm::fuzz::run_case(c, kFault).ok()) continue;
+
+    std::cerr << "[self-test] injected fault caught at run " << i << " (ref "
+              << c.ref.size() << " bp, query " << c.query.size() << " bp)\n";
+    const gm::fuzz::FuzzCase small =
+        gm::fuzz::shrink_case(c, kFault, shrink_evals);
+    std::cerr << "[self-test] shrunk to ref " << small.ref.size()
+              << " bp, query " << small.query.size() << " bp\n";
+    if (gm::fuzz::run_case(small, kFault).ok()) {
+      std::cout << "self-test FAILED: shrunk case no longer reproduces\n";
+      return 1;
+    }
+    if (!gm::fuzz::run_case(small, gm::fuzz::Fault::kNone).ok()) {
+      std::cout << "self-test FAILED: shrunk case diverges without the "
+                   "injected fault\n";
+      return 1;
+    }
+    if (small.ref.size() > 64 || small.query.size() > 64) {
+      std::cout << "self-test FAILED: reproducer not minimal (ref "
+                << small.ref.size() << " bp, query " << small.query.size()
+                << " bp, want <= 64 each)\n"
+                << gm::fuzz::serialize_case(small);
+      return 1;
+    }
+    std::cout << "self-test OK: injected stitch bug caught and shrunk\n"
+              << gm::fuzz::serialize_case(small);
+    return 0;
+  }
+  std::cout << "self-test FAILED: no divergence within " << max_runs
+            << " runs despite the injected fault\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gm::util::Cli cli(argc, argv);
+  cli.describe("runs", "max cases to run (default 100; 0 = no count bound)");
+  cli.describe("seconds", "stop after this wall-time budget (0 = no bound)");
+  cli.describe("seed", "master RNG seed (default 1); case i uses fork(i)");
+  cli.describe("out-dir",
+               "where minimized reproducers land (default fuzz-repros)");
+  cli.describe("inject",
+               "deliberate fault for harness testing: none | stitch-drop");
+  cli.describe("replay", "re-run one serialized reproducer file and exit");
+  cli.describe("self-test",
+               "inject stitch-drop, require the harness to catch and shrink "
+               "it to <= 64 bp per sequence");
+  cli.describe("shrink-evals",
+               "oracle evaluation budget for shrinking (default 500)");
+  if (cli.handle_help(
+          "gpumem_fuzz: differential fuzzing across MEM finders and the "
+          "SIMT pipeline"))
+    return 0;
+
+  try {
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(cli.get_int("seed", 1));
+    const std::uint64_t runs =
+        static_cast<std::uint64_t>(cli.get_int("runs", 100));
+    const double seconds = cli.get_double("seconds", 0.0);
+    const std::size_t shrink_evals =
+        static_cast<std::size_t>(cli.get_int("shrink-evals", 500));
+    const std::string out_dir = cli.get("out-dir", "fuzz-repros");
+
+    const auto fault = gm::fuzz::fault_from_string(cli.get("inject", "none"));
+    if (!fault) {
+      std::cerr << "unknown --inject value; want none or stitch-drop\n";
+      return 2;
+    }
+    if (cli.has("replay")) return replay(cli.get("replay", ""), *fault);
+    if (cli.get_bool("self-test", false)) {
+      return self_test(seed, runs == 0 ? 200 : runs, shrink_evals);
+    }
+    if (runs == 0 && seconds <= 0.0) {
+      std::cerr << "need --runs > 0 or --seconds > 0\n";
+      return 2;
+    }
+
+    const gm::util::Xoshiro256 master(seed);
+    gm::util::Timer wall;
+    std::uint64_t executed = 0, truth_total = 0;
+    for (std::uint64_t i = 0; runs == 0 || i < runs; ++i) {
+      if (seconds > 0.0 && wall.seconds() >= seconds) break;
+      auto rng = master.fork(i);
+      gm::fuzz::FuzzCase c = gm::fuzz::sample_case(rng);
+      c.seed = seed;
+      const auto result = gm::fuzz::run_case(c, *fault);
+      ++executed;
+      truth_total += result.truth_mems;
+      if (result.ok()) {
+        if (executed % 25 == 0) {
+          std::cerr << "[fuzz] " << executed << " cases, " << truth_total
+                    << " truth MEMs checked, " << wall.seconds() << " s\n";
+        }
+        continue;
+      }
+
+      std::cerr << "[fuzz] divergence at case " << i << " (seed " << seed
+                << "):\n"
+                << gm::fuzz::describe(result);
+      std::cerr << "[fuzz] shrinking (budget " << shrink_evals
+                << " evaluations)...\n";
+      const gm::fuzz::FuzzCase small =
+          gm::fuzz::shrink_case(c, *fault, shrink_evals);
+      const std::string path = write_repro(out_dir, i, small);
+      std::cout << "FAILED: divergence at case " << i << ", minimized to ref "
+                << small.ref.size() << " bp / query " << small.query.size()
+                << " bp"
+                << (path.empty() ? " (could not write reproducer!)"
+                                 : ", reproducer: " + path)
+                << '\n'
+                << gm::fuzz::serialize_case(small);
+      return 1;
+    }
+    std::cout << "OK: " << executed << " cases, " << truth_total
+              << " truth MEMs checked, 0 divergences in " << wall.seconds()
+              << " s\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

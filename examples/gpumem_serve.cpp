@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   cli.describe("demo", "serve synthetic data instead of files");
   cli.describe("min-len", "minimum MEM length L (default 20)");
   cli.describe("seed-len", "seed length ls (default 10, must be <= L)");
+  cli.describe("step", "sampling step delta_s; 0 = Eq. 1 maximum L - ls + 1");
   cli.describe("devices", "simulated device pool size (default 1)");
   cli.describe("batch", "max requests per dispatch round (default 8)");
   cli.describe("repeat", "replay the query file this many times (default 1)");
@@ -97,6 +98,7 @@ int main(int argc, char** argv) {
         static_cast<std::uint32_t>(cli.get_int("min-len", 20));
     scfg.engine.seed_len = static_cast<std::uint32_t>(cli.get_int(
         "seed-len", std::min<std::int64_t>(10, scfg.engine.min_length)));
+    scfg.engine.step = static_cast<std::uint32_t>(cli.get_int("step", 0));
     scfg.engine.threads =
         static_cast<std::uint32_t>(cli.get_int("threads", 64));
     scfg.engine.tile_blocks =

@@ -27,6 +27,12 @@ Config::Geometry Config::validated() const {
   if (tile_blocks == 0) {
     throw std::invalid_argument("Config: tile_blocks must be >= 1");
   }
+  if (round_capacity == 0) {
+    throw std::invalid_argument("Config: round_capacity must be >= 1");
+  }
+  if (output_capacity == 0) {
+    throw std::invalid_argument("Config: output_capacity must be >= 1");
+  }
 
   Geometry g;
   const std::uint32_t max_step = min_length - seed_len + 1;  // Eq. 1
@@ -34,11 +40,21 @@ Config::Geometry Config::validated() const {
   if (g.step == 0 || g.step > max_step) {
     throw std::invalid_argument(
         "Config: step (delta_s) violates Eq. 1: need 1 <= step <= L - ls + 1 = " +
-        std::to_string(max_step));
+        std::to_string(max_step) +
+        " (a larger step can skip over MEMs of length exactly L)");
   }
   g.w = g.step;  // Section III-B2: w = Δs extracts every MEM exactly once
-  g.block_width = threads * g.w;
-  g.tile_len = tile_blocks * g.block_width;
+  // Tile geometry in 64 bits first: tau * Δs * n_block can exceed 32 bits
+  // for large L, and a silently wrapped tile_len corrupts every tile Rect.
+  const std::uint64_t block_width64 = std::uint64_t{threads} * g.w;
+  const std::uint64_t tile_len64 = block_width64 * tile_blocks;
+  if (tile_len64 > (std::uint64_t{1} << 31)) {
+    throw std::invalid_argument(
+        "Config: tile geometry overflows: tau * delta_s * n_block = " +
+        std::to_string(tile_len64) + " exceeds 2^31 bases per tile");
+  }
+  g.block_width = static_cast<std::uint32_t>(block_width64);
+  g.tile_len = static_cast<std::uint32_t>(tile_len64);
   return g;
 }
 

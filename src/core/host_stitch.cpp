@@ -6,6 +6,26 @@ namespace gm::core {
 
 mem::Mem expand_clamped(const seq::Sequence& ref, const seq::Sequence& query,
                         mem::Mem m, const Rect& rect) {
+  // A piece may lie (partly or wholly) outside the clamping rectangle — the
+  // combine step can merge chains whose head starts in a neighbouring strip.
+  // Guard every subtraction below against unsigned wrap: first advance a
+  // start left of the rectangle up to its corner, then drop anything that
+  // still starts at or past the far edge (len 0, callers filter on len).
+  if (m.r < rect.r0 || m.q < rect.q0) {
+    const std::uint32_t shift = std::max(m.r < rect.r0 ? rect.r0 - m.r : 0u,
+                                         m.q < rect.q0 ? rect.q0 - m.q : 0u);
+    const bool survives = shift < m.len;
+    m.r += shift;
+    m.q += shift;
+    m.len = survives ? m.len - shift : 0;
+    if (!survives) return m;  // wholly outside: nothing to expand
+  }
+  if (m.r >= rect.r1 || m.q >= rect.q1) {
+    m.r = std::min(m.r, rect.r1);
+    m.q = std::min(m.q, rect.q1);
+    m.len = 0;
+    return m;
+  }
   // Seed-wise extension may overshoot the rectangle; clamp first (the
   // discarded verified characters are re-checked by the next stage's
   // expansion, so nothing is lost).

@@ -13,8 +13,10 @@
 namespace gm::core {
 
 /// Expands a verified match triplet character-wise in both directions,
-/// clamped to `rect`. The input must satisfy rect containment and
-/// R[m.r+i] == Q[m.q+i] for i < m.len.
+/// clamped to `rect`. The input must satisfy R[m.r+i] == Q[m.q+i] for
+/// i < m.len; it need not lie inside `rect` — the part outside is trimmed
+/// first, and a piece wholly outside comes back with len 0 (callers filter
+/// on length).
 mem::Mem expand_clamped(const seq::Sequence& ref, const seq::Sequence& query,
                         mem::Mem m, const Rect& rect);
 

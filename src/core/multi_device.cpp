@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/host_stitch.h"
+#include "mem/clip.h"
 #include "obs/registry.h"
 #include "util/bits.h"
 #include "util/timer.h"
@@ -83,6 +84,7 @@ MultiDeviceResult run_multi_device(const Config& cfg, std::uint32_t devices,
     std::vector<mem::Mem> finished = finalize_out_tile(
         ref, query, std::move(outtile_pieces), cfg.min_length);
     reported.insert(reported.end(), finished.begin(), finished.end());
+    mem::clip_invalid_bases(ref, query, reported, cfg.min_length);
     mem::sort_unique(reported);
     result.combined.host_stitch_seconds = host_merge.seconds();
     result.combined.match_seconds += result.combined.host_stitch_seconds;

@@ -7,6 +7,7 @@
 
 #include "core/host_stitch.h"
 #include "core/index_kernels.h"
+#include "mem/clip.h"
 #include "core/match_kernel.h"
 #include "core/tile_kernel.h"
 #include "index/kmer_index.h"
@@ -380,6 +381,7 @@ Result Engine::run_simt_on(simt::Device& dev, const seq::Sequence& ref,
     std::vector<mem::Mem> finished = finalize_out_tile(
         ref, query, std::move(outtile_pieces), cfg_.min_length);
     reported.insert(reported.end(), finished.begin(), finished.end());
+    mem::clip_invalid_bases(ref, query, reported, cfg_.min_length);
     mem::sort_unique(reported);
     result.stats.host_stitch_seconds = host_merge.seconds();
     result.stats.match_seconds += result.stats.host_stitch_seconds;
@@ -505,6 +507,7 @@ Result Engine::run_native(const seq::Sequence& ref,
     std::vector<mem::Mem> finished = finalize_out_tile(
         ref, query, std::move(outtile_pieces), cfg_.min_length);
     reported.insert(reported.end(), finished.begin(), finished.end());
+    mem::clip_invalid_bases(ref, query, reported, cfg_.min_length);
     mem::sort_unique(reported);
     result.stats.host_stitch_seconds = host_merge.seconds();
     result.stats.match_seconds += result.stats.host_stitch_seconds;

@@ -1,0 +1,109 @@
+// Property-based differential fuzzing harness for MEM extraction.
+//
+// One sampled FuzzCase is a full problem instance: reference and query text
+// (ACGT plus lowercase soft-masking and non-ACGT 'N' bases), the paper's
+// problem parameters (L, ls, delta_s under Eq. 1), and the device geometry
+// (tau, n_block, device count) — with the sampler biased toward the
+// boundaries where tiling bugs live (sequence lengths just off tile_len
+// multiples, planted matches straddling tile boundaries, step at the Eq. 1
+// maximum).
+//
+// run_case executes every registered finder and the SIMT pipeline in all
+// four serving shapes (plain run, cached-index run, multi-device run, the
+// batched MemService path) against the naive ground truth and reports every
+// divergence: a missing MEM (completeness), an extra or non-maximal MEM
+// (soundness, double-checked via mem::validate_mems), or an execution error.
+//
+// shrink_case minimizes a failing case — geometry first (one device, one
+// block, two threads, step 1), then ddmin over both sequences — so a fuzz
+// failure lands as a small human-readable reproducer, serialized together
+// with its provenance seed for exact replay (see docs/TESTING.md).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace gm::fuzz {
+
+/// One complete differential-testing instance. Sequences are ASCII
+/// (case-insensitive ACGT; anything else is an invalid base under the
+/// mask policy — see seq::Sequence::from_string_lenient).
+struct FuzzCase {
+  std::string ref;
+  std::string query;
+
+  std::uint32_t min_len = 8;      ///< L
+  std::uint32_t seed_len = 4;     ///< ls
+  std::uint32_t step = 0;         ///< delta_s; 0 = Eq. 1 maximum
+  std::uint32_t threads = 2;      ///< tau (power of two)
+  std::uint32_t tile_blocks = 1;  ///< n_block
+  std::uint32_t devices = 1;      ///< simulated device pool size
+
+  std::uint64_t seed = 0;  ///< provenance: RNG seed that produced this case
+
+  friend bool operator==(const FuzzCase&, const FuzzCase&) = default;
+};
+
+/// Deliberate defect injected into the pipeline-backed oracles, used to
+/// prove the harness catches and shrinks real bug shapes (self-test).
+enum class Fault {
+  kNone = 0,
+  /// Simulates a broken out-tile stitch: every pipeline-produced MEM whose
+  /// reference interval crosses a tile_len boundary is dropped.
+  kStitchDropBoundary,
+};
+
+const char* to_string(Fault fault);
+std::optional<Fault> fault_from_string(const std::string& name);
+
+/// One disagreement between an implementation and the ground truth.
+struct Divergence {
+  std::string impl;    ///< e.g. "mummer", "simt-plain", "serve"
+  std::string kind;    ///< "missing" | "extra" | "unsound" | "error"
+  std::string detail;  ///< human-readable specifics (first offending MEM)
+};
+
+struct CaseResult {
+  std::vector<Divergence> divergences;
+  std::size_t truth_mems = 0;  ///< ground-truth MEM count
+  std::size_t impls_run = 0;   ///< oracle executions that completed
+
+  bool ok() const { return divergences.empty(); }
+};
+
+/// Renders a result's divergences one per line (empty string when ok).
+std::string describe(const CaseResult& result);
+
+/// Samples a random case. The caller owns seeding policy: fork the master
+/// RNG per case and stamp FuzzCase::seed for provenance.
+FuzzCase sample_case(util::Xoshiro256& rng);
+
+/// Runs the full oracle over `c`: naive ground truth, every CPU finder,
+/// gpumem-native, and the SIMT pipeline in plain / cached (cold + warm) /
+/// multi-device / MemService modes. Throws std::invalid_argument when the
+/// case's config itself is invalid (possible for hand-edited repro files;
+/// sampled cases always validate).
+CaseResult run_case(const FuzzCase& c, Fault fault = Fault::kNone);
+
+/// Minimizes a failing case while it keeps failing under `fault`:
+/// geometry reduction first, then ddmin chunk deletion over ref and query.
+/// Runs at most `max_evals` oracle evaluations; always returns a case that
+/// still fails (at worst the input itself).
+FuzzCase shrink_case(const FuzzCase& failing, Fault fault = Fault::kNone,
+                     std::size_t max_evals = 500);
+
+/// Key=value reproducer text, replayable via parse_case / gpumem_fuzz
+/// --replay. Sequences are serialized as-is (lowercase and N preserved).
+std::string serialize_case(const FuzzCase& c);
+
+/// Parses serialize_case output (or a hand-written file of the same shape).
+/// Returns std::nullopt and fills *error on malformed input.
+std::optional<FuzzCase> parse_case(std::istream& in,
+                                   std::string* error = nullptr);
+
+}  // namespace gm::fuzz

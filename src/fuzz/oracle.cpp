@@ -1,0 +1,227 @@
+// Differential oracle: run one case through every implementation and
+// compare against the naive ground truth.
+//
+// Implementations covered per case:
+//   naive (truth, self-checked)   mummer   sparsemem   essamem   slamem
+//   gpumem-native                 simt-plain (Engine::run)
+//   simt-cached-cold / -warm (run_simt_cached over a DeviceRowIndexCache)
+//   multi-device (run_multi_device)   serve (MemService, paused batch)
+//
+// Every output set is checked three ways: definition-level soundness via
+// mem::validate_mems (under the invalid-base mask policy), completeness
+// (no truth MEM missing), and exactness (no extra MEM). All finders emit
+// canonical sorted/deduped order, so set comparison is two linear merges.
+#include <algorithm>
+#include <iterator>
+#include <sstream>
+
+#include "core/finders.h"
+#include "core/multi_device.h"
+#include "core/pipeline.h"
+#include "fuzz/fuzz.h"
+#include "mem/registry.h"
+#include "mem/validate.h"
+#include "seq/sequence.h"
+#include "serve/index_cache.h"
+#include "serve/service.h"
+#include "simt/device.h"
+
+namespace gm::fuzz {
+
+namespace {
+
+core::Config make_config(const FuzzCase& c) {
+  core::Config cfg;
+  cfg.min_length = c.min_len;
+  cfg.seed_len = c.seed_len;
+  cfg.step = c.step;
+  cfg.threads = c.threads;
+  cfg.tile_blocks = c.tile_blocks;
+  cfg.backend = core::Backend::kSimt;
+  return cfg;
+}
+
+/// The injected stitch defect: drop every MEM whose reference interval
+/// crosses a tile_len boundary (exactly the matches only host stitching can
+/// produce). Applied to pipeline-backed oracles only, so the checker must
+/// flag them against the untouched ground truth.
+void apply_fault(Fault fault, std::uint32_t tile_len,
+                 std::vector<mem::Mem>& mems) {
+  if (fault != Fault::kStitchDropBoundary || tile_len == 0) return;
+  std::erase_if(mems, [tile_len](const mem::Mem& m) {
+    return m.len > 0 && m.r / tile_len != (m.r + m.len - 1) / tile_len;
+  });
+}
+
+void check_output(const std::string& impl, const std::vector<mem::Mem>& truth,
+                  const std::vector<mem::Mem>& got, const seq::Sequence& ref,
+                  const seq::Sequence& query, std::uint32_t min_len,
+                  CaseResult& out) {
+  ++out.impls_run;
+  const mem::ValidationReport report =
+      mem::validate_mems(ref, query, got, min_len);
+  if (!report.ok()) {
+    out.divergences.push_back({impl, "unsound", report.first_error});
+  }
+  std::vector<mem::Mem> missing, extra;
+  std::set_difference(truth.begin(), truth.end(), got.begin(), got.end(),
+                      std::back_inserter(missing));
+  std::set_difference(got.begin(), got.end(), truth.begin(), truth.end(),
+                      std::back_inserter(extra));
+  if (!missing.empty()) {
+    out.divergences.push_back(
+        {impl, "missing",
+         std::to_string(missing.size()) + " of " +
+             std::to_string(truth.size()) +
+             " truth MEM(s) absent; first: " + mem::to_string(missing.front())});
+  }
+  if (!extra.empty()) {
+    out.divergences.push_back(
+        {impl, "extra",
+         std::to_string(extra.size()) +
+             " MEM(s) not in truth; first: " + mem::to_string(extra.front())});
+  }
+}
+
+}  // namespace
+
+const char* to_string(Fault fault) {
+  switch (fault) {
+    case Fault::kNone: return "none";
+    case Fault::kStitchDropBoundary: return "stitch-drop";
+  }
+  return "?";
+}
+
+std::optional<Fault> fault_from_string(const std::string& name) {
+  if (name == "none") return Fault::kNone;
+  if (name == "stitch-drop") return Fault::kStitchDropBoundary;
+  return std::nullopt;
+}
+
+std::string describe(const CaseResult& result) {
+  std::ostringstream os;
+  for (const Divergence& d : result.divergences) {
+    os << d.impl << " [" << d.kind << "]: " << d.detail << '\n';
+  }
+  return os.str();
+}
+
+CaseResult run_case(const FuzzCase& c, Fault fault) {
+  CaseResult out;
+  const seq::Sequence ref = seq::Sequence::from_string_lenient(c.ref);
+  const seq::Sequence query = seq::Sequence::from_string_lenient(c.query);
+  const core::Config cfg = make_config(c);
+  const core::Config::Geometry geo = cfg.validated();  // throws when invalid
+
+  mem::FinderOptions opt;
+  opt.min_length = c.min_len;
+  opt.sparseness = 1;  // sparse finders stay exact at K = 1
+
+  // Ground truth: the naive diagonal scan, itself definition-checked.
+  std::vector<mem::Mem> truth;
+  {
+    const auto naive = mem::create_finder("naive");
+    naive->build_index(ref, opt);
+    truth = naive->find(query);
+    out.truth_mems = truth.size();
+    ++out.impls_run;
+    const auto report = mem::validate_mems(ref, query, truth, c.min_len);
+    if (!report.ok()) {
+      out.divergences.push_back({"naive", "unsound", report.first_error});
+    }
+  }
+
+  // CPU baseline finders.
+  for (const char* name : {"mummer", "sparsemem", "essamem", "slamem"}) {
+    try {
+      const auto finder = mem::create_finder(name);
+      finder->build_index(ref, opt);
+      check_output(name, truth, finder->find(query), ref, query, c.min_len,
+                   out);
+    } catch (const std::exception& e) {
+      out.divergences.push_back({name, "error", e.what()});
+    }
+  }
+
+  // Native tiling pipeline (build-once index path).
+  try {
+    core::GpumemFinder native(core::Backend::kNative);
+    native.mutable_config() = cfg;
+    native.mutable_config().backend = core::Backend::kNative;
+    native.build_index(ref, opt);
+    auto got = native.find(query);
+    apply_fault(fault, geo.tile_len, got);
+    check_output("gpumem-native", truth, got, ref, query, c.min_len, out);
+  } catch (const std::exception& e) {
+    out.divergences.push_back({"gpumem-native", "error", e.what()});
+  }
+
+  const core::Engine engine(cfg);
+
+  // SIMT mode 1: plain Engine::run.
+  try {
+    auto res = engine.run(ref, query);
+    apply_fault(fault, geo.tile_len, res.mems);
+    check_output("simt-plain", truth, res.mems, ref, query, c.min_len, out);
+  } catch (const std::exception& e) {
+    out.divergences.push_back({"simt-plain", "error", e.what()});
+  }
+
+  // SIMT mode 2: cached row indexes — cold build, then the warm path that
+  // must serve byte-identical indexes.
+  try {
+    simt::Device dev(cfg.device);
+    serve::DeviceRowIndexCache cache(dev, cfg, /*ref_id=*/1);
+    auto cold = engine.run_simt_cached(dev, ref, query, cache);
+    apply_fault(fault, geo.tile_len, cold.mems);
+    check_output("simt-cached-cold", truth, cold.mems, ref, query, c.min_len,
+                 out);
+    auto warm = engine.run_simt_cached(dev, ref, query, cache);
+    apply_fault(fault, geo.tile_len, warm.mems);
+    check_output("simt-cached-warm", truth, warm.mems, ref, query, c.min_len,
+                 out);
+  } catch (const std::exception& e) {
+    out.divergences.push_back({"simt-cached", "error", e.what()});
+  }
+
+  // SIMT mode 3: multi-device row partitioning.
+  try {
+    auto res = core::run_multi_device(cfg, c.devices, ref, query);
+    apply_fault(fault, geo.tile_len, res.mems);
+    check_output("multi-device", truth, res.mems, ref, query, c.min_len, out);
+  } catch (const std::exception& e) {
+    out.divergences.push_back({"multi-device", "error", e.what()});
+  }
+
+  // SIMT mode 4: the batched serving path end to end.
+  try {
+    serve::ServiceConfig scfg;
+    scfg.engine = cfg;
+    scfg.devices = c.devices;
+    scfg.start_paused = true;
+    serve::MemService service(scfg, ref);
+    serve::QueryRequest req;
+    req.id = "fuzz";
+    req.query = query;
+    auto fut = service.submit(std::move(req));
+    service.resume();
+    serve::QueryResult r = fut.get();
+    service.shutdown();
+    if (r.status != serve::QueryStatus::kOk) {
+      out.divergences.push_back(
+          {"serve", "error",
+           std::string(serve::to_string(r.status)) +
+               (r.error.empty() ? "" : ": " + r.error)});
+    } else {
+      apply_fault(fault, geo.tile_len, r.mems);
+      check_output("serve", truth, r.mems, ref, query, c.min_len, out);
+    }
+  } catch (const std::exception& e) {
+    out.divergences.push_back({"serve", "error", e.what()});
+  }
+
+  return out;
+}
+
+}  // namespace gm::fuzz

@@ -1,0 +1,90 @@
+// Reproducer (de)serialization: a failing case round-trips through a small
+// key=value text file so it can be attached to a bug report, replayed with
+// gpumem_fuzz --replay, and turned into a regression test by pasting the
+// two sequence lines. Sequences keep their exact ASCII (lowercase soft
+// masking and N bases included) — replay re-encodes them with the same
+// lenient codec the oracle uses.
+#include <istream>
+#include <sstream>
+
+#include "fuzz/fuzz.h"
+
+namespace gm::fuzz {
+
+std::string serialize_case(const FuzzCase& c) {
+  std::ostringstream os;
+  os << "# gpumem_fuzz reproducer (replay: gpumem_fuzz --replay <file>)\n"
+     << "min_len=" << c.min_len << '\n'
+     << "seed_len=" << c.seed_len << '\n'
+     << "step=" << c.step << '\n'
+     << "threads=" << c.threads << '\n'
+     << "tile_blocks=" << c.tile_blocks << '\n'
+     << "devices=" << c.devices << '\n'
+     << "seed=" << c.seed << '\n'
+     << "ref=" << c.ref << '\n'
+     << "query=" << c.query << '\n';
+  return os.str();
+}
+
+std::optional<FuzzCase> parse_case(std::istream& in, std::string* error) {
+  const auto fail = [&](const std::string& what) -> std::optional<FuzzCase> {
+    if (error != nullptr) *error = what;
+    return std::nullopt;
+  };
+  FuzzCase c;
+  bool have_ref = false, have_query = false;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line.front() == '#') continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return fail("line " + std::to_string(lineno) + ": expected key=value");
+    }
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key == "ref") {
+      c.ref = value;
+      have_ref = true;
+      continue;
+    }
+    if (key == "query") {
+      c.query = value;
+      have_query = true;
+      continue;
+    }
+    std::uint64_t num = 0;
+    try {
+      num = std::stoull(value);
+    } catch (const std::exception&) {
+      return fail("line " + std::to_string(lineno) + ": '" + key +
+                  "' needs a non-negative integer, got '" + value + "'");
+    }
+    if (key == "min_len") {
+      c.min_len = static_cast<std::uint32_t>(num);
+    } else if (key == "seed_len") {
+      c.seed_len = static_cast<std::uint32_t>(num);
+    } else if (key == "step") {
+      c.step = static_cast<std::uint32_t>(num);
+    } else if (key == "threads") {
+      c.threads = static_cast<std::uint32_t>(num);
+    } else if (key == "tile_blocks") {
+      c.tile_blocks = static_cast<std::uint32_t>(num);
+    } else if (key == "devices") {
+      c.devices = static_cast<std::uint32_t>(num);
+    } else if (key == "seed") {
+      c.seed = num;
+    } else {
+      return fail("line " + std::to_string(lineno) + ": unknown key '" + key +
+                  "'");
+    }
+  }
+  if (!have_ref || !have_query) {
+    return fail("reproducer needs both ref= and query= lines");
+  }
+  return c;
+}
+
+}  // namespace gm::fuzz

@@ -1,0 +1,137 @@
+// Case sampler: random (reference, query, config) tuples under Eq. 1, with
+// deliberate pressure on the geometry edges — sequence lengths hovering
+// around tile_len multiples, planted matches straddling tile boundaries,
+// matches of length exactly L, N-runs, and soft-masked (lowercase) regions.
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+#include "fuzz/fuzz.h"
+
+namespace gm::fuzz {
+
+namespace {
+
+std::string random_dna(util::Xoshiro256& rng, std::size_t len) {
+  static constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+  std::string s(len, 'A');
+  for (auto& c : s) c = kBases[rng.bounded(4)];
+  return s;
+}
+
+/// Overwrites a run of 'N's at a random position (invalid under the mask
+/// policy: matches nothing, terminates MEMs).
+void inject_n_runs(util::Xoshiro256& rng, std::string& s) {
+  if (s.empty()) return;
+  const std::size_t runs = static_cast<std::size_t>(rng.range(1, 3));
+  for (std::size_t k = 0; k < runs; ++k) {
+    const std::size_t len =
+        std::min<std::size_t>(static_cast<std::size_t>(rng.range(1, 6)),
+                              s.size());
+    const std::size_t pos = rng.bounded(s.size() - len + 1);
+    for (std::size_t i = 0; i < len; ++i) s[pos + i] = 'N';
+  }
+}
+
+/// Lowercases a random region — soft masking, which must NOT change any
+/// result (the codec is case-insensitive), making it a pure differential
+/// probe of input normalization.
+void inject_lowercase(util::Xoshiro256& rng, std::string& s) {
+  if (s.empty()) return;
+  const std::size_t len = std::min<std::size_t>(
+      static_cast<std::size_t>(rng.range(1, 32)), s.size());
+  const std::size_t pos = rng.bounded(s.size() - len + 1);
+  for (std::size_t i = 0; i < len; ++i) {
+    s[pos + i] = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(s[pos + i])));
+  }
+}
+
+}  // namespace
+
+FuzzCase sample_case(util::Xoshiro256& rng) {
+  FuzzCase c;
+  c.min_len = static_cast<std::uint32_t>(rng.range(4, 14));
+  c.seed_len = static_cast<std::uint32_t>(
+      rng.range(2, std::min<std::int64_t>(8, c.min_len)));
+  const std::uint32_t max_step = c.min_len - c.seed_len + 1;  // Eq. 1
+  // Bias toward the Eq. 1 maximum (the paper's choice) but exercise the
+  // whole legal range.
+  c.step = rng.chance(0.35)
+               ? 0
+               : static_cast<std::uint32_t>(rng.range(1, max_step));
+  c.threads = std::uint32_t{1} << rng.range(1, 3);  // tau in {2, 4, 8}
+  c.tile_blocks = static_cast<std::uint32_t>(rng.range(1, 4));
+  c.devices = static_cast<std::uint32_t>(rng.range(1, 3));
+
+  const std::uint32_t eff_step = c.step == 0 ? max_step : c.step;
+  const std::uint32_t tile_len = c.threads * eff_step * c.tile_blocks;
+
+  // Reference length near a whole number of tiles, +/- a MEM length — the
+  // off-by-one row/tile-count edges.
+  const std::int64_t tiles = rng.range(1, 4);
+  const std::int64_t slack_lo =
+      -static_cast<std::int64_t>(std::min<std::uint32_t>(tile_len - 1,
+                                                         2 * c.min_len));
+  std::int64_t ref_len =
+      tiles * tile_len + rng.range(slack_lo, 2 * c.min_len);
+  ref_len = std::clamp<std::int64_t>(ref_len, 2 * c.min_len + 2, 4096);
+  std::string ref = random_dna(rng, static_cast<std::size_t>(ref_len));
+
+  // Query: usually comparable to the reference; occasionally degenerate
+  // (shorter than L — every implementation must agree on "no MEMs").
+  std::int64_t query_len;
+  if (rng.chance(0.05)) {
+    query_len = rng.range(1, std::max<std::int64_t>(1, c.min_len - 1));
+  } else {
+    query_len = std::clamp<std::int64_t>(
+        rng.range(2 * c.min_len, ref_len + 2 * c.min_len),
+        2 * c.min_len, 4096);
+  }
+  std::string query = random_dna(rng, static_cast<std::size_t>(query_len));
+
+  // Plant shared segments so MEMs actually exist; half the time force one to
+  // straddle a tile boundary in the reference (the out-tile stitch path).
+  const std::int64_t plants = rng.range(1, 6);
+  for (std::int64_t p = 0; p < plants; ++p) {
+    std::size_t seg_len = static_cast<std::size_t>(
+        rng.chance(0.25) ? c.min_len  // exactly L: Eq. 1's critical length
+                         : rng.range(c.min_len, 3 * c.min_len));
+    seg_len = std::min(seg_len, std::min(ref.size(), query.size()));
+    if (seg_len == 0) break;
+
+    std::size_t rpos;
+    const std::uint32_t boundaries =
+        static_cast<std::uint32_t>((ref.size() - 1) / tile_len);
+    if (rng.chance(0.5) && boundaries >= 1 && seg_len >= 2) {
+      // Cover [b - h, b - h + seg_len) for a tile boundary b: the planted
+      // match crosses tiles and only survives via host stitching.
+      const std::size_t b =
+          static_cast<std::size_t>(tile_len) *
+          static_cast<std::size_t>(rng.range(1, boundaries));
+      const std::size_t h =
+          static_cast<std::size_t>(rng.range(1, static_cast<std::int64_t>(seg_len) - 1));
+      rpos = b >= h ? b - h : 0;
+    } else {
+      rpos = rng.bounded(ref.size() - seg_len + 1);
+    }
+    rpos = std::min(rpos, ref.size() - seg_len);
+    const std::size_t qpos = rng.bounded(query.size() - seg_len + 1);
+    query.replace(qpos, seg_len, ref, rpos, seg_len);
+  }
+
+  if (rng.chance(0.6)) inject_n_runs(rng, ref);
+  if (rng.chance(0.6)) inject_n_runs(rng, query);
+  if (rng.chance(0.5)) inject_lowercase(rng, ref);
+  if (rng.chance(0.5)) inject_lowercase(rng, query);
+
+  // Occasionally: identical sequences (every position is a MEM candidate,
+  // maximal stress on dedupe/combine).
+  if (rng.chance(0.05)) query = ref;
+
+  c.ref = std::move(ref);
+  c.query = std::move(query);
+  return c;
+}
+
+}  // namespace gm::fuzz

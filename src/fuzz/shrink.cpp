@@ -1,0 +1,97 @@
+// Failing-case minimizer: geometry reduction first (one device, one block,
+// two threads, step 1 — the smallest tile the pipeline supports, which also
+// pulls tile boundaries close so boundary bugs keep firing on short
+// sequences), then ddmin chunk deletion over the reference and the query
+// until neither shrinks, all under a hard oracle-evaluation budget.
+#include <algorithm>
+#include <string>
+
+#include "fuzz/fuzz.h"
+
+namespace gm::fuzz {
+
+namespace {
+
+/// Budgeted failure predicate. A candidate whose config no longer validates
+/// (or that dies some other way inside the harness itself) is simply "not a
+/// reproducer" — shrinking must never convert a divergence into a crash.
+bool still_fails(const FuzzCase& c, Fault fault, std::size_t& evals_left) {
+  if (evals_left == 0) return false;
+  --evals_left;
+  try {
+    return !run_case(c, fault).ok();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+/// One ddmin sweep over `best.*field`: try deleting chunks at doubling
+/// granularity; restart granularity after every successful deletion.
+/// Returns true when the field shrank at least once.
+bool ddmin_field(FuzzCase& best, std::string FuzzCase::* field, Fault fault,
+                 std::size_t& evals_left) {
+  bool shrank = false;
+  std::size_t parts = 2;
+  while (evals_left > 0) {
+    const std::string& cur = best.*field;
+    if (cur.size() < 2) break;
+    const std::size_t chunk = std::max<std::size_t>(1, cur.size() / parts);
+    bool reduced = false;
+    for (std::size_t pos = 0; pos < cur.size() && evals_left > 0;
+         pos += chunk) {
+      FuzzCase cand = best;
+      (cand.*field).erase(pos, std::min(chunk, cur.size() - pos));
+      if (still_fails(cand, fault, evals_left)) {
+        best = std::move(cand);
+        shrank = reduced = true;
+        break;  // string changed; restart the sweep on the smaller input
+      }
+    }
+    if (reduced) {
+      parts = 2;
+    } else if (chunk == 1) {
+      break;  // single-character deletions all preserve the pass: minimal
+    } else {
+      parts = std::min(parts * 2, cur.size());
+    }
+  }
+  return shrank;
+}
+
+}  // namespace
+
+FuzzCase shrink_case(const FuzzCase& failing, Fault fault,
+                     std::size_t max_evals) {
+  FuzzCase best = failing;
+  std::size_t evals_left = max_evals;
+
+  // Geometry first: each accepted mutation makes every later sequence-level
+  // evaluation cheaper and the reproducer easier to reason about.
+  const auto try_mutation = [&](auto&& mutate) {
+    FuzzCase cand = best;
+    mutate(cand);
+    if (cand == best) return;
+    if (still_fails(cand, fault, evals_left)) best = std::move(cand);
+  };
+  try_mutation([](FuzzCase& c) { c.devices = 1; });
+  try_mutation([](FuzzCase& c) { c.tile_blocks = 1; });
+  try_mutation([](FuzzCase& c) { c.threads = 2; });
+  try_mutation([](FuzzCase& c) { c.step = 1; });
+  try_mutation([](FuzzCase& c) {
+    // Smallest legal problem parameters; smaller L lets ddmin cut the
+    // sequences down to a couple of MEM lengths.
+    c.min_len = 4;
+    c.seed_len = 2;
+    c.step = 1;
+  });
+
+  // Alternate ref/query ddmin passes to a joint fixpoint.
+  while (evals_left > 0) {
+    const bool a = ddmin_field(best, &FuzzCase::ref, fault, evals_left);
+    const bool b = ddmin_field(best, &FuzzCase::query, fault, evals_left);
+    if (!a && !b) break;
+  }
+  return best;
+}
+
+}  // namespace gm::fuzz

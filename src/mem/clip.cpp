@@ -1,0 +1,34 @@
+#include "mem/clip.h"
+
+#include <algorithm>
+
+namespace gm::mem {
+
+void clip_invalid_bases(const seq::Sequence& ref, const seq::Sequence& query,
+                        std::vector<Mem>& mems, std::uint32_t min_len) {
+  if (!ref.has_invalid() && !query.has_invalid()) return;
+  std::vector<Mem> out;
+  out.reserve(mems.size());
+  for (const Mem& m : mems) {
+    std::size_t i = 0;
+    while (i < m.len) {
+      const std::size_t ri =
+          ref.next_invalid(std::size_t{m.r} + i, std::size_t{m.r} + m.len) -
+          m.r;
+      const std::size_t qi =
+          query.next_invalid(std::size_t{m.q} + i, std::size_t{m.q} + m.len) -
+          m.q;
+      const std::size_t cut = std::min(ri, qi);
+      if (cut > i && cut - i >= min_len) {
+        out.push_back({m.r + static_cast<std::uint32_t>(i),
+                       m.q + static_cast<std::uint32_t>(i),
+                       static_cast<std::uint32_t>(cut - i)});
+      }
+      i = cut + 1;
+    }
+  }
+  sort_unique(out);
+  mems = std::move(out);
+}
+
+}  // namespace gm::mem

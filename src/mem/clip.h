@@ -1,0 +1,28 @@
+// Project-wide invalid-base (non-ACGT) policy enforcement.
+//
+// Policy: an invalid base matches nothing — not even another invalid base —
+// so it terminates matches and never appears inside a MEM. Finders run
+// mask-blind on the packed 2-bit codes (invalid positions carry placeholder
+// code 0); because masked equality implies placeholder-code equality, every
+// masked-maximal match is a fragment of exactly one raw (mask-blind) match.
+// Splitting each raw match at invalid positions is therefore sound *and*
+// complete for every finder, which makes this one function the single
+// enforcement point — the property the differential fuzzer relies on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/mem.h"
+#include "seq/sequence.h"
+
+namespace gm::mem {
+
+/// Splits every match at positions where either sequence carries an invalid
+/// base; the maximal valid fragments of length >= min_len survive, restored
+/// to canonical sorted order. No-op (and near-zero cost) when neither
+/// sequence has invalid bases.
+void clip_invalid_bases(const seq::Sequence& ref, const seq::Sequence& query,
+                        std::vector<Mem>& mems, std::uint32_t min_len);
+
+}  // namespace gm::mem

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "mem/clip.h"
 #include "mem/common.h"
 #include "util/parallel.h"
 
@@ -52,6 +53,7 @@ std::vector<Mem> EssaMemFinder::find(const seq::Sequence& query) const {
 
   std::vector<Mem> out;
   for (auto& p : partial) out.insert(out.end(), p.begin(), p.end());
+  clip_invalid_bases(*ref_, query, out, L);
   sort_unique(out);
   return out;
 }

@@ -4,6 +4,7 @@
 
 #include "index/sa_search.h"
 #include "index/suffix_array.h"
+#include "mem/clip.h"
 #include "mem/common.h"
 #include "util/timer.h"
 
@@ -31,6 +32,7 @@ std::vector<Mem> MummerFinder::find(const seq::Sequence& query) const {
       }
     }
   }
+  clip_invalid_bases(*ref_, query, out, L);
   sort_unique(out);
   last_seconds_ = timer.seconds();
   return out;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "mem/clip.h"
+
 namespace gm::mem {
 
 std::vector<Mem> find_mems_naive(const seq::Sequence& ref,
@@ -29,6 +31,7 @@ std::vector<Mem> find_mems_naive(const seq::Sequence& ref,
       q += static_cast<std::int64_t>(run) + 1;
     }
   }
+  clip_invalid_bases(ref, query, out, min_len);
   sort_unique(out);
   return out;
 }

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "mem/clip.h"
 #include "mem/common.h"
 #include "util/timer.h"
 
@@ -62,6 +63,7 @@ std::vector<Mem> SlaMemFinder::find(const seq::Sequence& query) const {
       emit_exact_candidate(*ref_, query, r, j, L, out);
     }
   }
+  clip_invalid_bases(*ref_, query, out, L);
   sort_unique(out);
   last_seconds_ = timer.seconds();
   return out;

@@ -1,7 +1,5 @@
 #include "mem/validate.h"
 
-#include "mem/common.h"
-
 namespace gm::mem {
 namespace {
 
@@ -20,18 +18,26 @@ ValidationReport validate_mems(const seq::Sequence& ref,
   for (const Mem& m : mems) {
     ++report.checked;
     const char* error = nullptr;
+    const std::size_t r_end = std::size_t{m.r} + m.len;
+    const std::size_t q_end = std::size_t{m.q} + m.len;
     if (m.len < min_len) {
       error = "shorter than L";
-    } else if (std::size_t{m.r} + m.len > ref.size() ||
-               std::size_t{m.q} + m.len > query.size()) {
+    } else if (r_end > ref.size() || q_end > query.size()) {
       error = "out of bounds";
     } else if (ref.common_prefix(m.r, query, m.q, m.len) != m.len) {
       error = "characters differ inside the match";
-    } else if (!left_maximal(ref, query, m.r, m.q)) {
+    } else if (ref.next_invalid(m.r, r_end) != r_end ||
+               query.next_invalid(m.q, q_end) != q_end) {
+      // Policy (docs/TESTING.md): an invalid base matches nothing, so it can
+      // never lie inside a MEM.
+      error = "invalid (non-ACGT) base inside the match";
+    } else if (m.r > 0 && m.q > 0 && ref.valid(m.r - 1) &&
+               query.valid(m.q - 1) &&
+               ref.base(m.r - 1) == query.base(m.q - 1)) {
       error = "extendable to the left";
-    } else if (std::size_t{m.r} + m.len < ref.size() &&
-               std::size_t{m.q} + m.len < query.size() &&
-               ref.base(m.r + m.len) == query.base(m.q + m.len)) {
+    } else if (r_end < ref.size() && q_end < query.size() &&
+               ref.valid(r_end) && query.valid(q_end) &&
+               ref.base(r_end) == query.base(q_end)) {
       error = "extendable to the right";
     } else if (prev != nullptr && !(*prev < m)) {
       error = "not in canonical sorted order / duplicate";

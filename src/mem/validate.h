@@ -1,7 +1,9 @@
 // Definition-level MEM validation, independent of any finder: checks that
 // every reported triplet satisfies Section II's definition (characters
 // equal, maximal on both sides, length >= L) and that the set is sorted and
-// duplicate-free. Used by tests and by the benchmark harness to self-check
+// duplicate-free. Maximality is evaluated under the project's invalid-base
+// policy: a masked non-ACGT position matches nothing, so it both blocks
+// extension and must never appear inside a match (mem/clip.h). Used by tests and by the benchmark harness to self-check
 // outputs at scales where the O(|R|·|Q|) ground truth is infeasible.
 //
 // Note this checks soundness (everything reported is a true MEM), not

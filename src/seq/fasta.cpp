@@ -37,6 +37,9 @@ std::vector<FastaRecord> read_fasta(std::istream& in, NonAcgtPolicy policy) {
       }
       ++rec.non_acgt;
       switch (policy) {
+        case NonAcgtPolicy::kMask:
+          rec.sequence.push_back_invalid();
+          break;
         case NonAcgtPolicy::kReject:
           throw std::runtime_error(
               std::string("read_fasta: non-ACGT character '") + c +

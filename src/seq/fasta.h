@@ -1,10 +1,12 @@
 // FASTA reading/writing with an explicit policy for non-ACGT characters.
 //
 // The genomic files the paper uses contain N runs and IUPAC codes; the tools
-// it compares against treat them as match breakers. Our 2-bit Sequence has
-// no room for a fifth symbol, so the reader exposes three policies and
-// records how many characters were touched, keeping the substitution
-// auditable.
+// it compares against treat them as match breakers. The default policy
+// (kMask) stores such characters as invalid bases in the Sequence validity
+// mask, and the project-wide rule is that an invalid base matches nothing:
+// it terminates matches and never appears inside a MEM (docs/TESTING.md).
+// Legacy policies remain for auditing and quick looks; the reader records
+// how many characters were touched either way.
 #pragma once
 
 #include <cstdint>
@@ -18,10 +20,13 @@
 namespace gm::seq {
 
 enum class NonAcgtPolicy {
+  kMask,       ///< store as an invalid (masked) base: matches nothing, so it
+               ///< terminates MEMs exactly like real tools' N handling —
+               ///< the project default
   kReject,     ///< throw std::runtime_error on the first non-ACGT character
   kRandomize,  ///< replace with a deterministic pseudo-random base (seeded
-               ///< by record index and offset) — breaks spurious matches the
-               ///< way real tools' N handling does, while staying in Σ
+               ///< by record index and offset) — breaks spurious matches
+               ///< only probabilistically; kept for legacy comparisons
   kSkip,       ///< drop the character (shifts coordinates; for quick looks)
 };
 
@@ -34,10 +39,10 @@ struct FastaRecord {
 /// Parses every record in the stream. Throws on malformed input (sequence
 /// data before any header) or on policy violations.
 std::vector<FastaRecord> read_fasta(std::istream& in,
-                                    NonAcgtPolicy policy = NonAcgtPolicy::kRandomize);
+                                    NonAcgtPolicy policy = NonAcgtPolicy::kMask);
 
 std::vector<FastaRecord> read_fasta_file(const std::string& path,
-                                         NonAcgtPolicy policy = NonAcgtPolicy::kRandomize);
+                                         NonAcgtPolicy policy = NonAcgtPolicy::kMask);
 
 /// Writes one record wrapped at `width` columns.
 void write_fasta(std::ostream& out, const std::string& name,

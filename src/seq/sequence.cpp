@@ -20,10 +20,28 @@ Sequence Sequence::from_string(std::string_view s) {
   return seq;
 }
 
+Sequence Sequence::from_string_lenient(std::string_view s) {
+  Sequence seq;
+  seq.reserve(s.size());
+  for (char c : s) {
+    const std::uint8_t b = encode_base(c);
+    if (b == kInvalidBase) {
+      seq.push_back_invalid();
+    } else {
+      seq.push_back(b);
+    }
+  }
+  return seq;
+}
+
 Sequence Sequence::from_codes(const std::vector<std::uint8_t>& codes) {
   Sequence seq;
   seq.reserve(codes.size());
   for (std::uint8_t b : codes) {
+    if (b == kInvalidBase) {
+      seq.push_back_invalid();
+      continue;
+    }
     if (b > 3) throw std::invalid_argument("Sequence::from_codes: code > 3");
     seq.push_back(b);
   }
@@ -41,8 +59,41 @@ void Sequence::push_back(std::uint8_t code) {
   ++size_;
 }
 
+void Sequence::push_back_invalid() {
+  const std::size_t pos = size_;
+  push_back(0);
+  const std::size_t word = pos >> 6;
+  if (word >= invalid_mask_.size()) invalid_mask_.resize(word + 1, 0);
+  invalid_mask_[word] |= std::uint64_t{1} << (pos & 63);
+  ++invalid_count_;
+}
+
 void Sequence::append(const Sequence& other, std::size_t pos, std::size_t len) {
-  for (std::size_t i = 0; i < len; ++i) push_back(other.base(pos + i));
+  for (std::size_t i = 0; i < len; ++i) {
+    if (other.valid(pos + i)) {
+      push_back(other.base(pos + i));
+    } else {
+      push_back_invalid();
+    }
+  }
+}
+
+std::size_t Sequence::next_invalid(std::size_t from,
+                                   std::size_t to) const noexcept {
+  if (invalid_count_ == 0 || from >= to) return to;
+  std::size_t i = from;
+  while (i < to) {
+    const std::size_t w = i >> 6;
+    if (w >= invalid_mask_.size()) return to;
+    const std::uint64_t bits = invalid_mask_[w] >> (i & 63);
+    if (bits == 0) {
+      i = (w + 1) << 6;
+      continue;
+    }
+    const std::size_t hit = i + static_cast<std::size_t>(std::countr_zero(bits));
+    return hit < to ? hit : to;
+  }
+  return to;
 }
 
 std::uint64_t Sequence::window64(std::size_t i) const noexcept {
@@ -61,7 +112,9 @@ std::string Sequence::to_string() const { return to_string(0, size_); }
 std::string Sequence::to_string(std::size_t pos, std::size_t len) const {
   std::string out;
   out.reserve(len);
-  for (std::size_t i = 0; i < len; ++i) out.push_back(decode_base(base(pos + i)));
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(valid(pos + i) ? decode_base(base(pos + i)) : 'N');
+  }
   return out;
 }
 
@@ -75,7 +128,13 @@ Sequence Sequence::subsequence(std::size_t pos, std::size_t len) const {
 Sequence Sequence::reverse_complement() const {
   Sequence out;
   out.reserve(size_);
-  for (std::size_t i = size_; i-- > 0;) out.push_back(complement(base(i)));
+  for (std::size_t i = size_; i-- > 0;) {
+    if (valid(i)) {
+      out.push_back(complement(base(i)));
+    } else {
+      out.push_back_invalid();
+    }
+  }
   return out;
 }
 
@@ -124,6 +183,17 @@ std::size_t Sequence::common_suffix(std::size_t i, const Sequence& other,
 
 bool Sequence::operator==(const Sequence& other) const noexcept {
   if (size_ != other.size_) return false;
+  if (invalid_count_ != other.invalid_count_) return false;
+  if (invalid_count_ != 0) {
+    const std::size_t n =
+        std::max(invalid_mask_.size(), other.invalid_mask_.size());
+    for (std::size_t w = 0; w < n; ++w) {
+      const std::uint64_t a = w < invalid_mask_.size() ? invalid_mask_[w] : 0;
+      const std::uint64_t b =
+          w < other.invalid_mask_.size() ? other.invalid_mask_[w] : 0;
+      if (a != b) return false;
+    }
+  }
   if (size_ == 0) return true;
   const std::size_t full = size_ / 32;
   for (std::size_t w = 0; w < full; ++w) {

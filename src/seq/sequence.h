@@ -1,6 +1,13 @@
 // 2-bit packed DNA sequence with word-level longest-common-extension
 // primitives. Every index structure and matcher in the project operates on
 // this representation (the paper stores sequences the same way, Section IV).
+//
+// Non-ACGT input (N runs, IUPAC codes) has no fifth symbol in 2-bit space;
+// such positions are stored as a placeholder code plus a bit in a validity
+// side-mask. The project-wide policy (docs/TESTING.md) is that an invalid
+// base matches nothing — not even another invalid base — so it terminates
+// matches and never appears inside a MEM. The mask is empty (zero overhead)
+// for fully-ACGT sequences.
 #pragma once
 
 #include <cstdint>
@@ -25,7 +32,12 @@ class Sequence {
   /// other character (FASTA-level policies live in fasta.h).
   static Sequence from_string(std::string_view s);
 
-  /// Builds from 2-bit codes (values 0..3).
+  /// Builds from ASCII accepting any character: non-ACGT positions are
+  /// stored as invalid (masked) bases. Case-insensitive like from_string.
+  static Sequence from_string_lenient(std::string_view s);
+
+  /// Builds from 2-bit codes (values 0..3); a kInvalidBase entry stores an
+  /// invalid (masked) position.
   static Sequence from_codes(const std::vector<std::uint8_t>& codes);
 
   std::size_t size() const noexcept { return size_; }
@@ -37,8 +49,25 @@ class Sequence {
   }
 
   void push_back(std::uint8_t code);
+  /// Appends an invalid (masked) position; it is stored with code 0 so the
+  /// packed words stay well-formed for window64/kmer readers.
+  void push_back_invalid();
   void append(const Sequence& other, std::size_t pos, std::size_t len);
   void reserve(std::size_t bases) { words_.reserve((bases + 31) / 32 + 1); }
+
+  /// True when at least one position is an invalid (non-ACGT) base.
+  bool has_invalid() const noexcept { return invalid_count_ != 0; }
+  std::uint64_t invalid_count() const noexcept { return invalid_count_; }
+
+  /// True when base i is a real ACGT base (not a masked non-ACGT position).
+  bool valid(std::size_t i) const noexcept {
+    const std::size_t w = i >> 6;
+    return invalid_count_ == 0 || w >= invalid_mask_.size() ||
+           (invalid_mask_[w] & (std::uint64_t{1} << (i & 63))) == 0;
+  }
+
+  /// First invalid position in [from, to), or `to` when the range is clean.
+  std::size_t next_invalid(std::size_t from, std::size_t to) const noexcept;
 
   /// 64-bit window holding up to 32 bases starting at position i, base i in
   /// the lowest 2 bits. Positions past the end are zero-filled; callers must
@@ -52,6 +81,7 @@ class Sequence {
     return k >= 32 ? w : (w & ((std::uint64_t{1} << (2 * k)) - 1));
   }
 
+  /// ASCII rendering; invalid (masked) positions print as 'N'.
   std::string to_string() const;
   std::string to_string(std::size_t pos, std::size_t len) const;
 
@@ -78,6 +108,10 @@ class Sequence {
 
  private:
   std::vector<std::uint64_t> words_;
+  /// One bit per base (bit set = invalid); empty until the first invalid
+  /// base arrives, then sized lazily to cover it.
+  std::vector<std::uint64_t> invalid_mask_;
+  std::uint64_t invalid_count_ = 0;
   std::size_t size_ = 0;
 };
 

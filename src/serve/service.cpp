@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/host_stitch.h"
+#include "mem/clip.h"
 #include "obs/registry.h"
 #include "util/bits.h"
 #include "util/timer.h"
@@ -306,6 +307,7 @@ QueryResult MemService::execute(Pending& pending, double queue_seconds) {
     std::vector<mem::Mem> finished = core::finalize_out_tile(
         ref_, query, std::move(outtile_pieces), cfg_.engine.min_length);
     reported.insert(reported.end(), finished.begin(), finished.end());
+    mem::clip_invalid_bases(ref_, query, reported, cfg_.engine.min_length);
     mem::sort_unique(reported);
     result.stats.host_stitch_seconds = host_merge.seconds();
     result.stats.match_seconds += result.stats.host_stitch_seconds;

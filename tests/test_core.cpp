@@ -58,6 +58,29 @@ TEST(Config, RejectsBadParameters) {
   EXPECT_THROW(cfg.validated(), std::invalid_argument);
 }
 
+TEST(Config, RejectsZeroCapacities) {
+  Config cfg;
+  cfg.round_capacity = 0;
+  EXPECT_THROW(cfg.validated(), std::invalid_argument);
+  cfg = Config{};
+  cfg.output_capacity = 0;
+  EXPECT_THROW(cfg.validated(), std::invalid_argument);
+}
+
+TEST(Config, RejectsTileGeometryOverflow) {
+  // tau * delta_s * n_block computed in 32 bits would silently wrap; the
+  // validator must reject it instead of corrupting every tile Rect.
+  Config cfg;
+  cfg.min_length = 1u << 20;
+  cfg.seed_len = 16;  // auto step ~= 2^20
+  cfg.threads = 1u << 10;
+  cfg.tile_blocks = 1u << 4;  // tile_len64 ~= 2^34 > 2^31
+  EXPECT_THROW(cfg.validated(), std::invalid_argument);
+  cfg.tile_blocks = 1;
+  cfg.threads = 2;  // 2^21: fine
+  EXPECT_NO_THROW(cfg.validated());
+}
+
 TEST(Config, DescribeMentionsKeyParameters) {
   Config cfg;
   const std::string d = cfg.describe();
@@ -135,6 +158,50 @@ TEST(Balance, MatchesPaperToyExampleShape) {
   EXPECT_EQ(served, 8u);
 }
 
+TEST(Balance, RandomizedInvariantsAcrossBlockSizes) {
+  // Algorithm 2 invariants under random load vectors, plus the two
+  // degenerate shapes (all-zero, single hot seed), for every block size the
+  // sampler can pick: assign starts at 0, ends at tau, is non-decreasing,
+  // every nonzero-load seed owns at least one thread, and group[] is the
+  // inverse of assign[].
+  util::Xoshiro256 rng(17);
+  for (const std::uint32_t tau : {2u, 4u, 8u, 64u, 256u}) {
+    for (int trial = 0; trial < 40; ++trial) {
+      std::vector<std::uint32_t> loads(tau);
+      if (trial == 0) {
+        // all-zero
+      } else if (trial == 1) {
+        loads[rng.bounded(tau)] = 1 + static_cast<std::uint32_t>(
+                                          rng.bounded(1u << 16));
+      } else {
+        for (auto& l : loads) {
+          l = rng.chance(0.4)
+                  ? 0
+                  : static_cast<std::uint32_t>(rng.bounded(1u << 12));
+        }
+      }
+      const auto r = core::balance_assign(loads);
+      ASSERT_EQ(r.assign.size(), tau + 1);
+      ASSERT_EQ(r.group.size(), tau);
+      ASSERT_EQ(r.assign.front(), 0u);
+      ASSERT_EQ(r.assign.back(), tau);
+      for (std::uint32_t k = 0; k < tau; ++k) {
+        ASSERT_LE(r.assign[k], r.assign[k + 1]) << "tau=" << tau;
+        if (loads[k] > 0) {
+          EXPECT_GE(r.assign[k + 1] - r.assign[k], 1u)
+              << "loaded seed " << k << " starved, tau=" << tau;
+        }
+      }
+      for (std::uint32_t tid = 0; tid < tau; ++tid) {
+        const std::uint32_t g = r.group[tid];
+        ASSERT_LT(g, tau);
+        ASSERT_LE(r.assign[g], tid);
+        ASSERT_LT(tid, r.assign[g + 1]);
+      }
+    }
+  }
+}
+
 TEST(Balance, SplitWorkPartitionsExactly) {
   for (std::uint32_t count : {0u, 1u, 7u, 100u}) {
     for (std::uint32_t servers : {1u, 3u, 8u}) {
@@ -182,6 +249,45 @@ TEST(HostStitch, ExpandClampsOvershootingInput) {
   // Input extends past the rect (verified overshoot from seed extension).
   const mem::Mem e = core::expand_clamped(R, Q, {2, 2, 9}, rect);
   EXPECT_LE(e.r + e.len, rect.r1);
+  EXPECT_LE(e.q + e.len, rect.q1);
+}
+
+TEST(HostStitch, ExpandClampedPieceStartingLeftOfRect) {
+  // Regression: a piece starting left of the clamping Rect used to drive
+  // `m.r - rect.r0` into unsigned wrap-around. The overhang must be trimmed
+  // and the remainder expanded normally.
+  const auto R = seq::Sequence::from_string("ACGTACGTACGT");
+  const auto Q = R;
+  const core::Rect rect{4, 12, 4, 12};
+  const mem::Mem e = core::expand_clamped(R, Q, {2, 2, 6}, rect);
+  EXPECT_EQ(e.r, 4u);
+  EXPECT_EQ(e.q, 4u);
+  EXPECT_EQ(e.len, 8u);  // expands rightward to the rect edge
+}
+
+TEST(HostStitch, ExpandClampedPieceWhollyOutsideRect) {
+  const auto R = seq::Sequence::from_string("ACGTACGTACGT");
+  const auto Q = R;
+  // Entirely left of the rectangle: nothing survives the trim.
+  EXPECT_EQ(core::expand_clamped(R, Q, {0, 0, 3}, {4, 12, 4, 12}).len, 0u);
+  // Entirely right of it: same.
+  EXPECT_EQ(core::expand_clamped(R, Q, {8, 8, 4}, {0, 6, 0, 6}).len, 0u);
+  // Outside on the query axis only: the shift consumes the whole piece.
+  EXPECT_EQ(core::expand_clamped(R, Q, {4, 0, 2}, {0, 12, 4, 12}).len, 0u);
+}
+
+TEST(HostStitch, ExpandClampedAsymmetricOverhang) {
+  // r inside, q left of the rect: both coordinates shift together by the
+  // larger overhang so the match stays on its diagonal.
+  const auto R = seq::Sequence::from_string("AACGTACGTACGTT");
+  const auto Q = seq::Sequence::from_string("CGTACGTACGT");
+  // R[2+i] == Q[0+i] for the shared "CGTACGTACGT".
+  const core::Rect rect{0, 14, 3, 11};
+  const mem::Mem e = core::expand_clamped(R, Q, {2, 0, 8}, rect);
+  EXPECT_EQ(e.q, 3u);
+  EXPECT_EQ(e.r, 5u);
+  EXPECT_EQ(e.r - e.q, 2u);  // diagonal preserved
+  EXPECT_GE(e.len, 5u);
   EXPECT_LE(e.q + e.len, rect.q1);
 }
 

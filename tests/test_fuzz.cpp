@@ -1,0 +1,146 @@
+// Tier-1 smoke of the differential fuzzing harness (src/fuzz): the sampler
+// only emits valid configs, a bounded fuzz session finds no divergence, a
+// deliberately injected stitch defect IS found and shrinks to a tiny
+// reproducer, and reproducer files round-trip.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/config.h"
+#include "fuzz/fuzz.h"
+#include "util/rng.h"
+
+namespace gm {
+namespace {
+
+TEST(FuzzSampler, ProducesOnlyValidConfigs) {
+  util::Xoshiro256 rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const fuzz::FuzzCase c = fuzz::sample_case(rng);
+    core::Config cfg;
+    cfg.min_length = c.min_len;
+    cfg.seed_len = c.seed_len;
+    cfg.step = c.step;
+    cfg.threads = c.threads;
+    cfg.tile_blocks = c.tile_blocks;
+    core::Config::Geometry geo{};
+    ASSERT_NO_THROW(geo = cfg.validated()) << fuzz::serialize_case(c);
+    EXPECT_LE(geo.step, c.min_len - c.seed_len + 1);  // Eq. 1
+    EXPECT_GE(c.devices, 1u);
+    EXPECT_FALSE(c.ref.empty());
+    EXPECT_FALSE(c.query.empty());
+  }
+}
+
+TEST(FuzzSampler, IsDeterministicInSeed) {
+  util::Xoshiro256 a(3), b(3);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(fuzz::sample_case(a), fuzz::sample_case(b));
+  }
+}
+
+TEST(FuzzOracle, BoundedSessionFindsNoDivergence) {
+  const util::Xoshiro256 master(1);
+  for (std::uint64_t i = 0; i < 15; ++i) {
+    auto rng = master.fork(i);
+    const fuzz::FuzzCase c = fuzz::sample_case(rng);
+    const fuzz::CaseResult result = fuzz::run_case(c);
+    EXPECT_TRUE(result.ok()) << "case " << i << ":\n"
+                             << fuzz::describe(result)
+                             << fuzz::serialize_case(c);
+    EXPECT_GE(result.impls_run, 9u) << "case " << i;
+  }
+}
+
+TEST(FuzzOracle, InjectedStitchBugIsCaughtAndShrunk) {
+  // The harness must catch a simulated "out-tile stitch drops boundary
+  // matches" defect and minimize it to a reproducer small enough to read.
+  const util::Xoshiro256 master(5);
+  constexpr auto kFault = fuzz::Fault::kStitchDropBoundary;
+  bool caught = false;
+  for (std::uint64_t i = 0; i < 20 && !caught; ++i) {
+    auto rng = master.fork(i);
+    const fuzz::FuzzCase c = fuzz::sample_case(rng);
+    if (fuzz::run_case(c, kFault).ok()) continue;
+    caught = true;
+
+    const fuzz::FuzzCase small = fuzz::shrink_case(c, kFault, 400);
+    EXPECT_FALSE(fuzz::run_case(small, kFault).ok())
+        << "shrunk case lost the failure";
+    EXPECT_TRUE(fuzz::run_case(small, fuzz::Fault::kNone).ok())
+        << "shrunk case fails even without the injected fault:\n"
+        << fuzz::serialize_case(small);
+    EXPECT_LE(small.ref.size(), 64u) << fuzz::serialize_case(small);
+    EXPECT_LE(small.query.size(), 64u) << fuzz::serialize_case(small);
+    EXPECT_LE(small.ref.size(), c.ref.size());
+    EXPECT_LE(small.query.size(), c.query.size());
+  }
+  EXPECT_TRUE(caught)
+      << "no sampled case produced a boundary-crossing MEM in 20 tries";
+}
+
+TEST(FuzzRepro, SerializeParseRoundTrip) {
+  util::Xoshiro256 rng(21);
+  fuzz::FuzzCase c = fuzz::sample_case(rng);
+  c.seed = 777;
+  std::istringstream in(fuzz::serialize_case(c));
+  std::string err;
+  const auto back = fuzz::parse_case(in, &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(*back, c);
+}
+
+TEST(FuzzRepro, ParseRejectsMalformedInput) {
+  std::string err;
+  {
+    std::istringstream in("min_len=8\n");  // no sequences
+    EXPECT_FALSE(fuzz::parse_case(in, &err).has_value());
+    EXPECT_NE(err.find("ref"), std::string::npos);
+  }
+  {
+    std::istringstream in("ref=ACGT\nquery=ACGT\nbogus_key=1\n");
+    EXPECT_FALSE(fuzz::parse_case(in, &err).has_value());
+    EXPECT_NE(err.find("bogus_key"), std::string::npos);
+  }
+  {
+    std::istringstream in("ref=ACGT\nquery=ACGT\nmin_len=abc\n");
+    EXPECT_FALSE(fuzz::parse_case(in, &err).has_value());
+  }
+  {
+    std::istringstream in("no equals sign here\n");
+    EXPECT_FALSE(fuzz::parse_case(in, &err).has_value());
+  }
+}
+
+TEST(FuzzRepro, ReplayedCaseKeepsMaskedBases) {
+  // A reproducer with N runs and soft-masked bases must replay exactly:
+  // lowercase is a valid base, N is invalid and splits the match.
+  fuzz::FuzzCase c;
+  c.ref = "acgtACGTNACGTacgt";
+  c.query = "ACGTACGTNACGTACGT";
+  c.min_len = 4;
+  c.seed_len = 2;
+  c.step = 1;
+  c.threads = 2;
+  c.tile_blocks = 1;
+  c.devices = 1;
+  std::istringstream in(fuzz::serialize_case(c));
+  const auto back = fuzz::parse_case(in);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->ref, c.ref);
+  const fuzz::CaseResult result = fuzz::run_case(*back);
+  EXPECT_TRUE(result.ok()) << fuzz::describe(result);
+  EXPECT_GT(result.truth_mems, 0u);
+}
+
+TEST(FuzzFault, NamesRoundTrip) {
+  EXPECT_EQ(fuzz::fault_from_string("none"), fuzz::Fault::kNone);
+  EXPECT_EQ(fuzz::fault_from_string("stitch-drop"),
+            fuzz::Fault::kStitchDropBoundary);
+  EXPECT_FALSE(fuzz::fault_from_string("bogus").has_value());
+  EXPECT_STREQ(fuzz::to_string(fuzz::Fault::kStitchDropBoundary),
+               "stitch-drop");
+}
+
+}  // namespace
+}  // namespace gm

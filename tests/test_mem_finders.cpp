@@ -3,6 +3,9 @@
 // hand-constructed cases first.
 #include <gtest/gtest.h>
 
+#include <cctype>
+
+#include "core/finders.h"
 #include "mem/common.h"
 #include "mem/essamem.h"
 #include "mem/mummer.h"
@@ -302,6 +305,121 @@ TEST(Finders, FindBeforeBuildThrows) {
   EXPECT_THROW(mem::SparseMemFinder().find(Q), std::logic_error);
   EXPECT_THROW(mem::EssaMemFinder().find(Q), std::logic_error);
   EXPECT_THROW(mem::SlaMemFinder().find(Q), std::logic_error);
+}
+
+// --- invalid-base (mask) policy --------------------------------------------
+// Project rule (src/mem/clip.h): a non-ACGT base matches nothing — it
+// terminates matches and never appears inside a MEM — and every finder must
+// enforce it identically.
+
+TEST(InvalidBases, NRunSplitsMemInEveryFinder) {
+  // Identical sequences with one N at position 8: no match may span the N,
+  // so the would-be full-length MEM splits into the two flanks (which also
+  // match each other across the N — both sides are "ACGTACGT").
+  const auto R = seq::Sequence::from_string_lenient("ACGTACGTNACGTACGT");
+  const auto Q = R;
+  const std::vector<Mem> expect{{0, 0, 8}, {0, 9, 8}, {9, 0, 8}, {9, 9, 8}};
+  EXPECT_EQ(mem::find_mems_naive(R, Q, 5), expect);
+  mem::FinderOptions opt;
+  opt.min_length = 5;
+  for (const auto& name : mem::finder_names()) {
+    if (name == "naive" || name.starts_with("gpumem")) continue;
+    auto f = mem::create_finder(name);
+    f->build_index(R, opt);
+    EXPECT_EQ(f->find(Q), expect) << name;
+  }
+  for (const auto backend : {core::Backend::kSimt, core::Backend::kNative}) {
+    core::GpumemFinder f(backend);
+    f.mutable_config().seed_len = 3;  // default 10 exceeds this tiny L
+    f.build_index(R, opt);
+    EXPECT_EQ(f.find(Q), expect) << f.name();
+  }
+}
+
+TEST(InvalidBases, NNeverMatchesN) {
+  // N-vs-N positions are placeholder-code-equal but must not match: with
+  // L = 4 nothing survives, with L = 3 each flank matches each flank.
+  const auto R = seq::Sequence::from_string_lenient("ACGNACG");
+  const auto Q = seq::Sequence::from_string_lenient("ACGNACG");
+  EXPECT_TRUE(mem::find_mems_naive(R, Q, 4).empty());
+  EXPECT_EQ(mem::find_mems_naive(R, Q, 3),
+            (std::vector<Mem>{{0, 0, 3}, {0, 4, 3}, {4, 0, 3}, {4, 4, 3}}));
+}
+
+TEST(InvalidBases, FlankBoundedByNIsMaximal) {
+  // The match ends where the N starts — and that IS maximal, so validators
+  // must accept it and finders must report it.
+  const auto R = seq::Sequence::from_string_lenient("AAAACGTTNGG");
+  const auto Q = seq::Sequence::from_string_lenient("CACGTTCC");
+  // Shared "ACGTT": ref [3,8) vs query [1,6); ref side then hits N-adjacent
+  // G at 8? No: ref[8]='N' blocks right-extension beyond position 7.
+  const auto truth = mem::find_mems_naive(R, Q, 5);
+  ASSERT_EQ(truth.size(), 1u);
+  EXPECT_EQ(truth[0], (Mem{3, 1, 5}));
+  const auto rep = mem::validate_mems(R, Q, truth, 5);
+  EXPECT_TRUE(rep.ok()) << rep.first_error;
+}
+
+TEST(InvalidBases, RandomizedNRunsAgreeAcrossFinders) {
+  util::Xoshiro256 rng(41);
+  for (int trial = 0; trial < 8; ++trial) {
+    // Related pair, then punch N runs into both sides.
+    const auto base = seq::GenomeModel{.length = 1200}.generate(50 + trial);
+    seq::MutationModel mut;
+    mut.snp_rate = 0.02;
+    const auto derived = mut.apply(base, 60 + trial);
+    std::string r = base.to_string(), q = derived.to_string();
+    for (auto* s : {&r, &q}) {
+      const int runs = static_cast<int>(rng.range(1, 4));
+      for (int k = 0; k < runs; ++k) {
+        const std::size_t len = static_cast<std::size_t>(rng.range(1, 12));
+        const std::size_t pos = rng.bounded(s->size() - len);
+        for (std::size_t i = 0; i < len; ++i) (*s)[pos + i] = 'N';
+      }
+    }
+    const auto R = seq::Sequence::from_string_lenient(r);
+    const auto Q = seq::Sequence::from_string_lenient(q);
+    const auto truth = mem::find_mems_naive(R, Q, 12);
+    const auto rep = mem::validate_mems(R, Q, truth, 12);
+    EXPECT_TRUE(rep.ok()) << rep.first_error;
+    mem::FinderOptions opt;
+    opt.min_length = 12;
+    for (const auto& name : mem::finder_names()) {
+      if (name == "naive") continue;
+      auto f = mem::create_finder(name);
+      f->build_index(R, opt);
+      EXPECT_EQ(f->find(Q), truth) << name << " trial " << trial;
+    }
+  }
+}
+
+TEST(InvalidBases, LowercaseIsValidAndCaseInsensitive) {
+  // Soft masking (lowercase) is NOT the invalid-base policy: the codec is
+  // case-insensitive, so results must be identical to the uppercase input.
+  const auto base = seq::GenomeModel{.length = 800}.generate(70);
+  seq::MutationModel mut;
+  mut.snp_rate = 0.03;
+  const auto derived = mut.apply(base, 71);
+  std::string r = base.to_string(), q = derived.to_string();
+  const auto upper_truth = mem::find_mems_naive(
+      seq::Sequence::from_string_lenient(r),
+      seq::Sequence::from_string_lenient(q), 12);
+  for (auto& c : r) c = static_cast<char>(std::tolower(c));
+  for (std::size_t i = 0; i < q.size(); i += 2) {
+    q[i] = static_cast<char>(std::tolower(q[i]));
+  }
+  const auto R = seq::Sequence::from_string_lenient(r);
+  const auto Q = seq::Sequence::from_string_lenient(q);
+  EXPECT_FALSE(R.has_invalid());
+  EXPECT_EQ(mem::find_mems_naive(R, Q, 12), upper_truth);
+  mem::FinderOptions opt;
+  opt.min_length = 12;
+  for (const auto& name : mem::finder_names()) {
+    if (name == "naive") continue;
+    auto f = mem::create_finder(name);
+    f->build_index(R, opt);
+    EXPECT_EQ(f->find(Q), upper_truth) << name;
+  }
 }
 
 TEST(Finders, QueryShorterThanL) {

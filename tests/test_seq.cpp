@@ -321,5 +321,77 @@ TEST(Sequence, CommonSuffixStopsAtSequenceStart) {
   EXPECT_EQ(a.common_suffix(2, b, 3, 100), 3u);
 }
 
+// --- invalid-base validity mask --------------------------------------------
+
+TEST(Sequence, LenientMasksNonAcgt) {
+  const Sequence s = Sequence::from_string_lenient("ACgNtX");
+  EXPECT_EQ(s.size(), 6u);
+  EXPECT_TRUE(s.has_invalid());
+  EXPECT_EQ(s.invalid_count(), 2u);  // 'N' and 'X'
+  EXPECT_TRUE(s.valid(0));
+  EXPECT_TRUE(s.valid(2));   // lowercase g is a valid base
+  EXPECT_FALSE(s.valid(3));  // N
+  EXPECT_TRUE(s.valid(4));
+  EXPECT_FALSE(s.valid(5));  // X
+  EXPECT_EQ(s.to_string(), "ACGNTN");  // invalid renders as N, case folds
+}
+
+TEST(Sequence, NextInvalidScansAcrossWords) {
+  // Invalid bases at 0, 63, 64, and 130 — word boundaries of the 64-bit
+  // validity mask.
+  std::string text(200, 'A');
+  for (const std::size_t pos : {std::size_t{0}, std::size_t{63},
+                                std::size_t{64}, std::size_t{130}}) {
+    text[pos] = 'N';
+  }
+  const Sequence s = Sequence::from_string_lenient(text);
+  EXPECT_EQ(s.next_invalid(0, 200), 0u);
+  EXPECT_EQ(s.next_invalid(1, 200), 63u);
+  EXPECT_EQ(s.next_invalid(64, 200), 64u);
+  EXPECT_EQ(s.next_invalid(65, 200), 130u);
+  EXPECT_EQ(s.next_invalid(131, 200), 200u);  // none left: returns `to`
+  EXPECT_EQ(s.next_invalid(1, 63), 63u);      // exclusive bound respected
+  const Sequence clean = Sequence::from_string("ACGT");
+  EXPECT_EQ(clean.next_invalid(0, 4), 4u);
+}
+
+TEST(Sequence, SubsequenceAndAppendPropagateMask) {
+  const Sequence s = Sequence::from_string_lenient("ACNNGT");
+  const Sequence sub = s.subsequence(1, 4);  // "CNNG"
+  EXPECT_EQ(sub.invalid_count(), 2u);
+  EXPECT_EQ(sub.to_string(), "CNNG");
+  Sequence t = Sequence::from_string("TT");
+  t.append(s, 2, 3);  // "NNG"
+  EXPECT_EQ(t.to_string(), "TTNNG");
+  EXPECT_EQ(t.invalid_count(), 2u);
+}
+
+TEST(Sequence, ReverseComplementPreservesMask) {
+  const Sequence s = Sequence::from_string_lenient("ACGNT");
+  const Sequence rc = s.reverse_complement();
+  EXPECT_EQ(rc.to_string(), "ANCGT");
+  EXPECT_EQ(rc.invalid_count(), 1u);
+  EXPECT_FALSE(rc.valid(1));
+}
+
+TEST(Sequence, EqualityDistinguishesMaskedPositions) {
+  // 'N' is stored with placeholder code 0 ('A'): without the mask these two
+  // would compare equal word-for-word.
+  const Sequence a = Sequence::from_string_lenient("AAGT");
+  const Sequence b = Sequence::from_string_lenient("ANGT");
+  EXPECT_FALSE(a == b);
+  EXPECT_TRUE(b == Sequence::from_string_lenient("ANGT"));
+}
+
+TEST(Fasta, MaskIsTheDefaultPolicy) {
+  std::istringstream is(">x\nACNNGT\n");
+  const auto rec = seq::read_fasta(is);
+  ASSERT_EQ(rec.size(), 1u);
+  EXPECT_EQ(rec[0].sequence.size(), 6u);
+  EXPECT_EQ(rec[0].non_acgt, 2u);
+  EXPECT_EQ(rec[0].sequence.invalid_count(), 2u);
+  EXPECT_EQ(rec[0].sequence.to_string(), "ACNNGT");
+}
+
 }  // namespace
 }  // namespace gm
