@@ -12,6 +12,7 @@
 
 #include "bench_common.h"
 #include "core/finders.h"
+#include "core/pipeline.h"
 #include "mem/registry.h"
 #include "mem/validate.h"
 
@@ -21,9 +22,11 @@ int main(int argc, char** argv) {
   const std::size_t scale = bench::default_scale(argc, argv);
   util::Table table({"reference/query", "L", "sparseMEM t1", "sparseMEM t4",
                      "sparseMEM t8", "essaMEM t1", "essaMEM t4", "essaMEM t8",
-                     "MUMmer", "slaMEM", "GPUMEM", "GPUMEM paper", "#MEMs"});
+                     "MUMmer", "slaMEM", "GPUMEM", "GPUMEM ovl", "GPUMEM paper",
+                     "#MEMs"});
 
   bool counts_consistent = true;
+  double serial_makespan_sum = 0.0, overlap_makespan_sum = 0.0;
   for (const bench::PaperConfig& pc : bench::paper_configs()) {
     const seq::DatasetPair& data = bench::dataset_for(pc.dataset, scale);
     std::vector<std::string> row{pc.dataset, std::to_string(pc.min_len)};
@@ -80,10 +83,35 @@ int main(int argc, char** argv) {
                   << validation.first_error << "\n";
       }
       row.push_back(util::Table::num(finder.last_stats().device_match_seconds(), 3));
+
+      // Stream-overlapped pipeline over the same config: must produce the
+      // bit-identical MEM set, in less modeled makespan (double-buffered
+      // index builds + cross-row SM backfill — see docs/PIPELINE.md).
+      const core::Config scfg =
+          bench::gpumem_config(pc, core::Backend::kSimt, data.reference.size());
+      core::Config ocfg = scfg;
+      ocfg.overlap = true;
+      ocfg.overlap_streams = 4;
+      const core::Result serial = core::Engine(scfg).run(data.reference, data.query);
+      const core::Result over = core::Engine(ocfg).run(data.reference, data.query);
+      if (over.mems != serial.mems || serial.mems != mems) {
+        counts_consistent = false;
+        std::cerr << "!! overlapped pipeline MEM set diverges (serial "
+                  << serial.mems.size() << ", overlapped " << over.mems.size()
+                  << ", finder " << mems.size() << ")\n";
+      }
+      serial_makespan_sum += serial.stats.modeled_makespan_seconds;
+      overlap_makespan_sum += over.stats.modeled_makespan_seconds;
+      row.push_back(util::Table::num(over.stats.device_match_seconds(), 3));
       row.push_back(util::Table::num(pc.paper_gpumem_extract, 2));
       std::cerr << "  gpumem L=" << pc.min_len
                 << ": " << finder.last_stats().device_match_seconds() << " s modeled, "
-                << mems.size() << " MEMs\n";
+                << mems.size() << " MEMs; overlap makespan "
+                << over.stats.modeled_makespan_seconds << " s vs serial "
+                << serial.stats.modeled_makespan_seconds << " s ("
+                << serial.stats.modeled_makespan_seconds /
+                       over.stats.modeled_makespan_seconds
+                << "x)\n";
     }
     row.push_back(util::Table::num(static_cast<std::uint64_t>(mem_count)));
     table.add_row(std::move(row));
@@ -93,6 +121,9 @@ int main(int argc, char** argv) {
   std::cout << (counts_consistent
                     ? "MEM counts: identical across all tools (cross-check OK)\n"
                     : "MEM counts: MISMATCH DETECTED — see stderr\n");
+  std::cout << "overlap speedup (aggregate modeled makespan): "
+            << util::Table::num(serial_makespan_sum / overlap_makespan_sum, 2)
+            << "x\n";
   std::cout << "Shape checks vs paper Table IV:\n"
                "  * GPUMEM is fastest in every configuration.\n"
                "  * essaMEM improves with tau; sparseMEM degrades (its index\n"

@@ -34,6 +34,10 @@ int main(int argc, char** argv) {
   cli.describe("step",
                "GPUMEM sampling step delta_s; 0 = Eq. 1 maximum L - ls + 1");
   cli.describe("backend", "gpumem backend: native (default) or simt");
+  cli.describe("overlap",
+               "simt backend: run the stream-overlapped tile pipeline "
+               "(same MEMs, smaller modeled makespan; docs/PIPELINE.md)");
+  cli.describe("overlap-streams", "worker streams for --overlap (default 2)");
   cli.describe("finder", "tool: gpumem (default), mummer, sparsemem, essamem, slamem");
   cli.describe("both-strands", "also match the reverse-complement query");
   cli.describe("mum", "keep only matches unique in both sequences");
@@ -119,6 +123,9 @@ int main(int argc, char** argv) {
       g->mutable_config().seed_len = seed_len;
       g->mutable_config().step =
           static_cast<std::uint32_t>(cli.get_int("step", 0));
+      g->mutable_config().overlap = cli.get_bool("overlap", false);
+      g->mutable_config().overlap_streams = static_cast<std::uint32_t>(
+          cli.get_int("overlap-streams", g->mutable_config().overlap_streams));
       gpumem = g.get();
       finder = std::move(g);
     } else {

@@ -1,12 +1,13 @@
 // gpumem_fuzz: property-based differential fuzzer over every MEM finder and
-// all four SIMT pipeline serving shapes (see src/fuzz/fuzz.h and
+// all five SIMT pipeline serving shapes (see src/fuzz/fuzz.h and
 // docs/TESTING.md).
 //
 //   ./gpumem_fuzz --runs 200 --seed 1            # bounded fuzz session
 //   ./gpumem_fuzz --seconds 300 --seed 7         # time-budgeted (CI job)
 //   ./gpumem_fuzz --replay repro.txt             # re-run a minimized case
 //   ./gpumem_fuzz --self-test                    # prove the harness catches
-//                                                # an injected stitch bug
+//                                                # injected stitch + stream
+//                                                # overlap bugs
 //
 // Exit codes: 0 = no divergence (or replay passed / self-test caught the
 // bug), 1 = divergence found (reproducer written to --out-dir), 2 = usage.
@@ -61,48 +62,63 @@ int replay(const std::string& path, gm::fuzz::Fault fault) {
   return 1;
 }
 
-/// Proves the harness end to end: inject the stitch defect, catch it, and
-/// shrink the catch to a tiny reproducer. Exits nonzero when the harness
-/// would have missed a real bug of this shape.
-int self_test(std::uint64_t seed, std::uint64_t max_runs,
-              std::size_t shrink_evals) {
+/// Proves the harness catches and shrinks one injected defect shape.
+/// Exits nonzero when the harness would have missed a real bug like it.
+int self_test_fault(gm::fuzz::Fault fault, std::uint64_t seed,
+                    std::uint64_t max_runs, std::size_t shrink_evals) {
+  const char* const name = gm::fuzz::to_string(fault);
   const gm::util::Xoshiro256 master(seed);
-  constexpr auto kFault = gm::fuzz::Fault::kStitchDropBoundary;
   for (std::uint64_t i = 0; i < max_runs; ++i) {
     auto rng = master.fork(i);
     gm::fuzz::FuzzCase c = gm::fuzz::sample_case(rng);
     c.seed = seed;
-    if (gm::fuzz::run_case(c, kFault).ok()) continue;
+    if (gm::fuzz::run_case(c, fault).ok()) continue;
 
-    std::cerr << "[self-test] injected fault caught at run " << i << " (ref "
-              << c.ref.size() << " bp, query " << c.query.size() << " bp)\n";
+    std::cerr << "[self-test:" << name << "] injected fault caught at run "
+              << i << " (ref " << c.ref.size() << " bp, query "
+              << c.query.size() << " bp)\n";
     const gm::fuzz::FuzzCase small =
-        gm::fuzz::shrink_case(c, kFault, shrink_evals);
-    std::cerr << "[self-test] shrunk to ref " << small.ref.size()
-              << " bp, query " << small.query.size() << " bp\n";
-    if (gm::fuzz::run_case(small, kFault).ok()) {
-      std::cout << "self-test FAILED: shrunk case no longer reproduces\n";
+        gm::fuzz::shrink_case(c, fault, shrink_evals);
+    std::cerr << "[self-test:" << name << "] shrunk to ref "
+              << small.ref.size() << " bp, query " << small.query.size()
+              << " bp\n";
+    if (gm::fuzz::run_case(small, fault).ok()) {
+      std::cout << "self-test FAILED (" << name
+                << "): shrunk case no longer reproduces\n";
       return 1;
     }
     if (!gm::fuzz::run_case(small, gm::fuzz::Fault::kNone).ok()) {
-      std::cout << "self-test FAILED: shrunk case diverges without the "
-                   "injected fault\n";
+      std::cout << "self-test FAILED (" << name
+                << "): shrunk case diverges without the injected fault\n";
       return 1;
     }
     if (small.ref.size() > 64 || small.query.size() > 64) {
-      std::cout << "self-test FAILED: reproducer not minimal (ref "
-                << small.ref.size() << " bp, query " << small.query.size()
+      std::cout << "self-test FAILED (" << name
+                << "): reproducer not minimal (ref " << small.ref.size()
+                << " bp, query " << small.query.size()
                 << " bp, want <= 64 each)\n"
                 << gm::fuzz::serialize_case(small);
       return 1;
     }
-    std::cout << "self-test OK: injected stitch bug caught and shrunk\n"
+    std::cout << "self-test OK: injected " << name
+              << " bug caught and shrunk\n"
               << gm::fuzz::serialize_case(small);
     return 0;
   }
-  std::cout << "self-test FAILED: no divergence within " << max_runs
-            << " runs despite the injected fault\n";
+  std::cout << "self-test FAILED (" << name << "): no divergence within "
+            << max_runs << " runs despite the injected fault\n";
   return 1;
+}
+
+/// Runs the self-test for both injected defect shapes: the out-tile stitch
+/// bug and the stream-overlap column-handoff bug.
+int self_test(std::uint64_t seed, std::uint64_t max_runs,
+              std::size_t shrink_evals) {
+  const int stitch = self_test_fault(gm::fuzz::Fault::kStitchDropBoundary,
+                                     seed, max_runs, shrink_evals);
+  if (stitch != 0) return stitch;
+  return self_test_fault(gm::fuzz::Fault::kOverlapDropColumnBoundary, seed,
+                         max_runs, shrink_evals);
 }
 
 }  // namespace
@@ -115,11 +131,12 @@ int main(int argc, char** argv) {
   cli.describe("out-dir",
                "where minimized reproducers land (default fuzz-repros)");
   cli.describe("inject",
-               "deliberate fault for harness testing: none | stitch-drop");
+               "deliberate fault for harness testing: none | stitch-drop | "
+               "overlap-drop");
   cli.describe("replay", "re-run one serialized reproducer file and exit");
   cli.describe("self-test",
-               "inject stitch-drop, require the harness to catch and shrink "
-               "it to <= 64 bp per sequence");
+               "inject stitch-drop then overlap-drop, require the harness to "
+               "catch and shrink each to <= 64 bp per sequence");
   cli.describe("shrink-evals",
                "oracle evaluation budget for shrinking (default 500)");
   if (cli.handle_help(
@@ -139,7 +156,8 @@ int main(int argc, char** argv) {
 
     const auto fault = gm::fuzz::fault_from_string(cli.get("inject", "none"));
     if (!fault) {
-      std::cerr << "unknown --inject value; want none or stitch-drop\n";
+      std::cerr
+          << "unknown --inject value; want none, stitch-drop or overlap-drop\n";
       return 2;
     }
     if (cli.has("replay")) return replay(cli.get("replay", ""), *fault);

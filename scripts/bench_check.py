@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Gate a bench_regress run against the committed baseline.
+
+Usage:
+    bench_check.py CANDIDATE.json --baseline bench/BENCH_pipeline.json \
+        [--tolerance 0.10] [--min-speedup 1.15] [--diff-out diff.txt]
+
+Both files are "gpumem-bench-pipeline-v1" JSON as emitted by bench_regress.
+The gated quantity is per-scenario *modeled* cycles — deterministic simulator
+output, so a tight relative band is meaningful. Wall-clock nanoseconds are
+printed for trend inspection but never gated (CI machines are too noisy).
+
+Checks, in order:
+  1. schema ids match and every baseline scenario exists in the candidate
+     (and vice versa — a silently dropped scenario is a failure);
+  2. each scenario's modeled_cycles is within --tolerance (default 10%)
+     of the baseline, and its MEM count is exactly equal;
+  3. the candidate's aggregate overlap_speedup is >= --min-speedup (1.15).
+
+Exit code 0 = pass, 1 = regression (diff printed, and written to --diff-out
+when given, for CI artifact upload), 2 = usage / malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "gpumem-bench-pipeline-v1"
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_check: cannot read {path}: {e}")
+    if doc.get("schema") != SCHEMA:
+        sys.exit(f"bench_check: {path}: schema {doc.get('schema')!r}, "
+                 f"want {SCHEMA!r}")
+    return doc
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("candidate", help="JSON emitted by this run")
+    ap.add_argument("--baseline", required=True,
+                    help="committed reference JSON")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed relative modeled-cycles drift "
+                         "(default 0.10 = +-10%%)")
+    ap.add_argument("--min-speedup", type=float, default=1.15,
+                    help="floor for the aggregate overlap speedup")
+    ap.add_argument("--diff-out", default=None,
+                    help="also write failure details to this file")
+    args = ap.parse_args()
+
+    cand = load(args.candidate)
+    base = load(args.baseline)
+    cand_rows = {s["name"]: s for s in cand.get("scenarios", [])}
+    base_rows = {s["name"]: s for s in base.get("scenarios", [])}
+
+    failures = []
+    for name in sorted(base_rows.keys() | cand_rows.keys()):
+        if name not in cand_rows:
+            failures.append(f"{name}: missing from candidate run")
+            continue
+        if name not in base_rows:
+            failures.append(f"{name}: not in baseline (regenerate the "
+                            f"baseline when adding scenarios)")
+            continue
+        b, c = base_rows[name], cand_rows[name]
+        drift = c["modeled_cycles"] / b["modeled_cycles"] - 1.0
+        wall_ms = c["wall_ns"] / 1e6
+        status = "ok"
+        if abs(drift) > args.tolerance:
+            status = "FAIL"
+            failures.append(
+                f"{name}: modeled_cycles {c['modeled_cycles']:.0f} vs "
+                f"baseline {b['modeled_cycles']:.0f} ({drift:+.1%}, "
+                f"tolerance +-{args.tolerance:.0%})")
+        if c["mems"] != b["mems"]:
+            status = "FAIL"
+            failures.append(f"{name}: mems {c['mems']} vs baseline "
+                            f"{b['mems']} (must match exactly)")
+        print(f"  {status:4} {name}: cycles {drift:+.2%} vs baseline, "
+              f"mems {c['mems']}, wall {wall_ms:.1f} ms (informational)")
+
+    speedup = cand.get("overlap_speedup", 0.0)
+    print(f"  overlap speedup: {speedup:.3f}x (floor {args.min_speedup}x, "
+          f"baseline had {base.get('overlap_speedup', 0.0):.3f}x)")
+    if speedup < args.min_speedup:
+        failures.append(f"overlap_speedup {speedup:.3f} below the "
+                        f"{args.min_speedup} floor")
+
+    if failures:
+        report = "bench_check: REGRESSION\n" + \
+                 "\n".join(f"  - {f}" for f in failures) + "\n"
+        sys.stderr.write(report)
+        if args.diff_out:
+            with open(args.diff_out, "w", encoding="utf-8") as f:
+                f.write(report)
+        return 1
+    print(f"bench_check: OK ({len(base_rows)} scenarios within "
+          f"+-{args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,10 @@ Config::Geometry Config::validated() const {
   if (output_capacity == 0) {
     throw std::invalid_argument("Config: output_capacity must be >= 1");
   }
+  if (overlap && overlap_streams == 0) {
+    throw std::invalid_argument(
+        "Config: overlap_streams must be >= 1 when overlap is enabled");
+  }
 
   Geometry g;
   const std::uint32_t max_step = min_length - seed_len + 1;  // Eq. 1
@@ -67,6 +71,10 @@ std::string Config::describe() const {
      << " lb=" << (load_balance ? "on" : "off")
      << " combine=" << (combine ? "on" : "off") << " backend="
      << (backend == Backend::kSimt ? "simt" : "native");
+  if (overlap) {
+    os << " overlap=on streams=" << overlap_streams;
+    if (overlap_shuffle_seed != 0) os << " shuffle=" << overlap_shuffle_seed;
+  }
   return os.str();
 }
 

@@ -35,6 +35,22 @@ struct Config {
   Backend backend = Backend::kSimt;
   simt::DeviceSpec device = simt::DeviceSpec::k20c();
 
+  // --- stream overlap (SIMT backend) ---------------------------------------
+  /// Runs the tile pipeline double-buffered over simt::Streams: row k's
+  /// match kernels overlap row k+1's index build and the copies, and the
+  /// per-row host stitch runs on a worker thread. MEM results are
+  /// bit-identical to the serial path; only modeled makespan (and wall
+  /// clock) change. See docs/PIPELINE.md.
+  bool overlap = false;
+  /// Worker streams for the overlapped pipeline (>= 1). Tile columns are
+  /// distributed col % overlap_streams, so the mapping — and therefore every
+  /// buffer capacity retry — is independent of scheduling order.
+  std::uint32_t overlap_streams = 2;
+  /// Nonzero: seed for the scheduler's randomized drain-order shuffle. The
+  /// determinism tests sweep this to prove results don't depend on
+  /// interleaving; 0 (default) = deterministic earliest-ready order.
+  std::uint64_t overlap_shuffle_seed = 0;
+
   /// Turns on the process-global observability registry (obs::Registry) at
   /// run start: stage/kernel/transfer spans and run metrics are recorded
   /// for export. Leaving it false never disables a registry the front-end

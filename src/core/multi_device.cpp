@@ -64,6 +64,9 @@ MultiDeviceResult run_multi_device(const Config& cfg, std::uint32_t devices,
         std::max(result.combined.index_seconds, stats.index_seconds);
     result.combined.match_seconds =
         std::max(result.combined.match_seconds, stats.match_seconds);
+    result.combined.modeled_makespan_seconds =
+        std::max(result.combined.modeled_makespan_seconds,
+                 stats.modeled_makespan_seconds);
     result.combined.tile_rows += stats.tile_rows;
     result.combined.inblock_mems += stats.inblock_mems;
     result.combined.intile_mems += stats.intile_mems;

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <thread>
 
 #include "core/host_stitch.h"
 #include "core/index_kernels.h"
@@ -13,6 +17,7 @@
 #include "index/kmer_index.h"
 #include "obs/registry.h"
 #include "simt/buffer.h"
+#include "simt/stream.h"
 #include "util/bits.h"
 #include "util/parallel.h"
 #include "util/timer.h"
@@ -22,12 +27,157 @@ namespace {
 
 constexpr mem::Mem kSentinel{0xFFFFFFFFu, 0u, 0u};
 
-/// Per-tile device outputs after retries and host fallback.
-struct TileOutputs {
-  std::vector<mem::Mem> inblock;
-  std::vector<mem::Mem> outblock;
-  std::uint64_t overflow_rounds = 0;
+/// Everything one tile produced, after overflow retries, host-fallback
+/// rounds, and the tile-level combine.
+struct TileResult {
+  std::vector<mem::Mem> inblock;      ///< reported at block level
+  std::vector<mem::Mem> intile;       ///< reported by the tile combine
+  std::vector<mem::Mem> outtile;      ///< pieces for the final host merge
+  std::uint64_t overflow_rounds = 0;  ///< rounds that fell back to the host
+  std::size_t outblock_pieces = 0;    ///< combine input size (observability)
 };
+
+/// The complete device work of one tile: match kernel with
+/// doubling-capacity retries, host fallback for overflowed rounds, and the
+/// tile-level combine with its own retries. `cap_in`/`cap_out` are the
+/// caller's adaptive capacities — grown in place so later tiles start at
+/// the learned size. Works identically under serial execution and inside a
+/// stream closure: every retry rolls back the ledger, the trace, and any
+/// captured segments together.
+TileResult process_tile(simt::Device& dev, const Config& cfg,
+                        const Config::Geometry& g, const seq::Sequence& ref,
+                        const seq::Sequence& query, const DeviceIndex& index,
+                        const Rect& tile, std::uint32_t& cap_in,
+                        std::uint32_t& cap_out) {
+  TileResult outs;
+  std::vector<mem::Mem> outblock;
+
+  // ---- match kernel over the tile's blocks, retrying on overflow ---------
+  for (;;) {
+    const simt::PerfLedger::Snapshot snap = dev.ledger().snapshot();
+    const std::size_t trace_mark =
+        obs::enabled() ? obs::Registry::global().trace().size() : 0;
+    const std::size_t seg_mark = dev.segment_mark();
+    simt::Buffer<mem::Mem> scratch(
+        dev, std::size_t{cfg.tile_blocks} * cfg.round_capacity);
+    simt::Buffer<mem::Mem> inblock_buf(dev, cap_in);
+    simt::Buffer<mem::Mem> outblock_buf(dev, cap_out);
+    simt::Buffer<std::uint32_t> in_count(dev, 1);
+    simt::Buffer<std::uint32_t> out_count(dev, 1);
+    simt::Buffer<std::uint8_t> overflow(dev,
+                                        std::size_t{cfg.tile_blocks} * g.w);
+    in_count[0] = out_count[0] = 0;
+    std::fill_n(overflow.data(), overflow.size(), std::uint8_t{0});
+
+    MatchParams params;
+    params.ref = &ref;
+    params.query = &query;
+    params.ptrs = index.ptrs.span();
+    params.locs = index.locs.span();
+    params.tile = tile;
+    params.seed_len = cfg.seed_len;
+    params.w = g.w;
+    params.min_len = cfg.min_length;
+    params.round_capacity = cfg.round_capacity;
+    params.block_width = g.block_width;
+    params.load_balance = cfg.load_balance;
+    params.combine = cfg.combine;
+    params.scratch = scratch.span();
+    params.inblock = inblock_buf.span();
+    params.inblock_count = in_count.span();
+    params.outblock = outblock_buf.span();
+    params.outblock_count = out_count.span();
+    params.overflow = overflow.span();
+
+    launch_match_kernel(dev, cfg.tile_blocks, cfg.threads, params);
+
+    if (in_count[0] > cap_in || out_count[0] > cap_out) {
+      if (in_count[0] > cap_in) {
+        cap_in = static_cast<std::uint32_t>(util::ceil_pow2(in_count[0]));
+      }
+      if (out_count[0] > cap_out) {
+        cap_out = static_cast<std::uint32_t>(util::ceil_pow2(out_count[0]));
+      }
+      dev.ledger().rollback(snap);
+      if (obs::enabled()) {
+        obs::Registry::global().trace().truncate(trace_mark);
+      }
+      dev.segment_truncate(seg_mark);
+      continue;
+    }
+
+    outs.inblock = inblock_buf.download(in_count[0]);
+    outblock = outblock_buf.download(out_count[0]);
+
+    // Host fallback for rounds whose load exceeded the scratch capacity.
+    for (std::uint32_t b = 0; b < cfg.tile_blocks; ++b) {
+      for (std::uint32_t rnd = 0; rnd < g.w; ++rnd) {
+        if (!overflow[std::size_t{b} * g.w + rnd]) continue;
+        ++outs.overflow_rounds;
+        process_round_host(params, b, rnd, cfg.threads, outs.inblock,
+                           outblock);
+      }
+    }
+    break;
+  }
+  outs.outblock_pieces = outblock.size();
+
+  // ---- tile-level combine ------------------------------------------------
+  if (!outblock.empty()) {
+    for (;;) {
+      const simt::PerfLedger::Snapshot snap = dev.ledger().snapshot();
+      const std::size_t trace_mark =
+          obs::enabled() ? obs::Registry::global().trace().size() : 0;
+      const std::size_t seg_mark = dev.segment_mark();
+      const std::size_t padded = util::ceil_pow2(outblock.size());
+      simt::Buffer<mem::Mem> triplets(dev, padded);
+      std::copy(outblock.begin(), outblock.end(), triplets.data());
+      std::fill(triplets.data() + outblock.size(), triplets.data() + padded,
+                kSentinel);
+      dev.account_copy(outblock.size() * sizeof(mem::Mem));
+      simt::Buffer<std::uint8_t> run_start(dev, outblock.size());
+      simt::Buffer<mem::Mem> intile_buf(dev, cap_in);
+      simt::Buffer<mem::Mem> outtile_buf(dev, cap_out);
+      simt::Buffer<std::uint32_t> in_count(dev, 1);
+      simt::Buffer<std::uint32_t> out_count(dev, 1);
+      in_count[0] = out_count[0] = 0;
+
+      TileCombineParams tc;
+      tc.ref = &ref;
+      tc.query = &query;
+      tc.tile = tile;
+      tc.min_len = cfg.min_length;
+      tc.triplets = triplets.span();
+      tc.count = static_cast<std::uint32_t>(outblock.size());
+      tc.run_start = run_start.span();
+      tc.intile = intile_buf.span();
+      tc.intile_count = in_count.span();
+      tc.outtile = outtile_buf.span();
+      tc.outtile_count = out_count.span();
+
+      launch_tile_combine(dev, cfg.threads, tc);
+
+      if (in_count[0] > cap_in || out_count[0] > cap_out) {
+        if (in_count[0] > cap_in) {
+          cap_in = static_cast<std::uint32_t>(util::ceil_pow2(in_count[0]));
+        }
+        if (out_count[0] > cap_out) {
+          cap_out = static_cast<std::uint32_t>(util::ceil_pow2(out_count[0]));
+        }
+        dev.ledger().rollback(snap);
+        if (obs::enabled()) {
+          obs::Registry::global().trace().truncate(trace_mark);
+        }
+        dev.segment_truncate(seg_mark);
+        continue;
+      }
+      outs.intile = intile_buf.download(in_count[0]);
+      outs.outtile = outtile_buf.download(out_count[0]);
+      break;
+    }
+  }
+  return outs;
+}
 
 /// Records the host out-tile merge as a wall-clock stage span whose
 /// duration is exactly RunStats::host_stitch_seconds, so the "stage" spans
@@ -60,6 +210,8 @@ void publish_run_stats(const RunStats& stats) {
       "measured host out-tile merge portion of match_seconds");
   set("run.device_match_seconds", stats.device_match_seconds(),
       "match_seconds minus the host merge");
+  set("run.modeled_makespan_seconds", stats.modeled_makespan_seconds,
+      "modeled device seconds first-to-last op (overlap shrinks this)");
   set("run.wall_seconds", stats.wall_seconds, "host wall clock of the run");
   set("run.mem_count", static_cast<double>(stats.mem_count));
   set("run.tile_rows", stats.tile_rows);
@@ -116,8 +268,14 @@ void Engine::run_simt_rows(simt::Device& dev, const seq::Sequence& ref,
                            std::vector<mem::Mem>& outtile_pieces,
                            RunStats& stats,
                            RowIndexSource* index_source) const {
+  if (cfg_.overlap) {
+    run_simt_rows_overlapped(dev, ref, query, row_begin, row_end, reported,
+                             outtile_pieces, stats, index_source);
+    return;
+  }
   const Config::Geometry g = cfg_.validated();
   if (ref.empty() || query.empty() || row_begin >= row_end) return;
+  const double makespan_base = dev.ledger().total_seconds();
 
   // Sequences live on the device for the whole run (2 bits per base), like
   // the real tool; only the *index* is tile-partitioned.
@@ -181,134 +339,16 @@ void Engine::run_simt_rows(simt::Device& dev, const seq::Sequence& ref,
       const Rect tile{r0, r1, c0, c1};
       const double before = dev.ledger().total_seconds();
 
-      // ---- match kernel over the tile's blocks, retrying on overflow ------
-      TileOutputs outs;
-      for (;;) {
-        const simt::PerfLedger::Snapshot snap = dev.ledger().snapshot();
-        const std::size_t trace_mark =
-            obs::enabled() ? obs::Registry::global().trace().size() : 0;
-        simt::Buffer<mem::Mem> scratch(
-            dev, std::size_t{cfg_.tile_blocks} * cfg_.round_capacity);
-        simt::Buffer<mem::Mem> inblock_buf(dev, cap_in);
-        simt::Buffer<mem::Mem> outblock_buf(dev, cap_out);
-        simt::Buffer<std::uint32_t> in_count(dev, 1);
-        simt::Buffer<std::uint32_t> out_count(dev, 1);
-        simt::Buffer<std::uint8_t> overflow(
-            dev, std::size_t{cfg_.tile_blocks} * g.w);
-        in_count[0] = out_count[0] = 0;
-        std::fill_n(overflow.data(), overflow.size(), std::uint8_t{0});
-
-        MatchParams params;
-        params.ref = &ref;
-        params.query = &query;
-        params.ptrs = index->ptrs.span();
-        params.locs = index->locs.span();
-        params.tile = tile;
-        params.seed_len = cfg_.seed_len;
-        params.w = g.w;
-        params.min_len = cfg_.min_length;
-        params.round_capacity = cfg_.round_capacity;
-        params.block_width = g.block_width;
-        params.load_balance = cfg_.load_balance;
-        params.combine = cfg_.combine;
-        params.scratch = scratch.span();
-        params.inblock = inblock_buf.span();
-        params.inblock_count = in_count.span();
-        params.outblock = outblock_buf.span();
-        params.outblock_count = out_count.span();
-        params.overflow = overflow.span();
-
-        launch_match_kernel(dev, cfg_.tile_blocks, cfg_.threads, params);
-
-        if (in_count[0] > cap_in || out_count[0] > cap_out) {
-          if (in_count[0] > cap_in) {
-            cap_in = static_cast<std::uint32_t>(util::ceil_pow2(in_count[0]));
-          }
-          if (out_count[0] > cap_out) {
-            cap_out = static_cast<std::uint32_t>(util::ceil_pow2(out_count[0]));
-          }
-          dev.ledger().rollback(snap);
-          if (obs::enabled()) {
-            obs::Registry::global().trace().truncate(trace_mark);
-          }
-          continue;
-        }
-
-        outs.inblock = inblock_buf.download(in_count[0]);
-        outs.outblock = outblock_buf.download(out_count[0]);
-
-        // Host fallback for rounds whose load exceeded the scratch capacity.
-        for (std::uint32_t b = 0; b < cfg_.tile_blocks; ++b) {
-          for (std::uint32_t rnd = 0; rnd < g.w; ++rnd) {
-            if (!overflow[std::size_t{b} * g.w + rnd]) continue;
-            ++outs.overflow_rounds;
-            process_round_host(params, b, rnd, cfg_.threads, outs.inblock,
-                               outs.outblock);
-          }
-        }
-        break;
-      }
+      TileResult outs = process_tile(dev, cfg_, g, ref, query, *index, tile,
+                                     cap_in, cap_out);
       stats.overflow_rounds += outs.overflow_rounds;
       stats.inblock_mems += outs.inblock.size();
+      stats.intile_mems += outs.intile.size();
       reported.insert(reported.end(), outs.inblock.begin(), outs.inblock.end());
+      reported.insert(reported.end(), outs.intile.begin(), outs.intile.end());
+      outtile_pieces.insert(outtile_pieces.end(), outs.outtile.begin(),
+                            outs.outtile.end());
 
-      // ---- tile-level combine ---------------------------------------------
-      if (!outs.outblock.empty()) {
-        for (;;) {
-          const simt::PerfLedger::Snapshot snap = dev.ledger().snapshot();
-          const std::size_t trace_mark =
-              obs::enabled() ? obs::Registry::global().trace().size() : 0;
-          const std::size_t padded = util::ceil_pow2(outs.outblock.size());
-          simt::Buffer<mem::Mem> triplets(dev, padded);
-          std::copy(outs.outblock.begin(), outs.outblock.end(),
-                    triplets.data());
-          std::fill(triplets.data() + outs.outblock.size(),
-                    triplets.data() + padded, kSentinel);
-          dev.account_copy(outs.outblock.size() * sizeof(mem::Mem));
-          simt::Buffer<std::uint8_t> run_start(dev, outs.outblock.size());
-          simt::Buffer<mem::Mem> intile_buf(dev, cap_in);
-          simt::Buffer<mem::Mem> outtile_buf(dev, cap_out);
-          simt::Buffer<std::uint32_t> in_count(dev, 1);
-          simt::Buffer<std::uint32_t> out_count(dev, 1);
-          in_count[0] = out_count[0] = 0;
-
-          TileCombineParams tc;
-          tc.ref = &ref;
-          tc.query = &query;
-          tc.tile = tile;
-          tc.min_len = cfg_.min_length;
-          tc.triplets = triplets.span();
-          tc.count = static_cast<std::uint32_t>(outs.outblock.size());
-          tc.run_start = run_start.span();
-          tc.intile = intile_buf.span();
-          tc.intile_count = in_count.span();
-          tc.outtile = outtile_buf.span();
-          tc.outtile_count = out_count.span();
-
-          launch_tile_combine(dev, cfg_.threads, tc);
-
-          if (in_count[0] > cap_in || out_count[0] > cap_out) {
-            if (in_count[0] > cap_in) {
-              cap_in = static_cast<std::uint32_t>(util::ceil_pow2(in_count[0]));
-            }
-            if (out_count[0] > cap_out) {
-              cap_out = static_cast<std::uint32_t>(util::ceil_pow2(out_count[0]));
-            }
-            dev.ledger().rollback(snap);
-            if (obs::enabled()) {
-              obs::Registry::global().trace().truncate(trace_mark);
-            }
-            continue;
-          }
-          const std::vector<mem::Mem> intile = intile_buf.download(in_count[0]);
-          const std::vector<mem::Mem> outtile = outtile_buf.download(out_count[0]);
-          stats.intile_mems += intile.size();
-          reported.insert(reported.end(), intile.begin(), intile.end());
-          outtile_pieces.insert(outtile_pieces.end(), outtile.begin(),
-                                outtile.end());
-          break;
-        }
-      }
       const double delta = dev.ledger().total_seconds() - before;
       stats.match_seconds += delta;
       if (obs::enabled()) {
@@ -317,14 +357,265 @@ void Engine::run_simt_rows(simt::Device& dev, const seq::Sequence& ref,
             {{"row", std::uint64_t{row}},
              {"col", std::uint64_t{col}},
              {"inblock_mems", std::uint64_t{outs.inblock.size()}},
-             {"outblock_pieces", std::uint64_t{outs.outblock.size()}},
+             {"outblock_pieces", std::uint64_t{outs.outblock_pieces}},
              {"overflow_rounds", outs.overflow_rounds}});
       }
     }
   }
 
+  stats.modeled_makespan_seconds +=
+      dev.ledger().total_seconds() - makespan_base;
   stats.index_cache_hit =
       index_source != nullptr && rows_hit == row_end - row_begin;
+}
+
+void Engine::run_simt_rows_overlapped(simt::Device& dev,
+                                      const seq::Sequence& ref,
+                                      const seq::Sequence& query,
+                                      std::uint32_t row_begin,
+                                      std::uint32_t row_end,
+                                      std::vector<mem::Mem>& reported,
+                                      std::vector<mem::Mem>& outtile_pieces,
+                                      RunStats& stats,
+                                      RowIndexSource* index_source) const {
+  const Config::Geometry g = cfg_.validated();
+  if (ref.empty() || query.empty() || row_begin >= row_end) return;
+
+  const std::uint32_t n_r = static_cast<std::uint32_t>(
+      util::ceil_div<std::size_t>(ref.size(), g.tile_len));
+  const std::uint32_t n_c = static_cast<std::uint32_t>(
+      util::ceil_div<std::size_t>(query.size(), g.tile_len));
+  row_end = std::min(row_end, n_r);
+  if (row_begin >= row_end) return;
+  const std::uint32_t n_rows = row_end - row_begin;
+  const std::uint32_t W = cfg_.overlap_streams;
+
+  simt::Buffer<std::uint64_t> ref_dev(dev, ref.size() / 32 + 1);
+  simt::Buffer<std::uint64_t> query_dev(dev, query.size() / 32 + 1);
+
+  simt::StreamScheduler sched(dev, cfg_.overlap_shuffle_seed);
+  simt::Stream& copy = sched.create_stream("copy");
+  std::vector<simt::Stream*> workers;
+  workers.reserve(W);
+  for (std::uint32_t s = 0; s < W; ++s) {
+    workers.push_back(&sched.create_stream("worker-" + std::to_string(s)));
+  }
+
+  // Sequence upload on the copy stream; every worker's first op waits it.
+  simt::Event ev_upload;
+  const std::size_t upload_bytes = ref_dev.bytes() + query_dev.bytes();
+  copy.run("upload/sequences", [&dev, upload_bytes] {
+    dev.account_copy(upload_bytes, simt::CopyDir::kH2D);
+  });
+  copy.record(ev_upload);
+  for (simt::Stream* w : workers) w->wait(ev_upload);
+
+  // Double-buffered row indexes: row k builds into slot k % 2, so building
+  // row k+1 overlaps row k's match kernels, and building row k+2 must wait
+  // until every row-k tile is done with its slot (the ev_row_done edges).
+  // The cached path borrows resident indexes instead — no slot conflict.
+  const std::uint32_t max_locs =
+      static_cast<std::uint32_t>(g.tile_len / g.step) + 2;
+  const bool double_buffer = index_source == nullptr;
+  std::optional<DeviceIndex> local_index[2];
+  if (double_buffer) {
+    local_index[0].emplace(dev, cfg_.seed_len, g.step, max_locs);
+    if (n_rows > 1) {
+      local_index[1].emplace(dev, cfg_.seed_len, g.step, max_locs);
+    }
+  }
+
+  struct RowWork {
+    DeviceIndex* index = nullptr;
+    bool hit = false;
+    double index_seconds = 0.0;
+    simt::Stream::OpId build_op = 0;
+  };
+  struct TileWork {
+    TileResult outs;
+    double match_seconds = 0.0;
+    simt::Stream::OpId op = 0;
+  };
+  std::vector<RowWork> rows(n_rows);
+  std::vector<TileWork> tiles(std::size_t{n_rows} * n_c);
+  std::vector<simt::Event> ev_build(n_rows);
+  std::vector<std::vector<simt::Event>> ev_row_done(n_rows);
+  for (auto& per_stream : ev_row_done) per_stream.resize(W);
+
+  // Tile -> stream mapping is static (col % W), so each stream's adaptive
+  // capacities see the same tile sequence under every drain order — retries
+  // and kernels_launched are interleaving-independent.
+  std::vector<std::uint32_t> cap_in(W, cfg_.output_capacity);
+  std::vector<std::uint32_t> cap_out(W, cfg_.output_capacity);
+
+  // Host stitch worker: a completed row's MEMs are pre-sorted concurrently
+  // with the rest of the drain (the tentpole's "row k-1 host stitch" leg).
+  // The final sort_unique in the caller makes the pre-sort semantically
+  // invisible; it just front-loads comparison work off the critical path.
+  std::vector<std::vector<mem::Mem>> row_reported(n_rows);
+  std::vector<std::uint32_t> row_remaining(n_rows, n_c);
+  std::mutex stitch_mu;
+  std::condition_variable stitch_cv;
+  std::deque<std::uint32_t> stitch_queue;
+  bool stitch_done = false;
+  std::thread stitcher([&] {
+    for (;;) {
+      std::uint32_t i = 0;
+      {
+        std::unique_lock lk(stitch_mu);
+        stitch_cv.wait(lk,
+                       [&] { return stitch_done || !stitch_queue.empty(); });
+        if (stitch_queue.empty()) return;
+        i = stitch_queue.front();
+        stitch_queue.pop_front();
+      }
+      mem::sort_unique(row_reported[i]);
+    }
+  });
+  const auto finish_stitcher = [&] {
+    {
+      std::lock_guard lk(stitch_mu);
+      stitch_done = true;
+    }
+    stitch_cv.notify_one();
+    stitcher.join();
+  };
+
+  std::uint32_t rows_hit = 0;
+  try {
+    for (std::uint32_t i = 0; i < n_rows; ++i) {
+      const std::uint32_t row = row_begin + i;
+      const std::uint32_t r0 = row * g.tile_len;
+      const std::uint32_t r1 = static_cast<std::uint32_t>(
+          std::min<std::size_t>(ref.size(), r0 + std::size_t{g.tile_len}));
+      simt::Stream& bs = *workers[i % W];
+      if (double_buffer && i >= 2) {
+        for (std::uint32_t s = 0; s < W; ++s) {
+          bs.wait(ev_row_done[i - 2][s]);
+        }
+      }
+      RowWork& rw = rows[i];
+      DeviceIndex* slot = double_buffer ? &*local_index[i % 2] : nullptr;
+      rw.build_op = bs.run(
+          "index/build-row",
+          [this, &dev, &ref, &rw, &stats, &rows_hit, index_source, slot, row,
+           r0, r1, g] {
+            const double before = dev.ledger().total_seconds();
+            if (index_source != nullptr) {
+              bool hit = false;
+              rw.index = &index_source->acquire(dev, ref, row, hit);
+              if (rw.index->seed_len != cfg_.seed_len ||
+                  rw.index->step != g.step) {
+                throw std::invalid_argument(
+                    "run_simt_rows: RowIndexSource geometry does not match "
+                    "the engine config (seed_len/step)");
+              }
+              rw.hit = hit;
+              rows_hit += hit;
+            } else {
+              build_partial_index(dev, ref, r0, r1, cfg_.threads, *slot);
+              rw.index = slot;
+            }
+            rw.index_seconds = dev.ledger().total_seconds() - before;
+            stats.index_seconds += rw.index_seconds;
+          });
+      bs.record(ev_build[i]);
+
+      for (std::uint32_t s = 0; s < W; ++s) {
+        simt::Stream& ws = *workers[s];
+        bool first_tile = true;
+        for (std::uint32_t col = s; col < n_c; col += W) {
+          if (first_tile) {
+            ws.wait(ev_build[i]);
+            first_tile = false;
+          }
+          const std::uint32_t c0 = col * g.tile_len;
+          const std::uint32_t c1 = static_cast<std::uint32_t>(
+              std::min<std::size_t>(query.size(),
+                                    c0 + std::size_t{g.tile_len}));
+          const Rect tile{r0, r1, c0, c1};
+          TileWork& tw = tiles[std::size_t{i} * n_c + col];
+          tw.op = ws.run(
+              "match/tile",
+              [this, &dev, &ref, &query, &rw, &tw, &stats, &cap_in, &cap_out,
+               &tiles, &row_remaining, &row_reported, &stitch_mu, &stitch_cv,
+               &stitch_queue, tile, g, s, i, n_c] {
+                const double before = dev.ledger().total_seconds();
+                tw.outs = process_tile(dev, cfg_, g, ref, query, *rw.index,
+                                       tile, cap_in[s], cap_out[s]);
+                tw.match_seconds = dev.ledger().total_seconds() - before;
+                stats.match_seconds += tw.match_seconds;
+                stats.overflow_rounds += tw.outs.overflow_rounds;
+                stats.inblock_mems += tw.outs.inblock.size();
+                stats.intile_mems += tw.outs.intile.size();
+                if (--row_remaining[i] == 0) {
+                  std::vector<mem::Mem>& dst = row_reported[i];
+                  for (std::uint32_t c = 0; c < n_c; ++c) {
+                    TileResult& o = tiles[std::size_t{i} * n_c + c].outs;
+                    dst.insert(dst.end(), o.inblock.begin(), o.inblock.end());
+                    dst.insert(dst.end(), o.intile.begin(), o.intile.end());
+                    o.inblock.clear();
+                    o.intile.clear();
+                  }
+                  {
+                    std::lock_guard lk(stitch_mu);
+                    stitch_queue.push_back(i);
+                  }
+                  stitch_cv.notify_one();
+                }
+              });
+        }
+        ws.record(ev_row_done[i][s]);
+      }
+    }
+    sched.drain();
+  } catch (...) {
+    finish_stitcher();
+    throw;
+  }
+  finish_stitcher();
+
+  stats.modeled_makespan_seconds += sched.makespan();
+  stats.index_cache_hit = index_source != nullptr && rows_hit == n_rows;
+
+  // Assemble outputs in row/tile order (per-row vectors are pre-sorted; the
+  // caller's final sort_unique normalizes everything).
+  for (std::uint32_t i = 0; i < n_rows; ++i) {
+    reported.insert(reported.end(), row_reported[i].begin(),
+                    row_reported[i].end());
+  }
+  for (const TileWork& tw : tiles) {
+    outtile_pieces.insert(outtile_pieces.end(), tw.outs.outtile.begin(),
+                          tw.outs.outtile.end());
+  }
+
+  // Stage spans, placed at the ops' overlapped intervals on per-stream
+  // tracks (kernel/transfer spans were already retimed by the scheduler).
+  if (obs::enabled()) {
+    for (std::uint32_t i = 0; i < n_rows; ++i) {
+      const simt::StreamScheduler::Interval iv = sched.interval(rows[i].build_op);
+      obs::record_modeled_span(
+          "index/build-row", "stage", iv.start, iv.end - iv.start,
+          dev.ordinal(),
+          {{"row", std::uint64_t{row_begin + i}},
+           {"cache_hit", std::uint64_t{rows[i].hit}}},
+          workers[i % W]->track());
+    }
+    for (std::uint32_t i = 0; i < n_rows; ++i) {
+      for (std::uint32_t col = 0; col < n_c; ++col) {
+        const TileWork& tw = tiles[std::size_t{i} * n_c + col];
+        const simt::StreamScheduler::Interval iv = sched.interval(tw.op);
+        obs::record_modeled_span(
+            "match/tile", "stage", iv.start, iv.end - iv.start, dev.ordinal(),
+            {{"row", std::uint64_t{row_begin + i}},
+             {"col", std::uint64_t{col}},
+             {"inblock_mems", std::uint64_t{tw.outs.inblock.size()}},
+             {"outblock_pieces", std::uint64_t{tw.outs.outblock_pieces}},
+             {"overflow_rounds", tw.outs.overflow_rounds}},
+            workers[col % W]->track());
+      }
+    }
+  }
 }
 
 Result Engine::run_simt(const seq::Sequence& ref,

@@ -9,8 +9,9 @@
 // maximum).
 //
 // run_case executes every registered finder and the SIMT pipeline in all
-// four serving shapes (plain run, cached-index run, multi-device run, the
-// batched MemService path) against the naive ground truth and reports every
+// five serving shapes (plain run, stream-overlapped run, cached-index run,
+// multi-device run, the batched MemService path) against the naive ground
+// truth and reports every
 // divergence: a missing MEM (completeness), an extra or non-maximal MEM
 // (soundness, double-checked via mem::validate_mems), or an execution error.
 //
@@ -56,6 +57,12 @@ enum class Fault {
   /// Simulates a broken out-tile stitch: every pipeline-produced MEM whose
   /// reference interval crosses a tile_len boundary is dropped.
   kStitchDropBoundary,
+  /// Simulates a stream-overlap handoff bug: the overlapped pipeline drops
+  /// every MEM whose *query* interval crosses a tile (column) boundary —
+  /// exactly the matches adjacent worker streams must stitch. Applied to the
+  /// simt-overlapped oracle only; all other modes stay correct, so the
+  /// harness must localize the failure to the overlapped path.
+  kOverlapDropColumnBoundary,
 };
 
 const char* to_string(Fault fault);

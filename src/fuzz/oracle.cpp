@@ -4,6 +4,8 @@
 // Implementations covered per case:
 //   naive (truth, self-checked)   mummer   sparsemem   essamem   slamem
 //   gpumem-native                 simt-plain (Engine::run)
+//   simt-overlapped (Engine::run with cfg.overlap, stream count and
+//   scheduler shuffle seed derived from the case seed)
 //   simt-cached-cold / -warm (run_simt_cached over a DeviceRowIndexCache)
 //   multi-device (run_multi_device)   serve (MemService, paused batch)
 //
@@ -53,6 +55,17 @@ void apply_fault(Fault fault, std::uint32_t tile_len,
   });
 }
 
+/// The injected stream-overlap defect: drop MEMs whose query interval
+/// crosses a tile (column) boundary — the handoff between adjacent worker
+/// streams. Only the simt-overlapped oracle calls this.
+void apply_overlap_fault(Fault fault, std::uint32_t tile_len,
+                         std::vector<mem::Mem>& mems) {
+  if (fault != Fault::kOverlapDropColumnBoundary || tile_len == 0) return;
+  std::erase_if(mems, [tile_len](const mem::Mem& m) {
+    return m.len > 0 && m.q / tile_len != (m.q + m.len - 1) / tile_len;
+  });
+}
+
 void check_output(const std::string& impl, const std::vector<mem::Mem>& truth,
                   const std::vector<mem::Mem>& got, const seq::Sequence& ref,
                   const seq::Sequence& query, std::uint32_t min_len,
@@ -89,6 +102,7 @@ const char* to_string(Fault fault) {
   switch (fault) {
     case Fault::kNone: return "none";
     case Fault::kStitchDropBoundary: return "stitch-drop";
+    case Fault::kOverlapDropColumnBoundary: return "overlap-drop";
   }
   return "?";
 }
@@ -96,6 +110,7 @@ const char* to_string(Fault fault) {
 std::optional<Fault> fault_from_string(const std::string& name) {
   if (name == "none") return Fault::kNone;
   if (name == "stitch-drop") return Fault::kStitchDropBoundary;
+  if (name == "overlap-drop") return Fault::kOverlapDropColumnBoundary;
   return std::nullopt;
 }
 
@@ -168,7 +183,24 @@ CaseResult run_case(const FuzzCase& c, Fault fault) {
     out.divergences.push_back({"simt-plain", "error", e.what()});
   }
 
-  // SIMT mode 2: cached row indexes — cold build, then the warm path that
+  // SIMT mode 2: the stream-overlapped pipeline. Stream count and the
+  // scheduler's drain-order shuffle derive from the case seed, so every
+  // sampled case exercises a different interleaving — reproducibly.
+  try {
+    core::Config ocfg = cfg;
+    ocfg.overlap = true;
+    ocfg.overlap_streams = 1 + static_cast<std::uint32_t>(c.seed % 3);
+    ocfg.overlap_shuffle_seed = c.seed;
+    auto res = core::Engine(ocfg).run(ref, query);
+    apply_fault(fault, geo.tile_len, res.mems);
+    apply_overlap_fault(fault, geo.tile_len, res.mems);
+    check_output("simt-overlapped", truth, res.mems, ref, query, c.min_len,
+                 out);
+  } catch (const std::exception& e) {
+    out.divergences.push_back({"simt-overlapped", "error", e.what()});
+  }
+
+  // SIMT mode 3: cached row indexes — cold build, then the warm path that
   // must serve byte-identical indexes.
   try {
     simt::Device dev(cfg.device);
@@ -185,7 +217,7 @@ CaseResult run_case(const FuzzCase& c, Fault fault) {
     out.divergences.push_back({"simt-cached", "error", e.what()});
   }
 
-  // SIMT mode 3: multi-device row partitioning.
+  // SIMT mode 4: multi-device row partitioning.
   try {
     auto res = core::run_multi_device(cfg, c.devices, ref, query);
     apply_fault(fault, geo.tile_len, res.mems);
@@ -194,7 +226,7 @@ CaseResult run_case(const FuzzCase& c, Fault fault) {
     out.divergences.push_back({"multi-device", "error", e.what()});
   }
 
-  // SIMT mode 4: the batched serving path end to end.
+  // SIMT mode 5: the batched serving path end to end.
   try {
     serve::ServiceConfig scfg;
     scfg.engine = cfg;

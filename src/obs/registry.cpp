@@ -7,9 +7,10 @@ Registry& Registry::global() {
   return instance;
 }
 
-void record_modeled_span(std::string name, std::string category,
-                         double start_seconds, double duration_seconds,
-                         std::uint32_t device, std::vector<Attr> attrs) {
+std::size_t record_modeled_span(std::string name, std::string category,
+                                double start_seconds, double duration_seconds,
+                                std::uint32_t device, std::vector<Attr> attrs,
+                                std::uint32_t track) {
   SpanEvent ev;
   ev.name = std::move(name);
   ev.category = std::move(category);
@@ -17,8 +18,9 @@ void record_modeled_span(std::string name, std::string category,
   ev.start_us = start_seconds * 1e6;
   ev.duration_us = duration_seconds * 1e6;
   ev.device = device;
+  ev.track = track;
   ev.attrs = std::move(attrs);
-  Registry::global().trace().record(std::move(ev));
+  return Registry::global().trace().record(std::move(ev));
 }
 
 }  // namespace gm::obs

@@ -60,10 +60,14 @@ class Registry {
 inline bool enabled() noexcept { return Registry::global().enabled(); }
 
 /// Records a modeled-device-clock span (start/duration in ledger seconds).
-void record_modeled_span(std::string name, std::string category,
-                         double start_seconds, double duration_seconds,
-                         std::uint32_t device,
-                         std::vector<Attr> attrs = {});
+/// `track` selects the timeline lane within the device's modeled clock
+/// (0 = serial; stream-overlapped runs use 1 + stream index). Returns the
+/// event's trace index (for TraceRecorder::retime).
+std::size_t record_modeled_span(std::string name, std::string category,
+                                double start_seconds, double duration_seconds,
+                                std::uint32_t device,
+                                std::vector<Attr> attrs = {},
+                                std::uint32_t track = 0);
 
 /// RAII wall-clock span: starts at construction, records at destruction.
 /// When the registry is disabled at construction the whole object is inert.

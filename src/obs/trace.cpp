@@ -57,9 +57,10 @@ std::uint32_t pid_for(const SpanEvent& ev) {
 
 }  // namespace
 
-void TraceRecorder::record(SpanEvent ev) {
+std::size_t TraceRecorder::record(SpanEvent ev) {
   std::lock_guard lock(mu_);
   events_.push_back(std::move(ev));
+  return events_.size() - 1;
 }
 
 std::size_t TraceRecorder::size() const {
@@ -70,6 +71,16 @@ std::size_t TraceRecorder::size() const {
 void TraceRecorder::truncate(std::size_t n) {
   std::lock_guard lock(mu_);
   if (n < events_.size()) events_.resize(n);
+}
+
+void TraceRecorder::retime(std::size_t index, double start_us,
+                           double duration_us, std::uint32_t track) {
+  std::lock_guard lock(mu_);
+  if (index >= events_.size()) return;
+  SpanEvent& ev = events_[index];
+  ev.start_us = start_us;
+  ev.duration_us = duration_us;
+  ev.track = track;
 }
 
 void TraceRecorder::clear() {
@@ -87,9 +98,14 @@ void TraceRecorder::write_chrome_json(std::ostream& os) const {
   os << "{\"traceEvents\":[";
   bool first = true;
 
-  // Process metadata: name the clock-domain tracks.
+  // Process metadata: name the clock-domain tracks. Thread metadata names
+  // each stream lane so overlapped runs read as parallel timelines.
   std::set<std::uint32_t> pids;
-  for (const SpanEvent& ev : evs) pids.insert(pid_for(ev));
+  std::set<std::pair<std::uint32_t, std::uint32_t>> lanes;
+  for (const SpanEvent& ev : evs) {
+    pids.insert(pid_for(ev));
+    lanes.insert({pid_for(ev), ev.track});
+  }
   for (const std::uint32_t pid : pids) {
     if (!first) os << ",";
     first = false;
@@ -100,6 +116,13 @@ void TraceRecorder::write_chrome_json(std::ostream& os) const {
     } else {
       write_escaped(os, "device " + std::to_string(pid - 1) + " (modeled)");
     }
+    os << "}}";
+  }
+  for (const auto& [pid, track] : lanes) {
+    os << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":" << track << ",\"args\":{\"name\":";
+    write_escaped(os, track == 0 ? std::string("serial")
+                                 : "stream " + std::to_string(track - 1));
     os << "}}";
   }
 
@@ -114,7 +137,7 @@ void TraceRecorder::write_chrome_json(std::ostream& os) const {
     write_number(os, ev.start_us);
     os << ",\"dur\":";
     write_number(os, ev.duration_us);
-    os << ",\"pid\":" << pid_for(ev) << ",\"tid\":0";
+    os << ",\"pid\":" << pid_for(ev) << ",\"tid\":" << ev.track;
     if (!ev.attrs.empty()) {
       os << ",\"args\":{";
       bool first_attr = true;

@@ -46,6 +46,11 @@ struct SpanEvent {
   double start_us = 0.0;
   double duration_us = 0.0;
   std::uint32_t device = 0;  ///< device ordinal (modeled-clock spans)
+  /// Timeline within the clock domain (Chrome trace "thread"). Serial
+  /// pipeline work stays on track 0; stream-overlapped runs put each
+  /// simt::Stream on its own track so concurrent phases render as parallel
+  /// lanes instead of interleaved garbage on a single modeled clock.
+  std::uint32_t track = 0;
   std::vector<Attr> attrs;
 };
 
@@ -53,7 +58,9 @@ struct SpanEvent {
 /// push_back, cheap relative to the work any span brackets.
 class TraceRecorder {
  public:
-  void record(SpanEvent ev);
+  /// Returns the recorded event's index — stable until a truncate/clear
+  /// drops it — so producers can later retime() it.
+  std::size_t record(SpanEvent ev);
 
   /// Number of events recorded so far — a mark for truncate().
   std::size_t size() const;
@@ -64,6 +71,15 @@ class TraceRecorder {
   /// thread records between taking the mark and truncating (true wherever
   /// the pipeline retries: tiles are traced from one thread).
   void truncate(std::size_t n);
+
+  /// Rewrites the timestamps and track of event `index` in place. The
+  /// stream scheduler records spans eagerly (at modeled-ledger time) while
+  /// executing queued ops, then retimes them onto the overlapped schedule
+  /// once the op's start on its engine/slots is known. Out-of-range indexes
+  /// are ignored (the span was truncated by a retry rollback). Same caveat
+  /// as truncate(): the caller must not race another thread's truncate.
+  void retime(std::size_t index, double start_us, double duration_us,
+              std::uint32_t track);
 
   void clear();
 

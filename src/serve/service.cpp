@@ -290,6 +290,9 @@ QueryResult MemService::execute(Pending& pending, double queue_seconds) {
           std::max(result.stats.index_seconds, dstats.index_seconds);
       result.stats.match_seconds =
           std::max(result.stats.match_seconds, dstats.match_seconds);
+      result.stats.modeled_makespan_seconds =
+          std::max(result.stats.modeled_makespan_seconds,
+                   dstats.modeled_makespan_seconds);
       result.stats.inblock_mems += dstats.inblock_mems;
       result.stats.intile_mems += dstats.intile_mems;
       result.stats.overflow_rounds += dstats.overflow_rounds;

@@ -57,13 +57,13 @@ class Buffer {
   void upload(std::span<const T> host) {
     std::memcpy(data_.data(), host.data(),
                 std::min(bytes(), host.size() * sizeof(T)));
-    dev_->account_copy(host.size() * sizeof(T));
+    dev_->account_copy(host.size() * sizeof(T), CopyDir::kH2D);
   }
 
   /// cudaMemcpy D->H with modeled PCIe cost.
   std::vector<T> download(std::size_t count) const {
     count = std::min(count, data_.size());
-    dev_->account_copy(count * sizeof(T));
+    dev_->account_copy(count * sizeof(T), CopyDir::kD2H);
     return std::vector<T>(data_.begin(), data_.begin() + static_cast<std::ptrdiff_t>(count));
   }
 

@@ -4,11 +4,40 @@
 
 namespace gm::simt {
 
-void Device::note_transfer(const char* kind, std::size_t bytes,
+void Device::note_transfer(OpKind kind, const char* name, std::size_t bytes,
                            double seconds) {
-  if (!obs::enabled()) return;
-  obs::record_modeled_span(kind, "transfer", ledger_.total_seconds(), seconds,
-                           ordinal_, {{"bytes", std::uint64_t{bytes}}});
+  std::ptrdiff_t span_index = -1;
+  if (obs::enabled()) {
+    span_index = static_cast<std::ptrdiff_t>(obs::record_modeled_span(
+        name, "transfer", ledger_.total_seconds(), seconds, ordinal_,
+        {{"bytes", std::uint64_t{bytes}}}));
+  }
+  if (sink_ != nullptr) {
+    OpSegment seg;
+    seg.kind = kind;
+    seg.label = name;
+    seg.seconds = seconds;
+    seg.span_index = span_index;
+    sink_->on_segment(std::move(seg));
+  }
+}
+
+void Device::note_kernel_launch(const std::string& label,
+                                std::vector<double> block_seconds,
+                                double dram_seconds, double total_seconds,
+                                std::uint32_t blocks_per_sm,
+                                std::ptrdiff_t span_index) {
+  if (sink_ == nullptr) return;
+  OpSegment seg;
+  seg.kind = OpKind::kKernel;
+  seg.label = label;
+  seg.seconds = total_seconds;
+  seg.block_seconds = std::move(block_seconds);
+  seg.dram_seconds = dram_seconds;
+  seg.launch_overhead = spec_.kernel_launch_seconds;
+  seg.blocks_per_sm = blocks_per_sm;
+  seg.span_index = span_index;
+  sink_->on_segment(std::move(seg));
 }
 
 DeviceSpec DeviceSpec::k20c() {

@@ -54,6 +54,46 @@ class DeviceOutOfMemory : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
+/// Direction of a modeled host<->device copy. The stream scheduler maps each
+/// direction to its own DMA engine (Kepler cards have one per direction), so
+/// an H2D upload and a D2H download on different streams overlap.
+enum class CopyDir : std::uint8_t { kH2D, kD2H };
+
+/// Kind of one modeled device operation, from the stream scheduler's
+/// perspective: which engine (or the SM pool) it occupies.
+enum class OpKind : std::uint8_t { kKernel, kMemset, kH2D, kD2H };
+
+/// One modeled operation captured while a stream closure executes. The
+/// ledger is charged eagerly (serial semantics); the scheduler re-places the
+/// segment on the overlapped timeline afterwards.
+struct OpSegment {
+  OpKind kind = OpKind::kKernel;
+  std::string label;
+  /// Serial-model duration: the exact seconds charged to the ledger.
+  double seconds = 0.0;
+  /// Kernels only: per-block durations (cycles / clock) for SM-slot
+  /// placement, the DRAM-bandwidth tail, the launch overhead, and the
+  /// per-kernel residency limit (blocks per SM; 0 = device maximum).
+  std::vector<double> block_seconds;
+  double dram_seconds = 0.0;
+  double launch_overhead = 0.0;
+  std::uint32_t blocks_per_sm = 0;
+  /// Index of the span this op recorded in the global trace (-1 = none);
+  /// the scheduler retimes it onto the overlapped timeline.
+  std::ptrdiff_t span_index = -1;
+};
+
+/// Receives OpSegments from a Device while a stream closure runs. Installed
+/// and drained by simt::StreamScheduler; mark/truncate pair with the ledger
+/// snapshot/rollback so a retried tile's abandoned ops vanish everywhere.
+class SegmentSink {
+ public:
+  virtual ~SegmentSink() = default;
+  virtual void on_segment(OpSegment seg) = 0;
+  virtual std::size_t mark() const = 0;
+  virtual void truncate(std::size_t n) = 0;
+};
+
 /// Accumulates modeled device-side time. Thread-safe.
 class PerfLedger {
  public:
@@ -197,19 +237,45 @@ class Device {
   /// cudaMemset equivalent: models a bandwidth-bound fill.
   void account_memset(std::size_t bytes) {
     const double secs = static_cast<double>(bytes) / spec_.mem_bandwidth;
-    note_transfer("memset", bytes, secs);
+    note_transfer(OpKind::kMemset, "memset", bytes, secs);
     ledger_.add_transfer_seconds(secs);
   }
-  /// cudaMemcpy equivalent (host<->device over PCIe).
-  void account_copy(std::size_t bytes) {
+  /// cudaMemcpy equivalent (host<->device over PCIe). The direction picks
+  /// the DMA engine under stream-overlapped scheduling; serial modeled time
+  /// is identical either way.
+  void account_copy(std::size_t bytes, CopyDir dir = CopyDir::kH2D) {
     const double secs = static_cast<double>(bytes) / spec_.pcie_bandwidth;
-    note_transfer("memcpy", bytes, secs);
+    note_transfer(dir == CopyDir::kH2D ? OpKind::kH2D : OpKind::kD2H, "memcpy",
+                  bytes, secs);
     ledger_.add_transfer_seconds(secs);
   }
 
+  /// Kernel-launch hook, called by simt::launch after charging the ledger:
+  /// forwards the launch's cost decomposition to the installed SegmentSink
+  /// (no-op without one). Public so scheduler tests can feed synthetic
+  /// kernels without running coroutines.
+  void note_kernel_launch(const std::string& label,
+                          std::vector<double> block_seconds,
+                          double dram_seconds, double total_seconds,
+                          std::uint32_t blocks_per_sm,
+                          std::ptrdiff_t span_index);
+
+  /// Segment capture (stream scheduling). The sink is installed only while
+  /// the scheduler executes a queued closure, on the draining thread; these
+  /// accessors are deliberately unsynchronized.
+  void install_segment_sink(SegmentSink* sink) noexcept { sink_ = sink; }
+  SegmentSink* segment_sink() const noexcept { return sink_; }
+  /// Checkpoint / rollback of captured segments, mirroring
+  /// PerfLedger::snapshot/rollback for tile retries. No-ops without a sink.
+  std::size_t segment_mark() const { return sink_ ? sink_->mark() : 0; }
+  void segment_truncate(std::size_t n) {
+    if (sink_ != nullptr) sink_->truncate(n);
+  }
+
  private:
-  /// Trace hook for modeled transfers; no-op unless observability is on.
-  void note_transfer(const char* kind, std::size_t bytes, double seconds);
+  /// Trace + segment hook for modeled transfers.
+  void note_transfer(OpKind kind, const char* name, std::size_t bytes,
+                     double seconds);
 
   template <typename T>
   friend class Buffer;
@@ -233,6 +299,7 @@ class Device {
   DeviceSpec spec_;
   std::uint32_t ordinal_ = 0;
   PerfLedger ledger_;
+  SegmentSink* sink_ = nullptr;
   mutable std::mutex mu_;
   std::size_t bytes_in_use_ = 0;
   std::size_t peak_bytes_ = 0;

@@ -87,8 +87,8 @@ BlockResult run_block(const DeviceSpec& spec, std::uint32_t block_id,
   return result;
 }
 
-void record_launch_span(const Device& dev, const LaunchConfig& cfg,
-                        const LaunchStats& stats, double modeled_start) {
+std::size_t record_launch_span(const Device& dev, const LaunchConfig& cfg,
+                               const LaunchStats& stats, double modeled_start) {
   const DeviceSpec& spec = dev.spec();
   const std::uint32_t per_sm =
       cfg.blocks_per_sm == 0 ? spec.max_blocks_per_sm : cfg.blocks_per_sm;
@@ -113,9 +113,10 @@ void record_launch_span(const Device& dev, const LaunchConfig& cfg,
   attrs.push_back({"cycles.latency", stats.cycle_terms.latency});
   attrs.push_back({"cycles.atomics", stats.cycle_terms.atomics});
   attrs.push_back({"cycles.barrier", stats.cycle_terms.barrier});
-  obs::record_modeled_span(cfg.label.empty() ? "kernel" : cfg.label, "kernel",
-                           modeled_start, stats.modeled_seconds, dev.ordinal(),
-                           std::move(attrs));
+  return obs::record_modeled_span(cfg.label.empty() ? "kernel" : cfg.label,
+                                  "kernel", modeled_start,
+                                  stats.modeled_seconds, dev.ordinal(),
+                                  std::move(attrs));
 }
 
 }  // namespace gm::simt

@@ -45,9 +45,10 @@ BlockResult run_block(const DeviceSpec& spec, std::uint32_t block_id,
 /// Emits the launch's span on the modeled-device trace track: phase count,
 /// work counters, wave/occupancy figures, and the per-term cycle breakdown.
 /// Call only when obs::enabled(); `modeled_start` is the ledger total just
-/// before the launch's seconds were added.
-void record_launch_span(const Device& dev, const LaunchConfig& cfg,
-                        const LaunchStats& stats, double modeled_start);
+/// before the launch's seconds were added. Returns the span's trace index
+/// so the stream scheduler can retime it onto an overlapped timeline.
+std::size_t record_launch_span(const Device& dev, const LaunchConfig& cfg,
+                               const LaunchStats& stats, double modeled_start);
 
 /// Launches `fn(ctx, smem, args...)` over cfg.grid blocks of cfg.block
 /// threads. SharedT is default-constructed once per block (the shared
@@ -82,7 +83,19 @@ LaunchStats launch(Device& dev, const LaunchConfig& cfg, Fn&& fn,
       dev.spec(), block_cycles, cfg.blocks_per_sm, stats.work.global_bytes);
   const double modeled_start = dev.ledger().total_seconds();
   dev.ledger().add_kernel_seconds(stats.modeled_seconds, cfg.label);
-  if (obs::enabled()) record_launch_span(dev, cfg, stats, modeled_start);
+  std::ptrdiff_t span_index = -1;
+  if (obs::enabled()) {
+    span_index = static_cast<std::ptrdiff_t>(
+        record_launch_span(dev, cfg, stats, modeled_start));
+  }
+  if (dev.segment_sink() != nullptr) {
+    const double clock = dev.spec().clock_hz;
+    for (double& c : block_cycles) c /= clock;
+    dev.note_kernel_launch(
+        cfg.label, std::move(block_cycles),
+        static_cast<double>(stats.work.global_bytes) / dev.spec().mem_bandwidth,
+        stats.modeled_seconds, cfg.blocks_per_sm, span_index);
+  }
   return stats;
 }
 

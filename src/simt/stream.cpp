@@ -1,0 +1,270 @@
+#include "simt/stream.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <utility>
+
+#include "obs/registry.h"
+
+namespace gm::simt {
+
+Stream::OpId Stream::run(std::string label, std::function<void()> body) {
+  Op op;
+  op.kind = OpKind::kWork;
+  op.id = sched_->next_id();
+  op.label = std::move(label);
+  op.body = std::move(body);
+  const OpId id = op.id;
+  sched_->intervals_.push_back({-1.0, -1.0});
+  queue_.push_back(std::move(op));
+  return id;
+}
+
+Stream::OpId Stream::record(Event& ev) {
+  if (!ev.state_) {
+    throw StreamError("record on a moved-from Event (stream '" + name_ + "')");
+  }
+  Op op;
+  op.kind = OpKind::kRecord;
+  op.id = sched_->next_id();
+  op.event = ev.state_;
+  op.wait_target = ++ev.state_->enqueued;
+  const OpId id = op.id;
+  sched_->intervals_.push_back({-1.0, -1.0});
+  queue_.push_back(std::move(op));
+  return id;
+}
+
+Stream::OpId Stream::wait(const Event& ev) {
+  if (!ev.state_) {
+    throw StreamError("wait on a moved-from Event (stream '" + name_ + "')");
+  }
+  if (ev.state_->enqueued == 0) {
+    throw StreamError("wait-before-record: stream '" + name_ +
+                      "' would wait on an event no stream has recorded — a "
+                      "guaranteed hang on real hardware");
+  }
+  Op op;
+  op.kind = OpKind::kWait;
+  op.id = sched_->next_id();
+  op.event = ev.state_;
+  op.wait_target = ev.state_->enqueued;
+  const OpId id = op.id;
+  sched_->intervals_.push_back({-1.0, -1.0});
+  queue_.push_back(std::move(op));
+  return id;
+}
+
+StreamScheduler::StreamScheduler(Device& dev, std::uint64_t shuffle_seed)
+    : dev_(dev),
+      epoch_(dev.ledger().total_seconds()),
+      last_end_(epoch_),
+      shuffle_(shuffle_seed != 0),
+      rng_(shuffle_seed) {
+  const DeviceSpec& spec = dev_.spec();
+  slot_free_.assign(
+      std::size_t{spec.sm_count} * std::max(1u, spec.max_blocks_per_sm),
+      epoch_);
+  h2d_free_ = d2h_free_ = dram_free_ = epoch_;
+}
+
+StreamScheduler::~StreamScheduler() {
+  if (dev_.segment_sink() == this) dev_.install_segment_sink(nullptr);
+}
+
+Stream& StreamScheduler::create_stream(std::string name) {
+  const std::uint32_t index = static_cast<std::uint32_t>(streams_.size());
+  if (name.empty()) name = "stream-" + std::to_string(index);
+  streams_.emplace_back(new Stream(this, index, std::move(name)));
+  streams_.back()->ready_ = epoch_;
+  return *streams_.back();
+}
+
+void StreamScheduler::sync(Stream& s) {
+  while (!s.queue_.empty()) step();
+}
+
+void StreamScheduler::drain() {
+  while (step()) {
+  }
+}
+
+StreamScheduler::Interval StreamScheduler::interval(Stream::OpId id) const {
+  if (id >= intervals_.size() || intervals_[id].start < 0.0) {
+    throw std::out_of_range("StreamScheduler::interval: op " +
+                            std::to_string(id) + " has not executed");
+  }
+  return intervals_[id];
+}
+
+void StreamScheduler::on_segment(OpSegment seg) {
+  if (executing_) staged_.push_back(std::move(seg));
+}
+
+bool StreamScheduler::step() {
+  std::vector<Stream*> runnable;
+  bool any_pending = false;
+  for (const auto& sp : streams_) {
+    if (sp->queue_.empty()) continue;
+    any_pending = true;
+    const Stream::Op& head = sp->queue_.front();
+    if (head.kind == Stream::OpKind::kWait &&
+        head.event->completed < head.wait_target) {
+      continue;
+    }
+    runnable.push_back(sp.get());
+  }
+  if (runnable.empty()) {
+    if (any_pending) throw_stalled();
+    return false;
+  }
+  Stream* pick = runnable.front();
+  if (shuffle_) {
+    pick = runnable[rng_.bounded(runnable.size())];
+  } else {
+    for (Stream* s : runnable) {
+      if (s->ready_ < pick->ready_) pick = s;
+    }
+  }
+  Stream::Op op = std::move(pick->queue_.front());
+  pick->queue_.pop_front();
+  execute(*pick, std::move(op));
+  return true;
+}
+
+void StreamScheduler::execute(Stream& s, Stream::Op op) {
+  const double start = s.ready_;
+  switch (op.kind) {
+    case Stream::OpKind::kWork: {
+      staged_.clear();
+      SegmentSink* const prev = dev_.segment_sink();
+      dev_.install_segment_sink(this);
+      executing_ = true;
+      try {
+        op.body();
+      } catch (...) {
+        executing_ = false;
+        dev_.install_segment_sink(prev);
+        staged_.clear();
+        throw;
+      }
+      executing_ = false;
+      dev_.install_segment_sink(prev);
+      double cursor = s.ready_;
+      place_segments(s, cursor);
+      s.ready_ = cursor;
+      break;
+    }
+    case Stream::OpKind::kRecord: {
+      if (op.event->destroyed) {
+        throw StreamError("record on a destroyed Event (stream '" + s.name_ +
+                          "')");
+      }
+      // max(), not overwrite: records on different streams may drain out of
+      // enqueue order, and completed/time must never move backwards or a
+      // satisfied waiter would un-satisfy.
+      op.event->completed = std::max(op.event->completed, op.wait_target);
+      op.event->time = std::max(op.event->time, s.ready_);
+      break;
+    }
+    case Stream::OpKind::kWait: {
+      s.ready_ = std::max(s.ready_, op.event->time);
+      break;
+    }
+  }
+  intervals_[op.id] = {start, s.ready_};
+  last_end_ = std::max(last_end_, s.ready_);
+}
+
+void StreamScheduler::place_segments(Stream& s, double& cursor) {
+  const DeviceSpec& spec = dev_.spec();
+  for (const OpSegment& seg : staged_) {
+    double seg_start = cursor;
+    double seg_end = cursor;
+    switch (seg.kind) {
+      case OpKind::kKernel: {
+        const double t0 = cursor + seg.launch_overhead;
+        // Blocks backfill free SM slots, bounded by the kernel's own
+        // residency limit (Hyper-Q: concurrent kernels share the SMs).
+        const std::uint32_t per_sm =
+            seg.blocks_per_sm != 0 ? seg.blocks_per_sm : spec.max_blocks_per_sm;
+        const std::size_t limit =
+            std::min(slot_free_.size(), std::size_t{per_sm} * spec.sm_count);
+        std::vector<std::size_t> idx(slot_free_.size());
+        std::iota(idx.begin(), idx.end(), 0);
+        std::stable_sort(idx.begin(), idx.end(),
+                         [&](std::size_t a, std::size_t b) {
+                           return slot_free_[a] < slot_free_[b];
+                         });
+        idx.resize(std::max<std::size_t>(1, limit));
+        using Slot = std::pair<double, std::size_t>;
+        std::priority_queue<Slot, std::vector<Slot>, std::greater<>> heap;
+        for (const std::size_t i : idx) heap.push({slot_free_[i], i});
+        double compute_end = t0;
+        for (const double d : seg.block_seconds) {
+          const auto [free_t, si] = heap.top();
+          heap.pop();
+          const double bs = std::max(t0, free_t);
+          const double be = bs + d;
+          compute_end = std::max(compute_end, be);
+          slot_free_[si] = be;
+          heap.push({be, si});
+        }
+        // The kernel's aggregate DRAM traffic serializes on the shared
+        // memory system after its compute finishes (matching the serial
+        // model's additive bytes/bandwidth term).
+        seg_end = compute_end;
+        if (seg.dram_seconds > 0.0) {
+          const double dram_start = std::max(compute_end, dram_free_);
+          seg_end = dram_start + seg.dram_seconds;
+          dram_free_ = seg_end;
+        }
+        break;
+      }
+      case OpKind::kMemset: {
+        seg_start = std::max(cursor, dram_free_);
+        seg_end = seg_start + seg.seconds;
+        dram_free_ = seg_end;
+        break;
+      }
+      case OpKind::kH2D: {
+        seg_start = std::max(cursor, h2d_free_);
+        seg_end = seg_start + seg.seconds;
+        h2d_free_ = seg_end;
+        break;
+      }
+      case OpKind::kD2H: {
+        seg_start = std::max(cursor, d2h_free_);
+        seg_end = seg_start + seg.seconds;
+        d2h_free_ = seg_end;
+        break;
+      }
+    }
+    cursor = std::max(cursor, seg_end);
+    if (seg.span_index >= 0 && obs::enabled()) {
+      obs::Registry::global().trace().retime(
+          static_cast<std::size_t>(seg.span_index), seg_start * 1e6,
+          (seg_end - seg_start) * 1e6, s.track());
+    }
+  }
+  staged_.clear();
+}
+
+void StreamScheduler::throw_stalled() const {
+  for (const auto& sp : streams_) {
+    if (sp->queue_.empty()) continue;
+    const Stream::Op& head = sp->queue_.front();
+    if (head.kind == Stream::OpKind::kWait && head.event &&
+        head.event->destroyed && head.event->completed < head.wait_target) {
+      throw StreamError("stream '" + sp->name_ +
+                        "' waits on a destroyed Event whose record never "
+                        "executed — would hang on real hardware");
+    }
+  }
+  throw StreamError(
+      "stream scheduler stalled: remaining waits can never be satisfied "
+      "(cyclic cross-stream waits, or a wait ahead of its own record)");
+}
+
+}  // namespace gm::simt

@@ -1,0 +1,228 @@
+// Streams and events for the SIMT simulator — the modeled-time analogue of
+// cudaStream_t / cudaEvent_t.
+//
+// The simulator executes kernels eagerly on host threads (simt::launch) and
+// charges *serial* modeled seconds to the device ledger. Streams add a
+// second, overlapped timeline on top: closures enqueued on a Stream run in
+// per-stream FIFO order, and a StreamScheduler re-places every modeled
+// operation each closure performed (kernel launches, memsets, H2D/D2H
+// copies) onto a machine model with concurrent engines:
+//
+//   * one SM slot pool of sm_count x max_blocks_per_sm block slots — a
+//     kernel's blocks backfill whatever slots are free, so a small grid
+//     from stream B executes in the idle tail of stream A's kernel
+//     (Kepler Hyper-Q / concurrent-kernel behaviour);
+//   * one DRAM engine serializing bandwidth-bound memsets and each
+//     kernel's global-memory traffic term;
+//   * two DMA engines, one per copy direction (copy/compute overlap).
+//
+// Dependencies between streams are expressed with Events: record() marks a
+// point in one stream, wait() makes another stream's subsequent ops start no
+// earlier than that point. Misuse (waiting on a never-recorded event,
+// destroying an event with pending waiters) is a deterministic StreamError,
+// never a hang.
+//
+// Determinism contract: closures run sequentially on the draining thread,
+// so *results* (buffer contents, ledger totals, launch counts) are identical
+// for every legal drain order; only the overlapped placement — makespan and
+// span timestamps — depends on the (seeded) scheduling policy, and is
+// reproducible for a fixed seed. See docs/PIPELINE.md.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "simt/device.h"
+#include "util/rng.h"
+
+namespace gm::simt {
+
+/// Deterministic error for stream/event misuse (the cases that would be
+/// hangs or use-after-free on real hardware).
+class StreamError : public std::logic_error {
+ public:
+  explicit StreamError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+struct EventState {
+  std::uint64_t enqueued = 0;   ///< record() ops enqueued so far
+  std::uint64_t completed = 0;  ///< record() ops executed so far
+  double time = 0.0;            ///< modeled completion time of latest record
+  bool destroyed = false;
+};
+}  // namespace detail
+
+/// cudaEvent_t analogue: a marker recorded in one stream and waited on by
+/// others. Copyable handles would blur the destruction semantics the tests
+/// pin down, so Event is move-only; destruction while a wait is pending
+/// turns that wait into a StreamError at drain time.
+class Event {
+ public:
+  Event() : state_(std::make_shared<detail::EventState>()) {}
+  ~Event() {
+    if (state_) state_->destroyed = true;
+  }
+  Event(Event&& other) noexcept = default;
+  Event& operator=(Event&& other) noexcept {
+    if (this != &other) {
+      if (state_) state_->destroyed = true;
+      state_ = std::move(other.state_);
+    }
+    return *this;
+  }
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+ private:
+  friend class Stream;
+  friend class StreamScheduler;
+  std::shared_ptr<detail::EventState> state_;
+};
+
+class StreamScheduler;
+
+/// One in-order queue of modeled device work. Created by (and owned by) a
+/// StreamScheduler; the handle stays valid for the scheduler's lifetime.
+class Stream {
+ public:
+  using OpId = std::uint64_t;
+
+  /// Enqueues a closure. The closure performs ordinary simulator work
+  /// (launch kernels, Buffer upload/download/zero) against the scheduler's
+  /// device; it executes later, on the draining thread, with segment
+  /// capture installed. Returns an id usable with
+  /// StreamScheduler::interval() after the op has run.
+  OpId run(std::string label, std::function<void()> body);
+
+  /// Enqueues an event record: when it executes, the event completes at
+  /// this stream's current modeled time. Re-recording is allowed and moves
+  /// the event forward (CUDA semantics: waits honor the latest record
+  /// enqueued before the wait).
+  OpId record(Event& ev);
+
+  /// Enqueues a wait: subsequent ops on this stream start no earlier than
+  /// the event's recorded time. Throws StreamError immediately if the event
+  /// has never been recorded (a guaranteed hang) or is a moved-from handle.
+  OpId wait(const Event& ev);
+
+  std::uint32_t index() const noexcept { return index_; }
+  /// Trace lane for this stream's spans (0 is the serial lane).
+  std::uint32_t track() const noexcept { return index_ + 1; }
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class StreamScheduler;
+
+  enum class OpKind : std::uint8_t { kWork, kRecord, kWait };
+  struct Op {
+    OpKind kind = OpKind::kWork;
+    OpId id = 0;
+    std::string label;
+    std::function<void()> body;
+    std::shared_ptr<detail::EventState> event;
+    std::uint64_t wait_target = 0;  ///< record sequence number to wait for
+  };
+
+  Stream(StreamScheduler* sched, std::uint32_t index, std::string name)
+      : sched_(sched), index_(index), name_(std::move(name)) {}
+
+  StreamScheduler* sched_;
+  std::uint32_t index_;
+  std::string name_;
+  std::deque<Op> queue_;
+  double ready_ = 0.0;  ///< modeled time when the next op may start
+};
+
+/// Owns the streams of one device and replays their queues onto the modeled
+/// engine set. Installs itself as the device's SegmentSink while each
+/// closure runs, so every ledger charge the closure makes is captured and
+/// re-placed on the overlapped timeline.
+///
+/// Single-threaded by design: enqueue and drain from one thread. The
+/// modeled overlap needs no host concurrency — which is also why results
+/// stay bit-identical to the serial path.
+class StreamScheduler final : public SegmentSink {
+ public:
+  struct Interval {
+    double start = 0.0;  ///< absolute ledger-domain modeled seconds
+    double end = 0.0;
+  };
+
+  /// `shuffle_seed` perturbs the drain order among runnable streams:
+  /// 0 = deterministic earliest-ready policy; nonzero = seeded uniform
+  /// choice, used by the determinism tests to explore interleavings.
+  explicit StreamScheduler(Device& dev, std::uint64_t shuffle_seed = 0);
+  ~StreamScheduler() override;
+
+  StreamScheduler(const StreamScheduler&) = delete;
+  StreamScheduler& operator=(const StreamScheduler&) = delete;
+
+  Device& device() noexcept { return dev_; }
+
+  /// Creates a stream (the handle lives as long as the scheduler).
+  Stream& create_stream(std::string name = {});
+
+  /// Executes queued ops until `s`'s queue is empty (cudaStreamSynchronize).
+  /// Other streams may advance too — the policy keeps picking runnable
+  /// heads until `s` drains.
+  void sync(Stream& s);
+
+  /// Executes every queued op on every stream (cudaDeviceSynchronize).
+  void drain();
+
+  /// Overlapped modeled seconds from scheduler construction to the end of
+  /// the last placed op (0 before anything ran). The serial equivalent is
+  /// the device ledger's delta over the same window; overlap makes the
+  /// makespan smaller.
+  double makespan() const noexcept {
+    return last_end_ > epoch_ ? last_end_ - epoch_ : 0.0;
+  }
+  /// Ledger-domain time the overlapped timeline starts at.
+  double epoch() const noexcept { return epoch_; }
+
+  /// Placement of an executed op (start = when its first segment could
+  /// begin, end = when its last segment finished; record/wait ops are
+  /// points). Throws std::out_of_range for ids not yet executed.
+  Interval interval(Stream::OpId id) const;
+
+  // SegmentSink — capture of the currently-executing closure's modeled ops.
+  void on_segment(OpSegment seg) override;
+  std::size_t mark() const override { return staged_.size(); }
+  void truncate(std::size_t n) override {
+    if (n < staged_.size()) staged_.resize(n);
+  }
+
+ private:
+  friend class Stream;
+
+  bool step();  ///< executes one runnable op; false when all queues empty
+  void execute(Stream& s, Stream::Op op);
+  void place_segments(Stream& s, double& cursor);
+  [[noreturn]] void throw_stalled() const;
+
+  Stream::OpId next_id() noexcept { return id_counter_++; }
+
+  Device& dev_;
+  double epoch_ = 0.0;
+  double last_end_ = 0.0;
+  std::vector<std::unique_ptr<Stream>> streams_;
+  std::vector<double> slot_free_;  ///< SM block-slot pool
+  double h2d_free_ = 0.0;
+  double d2h_free_ = 0.0;
+  double dram_free_ = 0.0;
+  bool shuffle_ = false;
+  util::Xoshiro256 rng_;
+  Stream::OpId id_counter_ = 0;
+  std::vector<Interval> intervals_;  ///< indexed by OpId; start<0 = pending
+  std::vector<OpSegment> staged_;    ///< segments of the executing closure
+  bool executing_ = false;
+};
+
+}  // namespace gm::simt

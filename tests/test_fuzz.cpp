@@ -48,7 +48,7 @@ TEST(FuzzOracle, BoundedSessionFindsNoDivergence) {
     EXPECT_TRUE(result.ok()) << "case " << i << ":\n"
                              << fuzz::describe(result)
                              << fuzz::serialize_case(c);
-    EXPECT_GE(result.impls_run, 9u) << "case " << i;
+    EXPECT_GE(result.impls_run, 10u) << "case " << i;  // incl. simt-overlapped
   }
 }
 
@@ -77,6 +77,39 @@ TEST(FuzzOracle, InjectedStitchBugIsCaughtAndShrunk) {
   }
   EXPECT_TRUE(caught)
       << "no sampled case produced a boundary-crossing MEM in 20 tries";
+}
+
+TEST(FuzzOracle, InjectedOverlapBugIsCaughtAndShrunk) {
+  // Stream-related failure shape: the overlapped pipeline loses MEMs at the
+  // column handoff between worker streams. Only the simt-overlapped oracle
+  // is faulted, so the harness must localize the divergence there and still
+  // ddmin it to a small reproducer.
+  const util::Xoshiro256 master(9);
+  constexpr auto kFault = fuzz::Fault::kOverlapDropColumnBoundary;
+  bool caught = false;
+  for (std::uint64_t i = 0; i < 20 && !caught; ++i) {
+    auto rng = master.fork(i);
+    const fuzz::FuzzCase c = fuzz::sample_case(rng);
+    const fuzz::CaseResult faulted = fuzz::run_case(c, kFault);
+    if (faulted.ok()) continue;
+    caught = true;
+
+    // The failure must be attributed to the overlapped path alone.
+    for (const fuzz::Divergence& d : faulted.divergences) {
+      EXPECT_EQ(d.impl, "simt-overlapped") << d.impl << ": " << d.detail;
+    }
+
+    const fuzz::FuzzCase small = fuzz::shrink_case(c, kFault, 400);
+    EXPECT_FALSE(fuzz::run_case(small, kFault).ok())
+        << "shrunk case lost the failure";
+    EXPECT_TRUE(fuzz::run_case(small, fuzz::Fault::kNone).ok())
+        << "shrunk case fails even without the injected fault:\n"
+        << fuzz::serialize_case(small);
+    EXPECT_LE(small.ref.size(), 64u) << fuzz::serialize_case(small);
+    EXPECT_LE(small.query.size(), 64u) << fuzz::serialize_case(small);
+  }
+  EXPECT_TRUE(caught)
+      << "no sampled case produced a column-crossing MEM in 20 tries";
 }
 
 TEST(FuzzRepro, SerializeParseRoundTrip) {
@@ -137,9 +170,13 @@ TEST(FuzzFault, NamesRoundTrip) {
   EXPECT_EQ(fuzz::fault_from_string("none"), fuzz::Fault::kNone);
   EXPECT_EQ(fuzz::fault_from_string("stitch-drop"),
             fuzz::Fault::kStitchDropBoundary);
+  EXPECT_EQ(fuzz::fault_from_string("overlap-drop"),
+            fuzz::Fault::kOverlapDropColumnBoundary);
   EXPECT_FALSE(fuzz::fault_from_string("bogus").has_value());
   EXPECT_STREQ(fuzz::to_string(fuzz::Fault::kStitchDropBoundary),
                "stitch-drop");
+  EXPECT_STREQ(fuzz::to_string(fuzz::Fault::kOverlapDropColumnBoundary),
+               "overlap-drop");
 }
 
 }  // namespace

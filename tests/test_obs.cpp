@@ -90,6 +90,8 @@ TEST(Trace, ChromeJsonGolden) {
             "{\"traceEvents\":["
             "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
             "\"args\":{\"name\":\"device 0 (modeled)\"}},"
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+            "\"args\":{\"name\":\"serial\"}},"
             "{\"name\":\"match\",\"cat\":\"kernel\",\"ph\":\"X\","
             "\"ts\":250000,\"dur\":125000,\"pid\":1,\"tid\":0,"
             "\"args\":{\"grid\":8,\"occupancy\":0.5,\"note\":\"a\\\"b\"}}"

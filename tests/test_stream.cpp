@@ -1,0 +1,363 @@
+// simt::Stream / simt::Event / simt::StreamScheduler unit tests: FIFO order,
+// engine overlap (copy/compute, SM-slot backfill, DRAM serialization),
+// cross-stream event edges, and the misuse cases that must be deterministic
+// StreamErrors rather than hangs (wait-before-record, double-record,
+// destroyed events, moved-from handles).
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "simt/device.h"
+#include "simt/stream.h"
+
+namespace gm {
+namespace {
+
+using simt::CopyDir;
+using simt::Device;
+using simt::DeviceSpec;
+using simt::Event;
+using simt::Stream;
+using simt::StreamError;
+using simt::StreamScheduler;
+
+// Round-number engine rates so expected times are exact binary fractions:
+// a 2^20-byte copy takes 2^-10 s, a memset likewise.
+DeviceSpec tiny_spec(std::uint32_t sms = 4, std::uint32_t per_sm = 4) {
+  DeviceSpec s = DeviceSpec::k20c();
+  s.sm_count = sms;
+  s.max_blocks_per_sm = per_sm;
+  s.kernel_launch_seconds = 0.0;
+  s.pcie_bandwidth = 1 << 30;
+  s.mem_bandwidth = 1 << 30;
+  return s;
+}
+
+constexpr std::size_t kCopyBytes = 1 << 20;  // 2^-10 s on tiny_spec engines
+constexpr double kCopySecs = 1.0 / 1024.0;
+
+/// Enqueues a synthetic kernel: `blocks` per-block durations, optional DRAM
+/// tail. Uses the public Device::note_kernel_launch hook, so no coroutines
+/// run — placement is all that's under test.
+Stream::OpId enqueue_kernel(Device& dev, Stream& s, std::string label,
+                            std::vector<double> blocks, double dram = 0.0) {
+  return s.run(label, [&dev, label, blocks = std::move(blocks), dram] {
+    dev.note_kernel_launch(label, blocks, dram, 0.0, 0, -1);
+  });
+}
+
+TEST(Stream, FifoOrderWithinStream) {
+  Device dev(tiny_spec());
+  StreamScheduler sched(dev);
+  Stream& s = sched.create_stream("a");
+  const auto op1 = enqueue_kernel(dev, s, "k1", {0.5});
+  const auto op2 = enqueue_kernel(dev, s, "k2", {0.25});
+  sched.drain();
+  const auto i1 = sched.interval(op1);
+  const auto i2 = sched.interval(op2);
+  EXPECT_DOUBLE_EQ(i1.end - i1.start, 0.5);
+  EXPECT_GE(i2.start, i1.end);  // in-order: k2 starts after k1 ends
+  EXPECT_DOUBLE_EQ(sched.makespan(), 0.75);
+}
+
+TEST(Stream, CopyComputeOverlap) {
+  Device dev(tiny_spec());
+  StreamScheduler sched(dev);
+  Stream& compute = sched.create_stream("compute");
+  Stream& copy = sched.create_stream("copy");
+  enqueue_kernel(dev, compute, "k", {kCopySecs});
+  copy.run("h2d", [&dev] { dev.account_copy(kCopyBytes, CopyDir::kH2D); });
+  sched.drain();
+  // The copy rides the H2D DMA engine while the kernel owns the SMs: the
+  // serial model would charge 2x, the overlapped timeline finishes in 1x.
+  EXPECT_DOUBLE_EQ(sched.makespan(), kCopySecs);
+  EXPECT_DOUBLE_EQ(dev.ledger().total_seconds(), kCopySecs);  // copy only
+}
+
+TEST(Stream, H2dAndD2hEnginesAreIndependent) {
+  Device dev(tiny_spec());
+  StreamScheduler sched(dev);
+  Stream& a = sched.create_stream("a");
+  Stream& b = sched.create_stream("b");
+  a.run("up", [&dev] { dev.account_copy(kCopyBytes, CopyDir::kH2D); });
+  b.run("down", [&dev] { dev.account_copy(kCopyBytes, CopyDir::kD2H); });
+  sched.drain();
+  EXPECT_DOUBLE_EQ(sched.makespan(), kCopySecs);  // opposite directions overlap
+}
+
+TEST(Stream, SameDirectionCopiesSerialize) {
+  Device dev(tiny_spec());
+  StreamScheduler sched(dev);
+  Stream& a = sched.create_stream("a");
+  Stream& b = sched.create_stream("b");
+  a.run("up1", [&dev] { dev.account_copy(kCopyBytes, CopyDir::kH2D); });
+  b.run("up2", [&dev] { dev.account_copy(kCopyBytes, CopyDir::kH2D); });
+  sched.drain();
+  EXPECT_DOUBLE_EQ(sched.makespan(), 2 * kCopySecs);  // one H2D DMA engine
+}
+
+TEST(Stream, MemsetsSerializeOnDramEngine) {
+  Device dev(tiny_spec());
+  StreamScheduler sched(dev);
+  Stream& a = sched.create_stream("a");
+  Stream& b = sched.create_stream("b");
+  a.run("z1", [&dev] { dev.account_memset(kCopyBytes); });
+  b.run("z2", [&dev] { dev.account_memset(kCopyBytes); });
+  sched.drain();
+  EXPECT_DOUBLE_EQ(sched.makespan(), 2 * kCopySecs);
+}
+
+TEST(Stream, SmSlotBackfillAcrossKernels) {
+  // One SM with two block slots. Kernel A's blocks are {1.0, 0.1}: its slow
+  // block pins one slot to t=1.0 while the other frees at t=0.1. Kernel B
+  // (one 0.5 s block, other stream) backfills the idle slot and finishes at
+  // 0.6 — inside A's shadow — so the makespan is A's 1.0, not 1.5.
+  Device dev(tiny_spec(1, 2));
+  StreamScheduler sched(dev);
+  Stream& a = sched.create_stream("a");
+  Stream& b = sched.create_stream("b");
+  const auto ka = enqueue_kernel(dev, a, "ka", {1.0, 0.1});
+  const auto kb = enqueue_kernel(dev, b, "kb", {0.5});
+  sched.drain();
+  EXPECT_DOUBLE_EQ(sched.interval(ka).end, 1.0);
+  EXPECT_DOUBLE_EQ(sched.interval(kb).end, 0.6);
+  EXPECT_DOUBLE_EQ(sched.makespan(), 1.0);
+}
+
+TEST(Stream, ResidencyLimitBoundsOneKernel) {
+  // Four slots exist (2 SMs x 2), but a kernel capped at 1 block/SM may only
+  // occupy two of them: its four 0.25 s blocks run in two waves.
+  Device dev(tiny_spec(2, 2));
+  StreamScheduler sched(dev);
+  Stream& s = sched.create_stream("s");
+  s.run("capped", [&dev] {
+    dev.note_kernel_launch("capped", {0.25, 0.25, 0.25, 0.25}, 0.0, 0.0,
+                           /*blocks_per_sm=*/1, -1);
+  });
+  sched.drain();
+  EXPECT_DOUBLE_EQ(sched.makespan(), 0.5);
+}
+
+TEST(Stream, KernelDramTailSerializes) {
+  // Two one-block kernels on separate streams, each with a DRAM tail: the
+  // compute overlaps (separate slots) but the tails share the memory system.
+  Device dev(tiny_spec());
+  StreamScheduler sched(dev);
+  Stream& a = sched.create_stream("a");
+  Stream& b = sched.create_stream("b");
+  const auto ka = enqueue_kernel(dev, a, "ka", {0.5}, /*dram=*/0.25);
+  const auto kb = enqueue_kernel(dev, b, "kb", {0.5}, /*dram=*/0.25);
+  sched.drain();
+  const double e1 = sched.interval(ka).end;
+  const double e2 = sched.interval(kb).end;
+  EXPECT_DOUBLE_EQ(std::min(e1, e2), 0.75);
+  EXPECT_DOUBLE_EQ(std::max(e1, e2), 1.0);  // second tail queued behind first
+}
+
+TEST(Stream, EventOrdersAcrossStreams) {
+  Device dev(tiny_spec());
+  StreamScheduler sched(dev);
+  Stream& a = sched.create_stream("a");
+  Stream& b = sched.create_stream("b");
+  Event ev;
+  enqueue_kernel(dev, a, "ka", {1.0});
+  a.record(ev);
+  b.wait(ev);
+  const auto kb = enqueue_kernel(dev, b, "kb", {0.5});
+  sched.drain();
+  EXPECT_DOUBLE_EQ(sched.interval(kb).start, 1.0);
+  EXPECT_DOUBLE_EQ(sched.makespan(), 1.5);
+}
+
+TEST(Stream, WaitHonorsLatestRecordEnqueuedBeforeIt) {
+  // CUDA semantics: a wait targets the records enqueued before it; a later
+  // re-record does not retroactively delay the waiter.
+  Device dev(tiny_spec());
+  StreamScheduler sched(dev);
+  Stream& a = sched.create_stream("a");
+  Stream& b = sched.create_stream("b");
+  Event ev;
+  enqueue_kernel(dev, a, "ka1", {0.5});
+  a.record(ev);
+  b.wait(ev);  // targets the t=0.5 record
+  const auto kb = enqueue_kernel(dev, b, "kb", {0.25});
+  enqueue_kernel(dev, a, "ka2", {0.5});
+  a.record(ev);  // moves the event to t=1.0, but kb's wait predates this
+  sched.drain();
+  EXPECT_DOUBLE_EQ(sched.interval(kb).start, 0.5);
+}
+
+TEST(Stream, DoubleRecordMovesEventForward) {
+  Device dev(tiny_spec());
+  StreamScheduler sched(dev);
+  Stream& a = sched.create_stream("a");
+  Stream& b = sched.create_stream("b");
+  Event ev;
+  enqueue_kernel(dev, a, "ka1", {0.5});
+  a.record(ev);
+  enqueue_kernel(dev, a, "ka2", {0.5});
+  a.record(ev);
+  b.wait(ev);  // both records enqueued: waits for the latest (t=1.0)
+  const auto kb = enqueue_kernel(dev, b, "kb", {0.25});
+  sched.drain();
+  EXPECT_DOUBLE_EQ(sched.interval(kb).start, 1.0);
+}
+
+TEST(Stream, EventReuseAcrossStreams) {
+  // One Event relayed a->b->c: each hop waits, works, re-records.
+  Device dev(tiny_spec());
+  StreamScheduler sched(dev);
+  Stream& a = sched.create_stream("a");
+  Stream& b = sched.create_stream("b");
+  Stream& c = sched.create_stream("c");
+  Event ev;
+  enqueue_kernel(dev, a, "ka", {0.25});
+  a.record(ev);
+  b.wait(ev);
+  enqueue_kernel(dev, b, "kb", {0.25});
+  b.record(ev);
+  c.wait(ev);
+  const auto kc = enqueue_kernel(dev, c, "kc", {0.25});
+  sched.drain();
+  EXPECT_DOUBLE_EQ(sched.interval(kc).start, 0.5);
+  EXPECT_DOUBLE_EQ(sched.makespan(), 0.75);
+}
+
+TEST(Stream, WaitBeforeRecordThrowsImmediately) {
+  Device dev(tiny_spec());
+  StreamScheduler sched(dev);
+  Stream& s = sched.create_stream("s");
+  Event ev;
+  EXPECT_THROW(s.wait(ev), StreamError);  // no record anywhere: sure hang
+}
+
+TEST(Stream, MovedFromEventHandleThrows) {
+  Device dev(tiny_spec());
+  StreamScheduler sched(dev);
+  Stream& s = sched.create_stream("s");
+  Event ev;
+  s.record(ev);
+  Event moved = std::move(ev);
+  EXPECT_THROW(s.record(ev), StreamError);
+  EXPECT_THROW(s.wait(ev), StreamError);
+  s.wait(moved);  // the moved-to handle stays usable
+  sched.drain();
+}
+
+TEST(Stream, DestroyedEventWithPendingRecordThrowsNotHangs) {
+  Device dev(tiny_spec());
+  StreamScheduler sched(dev);
+  Stream& a = sched.create_stream("a");
+  Stream& b = sched.create_stream("b");
+  std::optional<Event> ev;
+  ev.emplace();
+  enqueue_kernel(dev, a, "ka", {0.5});
+  a.record(*ev);
+  b.wait(*ev);
+  enqueue_kernel(dev, b, "kb", {0.5});
+  ev.reset();  // destroyed while its record + a waiter are still queued
+  EXPECT_THROW(sched.drain(), StreamError);
+}
+
+TEST(Stream, EventDestroyedAfterRecordStillSatisfiesWait) {
+  // Destruction after the record executed is benign: the waiter keeps the
+  // event's state alive and sees its completion time.
+  Device dev(tiny_spec());
+  StreamScheduler sched(dev);
+  Stream& a = sched.create_stream("a");
+  Stream& b = sched.create_stream("b");
+  Stream::OpId kb = 0;
+  {
+    Event ev;
+    enqueue_kernel(dev, a, "ka", {0.5});
+    a.record(ev);
+    sched.sync(a);  // record executes here
+    b.wait(ev);
+    kb = enqueue_kernel(dev, b, "kb", {0.25});
+  }  // ~Event with a pending (but satisfiable) wait
+  sched.drain();
+  EXPECT_DOUBLE_EQ(sched.interval(kb).start, 0.5);
+}
+
+TEST(Stream, SyncDrainsOneStream) {
+  Device dev(tiny_spec());
+  StreamScheduler sched(dev);
+  Stream& a = sched.create_stream("a");
+  Stream& b = sched.create_stream("b");
+  const auto ka = enqueue_kernel(dev, a, "ka", {0.5});
+  const auto kb = enqueue_kernel(dev, b, "kb", {0.25});
+  sched.sync(a);
+  EXPECT_NO_THROW(sched.interval(ka));
+  EXPECT_THROW(sched.interval(kb), std::out_of_range);  // b not drained
+  sched.drain();
+  EXPECT_NO_THROW(sched.interval(kb));
+}
+
+TEST(Stream, IntervalThrowsForUnexecutedOp) {
+  Device dev(tiny_spec());
+  StreamScheduler sched(dev);
+  Stream& s = sched.create_stream("s");
+  const auto op = enqueue_kernel(dev, s, "k", {0.5});
+  EXPECT_THROW(sched.interval(op), std::out_of_range);
+  sched.drain();
+  EXPECT_NO_THROW(sched.interval(op));
+}
+
+TEST(Stream, EpochStartsAtCurrentLedgerTime) {
+  // A device that already carries modeled time (serve-layer persistent
+  // devices): the scheduler's timeline starts there, and makespan is a delta.
+  Device dev(tiny_spec());
+  dev.account_copy(kCopyBytes);  // pre-scheduler serial charge
+  StreamScheduler sched(dev);
+  EXPECT_DOUBLE_EQ(sched.epoch(), kCopySecs);
+  EXPECT_DOUBLE_EQ(sched.makespan(), 0.0);
+  Stream& s = sched.create_stream("s");
+  enqueue_kernel(dev, s, "k", {0.5});
+  sched.drain();
+  EXPECT_DOUBLE_EQ(sched.makespan(), 0.5);
+}
+
+TEST(Stream, ShuffleSeedIsReproducibleAndResultInvariant) {
+  // For each seed: identical ledger totals (results don't depend on drain
+  // order); same seed twice: identical makespan (placement reproducible).
+  auto run_once = [](std::uint64_t seed) {
+    Device dev(tiny_spec(1, 2));
+    StreamScheduler sched(dev, seed);
+    Stream& a = sched.create_stream("a");
+    Stream& b = sched.create_stream("b");
+    Stream& c = sched.create_stream("c");
+    for (int i = 0; i < 4; ++i) {
+      enqueue_kernel(dev, a, "ka", {0.3, 0.1});
+      enqueue_kernel(dev, b, "kb", {0.2});
+      c.run("memset", [&dev] { dev.account_memset(kCopyBytes); });
+    }
+    sched.drain();
+    return std::pair<double, double>{sched.makespan(),
+                                     dev.ledger().total_seconds()};
+  };
+  const auto base = run_once(0);
+  for (std::uint64_t seed : {1ull, 2ull, 99ull}) {
+    const auto first = run_once(seed);
+    const auto second = run_once(seed);
+    EXPECT_DOUBLE_EQ(first.first, second.first) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(first.second, base.second) << "seed " << seed;
+  }
+}
+
+TEST(Stream, LaunchOverheadDelaysKernelStart) {
+  DeviceSpec spec = tiny_spec();
+  spec.kernel_launch_seconds = 0.125;
+  Device dev(spec);
+  StreamScheduler sched(dev);
+  Stream& s = sched.create_stream("s");
+  const auto op = s.run("k", [&dev] {
+    dev.note_kernel_launch("k", {0.5}, 0.0, 0.0, 0, -1);
+  });
+  sched.drain();
+  EXPECT_DOUBLE_EQ(sched.interval(op).end, 0.625);
+}
+
+}  // namespace
+}  // namespace gm
