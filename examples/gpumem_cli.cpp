@@ -5,7 +5,7 @@
 //                [--backend native|simt] [--both-strands] [--mum]
 //                [--finder gpumem|mummer|sparsemem|essamem|slamem]
 //                [--trace-out trace.json] [--metrics-out metrics.json]
-//                [--stats]
+//                [--stats] [--threads N]
 //   ./gpumem_cli --demo          # runs on generated data, no files needed
 //
 // Output format (MUMmer's show-coords flavour):
@@ -22,6 +22,7 @@
 #include "seq/fasta.h"
 #include "seq/synthetic.h"
 #include "util/cli.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 int main(int argc, char** argv) {
@@ -49,10 +50,15 @@ int main(int argc, char** argv) {
   cli.describe("stats",
                "print RunStats incl. per-kernel launch counts to stderr "
                "(gpumem finder only)");
+  cli.describe("threads",
+               "host worker threads (default: GPUMEM_THREADS env or hardware "
+               "concurrency)");
   if (cli.handle_help("gpumem_cli: extract maximal exact matches from FASTA"))
     return 0;
 
   try {
+    gm::util::ThreadPool::configure_global(
+        static_cast<std::size_t>(cli.get_int("threads", 0)));
     const std::uint32_t min_len =
         static_cast<std::uint32_t>(cli.get_int("min-len", 50));
     const std::uint32_t seed_len = static_cast<std::uint32_t>(

@@ -6,7 +6,7 @@
 //   ./gpumem_serve --ref ref.fa --queries queries.fa [--min-len 20]
 //                  [--seed-len 10] [--devices 1] [--batch 8] [--repeat 1]
 //                  [--queue-cap 256] [--deadline-ms 0] [--no-cache]
-//                  [--threads 64] [--tile-blocks 8]
+//                  [--threads 64] [--tile-blocks 8] [--host-threads N]
 //                  [--trace-out t.json] [--metrics-out m.json]
 //   ./gpumem_serve --demo          # synthetic reference + queries, no files
 #include <fstream>
@@ -19,6 +19,7 @@
 #include "serve/service.h"
 #include "util/cli.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 int main(int argc, char** argv) {
@@ -36,6 +37,9 @@ int main(int argc, char** argv) {
   cli.describe("deadline-ms", "per-request deadline in ms, 0 = none");
   cli.describe("no-cache", "rebuild the reference index per request");
   cli.describe("threads", "threads per block tau (default 64)");
+  cli.describe("host-threads",
+               "host worker threads (default: GPUMEM_THREADS env or hardware "
+               "concurrency)");
   cli.describe("tile-blocks", "blocks per tile n_block (default 8)");
   cli.describe("trace-out", "write a Chrome-trace JSON of the replay here");
   cli.describe("metrics-out", "write run metrics as JSON here");
@@ -44,6 +48,8 @@ int main(int argc, char** argv) {
     return 0;
 
   try {
+    gm::util::ThreadPool::configure_global(
+        static_cast<std::size_t>(cli.get_int("host-threads", 0)));
     gm::seq::Sequence ref;
     std::vector<gm::seq::FastaRecord> queries;
     if (cli.get_bool("demo", false)) {

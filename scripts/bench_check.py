@@ -1,21 +1,31 @@
 #!/usr/bin/env python3
-"""Gate a bench_regress run against the committed baseline.
+"""Gate a benchmark run against the committed baseline.
 
 Usage:
     bench_check.py CANDIDATE.json --baseline bench/BENCH_pipeline.json \
         [--tolerance 0.10] [--min-speedup 1.15] [--diff-out diff.txt]
+    bench_check.py CANDIDATE.json --baseline bench/BENCH_hostwall.json \
+        [--diff-out diff.txt]
 
-Both files are "gpumem-bench-pipeline-v1" JSON as emitted by bench_regress.
-The gated quantity is per-scenario *modeled* cycles — deterministic simulator
-output, so a tight relative band is meaningful. Wall-clock nanoseconds are
-printed for trend inspection but never gated (CI machines are too noisy).
+The schema id in the JSON selects the gating policy (candidate and baseline
+must agree on it):
 
-Checks, in order:
-  1. schema ids match and every baseline scenario exists in the candidate
-     (and vice versa — a silently dropped scenario is a failure);
-  2. each scenario's modeled_cycles is within --tolerance (default 10%)
-     of the baseline, and its MEM count is exactly equal;
-  3. the candidate's aggregate overlap_speedup is >= --min-speedup (1.15).
+  gpumem-bench-pipeline-v1 (bench_regress)
+      Per-scenario *modeled* cycles — deterministic simulator output, so a
+      tight relative band is meaningful: each scenario must be within
+      --tolerance (default 10%) of the baseline, its MEM count exactly
+      equal, and the aggregate overlap_speedup >= --min-speedup (1.15).
+
+  gpumem-bench-hostwall-v1 (bench_host_wall)
+      Per-scenario *self-relative* scalar/packed speedup — both sides of the
+      ratio are measured in the same process on the same data, so it is
+      stable across machines, unlike absolute wall time. Each scenario must
+      meet the min_speedup floor embedded in the JSON (0 = informational)
+      and its MEM count must equal the baseline exactly. Raw nanoseconds
+      are printed for trend inspection but never gated.
+
+In both modes the scenario sets must match exactly — a silently dropped
+scenario is a failure.
 
 Exit code 0 = pass, 1 = regression (diff printed, and written to --diff-out
 when given, for CI artifact upload), 2 = usage / malformed input.
@@ -25,7 +35,9 @@ import argparse
 import json
 import sys
 
-SCHEMA = "gpumem-bench-pipeline-v1"
+SCHEMA_PIPELINE = "gpumem-bench-pipeline-v1"
+SCHEMA_HOSTWALL = "gpumem-bench-hostwall-v1"
+SCHEMAS = (SCHEMA_PIPELINE, SCHEMA_HOSTWALL)
 
 
 def load(path):
@@ -34,32 +46,14 @@ def load(path):
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         sys.exit(f"bench_check: cannot read {path}: {e}")
-    if doc.get("schema") != SCHEMA:
+    if doc.get("schema") not in SCHEMAS:
         sys.exit(f"bench_check: {path}: schema {doc.get('schema')!r}, "
-                 f"want {SCHEMA!r}")
+                 f"want one of {SCHEMAS!r}")
     return doc
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("candidate", help="JSON emitted by this run")
-    ap.add_argument("--baseline", required=True,
-                    help="committed reference JSON")
-    ap.add_argument("--tolerance", type=float, default=0.10,
-                    help="allowed relative modeled-cycles drift "
-                         "(default 0.10 = +-10%%)")
-    ap.add_argument("--min-speedup", type=float, default=1.15,
-                    help="floor for the aggregate overlap speedup")
-    ap.add_argument("--diff-out", default=None,
-                    help="also write failure details to this file")
-    args = ap.parse_args()
-
-    cand = load(args.candidate)
-    base = load(args.baseline)
-    cand_rows = {s["name"]: s for s in cand.get("scenarios", [])}
-    base_rows = {s["name"]: s for s in base.get("scenarios", [])}
-
-    failures = []
+def match_scenarios(cand_rows, base_rows, failures):
+    """Yields (name, baseline, candidate) pairs; records set mismatches."""
     for name in sorted(base_rows.keys() | cand_rows.keys()):
         if name not in cand_rows:
             failures.append(f"{name}: missing from candidate run")
@@ -68,7 +62,13 @@ def main():
             failures.append(f"{name}: not in baseline (regenerate the "
                             f"baseline when adding scenarios)")
             continue
-        b, c = base_rows[name], cand_rows[name]
+        yield name, base_rows[name], cand_rows[name]
+
+
+def check_pipeline(cand, base, args, failures):
+    cand_rows = {s["name"]: s for s in cand.get("scenarios", [])}
+    base_rows = {s["name"]: s for s in base.get("scenarios", [])}
+    for name, b, c in match_scenarios(cand_rows, base_rows, failures):
         drift = c["modeled_cycles"] / b["modeled_cycles"] - 1.0
         wall_ms = c["wall_ns"] / 1e6
         status = "ok"
@@ -91,6 +91,64 @@ def main():
     if speedup < args.min_speedup:
         failures.append(f"overlap_speedup {speedup:.3f} below the "
                         f"{args.min_speedup} floor")
+    return len(base_rows), f"+-{args.tolerance:.0%} modeled cycles"
+
+
+def check_hostwall(cand, base, args, failures):
+    del args  # gates are embedded per scenario
+    cand_rows = {s["name"]: s for s in cand.get("scenarios", [])}
+    base_rows = {s["name"]: s for s in base.get("scenarios", [])}
+    for name, b, c in match_scenarios(cand_rows, base_rows, failures):
+        floor = c.get("min_speedup", 0.0)
+        status = "ok"
+        if floor != b.get("min_speedup", 0.0):
+            status = "FAIL"
+            failures.append(
+                f"{name}: min_speedup floor {floor} differs from baseline "
+                f"{b.get('min_speedup', 0.0)} (regenerate the baseline when "
+                f"retuning gates)")
+        if floor > 0.0 and c["speedup"] < floor:
+            status = "FAIL"
+            failures.append(
+                f"{name}: scalar/packed speedup {c['speedup']:.2f}x below "
+                f"the {floor}x floor (baseline had {b['speedup']:.2f}x)")
+        if c["mems"] != b["mems"]:
+            status = "FAIL"
+            failures.append(f"{name}: mems {c['mems']} vs baseline "
+                            f"{b['mems']} (must match exactly)")
+        gate = f"floor {floor}x" if floor > 0.0 else "informational"
+        print(f"  {status:4} {name}: speedup {c['speedup']:.2f}x ({gate}, "
+              f"baseline {b['speedup']:.2f}x), mems {c['mems']}, packed "
+              f"{c['packed_ns'] / 1e6:.1f} ms (informational)")
+    return len(base_rows), "self-relative speedup floors"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("candidate", help="JSON emitted by this run")
+    ap.add_argument("--baseline", required=True,
+                    help="committed reference JSON")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="pipeline schema: allowed relative modeled-cycles "
+                         "drift (default 0.10 = +-10%%)")
+    ap.add_argument("--min-speedup", type=float, default=1.15,
+                    help="pipeline schema: floor for the aggregate overlap "
+                         "speedup")
+    ap.add_argument("--diff-out", default=None,
+                    help="also write failure details to this file")
+    args = ap.parse_args()
+
+    cand = load(args.candidate)
+    base = load(args.baseline)
+    if cand["schema"] != base["schema"]:
+        sys.exit(f"bench_check: schema mismatch: candidate "
+                 f"{cand['schema']!r} vs baseline {base['schema']!r}")
+
+    failures = []
+    if cand["schema"] == SCHEMA_PIPELINE:
+        count, policy = check_pipeline(cand, base, args, failures)
+    else:
+        count, policy = check_hostwall(cand, base, args, failures)
 
     if failures:
         report = "bench_check: REGRESSION\n" + \
@@ -100,8 +158,7 @@ def main():
             with open(args.diff_out, "w", encoding="utf-8") as f:
                 f.write(report)
         return 1
-    print(f"bench_check: OK ({len(base_rows)} scenarios within "
-          f"+-{args.tolerance:.0%})")
+    print(f"bench_check: OK ({count} scenarios, {policy})")
     return 0
 
 

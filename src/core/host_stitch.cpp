@@ -4,7 +4,7 @@
 
 namespace gm::core {
 
-mem::Mem expand_clamped(const seq::Sequence& ref, const seq::Sequence& query,
+mem::Mem expand_clamped(const seq::PackedSeq& ref, const seq::PackedSeq& query,
                         mem::Mem m, const Rect& rect) {
   // A piece may lie (partly or wholly) outside the clamping rectangle — the
   // combine step can merge chains whose head starts in a neighbouring strip.
@@ -30,22 +30,22 @@ mem::Mem expand_clamped(const seq::Sequence& ref, const seq::Sequence& query,
   // discarded verified characters are re-checked by the next stage's
   // expansion, so nothing is lost).
   m.len = std::min({m.len, rect.r1 - m.r, rect.q1 - m.q});
-  // Leftward.
+  // Leftward (word-parallel backward LCE).
   const std::size_t left_room =
       std::min(m.r - rect.r0, m.q - rect.q0);
   if (left_room > 0 && m.r > 0 && m.q > 0) {
     const std::size_t back =
-        ref.common_suffix(m.r - 1, query, m.q - 1, left_room);
+        ref.lce_backward(m.r - 1, query, m.q - 1, left_room);
     m.r -= static_cast<std::uint32_t>(back);
     m.q -= static_cast<std::uint32_t>(back);
     m.len += static_cast<std::uint32_t>(back);
   }
-  // Rightward.
+  // Rightward (word-parallel forward LCE).
   const std::size_t right_room =
       std::min(rect.r1 - (m.r + m.len), rect.q1 - (m.q + m.len));
   if (right_room > 0) {
     const std::size_t fwd =
-        ref.common_prefix(m.r + m.len, query, m.q + m.len, right_room);
+        ref.lce_forward(m.r + m.len, query, m.q + m.len, right_room);
     m.len += static_cast<std::uint32_t>(fwd);
   }
   return m;
@@ -78,10 +78,11 @@ std::vector<mem::Mem> finalize_out_tile(const seq::Sequence& ref,
   combine_chains(pieces);
   const Rect whole{0, static_cast<std::uint32_t>(ref.size()), 0,
                    static_cast<std::uint32_t>(query.size())};
+  const seq::PackedSeq pref(ref), pquery(query);
   std::vector<mem::Mem> out;
   out.reserve(pieces.size());
   for (const mem::Mem& p : pieces) {
-    const mem::Mem full = expand_clamped(ref, query, p, whole);
+    const mem::Mem full = expand_clamped(pref, pquery, p, whole);
     if (full.len >= min_len) out.push_back(full);
   }
   return out;

@@ -8,17 +8,23 @@
 
 #include "core/geometry.h"
 #include "mem/mem.h"
+#include "seq/packed.h"
 #include "seq/sequence.h"
 
 namespace gm::core {
 
-/// Expands a verified match triplet character-wise in both directions,
-/// clamped to `rect`. The input must satisfy R[m.r+i] == Q[m.q+i] for
-/// i < m.len; it need not lie inside `rect` — the part outside is trimmed
-/// first, and a piece wholly outside comes back with len 0 (callers filter
-/// on length).
-mem::Mem expand_clamped(const seq::Sequence& ref, const seq::Sequence& query,
+/// Expands a verified match triplet word-parallel in both directions
+/// (seq::lce_forward/lce_backward, 32 bases per 64-bit XOR), clamped to
+/// `rect`. The input must satisfy R[m.r+i] == Q[m.q+i] for i < m.len; it
+/// need not lie inside `rect` — the part outside is trimmed first, and a
+/// piece wholly outside comes back with len 0 (callers filter on length).
+mem::Mem expand_clamped(const seq::PackedSeq& ref, const seq::PackedSeq& query,
                         mem::Mem m, const Rect& rect);
+inline mem::Mem expand_clamped(const seq::Sequence& ref,
+                               const seq::Sequence& query, mem::Mem m,
+                               const Rect& rect) {
+  return expand_clamped(seq::PackedSeq(ref), seq::PackedSeq(query), m, rect);
+}
 
 /// Merges co-diagonal overlapping triplets in place. Expects any order;
 /// sorts by (diagonal, q) first. Uses the relaxed overlap test

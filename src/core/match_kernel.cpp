@@ -188,10 +188,11 @@ simt::KernelTask match_kernel(simt::ThreadCtx& ctx, MatchShared& smem,
     }
 
     // --- expansion + in-block / out-block classification --------------------
+    const seq::PackedSeq pR(R), pQ(Q);
     for (std::uint32_t s = h0; s < h1; ++s) {
       const mem::Mem t = scratch[off + s];
       if (t.len == 0) continue;
-      const mem::Mem e = expand_clamped(R, Q, t, brect);
+      const mem::Mem e = expand_clamped(pR, pQ, t, brect);
       ctx.alu(e.len / 8 + 4);
       ctx.gmem_txn(2 + e.len / 64);  // dependent window reads along the match
       ctx.gmem(e.len / 2);           // streaming comparison traffic
@@ -234,6 +235,7 @@ void process_round_host(const MatchParams& P, std::uint32_t block,
       std::max(q0b, std::min(q0b + P.block_width, P.tile.q1));
   const Rect brect{P.tile.r0, P.tile.r1, q0b, q1b};
   const std::uint32_t w = P.w;
+  const seq::PackedSeq pR(R), pQ(Q);
 
   for (std::uint32_t k = 0; k < threads; ++k) {
     const std::uint64_t j = static_cast<std::uint64_t>(q0b) + round +
@@ -250,11 +252,11 @@ void process_round_host(const MatchParams& P, std::uint32_t block,
           std::min<std::size_t>(p - brect.r0, j - brect.q0);
       std::size_t back = 0;
       if (p > 0 && j > 0) {
-        back = R.common_suffix(p - 1, Q, j - 1, back_room);
+        back = pR.lce_backward(p - 1, pQ, j - 1, back_room);
       }
       if (back >= w) continue;
       mem::Mem t{p, static_cast<std::uint32_t>(j), P.seed_len};
-      const mem::Mem e = expand_clamped(R, Q, t, brect);
+      const mem::Mem e = expand_clamped(pR, pQ, t, brect);
       if (touches_edge(e, brect)) {
         outblock_out.push_back(e);
       } else if (e.len >= P.min_len) {

@@ -229,6 +229,21 @@ void publish_run_stats(const RunStats& stats) {
     m.gauge("kernel." + ks.label + ".launches")
         .set(static_cast<double>(ks.launches));
   }
+  // Host wall-time phase distributions: unlike the run.* gauges (last run
+  // only), these accumulate across runs so a serve replay or multi-query
+  // batch yields count/mean/min/max per phase (docs/OBSERVABILITY.md).
+  const auto phase_ns = [&m](const char* name, double seconds,
+                             const char* help) {
+    m.distribution(std::string("host.phase_ns.") + name, help)
+        .observe(seconds * 1e9);
+  };
+  phase_ns("index", stats.index_seconds,
+           "host wall ns spent building row indexes, per run");
+  phase_ns("match", stats.device_match_seconds(),
+           "host wall ns spent matching (excl. out-tile merge), per run");
+  phase_ns("stitch", stats.host_stitch_seconds,
+           "host wall ns spent in the out-tile merge, per run");
+  phase_ns("total", stats.wall_seconds, "host wall ns per run end to end");
 }
 
 Result Engine::run(const seq::Sequence& ref, const seq::Sequence& query) const {
@@ -717,6 +732,7 @@ Result Engine::run_native(const seq::Sequence& ref,
 
   std::vector<mem::Mem> reported;
   std::vector<mem::Mem> outtile_pieces;
+  const seq::PackedSeq pref(ref), pquery(query);
 
   for (std::uint32_t row = 0; row < n_r; ++row) {
     const std::uint32_t r0 = row * g.tile_len;
@@ -764,11 +780,11 @@ Result Engine::run_native(const seq::Sequence& ref,
                     std::min<std::size_t>(p - tile.r0, j - tile.q0);
                 std::size_t back = 0;
                 if (p > 0 && j > 0) {
-                  back = ref.common_suffix(p - 1, query, j - 1, back_room);
+                  back = pref.lce_backward(p - 1, pquery, j - 1, back_room);
                 }
                 if (back >= g.step) continue;  // chain-interior hit
                 const mem::Mem e = expand_clamped(
-                    ref, query,
+                    pref, pquery,
                     mem::Mem{p, static_cast<std::uint32_t>(j), cfg_.seed_len},
                     tile);
                 if (touches_edge(e, tile)) {

@@ -71,10 +71,11 @@ simt::KernelTask tile_combine_kernel(simt::ThreadCtx& ctx, simt::NoShared&,
   co_await ctx.sync();
 
   // --- expansion + in-tile / out-tile classification -----------------------
+  const seq::PackedSeq pR(R), pQ(Q);
   for (std::size_t i = tid; i < P.count; i += tau) {
     const mem::Mem t = P.triplets[i];
     if (t.len == 0) continue;
-    const mem::Mem e = expand_clamped(R, Q, t, P.tile);
+    const mem::Mem e = expand_clamped(pR, pQ, t, P.tile);
     ctx.alu(e.len / 8 + 4);
     ctx.gmem_txn(2 + e.len / 64);
     ctx.gmem(e.len / 2);

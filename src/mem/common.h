@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "mem/mem.h"
+#include "seq/packed.h"
 #include "seq/sequence.h"
 
 namespace gm::mem {
@@ -29,13 +30,14 @@ inline bool left_maximal(const seq::Sequence& ref, const seq::Sequence& query,
 }
 
 /// Exact-start candidate: emits (r, q, λ) when left-maximal and λ >= L.
-/// λ is the full right extension, so right-maximality is structural.
+/// λ is the full right extension (word-parallel, 32 bases per 64-bit XOR),
+/// so right-maximality is structural.
 inline void emit_exact_candidate(const seq::Sequence& ref,
                                  const seq::Sequence& query, std::uint32_t r,
                                  std::uint32_t q, std::uint32_t min_len,
                                  std::vector<Mem>& out) {
   if (!left_maximal(ref, query, r, q)) return;
-  const std::size_t len = ref.common_prefix(r, query, q, ref.size());
+  const std::size_t len = seq::lce_forward(ref, r, query, q, ref.size());
   if (len >= min_len) {
     out.push_back({r, q, static_cast<std::uint32_t>(len)});
   }
@@ -53,12 +55,12 @@ inline void emit_sampled_candidate(const seq::Sequence& ref,
   std::uint32_t back = 0;
   if (p > 0 && j > 0) {
     back = static_cast<std::uint32_t>(
-        ref.common_suffix(p - 1, query, j - 1, ref.size()));
+        seq::lce_backward(ref, p - 1, query, j - 1, ref.size()));
   }
   if (back >= grid) return;  // an earlier grid point lies inside this MEM
   const std::uint32_t r = p - back;
   const std::uint32_t q = j - back;
-  const std::size_t fwd = ref.common_prefix(p, query, j, ref.size());
+  const std::size_t fwd = seq::lce_forward(ref, p, query, j, ref.size());
   const std::size_t len = back + fwd;
   if (len >= min_len) {
     out.push_back({r, q, static_cast<std::uint32_t>(len)});

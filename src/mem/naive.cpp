@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "mem/clip.h"
+#include "seq/packed.h"
 
 namespace gm::mem {
 
@@ -19,8 +20,8 @@ std::vector<Mem> find_mems_naive(const seq::Sequence& ref,
     std::int64_t r = std::max<std::int64_t>(d, 0);
     std::int64_t q = r - d;
     while (r < n && q < m) {
-      const std::size_t run = ref.common_prefix(
-          static_cast<std::size_t>(r), query, static_cast<std::size_t>(q),
+      const std::size_t run = seq::lce_forward(
+          ref, static_cast<std::size_t>(r), query, static_cast<std::size_t>(q),
           static_cast<std::size_t>(std::min(n - r, m - q)));
       if (run >= min_len) {
         out.push_back({static_cast<std::uint32_t>(r),

@@ -1,0 +1,23 @@
+#include "seq/packed.h"
+
+#include <atomic>
+
+namespace gm::seq {
+namespace {
+
+// Process-wide LCE implementation switch. Relaxed is enough: the flag only
+// selects between two implementations that return identical values, so a
+// racing reader at worst times the other path.
+std::atomic<LceMode> g_lce_mode{LceMode::kWord};
+
+}  // namespace
+
+void set_lce_mode(LceMode mode) noexcept {
+  g_lce_mode.store(mode, std::memory_order_relaxed);
+}
+
+LceMode lce_mode() noexcept {
+  return g_lce_mode.load(std::memory_order_relaxed);
+}
+
+}  // namespace gm::seq

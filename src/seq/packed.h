@@ -1,0 +1,190 @@
+// Word-parallel longest-common-extension (LCE) primitives over the 2-bit
+// packed sequence codec, plus the PackedSeq view that exposes them to the
+// extension hot loops (match kernels, host stitcher, CPU finders).
+//
+// The decisive constant-factor win for MEM extension (copMEM, Grabowski &
+// Bieniecki 2018) is comparing compactly coded genomes a machine word at a
+// time: one 64-bit XOR covers 32 bases, and a count-trailing/leading-zeros
+// instruction locates the first mismatching base inside the word. Both
+// directions are word-parallel here:
+//
+//  * lce_forward  — common prefix of a[i..] and b[j..]: XOR of forward
+//    windows, countr_zero.
+//  * lce_backward — common suffix of a[..i] and b[..j] (inclusive ends):
+//    XOR of *backward* windows (the 32 bases ending at a position, highest
+//    bits = latest base, read straight out of the same forward-packed words),
+//    countl_zero. No reversed shadow copy is needed.
+//
+// Invalid (non-ACGT) positions are stored as code 0 in the packed words with
+// a bit in the validity side-mask (see sequence.h). LCE compares raw codes
+// only — exactly like the byte-at-a-time reference loop — so the word and
+// scalar paths return bit-identical lengths and the project-wide mask policy
+// (clip_invalid_bases post-passes) is unchanged.
+//
+// The byte-at-a-time reference loops are kept callable behind a runtime flag
+// (set_lce_mode) so bench_host_wall can measure the word-parallel win
+// self-relatively on any machine; see docs/PERFORMANCE.md.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+
+#include "seq/sequence.h"
+
+namespace gm::seq {
+
+/// Which implementation the lce_forward/lce_backward dispatchers (and thus
+/// Sequence::common_prefix/common_suffix) use. kWord is the default; kScalar
+/// is the pre-optimization byte-at-a-time reference, kept for self-relative
+/// benchmarking and differential tests. Both return identical values.
+enum class LceMode : std::uint8_t { kWord, kScalar };
+
+void set_lce_mode(LceMode mode) noexcept;
+LceMode lce_mode() noexcept;
+
+namespace packed_detail {
+
+/// 64-bit window of the (up to) 32 bases *ending* at position i, inclusive:
+/// base i occupies the top 2 bits, base i-1 the next 2, and so on. For
+/// i >= 31 this is exactly the forward window starting at i-31; for earlier
+/// positions the missing history is zero-shifted out of comparison range
+/// (callers cap the matched length at i+1 anyway).
+inline std::uint64_t window64_back(const Sequence& s, std::size_t i) noexcept {
+  if (i >= 31) return s.window64(i - 31);
+  return s.window64(0) << ((31 - i) * 2);
+}
+
+}  // namespace packed_detail
+
+/// Word-parallel common prefix of a[i..] and b[j..], capped at max_len
+/// (and at both sequence ends): 32 bases per XOR + countr_zero.
+inline std::size_t lce_forward_word(const Sequence& a, std::size_t i,
+                                    const Sequence& b, std::size_t j,
+                                    std::size_t max_len) noexcept {
+  max_len = std::min({max_len, a.size() > i ? a.size() - i : 0,
+                      b.size() > j ? b.size() - j : 0});
+  std::size_t matched = 0;
+  while (matched + 32 <= max_len) {
+    const std::uint64_t x = a.window64(i + matched) ^ b.window64(j + matched);
+    if (x != 0) {
+      return matched + static_cast<std::size_t>(std::countr_zero(x)) / 2;
+    }
+    matched += 32;
+  }
+  if (matched < max_len) {
+    const std::uint64_t x = a.window64(i + matched) ^ b.window64(j + matched);
+    const std::size_t tail =
+        x == 0 ? 32 : static_cast<std::size_t>(std::countr_zero(x)) / 2;
+    matched += std::min(tail, max_len - matched);
+  }
+  return matched;
+}
+
+/// Word-parallel common suffix of a[..i] and b[..j] (inclusive end
+/// positions), capped at max_len: 32 bases per XOR + countl_zero over
+/// backward windows. Used for leftward MEM expansion.
+inline std::size_t lce_backward_word(const Sequence& a, std::size_t i,
+                                     const Sequence& b, std::size_t j,
+                                     std::size_t max_len) noexcept {
+  max_len = std::min({max_len, i + 1, j + 1});
+  std::size_t matched = 0;
+  while (matched + 32 <= max_len) {
+    const std::uint64_t x = packed_detail::window64_back(a, i - matched) ^
+                            packed_detail::window64_back(b, j - matched);
+    if (x != 0) {
+      return matched + static_cast<std::size_t>(std::countl_zero(x)) / 2;
+    }
+    matched += 32;
+  }
+  if (matched < max_len) {
+    const std::uint64_t x = packed_detail::window64_back(a, i - matched) ^
+                            packed_detail::window64_back(b, j - matched);
+    const std::size_t tail =
+        x == 0 ? 32 : static_cast<std::size_t>(std::countl_zero(x)) / 2;
+    matched += std::min(tail, max_len - matched);
+  }
+  return matched;
+}
+
+/// Byte-at-a-time reference for lce_forward_word (the pre-optimization
+/// extension loop). Same result, ~32x more comparisons.
+inline std::size_t lce_forward_scalar(const Sequence& a, std::size_t i,
+                                      const Sequence& b, std::size_t j,
+                                      std::size_t max_len) noexcept {
+  max_len = std::min({max_len, a.size() > i ? a.size() - i : 0,
+                      b.size() > j ? b.size() - j : 0});
+  std::size_t matched = 0;
+  while (matched < max_len && a.base(i + matched) == b.base(j + matched)) {
+    ++matched;
+  }
+  return matched;
+}
+
+/// Byte-at-a-time reference for lce_backward_word.
+inline std::size_t lce_backward_scalar(const Sequence& a, std::size_t i,
+                                       const Sequence& b, std::size_t j,
+                                       std::size_t max_len) noexcept {
+  max_len = std::min({max_len, i + 1, j + 1});
+  std::size_t matched = 0;
+  while (matched < max_len && a.base(i - matched) == b.base(j - matched)) {
+    ++matched;
+  }
+  return matched;
+}
+
+/// Mode-dispatching LCE: the entry points every extension hot loop (and
+/// Sequence::common_prefix/common_suffix) routes through.
+inline std::size_t lce_forward(const Sequence& a, std::size_t i,
+                               const Sequence& b, std::size_t j,
+                               std::size_t max_len) noexcept {
+  return lce_mode() == LceMode::kScalar ? lce_forward_scalar(a, i, b, j, max_len)
+                                        : lce_forward_word(a, i, b, j, max_len);
+}
+
+inline std::size_t lce_backward(const Sequence& a, std::size_t i,
+                                const Sequence& b, std::size_t j,
+                                std::size_t max_len) noexcept {
+  return lce_mode() == LceMode::kScalar
+             ? lce_backward_scalar(a, i, b, j, max_len)
+             : lce_backward_word(a, i, b, j, max_len);
+}
+
+/// Non-owning view over a Sequence's 2-bit packed words: the codec handle
+/// the hot loops hold so window extraction and LCE calls carry no per-call
+/// re-derivation. The viewed Sequence must outlive the view.
+class PackedSeq {
+ public:
+  explicit PackedSeq(const Sequence& s) noexcept : seq_(&s) {}
+
+  const Sequence& sequence() const noexcept { return *seq_; }
+  std::size_t size() const noexcept { return seq_->size(); }
+
+  /// Forward window: up to 32 bases starting at i, base i in the low bits.
+  std::uint64_t window(std::size_t i) const noexcept {
+    return seq_->window64(i);
+  }
+  /// Backward window: up to 32 bases ending at i, base i in the top bits.
+  std::uint64_t window_back(std::size_t i) const noexcept {
+    return packed_detail::window64_back(*seq_, i);
+  }
+
+  std::uint8_t base(std::size_t i) const noexcept { return seq_->base(i); }
+  bool valid(std::size_t i) const noexcept { return seq_->valid(i); }
+
+  /// Common prefix of (*this)[i..] and other[j..] (mode-dispatching).
+  std::size_t lce_forward(std::size_t i, const PackedSeq& other, std::size_t j,
+                          std::size_t max_len) const noexcept {
+    return seq::lce_forward(*seq_, i, *other.seq_, j, max_len);
+  }
+  /// Common suffix of (*this)[..i] and other[..j] (inclusive ends).
+  std::size_t lce_backward(std::size_t i, const PackedSeq& other, std::size_t j,
+                           std::size_t max_len) const noexcept {
+    return seq::lce_backward(*seq_, i, *other.seq_, j, max_len);
+  }
+
+ private:
+  const Sequence* seq_;
+};
+
+}  // namespace gm::seq

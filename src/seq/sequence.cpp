@@ -4,6 +4,8 @@
 #include <bit>
 #include <limits>
 
+#include "seq/packed.h"
+
 namespace gm::seq {
 
 Sequence Sequence::from_string(std::string_view s) {
@@ -147,38 +149,13 @@ std::vector<std::uint8_t> Sequence::codes() const {
 std::size_t Sequence::common_prefix(std::size_t i, const Sequence& other,
                                     std::size_t j,
                                     std::size_t max_len) const noexcept {
-  max_len = std::min({max_len, size_ > i ? size_ - i : 0,
-                      other.size_ > j ? other.size_ - j : 0});
-  std::size_t matched = 0;
-  while (matched + 32 <= max_len) {
-    const std::uint64_t x = window64(i + matched) ^ other.window64(j + matched);
-    if (x != 0) {
-      return matched + static_cast<std::size_t>(std::countr_zero(x)) / 2;
-    }
-    matched += 32;
-  }
-  if (matched < max_len) {
-    const std::uint64_t x = window64(i + matched) ^ other.window64(j + matched);
-    const std::size_t tail =
-        x == 0 ? 32 : static_cast<std::size_t>(std::countr_zero(x)) / 2;
-    matched += std::min(tail, max_len - matched);
-  }
-  return matched;
+  return lce_forward(*this, i, other, j, max_len);
 }
 
 std::size_t Sequence::common_suffix(std::size_t i, const Sequence& other,
                                     std::size_t j,
                                     std::size_t max_len) const noexcept {
-  max_len = std::min({max_len, i + 1, j + 1});
-  // Backward scan; word-parallel variant would need reversed packing, and
-  // leftward expansions are short in practice (bounded by Δs or tile edges),
-  // so a straight loop is the right trade-off here.
-  std::size_t matched = 0;
-  while (matched < max_len &&
-         base(i - matched) == other.base(j - matched)) {
-    ++matched;
-  }
-  return matched;
+  return lce_backward(*this, i, other, j, max_len);
 }
 
 bool Sequence::operator==(const Sequence& other) const noexcept {

@@ -95,12 +95,16 @@ class Sequence {
   std::vector<std::uint8_t> codes() const;
 
   /// Length of the common prefix of (*this)[i..] and other[j..], capped at
-  /// `max_len`. Word-parallel: compares 32 bases per step.
+  /// `max_len`. Word-parallel (32 bases per 64-bit XOR) via seq::lce_forward;
+  /// the byte-at-a-time reference stays callable through seq::set_lce_mode
+  /// (packed.h).
   std::size_t common_prefix(std::size_t i, const Sequence& other,
                             std::size_t j, std::size_t max_len) const noexcept;
 
   /// Length of the common suffix of (*this)[..i] and other[..j] (inclusive
   /// end positions), capped at `max_len`. Used for leftward MEM expansion.
+  /// Word-parallel via seq::lce_backward (backward windows over the same
+  /// forward-packed words — no reversed shadow copy).
   std::size_t common_suffix(std::size_t i, const Sequence& other,
                             std::size_t j, std::size_t max_len) const noexcept;
 

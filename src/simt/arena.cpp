@@ -1,0 +1,62 @@
+#include "simt/arena.h"
+
+#include <algorithm>
+#include <new>
+
+namespace gm::simt {
+namespace {
+
+constexpr std::size_t round_up(std::size_t n) noexcept {
+  return (n + FrameArena::kAlign - 1) & ~(FrameArena::kAlign - 1);
+}
+
+}  // namespace
+
+void* FrameArena::allocate(std::size_t bytes) {
+  const std::size_t need = kAlign + round_up(bytes);
+  Chunk* c = chunks_.empty() ? nullptr : &chunks_.back();
+  if (c == nullptr || c->size - c->used < need) c = &grow(need);
+  std::byte* base = c->data.get() + c->used;
+  c->used += need;
+  ::new (static_cast<void*>(base)) Header{this};
+  live_.fetch_add(1, std::memory_order_relaxed);
+  return base + kAlign;
+}
+
+void FrameArena::release(void* p) noexcept {
+  auto* h = std::launder(
+      reinterpret_cast<Header*>(static_cast<std::byte*>(p) - kAlign));
+  h->arena->live_.fetch_sub(1, std::memory_order_release);
+}
+
+void FrameArena::maybe_reset() noexcept {
+  if (live_.load(std::memory_order_acquire) != 0) return;
+  if (chunks_.empty()) return;
+  // Chunks grow geometrically, so the newest is the largest: keep it (warm
+  // for the next block), drop the rest, rewind.
+  if (chunks_.size() > 1) chunks_.erase(chunks_.begin(), chunks_.end() - 1);
+  chunks_.back().used = 0;
+}
+
+std::size_t FrameArena::reserved_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const Chunk& c : chunks_) total += c.size;
+  return total;
+}
+
+FrameArena& FrameArena::local() {
+  thread_local FrameArena arena;
+  return arena;
+}
+
+FrameArena::Chunk& FrameArena::grow(std::size_t need) {
+  const std::size_t prev = chunks_.empty() ? 0 : chunks_.back().size;
+  const std::size_t size = std::max({kMinChunk, prev * 2, need});
+  Chunk c;
+  c.data = std::make_unique<std::byte[]>(size);
+  c.size = size;
+  chunks_.push_back(std::move(c));
+  return chunks_.back();
+}
+
+}  // namespace gm::simt

@@ -1,0 +1,83 @@
+// Bump-allocator arena for coroutine frames (one frame per logical device
+// thread, τ frames per block run).
+//
+// The executor creates and destroys a full block of frames per run_block
+// call; with the default allocator that is τ round trips through malloc per
+// block, dominating host time for short kernels. The arena replaces them
+// with pointer bumps into thread-local chunks: KernelTask::promise_type
+// routes its operator new/delete here (kernel.h), and run_block rewinds the
+// arena once the block's frames are all dead.
+//
+// Threading model: each pool worker owns one arena (FrameArena::local());
+// frames are allocated on the thread that runs the block. Deallocation may
+// race from another thread (a KernelTask moved across threads), so the only
+// cross-thread operation — release() — just decrements the owner's atomic
+// live-frame counter, found through a small header in front of each
+// allocation. Memory is reclaimed exclusively by the owner via
+// maybe_reset(), which rewinds only when no frame is live.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace gm::simt {
+
+class FrameArena {
+ public:
+  /// Payload alignment (and header stride). Coroutine frames align to at
+  /// most alignof(max_align_t) unless a kernel local is over-aligned, which
+  /// none of ours are (the compiler would require an aligned operator new).
+  static constexpr std::size_t kAlign = alignof(std::max_align_t);
+
+  FrameArena() = default;
+  FrameArena(const FrameArena&) = delete;
+  FrameArena& operator=(const FrameArena&) = delete;
+
+  /// Allocates `bytes` (plus a header) from the current chunk, growing
+  /// geometrically when full. Only the owning thread may call this.
+  void* allocate(std::size_t bytes);
+
+  /// Marks the frame at `p` dead. Callable from any thread; the memory is
+  /// reclaimed later by the owner's maybe_reset().
+  static void release(void* p) noexcept;
+
+  /// Rewinds the bump pointer when no frame is live (keeps the largest
+  /// chunk, drops the rest). No-op while any frame is alive. Owner only.
+  void maybe_reset() noexcept;
+
+  /// Number of frames allocated but not yet released.
+  std::size_t live() const noexcept {
+    return live_.load(std::memory_order_acquire);
+  }
+
+  /// Bytes currently reserved across all chunks (test/diagnostic hook).
+  std::size_t reserved_bytes() const noexcept;
+
+  /// The calling thread's arena (created on first use, lives until thread
+  /// exit). detail::block_workspace() touches this before constructing the
+  /// workspace so thread-exit destruction runs workspace-before-arena.
+  static FrameArena& local();
+
+ private:
+  struct Header {
+    FrameArena* arena;
+  };
+  static_assert(sizeof(Header) <= kAlign);
+
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  static constexpr std::size_t kMinChunk = 64 * 1024;
+
+  Chunk& grow(std::size_t need);
+
+  std::vector<Chunk> chunks_;
+  std::atomic<std::size_t> live_{0};
+};
+
+}  // namespace gm::simt

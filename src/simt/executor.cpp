@@ -7,85 +7,69 @@
 #include "util/bits.h"
 
 namespace gm::simt {
+namespace detail {
 
-BlockResult run_block(const DeviceSpec& spec, std::uint32_t block_id,
-                      std::uint32_t grid_dim, std::uint32_t block_dim,
-                      const std::function<KernelTask(ThreadCtx&)>& make_task) {
+BlockWorkspace& block_workspace() {
+  // Construct the arena first: at thread exit, thread_locals are destroyed
+  // in reverse construction order, so the workspace (whose task destructors
+  // release frames into the arena) must go before the arena does.
+  FrameArena::local();
+  thread_local BlockWorkspace ws;
+  return ws;
+}
+
+void check_block_dim(const DeviceSpec& spec, std::uint32_t block_dim) {
   if (block_dim == 0 || block_dim > spec.max_threads_per_block) {
     throw std::invalid_argument("run_block: invalid block dimension " +
                                 std::to_string(block_dim));
   }
-  std::vector<ThreadSlot> slots(block_dim);
-  std::vector<ThreadCtx> ctxs;
-  ctxs.reserve(block_dim);
-  std::vector<KernelTask> tasks;
-  tasks.reserve(block_dim);
-  for (std::uint32_t t = 0; t < block_dim; ++t) {
-    ctxs.emplace_back(t, block_id, block_dim, grid_dim, &slots[t]);
-    tasks.push_back(make_task(ctxs.back()));
-  }
-
-  BlockResult result;
-  std::uint32_t alive = block_dim;
-  while (alive > 0) {
-    // Run every live thread to its next suspension point.
-    for (std::uint32_t t = 0; t < block_dim; ++t) {
-      ThreadSlot& slot = slots[t];
-      if (slot.done) continue;
-      slot.pending = PhaseOp::kNone;
-      slot.phase = PhaseCounters{};
-      auto handle = tasks[t].handle();
-      handle.resume();
-      if (handle.done()) {
-        slot.done = true;
-        --alive;
-        if (handle.promise().exception) {
-          std::rethrow_exception(handle.promise().exception);
-        }
-      }
-    }
-
-    // Charge the phase (counters of finished threads included).
-    const CycleBreakdown terms = phase_cycle_terms(spec, slots);
-    result.cycles += terms.total();
-    result.cycle_terms += terms;
-    ++result.phases;
-    for (const ThreadSlot& s : slots) result.work += s.phase;
-
-    // Execute the collective the live threads suspended on. Mixing barrier
-    // kinds within a block is a kernel bug (UB on real hardware); detect it.
-    PhaseOp op = PhaseOp::kNone;
-    for (const ThreadSlot& s : slots) {
-      if (s.done || s.pending == PhaseOp::kNone) continue;
-      if (op == PhaseOp::kNone) {
-        op = s.pending;
-      } else if (op != s.pending) {
-        throw std::logic_error(
-            "run_block: divergent collective (threads suspended on "
-            "different barrier kinds)");
-      }
-    }
-    if (op == PhaseOp::kScan) {
-      std::uint64_t running = 0;
-      for (ThreadSlot& s : slots) {
-        if (s.done) continue;
-        s.scan_result.exclusive = running;
-        running += s.operand;
-      }
-      for (ThreadSlot& s : slots) {
-        if (!s.done) s.scan_result.total = running;
-      }
-      // A block scan costs ~2 log2(block) lock-step steps on real hardware;
-      // charge it as extra cycles beyond the barrier already counted.
-      const double scan_cycles = 2.0 *
-                                 static_cast<double>(util::ceil_log2(block_dim)) *
-                                 spec.cycles_per_shared;
-      result.cycles += scan_cycles;
-      result.cycle_terms.shared += scan_cycles;
-    }
-  }
-  return result;
 }
+
+void finish_phase(const DeviceSpec& spec, std::vector<ThreadSlot>& slots,
+                  BlockResult& result) {
+  // Charge the phase (counters of finished threads included).
+  const CycleBreakdown terms = phase_cycle_terms(spec, slots);
+  result.cycles += terms.total();
+  result.cycle_terms += terms;
+  ++result.phases;
+  for (const ThreadSlot& s : slots) result.work += s.phase;
+
+  // Execute the collective the live threads suspended on. Mixing barrier
+  // kinds within a block is a kernel bug (UB on real hardware); detect it.
+  PhaseOp op = PhaseOp::kNone;
+  for (const ThreadSlot& s : slots) {
+    if (s.done || s.pending == PhaseOp::kNone) continue;
+    if (op == PhaseOp::kNone) {
+      op = s.pending;
+    } else if (op != s.pending) {
+      throw std::logic_error(
+          "run_block: divergent collective (threads suspended on "
+          "different barrier kinds)");
+    }
+  }
+  if (op == PhaseOp::kScan) {
+    std::uint64_t running = 0;
+    for (ThreadSlot& s : slots) {
+      if (s.done) continue;
+      s.scan_result.exclusive = running;
+      running += s.operand;
+    }
+    for (ThreadSlot& s : slots) {
+      if (!s.done) s.scan_result.total = running;
+    }
+    // A block scan costs ~2 log2(block) lock-step steps on real hardware;
+    // charge it as extra cycles beyond the barrier already counted.
+    const double scan_cycles =
+        2.0 *
+        static_cast<double>(
+            util::ceil_log2(static_cast<std::uint32_t>(slots.size()))) *
+        spec.cycles_per_shared;
+    result.cycles += scan_cycles;
+    result.cycle_terms.shared += scan_cycles;
+  }
+}
+
+}  // namespace detail
 
 std::size_t record_launch_span(const Device& dev, const LaunchConfig& cfg,
                                const LaunchStats& stats, double modeled_start) {

@@ -4,11 +4,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "obs/registry.h"
+#include "simt/arena.h"
 #include "simt/device.h"
 #include "simt/kernel.h"
 #include "simt/perf_model.h"
@@ -38,9 +38,91 @@ struct BlockResult {
   PhaseCounters work{};
   CycleBreakdown cycle_terms{};
 };
+
+namespace detail {
+
+/// Per-worker scratch reused across run_block calls: thread slots, contexts
+/// (frames hold ThreadCtx&, so these must outlive each block run), and the
+/// KernelTask frame handles. Lives next to the worker's FrameArena; the
+/// accessor constructs the arena first so thread-exit destruction destroys
+/// the workspace (releasing any frames) before the arena.
+struct BlockWorkspace {
+  std::vector<ThreadSlot> slots;
+  std::vector<ThreadCtx> ctxs;
+  std::vector<KernelTask> tasks;
+};
+BlockWorkspace& block_workspace();
+
+void check_block_dim(const DeviceSpec& spec, std::uint32_t block_dim);
+
+/// Charges the finished phase to the cost model and executes the collective
+/// the live threads suspended on (throws std::logic_error on divergent
+/// barrier kinds). The non-templated tail of run_block's phase loop.
+void finish_phase(const DeviceSpec& spec, std::vector<ThreadSlot>& slots,
+                  BlockResult& result);
+
+}  // namespace detail
+
+/// Runs block `block_id`: one coroutine frame per logical thread, resumed
+/// phase-by-phase between barriers. `make_task` is any callable
+/// (ThreadCtx&) -> KernelTask — templated so launch() pays no std::function
+/// indirection per thread. Frames, slots, and contexts come from the
+/// worker's reusable workspace; on any exception (a throwing kernel or a
+/// divergent collective) every coroutine frame — including suspended
+/// siblings — is destroyed before the exception leaves this function.
+template <typename MakeTask>
 BlockResult run_block(const DeviceSpec& spec, std::uint32_t block_id,
                       std::uint32_t grid_dim, std::uint32_t block_dim,
-                      const std::function<KernelTask(ThreadCtx&)>& make_task);
+                      MakeTask&& make_task) {
+  detail::check_block_dim(spec, block_dim);
+  detail::BlockWorkspace& ws = detail::block_workspace();
+  FrameArena& arena = FrameArena::local();
+  const auto cleanup = [&]() noexcept {
+    ws.tasks.clear();     // destroy every frame (suspended ones included)
+    arena.maybe_reset();  // then rewind their storage in one step
+  };
+
+  ws.tasks.clear();
+  ws.ctxs.clear();
+  ws.slots.assign(block_dim, ThreadSlot{});
+  ws.ctxs.reserve(block_dim);
+  ws.tasks.reserve(block_dim);
+  arena.maybe_reset();
+
+  BlockResult result;
+  try {
+    for (std::uint32_t t = 0; t < block_dim; ++t) {
+      ws.ctxs.emplace_back(t, block_id, block_dim, grid_dim, &ws.slots[t]);
+      ws.tasks.push_back(make_task(ws.ctxs.back()));
+    }
+
+    std::uint32_t alive = block_dim;
+    while (alive > 0) {
+      // Run every live thread to its next suspension point.
+      for (std::uint32_t t = 0; t < block_dim; ++t) {
+        ThreadSlot& slot = ws.slots[t];
+        if (slot.done) continue;
+        slot.pending = PhaseOp::kNone;
+        slot.phase = PhaseCounters{};
+        auto handle = ws.tasks[t].handle();
+        handle.resume();
+        if (handle.done()) {
+          slot.done = true;
+          --alive;
+          if (handle.promise().exception) {
+            std::rethrow_exception(handle.promise().exception);
+          }
+        }
+      }
+      detail::finish_phase(spec, ws.slots, result);
+    }
+  } catch (...) {
+    cleanup();
+    throw;
+  }
+  cleanup();
+  return result;
+}
 
 /// Emits the launch's span on the modeled-device trace track: phase count,
 /// work counters, wave/occupancy figures, and the per-term cycle breakdown.
@@ -65,11 +147,11 @@ LaunchStats launch(Device& dev, const LaunchConfig& cfg, Fn&& fn,
       [&](std::size_t b0, std::size_t b1) {
         for (std::size_t b = b0; b < b1; ++b) {
           SharedT smem{};
-          auto make = [&](ThreadCtx& ctx) -> KernelTask {
-            return fn(ctx, smem, args...);
-          };
           results[b] = run_block(dev.spec(), static_cast<std::uint32_t>(b),
-                                 cfg.grid, cfg.block, make);
+                                 cfg.grid, cfg.block,
+                                 [&](ThreadCtx& ctx) -> KernelTask {
+                                   return fn(ctx, smem, args...);
+                                 });
           block_cycles[b] = results[b].cycles;
         }
       });

@@ -25,6 +25,8 @@
 #include <exception>
 #include <utility>
 
+#include "simt/arena.h"
+
 namespace gm::simt {
 
 /// Per-phase work counters, the cost model's input. Kernels account their
@@ -67,6 +69,17 @@ class KernelTask {
  public:
   struct promise_type {
     std::exception_ptr exception;
+
+    // Frames come from the running thread's bump arena instead of the
+    // global allocator: run_block creates/destroys τ frames per block, and
+    // FrameArena::maybe_reset() recycles the whole batch with one rewind.
+    static void* operator new(std::size_t bytes) {
+      return FrameArena::local().allocate(bytes);
+    }
+    static void operator delete(void* p) noexcept { FrameArena::release(p); }
+    static void operator delete(void* p, std::size_t) noexcept {
+      FrameArena::release(p);
+    }
 
     KernelTask get_return_object() {
       return KernelTask(

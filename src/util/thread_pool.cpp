@@ -1,8 +1,34 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 namespace gm::util {
+namespace {
+
+/// Size requested via configure_global(); 0 = not configured.
+std::atomic<std::size_t> g_requested_threads{0};
+/// Set once the global pool has been constructed (its size is then fixed).
+std::atomic<bool> g_global_created{false};
+
+std::size_t resolve_global_size() {
+  const std::size_t requested =
+      g_requested_threads.load(std::memory_order_acquire);
+  if (requested != 0) return requested;
+  if (const char* env = std::getenv("GPUMEM_THREADS")) {
+    char* end = nullptr;
+    const unsigned long n = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && n > 0) {
+      return static_cast<std::size_t>(n);
+    }
+  }
+  return 0;  // ThreadPool ctor falls back to hardware concurrency
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -41,8 +67,22 @@ void ThreadPool::worker_loop() {
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  static ThreadPool pool(resolve_global_size());
+  g_global_created.store(true, std::memory_order_release);
   return pool;
+}
+
+void ThreadPool::configure_global(std::size_t threads) {
+  if (g_global_created.load(std::memory_order_acquire)) {
+    if (threads != 0 && threads != global().size()) {
+      throw std::logic_error(
+          "ThreadPool::configure_global: global pool already created with " +
+          std::to_string(global().size()) + " threads; cannot resize to " +
+          std::to_string(threads));
+    }
+    return;
+  }
+  g_requested_threads.store(threads, std::memory_order_release);
 }
 
 }  // namespace gm::util

@@ -41,10 +41,17 @@ class ThreadPool {
     return fut;
   }
 
-  /// Process-wide default pool (sized to hardware concurrency), created on
-  /// first use. Benchmarks that need τ *logical* workers on fewer cores use
+  /// Process-wide default pool, created on first use. Size precedence:
+  /// configure_global(n) > GPUMEM_THREADS env var > hardware concurrency.
+  /// Benchmarks that need τ *logical* workers on fewer cores use
   /// ShardedExecutor (parallel.h) instead of oversubscribing this pool.
   static ThreadPool& global();
+
+  /// Fixes the global pool's size before first use (CLI --threads flags
+  /// route here). Passing 0 defers to GPUMEM_THREADS / hardware
+  /// concurrency. Throws std::logic_error if the global pool already exists
+  /// with a different size — sizing must happen before any parallel work.
+  static void configure_global(std::size_t threads);
 
  private:
   void worker_loop();

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "seq/fasta.h"
+#include "seq/packed.h"
 #include "seq/sequence.h"
 #include "seq/synthetic.h"
 #include "util/rng.h"
@@ -391,6 +392,121 @@ TEST(Fasta, MaskIsTheDefaultPolicy) {
   EXPECT_EQ(rec[0].non_acgt, 2u);
   EXPECT_EQ(rec[0].sequence.invalid_count(), 2u);
   EXPECT_EQ(rec[0].sequence.to_string(), "ACNNGT");
+}
+
+// --- packed codec view + word-parallel LCE ---------------------------------
+
+TEST(PackedSeq, RoundTripViewMatchesSequence) {
+  util::Xoshiro256 rng(21);
+  std::string text;
+  for (int i = 0; i < 300; ++i) {
+    // ~5% N so the validity mask is exercised through the view too.
+    text.push_back(rng.bounded(20) == 0 ? 'N'
+                                        : seq::decode_base(rng.bounded(4) & 3));
+  }
+  const Sequence s = Sequence::from_string_lenient(text);
+  const seq::PackedSeq p(s);
+  ASSERT_EQ(p.size(), s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(p.base(i), s.base(i));
+    EXPECT_EQ(p.valid(i), s.valid(i)) << "mask diverged at " << i;
+    EXPECT_EQ(p.window(i), s.window64(i));
+  }
+}
+
+TEST(PackedSeq, BackwardWindowHoldsEndingBases) {
+  util::Xoshiro256 rng(22);
+  std::vector<std::uint8_t> codes(120);
+  for (auto& c : codes) c = static_cast<std::uint8_t>(rng.bounded(4));
+  const Sequence s = Sequence::from_codes(codes);
+  const seq::PackedSeq p(s);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    const std::uint64_t w = p.window_back(i);
+    // Base i sits in the top 2 bits; base i-k at the k-th 2-bit slot below.
+    const std::size_t depth = std::min<std::size_t>(i + 1, 32);
+    for (std::size_t k = 0; k < depth; ++k) {
+      EXPECT_EQ((w >> (62 - 2 * k)) & 3, codes[i - k])
+          << "i=" << i << " k=" << k;
+    }
+    if (i >= 31) EXPECT_EQ(w, s.window64(i - 31));
+  }
+}
+
+TEST(PackedSeq, WordAndScalarLceAgreeOnFuzzedInputs) {
+  util::Xoshiro256 rng(23);
+  for (int trial = 0; trial < 40; ++trial) {
+    // Mutated copies share long runs, so extensions cross word boundaries.
+    std::string a_text;
+    const std::size_t n = 80 + rng.bounded(200);
+    for (std::size_t i = 0; i < n; ++i) {
+      a_text.push_back(rng.bounded(25) == 0
+                           ? 'N'
+                           : seq::decode_base(rng.bounded(4) & 3));
+    }
+    std::string b_text = a_text;
+    for (int m = 0; m < 4; ++m) {
+      b_text[rng.bounded(b_text.size())] =
+          seq::decode_base(rng.bounded(4) & 3);
+    }
+    const Sequence a = Sequence::from_string_lenient(a_text);
+    const Sequence b = Sequence::from_string_lenient(b_text);
+    for (int probe = 0; probe < 50; ++probe) {
+      const std::size_t i = rng.bounded(a.size());
+      const std::size_t j = rng.bounded(b.size());
+      const std::size_t cap = rng.bounded(2 * n);
+      EXPECT_EQ(seq::lce_forward_word(a, i, b, j, cap),
+                seq::lce_forward_scalar(a, i, b, j, cap))
+          << "fwd i=" << i << " j=" << j << " cap=" << cap;
+      EXPECT_EQ(seq::lce_backward_word(a, i, b, j, cap),
+                seq::lce_backward_scalar(a, i, b, j, cap))
+          << "bwd i=" << i << " j=" << j << " cap=" << cap;
+    }
+  }
+}
+
+TEST(PackedSeq, LceModeSwitchesImplementationNotResult) {
+  const auto pair = seq::make_dataset("chrXII_s/chrI_s", 5, 64);
+  const seq::PackedSeq r(pair.reference), q(pair.query);
+  ASSERT_EQ(seq::lce_mode(), seq::LceMode::kWord);  // project default
+  const std::size_t fwd = r.lce_forward(10, q, 10, 4096);
+  const std::size_t bwd =
+      r.lce_backward(r.size() - 1, q, q.size() - 1, 4096);
+  seq::set_lce_mode(seq::LceMode::kScalar);
+  EXPECT_EQ(r.lce_forward(10, q, 10, 4096), fwd);
+  EXPECT_EQ(r.lce_backward(r.size() - 1, q, q.size() - 1, 4096), bwd);
+  // Sequence's own entry points dispatch through the same flag.
+  EXPECT_EQ(pair.reference.common_prefix(10, pair.query, 10, 4096), fwd);
+  seq::set_lce_mode(seq::LceMode::kWord);
+}
+
+TEST(PackedSeq, LceComparesRawCodesExactlyLikeScalar) {
+  // Invalid bases pack as code 0 (== 'A'), so raw-code LCE runs straight
+  // through them in BOTH implementations; the project-wide mask policy is
+  // enforced later by clip_invalid_bases, never inside LCE.
+  const Sequence a = Sequence::from_string_lenient("ACGNNGCA");
+  const Sequence b = Sequence::from_string_lenient("ACGAAGCA");
+  EXPECT_EQ(seq::lce_forward_word(a, 0, b, 0, 8), 8u);
+  EXPECT_EQ(seq::lce_forward_scalar(a, 0, b, 0, 8), 8u);
+  EXPECT_EQ(seq::lce_backward_word(a, 7, b, 7, 8), 8u);
+  EXPECT_EQ(seq::lce_backward_scalar(a, 7, b, 7, 8), 8u);
+}
+
+TEST(PackedSeq, BackwardLcePinpointsMismatchAcrossWords) {
+  // 200 equal bases, one planted mismatch; the backward extension from the
+  // far end must stop exactly there, across several 32-base word seams.
+  for (const std::size_t mismatch_at : {std::size_t{0}, std::size_t{31},
+                                        std::size_t{32}, std::size_t{64},
+                                        std::size_t{150}}) {
+    util::Xoshiro256 rng(31 + mismatch_at);
+    std::vector<std::uint8_t> codes(200);
+    for (auto& c : codes) c = static_cast<std::uint8_t>(rng.bounded(4));
+    const Sequence a = Sequence::from_codes(codes);
+    codes[mismatch_at] ^= 1;
+    const Sequence b = Sequence::from_codes(codes);
+    const std::size_t expect = 199 - mismatch_at;
+    EXPECT_EQ(seq::lce_backward_word(a, 199, b, 199, 200), expect);
+    EXPECT_EQ(a.common_suffix(199, b, 199, 200), expect);
+  }
 }
 
 }  // namespace

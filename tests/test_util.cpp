@@ -119,6 +119,64 @@ TEST(Parallel, ChunkedPropagatesFirstError) {
                std::invalid_argument);
 }
 
+TEST(Parallel, ChunkedEmptyRangeNeverInvokesBody) {
+  int calls = 0;
+  util::parallel_for_chunked(5, 5, 4,
+                             [&](std::size_t, std::size_t) { ++calls; });
+  util::parallel_for_chunked(7, 3, 4,  // first > last: also empty
+                             [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(Parallel, ChunkedZeroChunksStillCoversRange) {
+  std::vector<std::atomic<int>> hits(64);
+  util::parallel_for_chunked(0, hits.size(), 0,
+                             [&](std::size_t b, std::size_t e) {
+                               for (std::size_t i = b; i < e; ++i) ++hits[i];
+                             });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, ChunkedMoreChunksThanElementsCoversOnceNoEmptyCalls) {
+  std::vector<std::atomic<int>> hits(3);
+  std::atomic<int> calls{0};
+  util::parallel_for_chunked(0, hits.size(), 16,
+                             [&](std::size_t b, std::size_t e) {
+                               ++calls;
+                               EXPECT_LT(b, e);  // no degenerate chunks
+                               for (std::size_t i = b; i < e; ++i) ++hits[i];
+                             });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_LE(calls.load(), 3);
+}
+
+TEST(Parallel, ChunkedExceptionStillCompletesOtherChunks) {
+  // The thrown chunk must not strand the range: every other chunk still
+  // runs to completion before the rethrow (futures are all drained).
+  std::vector<std::atomic<int>> hits(100);
+  EXPECT_THROW(util::parallel_for_chunked(
+                   0, hits.size(), 4,
+                   [&](std::size_t b, std::size_t e) {
+                     if (b == 0) throw std::runtime_error("x");
+                     for (std::size_t i = b; i < e; ++i) ++hits[i];
+                   }),
+               std::runtime_error);
+  int covered = 0;
+  for (const auto& h : hits) covered += h.load();
+  EXPECT_GE(covered, 1);  // the non-throwing chunks ran
+}
+
+TEST(ThreadPool, ConfigureGlobalAfterCreationRules) {
+  const std::size_t n = util::ThreadPool::global().size();  // force creation
+  ASSERT_GE(n, 1u);
+  // Re-requesting the current size (or 0 = "don't care") is a no-op...
+  EXPECT_NO_THROW(util::ThreadPool::configure_global(n));
+  EXPECT_NO_THROW(util::ThreadPool::configure_global(0));
+  // ...but resizing an existing pool is a programming error.
+  EXPECT_THROW(util::ThreadPool::configure_global(n + 1), std::logic_error);
+  EXPECT_EQ(util::ThreadPool::global().size(), n);
+}
+
 TEST(Parallel, ExclusiveScan) {
   std::vector<int> v{3, 1, 4, 1, 5};
   const int total = util::exclusive_scan_inplace(v);
