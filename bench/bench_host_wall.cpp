@@ -24,6 +24,7 @@
 #include "bench_common.h"
 #include "core/host_stitch.h"
 #include "core/pipeline.h"
+#include "obs/registry.h"
 #include "seq/packed.h"
 #include "seq/synthetic.h"
 #include "util/cli.h"
@@ -133,6 +134,70 @@ int main(int argc, char** argv) {
   const core::Rect whole{0, static_cast<std::uint32_t>(ref.size()), 0,
                          static_cast<std::uint32_t>(query.size())};
   constexpr std::uint32_t kMinLen = 64;
+
+  // --- --obs-overhead: tracing+metrics cost gate (separate mode + output
+  // so the default scenario set — and its committed baseline — is
+  // untouched). Runs the e2e-native prebuilt path with observability fully
+  // off vs fully on (spans + metrics + flight recorder), requires
+  // bit-identical MEMs and <= 5% wall overhead.
+  if (cli.get_bool("obs-overhead", false)) {
+    const std::string obs_out = cli.get("out", "BENCH_obsoverhead.json");
+    const int reps = static_cast<int>(cli.get_int("obs-reps", 5));
+    constexpr double kMaxOverhead = 0.05;
+
+    core::Config cfg;
+    cfg.backend = core::Backend::kNative;
+    cfg.min_length = kMinLen;
+    cfg.seed_len = 12;
+    const core::Engine engine(cfg);
+    const core::Engine::NativeIndex prebuilt = engine.build_native_index(ref);
+
+    obs::Registry::global().set_enabled(false);
+    std::vector<mem::Mem> off_mems, on_mems;
+    const double off_ns = time_best_ns(reps, [&] {
+      off_mems = engine.run_native_prebuilt(ref, query, prebuilt).mems;
+    });
+    obs::Registry::global().reset();
+    obs::Registry::global().set_enabled(true);
+    std::size_t spans = 0;
+    const double on_ns = time_best_ns(reps, [&] {
+      // Clearing per rep bounds trace growth; its cost is charged to the
+      // obs side, keeping the comparison conservative.
+      obs::Registry::global().trace().clear();
+      on_mems = engine.run_native_prebuilt(ref, query, prebuilt).mems;
+      spans = obs::Registry::global().trace().size();
+    });
+    obs::Registry::global().set_enabled(false);
+    obs::Registry::global().reset();
+
+    const double overhead = on_ns / off_ns - 1.0;
+    const bool same = off_mems == on_mems;
+    std::ofstream f(obs_out);
+    f.precision(17);
+    f << "{\n  \"schema\": \"gpumem-bench-obsoverhead-v1\",\n"
+      << "  \"scenario\": \"e2e-native\",\n"
+      << "  \"off_ns\": " << off_ns << ",\n  \"on_ns\": " << on_ns << ",\n"
+      << "  \"overhead_frac\": " << overhead << ",\n"
+      << "  \"max_overhead_frac\": " << kMaxOverhead << ",\n"
+      << "  \"spans_per_run\": " << spans << ",\n"
+      << "  \"mems\": " << on_mems.size() << ",\n"
+      << "  \"identical\": " << (same ? "true" : "false") << "\n}\n";
+    std::cout << "  obs-overhead e2e-native: off " << off_ns / 1e6
+              << " ms, on " << on_ns / 1e6 << " ms -> "
+              << overhead * 100.0 << "% overhead (" << spans
+              << " spans/run, ceiling " << kMaxOverhead * 100.0 << "%), mems "
+              << on_mems.size() << (same ? "" : " NOT IDENTICAL") << "\n";
+    std::cout << "wrote " << obs_out << "\n";
+    if (!same) {
+      std::cout << "FAILED: MEMs differ with observability enabled\n";
+      return 1;
+    }
+    if (overhead > kMaxOverhead) {
+      std::cout << "FAILED: observability overhead above ceiling\n";
+      return 1;
+    }
+    return 0;
+  }
 
   std::vector<Row> rows;
   bool identical = true;

@@ -14,6 +14,7 @@
 
 #include "bench_common.h"
 #include "core/pipeline.h"
+#include "obs/registry.h"
 #include "serve/service.h"
 #include "util/cli.h"
 
@@ -149,6 +150,58 @@ int main(int argc, char** argv) {
   add("serve_cache_off", cache_off);
   add("serve_cache_on", cache_on);
   bench::emit("bench_serve_throughput", table);
+
+  // --- observability pass: same replay with tracing + metrics fully on.
+  // Two gates: (1) MEM results must be bit-identical to the obs-off runs —
+  // instrumentation must never perturb answers; (2) the sketch-backed
+  // serve.* distributions must yield queue-wait and service-time quantiles.
+  const bool obs_was_enabled = obs::enabled();
+  if (!obs_was_enabled) {
+    obs::Registry::global().reset();
+    obs::Registry::global().set_enabled(true);
+  }
+  const auto obs_results = run_service(true);
+  totals_of(obs_results, "obs-on");
+  for (std::size_t i = 0; i < obs_results.size(); ++i) {
+    if (obs_results[i].mems != expected[i]) {
+      std::cerr << "FAIL [obs-on] query " << i
+                << ": MEMs differ with observability enabled\n";
+      ok = false;
+    }
+    if (obs_results[i].trace_id == 0) {
+      std::cerr << "FAIL [obs-on] query " << i << ": no trace id assigned\n";
+      ok = false;
+    }
+  }
+  obs::Metrics& m = obs::Registry::global().metrics();
+  if (!m.has_distribution("serve.queue_seconds") ||
+      !m.has_distribution("serve.service_seconds")) {
+    std::cerr << "FAIL [obs-on] serve latency distributions missing\n";
+    ok = false;
+  } else {
+    const obs::Quantiles qw = m.distribution("serve.queue_seconds").quantiles();
+    const obs::Quantiles sv =
+        m.distribution("serve.service_seconds").quantiles();
+    util::Table lat({"metric", "p50_ms", "p95_ms", "p99_ms", "max_ms"});
+    auto add_lat = [&](const char* name, const obs::Quantiles& q) {
+      lat.add_row({name, util::Table::num(q.p50 * 1e3, 3),
+                   util::Table::num(q.p95 * 1e3, 3),
+                   util::Table::num(q.p99 * 1e3, 3),
+                   util::Table::num(q.max * 1e3, 3)});
+      if (!(q.p50 <= q.p95 && q.p95 <= q.p99 && q.p99 <= q.max)) {
+        std::cerr << "FAIL [obs-on] " << name
+                  << " quantiles are not monotone\n";
+        ok = false;
+      }
+    };
+    add_lat("queue_wait", qw);
+    add_lat("service_time", sv);
+    bench::emit("bench_serve_latency", lat);
+  }
+  if (!obs_was_enabled) {
+    obs::Registry::global().set_enabled(false);
+    obs::Registry::global().reset();
+  }
 
   if (!ok) {
     std::cerr << "bench_serve_throughput: verification FAILED\n";

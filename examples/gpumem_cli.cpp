@@ -19,6 +19,7 @@
 #include "mem/report.h"
 #include "mem/uniqueness.h"
 #include "obs/registry.h"
+#include "obs/snapshot.h"
 #include "seq/fasta.h"
 #include "seq/synthetic.h"
 #include "util/cli.h"
@@ -46,7 +47,10 @@ int main(int argc, char** argv) {
   cli.describe("trace-out",
                "record the run and write a Chrome-trace JSON here (open in "
                "chrome://tracing or ui.perfetto.dev)");
-  cli.describe("metrics-out", "write run metrics as JSON here");
+  cli.describe("metrics-out", "write run metrics here (see --metrics-format)");
+  cli.describe("metrics-format",
+               "metrics-out format: json (default), prom (Prometheus text "
+               "exposition), or tsv");
   cli.describe("stats",
                "print RunStats incl. per-kernel launch counts to stderr "
                "(gpumem finder only)");
@@ -114,7 +118,13 @@ int main(int argc, char** argv) {
 
     const std::string trace_out = cli.get("trace-out", "");
     const std::string metrics_out = cli.get("metrics-out", "");
+    const std::string metrics_format = cli.get("metrics-format", "json");
     const bool print_stats = cli.get_bool("stats", false);
+    if (!gm::obs::MetricsSnapshot::is_known_format(metrics_format)) {
+      std::cerr << "unknown --metrics-format '" << metrics_format
+                << "' (json, prom, tsv)\n";
+      return 2;
+    }
     if (!trace_out.empty() || !metrics_out.empty()) {
       gm::obs::Registry::global().set_enabled(true);
     }
@@ -207,8 +217,20 @@ int main(int argc, char** argv) {
         std::cerr << "cannot open --metrics-out file\n";
         return 2;
       }
-      gm::obs::Registry::global().metrics().write_json(f);
-      std::cerr << "[obs] metrics written to " << metrics_out << '\n';
+      gm::obs::Metrics& m = gm::obs::Registry::global().metrics();
+      if (metrics_format == "tsv") {
+        m.write_tsv(f);
+      } else {
+        const gm::obs::MetricsSnapshot snap =
+            gm::obs::MetricsSnapshot::capture(m);
+        if (metrics_format == "json") {
+          snap.write_json(f);
+        } else {
+          snap.write_prometheus(f);
+        }
+      }
+      std::cerr << "[obs] metrics written to " << metrics_out << " ("
+                << metrics_format << ")\n";
     }
     return 0;
   } catch (const std::exception& e) {

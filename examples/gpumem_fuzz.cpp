@@ -17,6 +17,7 @@
 #include <sstream>
 
 #include "fuzz/fuzz.h"
+#include "obs/flight_recorder.h"
 #include "util/cli.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -36,6 +37,18 @@ std::string write_repro(const std::string& out_dir, std::uint64_t index,
   if (!f) return "";
   f << gm::fuzz::serialize_case(c);
   return f ? path : "";
+}
+
+/// Dumps the flight recorder next to a reproducer so the reproducer ships
+/// with the last-N structured events leading up to the divergence.
+std::string write_flight_log(const std::string& out_dir, std::uint64_t index) {
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  const std::string path =
+      (std::filesystem::path(out_dir) /
+       ("repro-" + std::to_string(index) + ".flight.txt"))
+          .string();
+  return gm::obs::FlightRecorder::global().dump_to_file(path) ? path : "";
 }
 
 int replay(const std::string& path, gm::fuzz::Fault fault) {
@@ -160,6 +173,13 @@ int main(int argc, char** argv) {
           << "unknown --inject value; want none, stitch-drop or overlap-drop\n";
       return 2;
     }
+    // Fatal-signal safety net: a crash mid-fuzz still leaves the last-N
+    // structured events on disk next to the reproducers.
+    std::error_code hec;
+    std::filesystem::create_directories(out_dir, hec);
+    gm::obs::FlightRecorder::install_crash_handler(
+        (std::filesystem::path(out_dir) / "flight-crash.log").string());
+
     if (cli.has("replay")) return replay(cli.get("replay", ""), *fault);
     if (cli.get_bool("self-test", false)) {
       return self_test(seed, runs == 0 ? 200 : runs, shrink_evals);
@@ -191,6 +211,12 @@ int main(int argc, char** argv) {
       std::cerr << "[fuzz] divergence at case " << i << " (seed " << seed
                 << "):\n"
                 << gm::fuzz::describe(result);
+      gm::obs::flight(gm::obs::FlightKind::kMark, "fuzz-divergence", 0,
+                      static_cast<double>(i));
+      // Capture the flight recorder *before* shrinking: the events leading
+      // up to the original divergence are the interesting ones, and the
+      // shrink loop's hundreds of oracle runs would wash them out.
+      const std::string flight_path = write_flight_log(out_dir, i);
       std::cerr << "[fuzz] shrinking (budget " << shrink_evals
                 << " evaluations)...\n";
       const gm::fuzz::FuzzCase small =
@@ -201,6 +227,8 @@ int main(int argc, char** argv) {
                 << " bp"
                 << (path.empty() ? " (could not write reproducer!)"
                                  : ", reproducer: " + path)
+                << (flight_path.empty() ? ""
+                                        : ", flight log: " + flight_path)
                 << '\n'
                 << gm::fuzz::serialize_case(small);
       return 1;

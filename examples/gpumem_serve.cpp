@@ -8,12 +8,22 @@
 //                  [--queue-cap 256] [--deadline-ms 0] [--no-cache]
 //                  [--threads 64] [--tile-blocks 8] [--host-threads N]
 //                  [--trace-out t.json] [--metrics-out m.json]
+//                  [--metrics-format json|prom|tsv] [--stats-every N]
+//                  [--flight-out f.log]
 //   ./gpumem_serve --demo          # synthetic reference + queries, no files
+//
+// Exits nonzero when any request fails, expires, or misses its deadline.
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <fstream>
 #include <iostream>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "obs/registry.h"
+#include "obs/snapshot.h"
 #include "seq/fasta.h"
 #include "seq/synthetic.h"
 #include "serve/service.h"
@@ -42,7 +52,16 @@ int main(int argc, char** argv) {
                "concurrency)");
   cli.describe("tile-blocks", "blocks per tile n_block (default 8)");
   cli.describe("trace-out", "write a Chrome-trace JSON of the replay here");
-  cli.describe("metrics-out", "write run metrics as JSON here");
+  cli.describe("metrics-out", "write run metrics here (see --metrics-format)");
+  cli.describe("metrics-format",
+               "metrics-out format: json (default), prom (Prometheus text "
+               "exposition), or tsv");
+  cli.describe("stats-every",
+               "print a metrics-snapshot line every N seconds while serving "
+               "(enables observability)");
+  cli.describe("flight-out",
+               "dump the flight recorder (last-N structured events) here at "
+               "exit");
   if (cli.handle_help(
           "gpumem_serve: batched MEM serving with a reference index cache"))
     return 0;
@@ -95,7 +114,15 @@ int main(int argc, char** argv) {
 
     const std::string trace_out = cli.get("trace-out", "");
     const std::string metrics_out = cli.get("metrics-out", "");
-    if (!trace_out.empty() || !metrics_out.empty()) {
+    const std::string metrics_format = cli.get("metrics-format", "json");
+    const std::string flight_out = cli.get("flight-out", "");
+    const double stats_every = cli.get_double("stats-every", 0.0);
+    if (!gm::obs::MetricsSnapshot::is_known_format(metrics_format)) {
+      std::cerr << "unknown --metrics-format '" << metrics_format
+                << "' (json, prom, tsv)\n";
+      return 2;
+    }
+    if (!trace_out.empty() || !metrics_out.empty() || stats_every > 0.0) {
       gm::obs::Registry::global().set_enabled(true);
     }
 
@@ -125,6 +152,41 @@ int main(int argc, char** argv) {
     std::cerr << "[serve] reference " << service.reference().size()
               << " bp, pool of " << scfg.devices << " device(s), cache "
               << (scfg.cache_enabled ? "on" : "off") << '\n';
+
+    // --stats-every: a monitor thread that captures + prints a metrics
+    // snapshot line on a fixed cadence while the replay drains.
+    std::atomic<bool> replay_done{false};
+    std::mutex stats_mu;
+    std::condition_variable stats_cv;
+    std::thread stats_thread;
+    if (stats_every > 0.0) {
+      stats_thread = std::thread([&] {
+        gm::util::Timer t;
+        std::unique_lock lock(stats_mu);
+        while (!stats_cv.wait_for(
+            lock, std::chrono::duration<double>(stats_every),
+            [&] { return replay_done.load(); })) {
+          gm::serve::publish_service_stats(service.stats());
+          const gm::obs::MetricsSnapshot snap = gm::obs::MetricsSnapshot::
+              capture(gm::obs::Registry::global().metrics());
+          double submitted = 0, completed = 0, depth = 0;
+          for (const auto& [name, v] : snap.gauges) {
+            if (name == "serve.submitted") submitted = v;
+            if (name == "serve.completed") completed = v;
+            if (name == "serve.queue_depth") depth = v;
+          }
+          std::cerr << "[stats t=" << t.seconds() << "s] submitted="
+                    << submitted << " completed=" << completed
+                    << " queue_depth=" << depth;
+          for (const auto& d : snap.distributions) {
+            if (d.name != "serve.service_seconds") continue;
+            std::cerr << " service_ms p50/p95/p99=" << d.q.p50 * 1e3 << '/'
+                      << d.q.p95 * 1e3 << '/' << d.q.p99 * 1e3;
+          }
+          std::cerr << '\n';
+        }
+      });
+    }
 
     gm::util::Timer wall;
     std::vector<std::future<gm::serve::QueryResult>> futures;
@@ -168,6 +230,14 @@ int main(int argc, char** argv) {
                 << (res.error.empty() ? "" : " — " + res.error) << '\n';
     }
     const double wall_seconds = wall.seconds();
+    if (stats_thread.joinable()) {
+      {
+        std::lock_guard lock(stats_mu);
+        replay_done = true;
+      }
+      stats_cv.notify_all();
+      stats_thread.join();
+    }
     service.shutdown();
 
     const gm::serve::ServiceStats st = service.stats();
@@ -195,6 +265,25 @@ int main(int argc, char** argv) {
               << "service latency: mean " << service_s.mean() * 1e3
               << " ms, max " << service_s.max() * 1e3 << " ms\n"
               << "batches:         " << st.batches << '\n';
+    if (gm::obs::Registry::global().enabled()) {
+      gm::obs::Metrics& m = gm::obs::Registry::global().metrics();
+      if (m.has_distribution("serve.queue_seconds") &&
+          m.has_distribution("serve.service_seconds")) {
+        const gm::obs::Quantiles q =
+            m.distribution("serve.queue_seconds").quantiles();
+        const gm::obs::Quantiles s =
+            m.distribution("serve.service_seconds").quantiles();
+        std::cout << "queue p50/p95/p99:   " << q.p50 * 1e3 << " / "
+                  << q.p95 * 1e3 << " / " << q.p99 * 1e3 << " ms\n"
+                  << "service p50/p95/p99: " << s.p50 * 1e3 << " / "
+                  << s.p95 * 1e3 << " / " << s.p99 * 1e3 << " ms\n";
+      }
+    }
+    if (st.deadline_miss > 0) {
+      std::cout << "deadline misses: " << st.deadline_miss << " (of "
+                << futures.size() << " requests; " << st.expired
+                << " expired while queued)\n";
+    }
 
     if (!trace_out.empty()) {
       std::ofstream f(trace_out);
@@ -211,8 +300,33 @@ int main(int argc, char** argv) {
         std::cerr << "cannot open --metrics-out file\n";
         return 2;
       }
-      gm::obs::Registry::global().metrics().write_json(f);
-      std::cerr << "[obs] metrics written to " << metrics_out << '\n';
+      gm::obs::Metrics& m = gm::obs::Registry::global().metrics();
+      if (metrics_format == "tsv") {
+        m.write_tsv(f);
+      } else {
+        const gm::obs::MetricsSnapshot snap =
+            gm::obs::MetricsSnapshot::capture(m);
+        if (metrics_format == "json") {
+          snap.write_json(f);
+        } else {
+          snap.write_prometheus(f);
+        }
+      }
+      std::cerr << "[obs] metrics written to " << metrics_out << " ("
+                << metrics_format << ")\n";
+    }
+    if (!flight_out.empty()) {
+      if (gm::obs::FlightRecorder::global().dump_to_file(flight_out)) {
+        std::cerr << "[obs] flight recorder dumped to " << flight_out << '\n';
+      } else {
+        std::cerr << "cannot open --flight-out file\n";
+        return 2;
+      }
+    }
+    if (st.deadline_miss > 0) {
+      std::cerr << "error: " << st.deadline_miss
+                << " request(s) missed their deadline\n";
+      return 1;
     }
     return not_ok == 0 ? 0 : 1;
   } catch (const std::exception& e) {

@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Render per-phase and per-request summaries from a gpumem Chrome trace.
+
+Usage:
+    obs_report.py TRACE.json [--top 10] [--json]
+
+TRACE.json is the file written by `gpumem_cli --trace-out`,
+`gpumem_serve --trace-out`, or any other producer of the repo's Chrome
+trace-event output (docs/OBSERVABILITY.md). Two tables come out:
+
+  per-phase    every span name, grouped per clock domain (host wall clock
+               vs modeled device time), with count / total / mean / max and
+               the share of its domain's total span time.
+
+  per-request  spans stamped with a request trace id (serve-layer runs),
+               one row per request: queue wait, service time, and the
+               wall/modeled span time attributed to it. This is the textual
+               counterpart of the one-lane-per-request trace view.
+
+--json emits the same data as a machine-readable object instead of tables.
+Exit code 0 on success, 2 on malformed input.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def load_spans(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"obs_report: cannot read {path}: {e}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        sys.exit(f"obs_report: {path}: no traceEvents array "
+                 "(not a Chrome trace?)")
+    spans = [e for e in events if e.get("ph") == "X"]
+    names = {}  # (pid, tid) -> lane name, from thread_name metadata
+    for e in events:
+        if e.get("ph") == "M" and e.get("name") == "thread_name":
+            names[(e.get("pid"), e.get("tid"))] = e["args"]["name"]
+    return spans, names
+
+
+def domain_of(span):
+    return "wall" if span.get("pid", 0) == 0 else "modeled"
+
+
+def fmt_ms(us):
+    return f"{us / 1e3:.3f}"
+
+
+def render_table(headers, rows, out):
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    def line(cells):
+        out.write("  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+                  .rstrip() + "\n")
+    line(headers)
+    line(["-" * w for w in widths])
+    for row in rows:
+        line(row)
+
+
+def phase_summary(spans):
+    """name+domain -> {count, total_us, max_us}, plus per-domain totals."""
+    phases = defaultdict(lambda: {"count": 0, "total_us": 0.0, "max_us": 0.0})
+    domain_total = defaultdict(float)
+    for s in spans:
+        dur = float(s.get("dur", 0.0))
+        key = (domain_of(s), s.get("cat", "?"), s.get("name", "?"))
+        p = phases[key]
+        p["count"] += 1
+        p["total_us"] += dur
+        p["max_us"] = max(p["max_us"], dur)
+        domain_total[key[0]] += dur
+    return phases, domain_total
+
+
+def request_summary(spans):
+    """trace_id -> queue/service/attributed span time + span count."""
+    reqs = defaultdict(lambda: {
+        "id": "", "queue_us": 0.0, "service_us": 0.0,
+        "wall_span_us": 0.0, "modeled_span_us": 0.0, "spans": 0,
+    })
+    for s in spans:
+        args = s.get("args") or {}
+        tid = args.get("trace_id")
+        if not tid:
+            continue
+        r = reqs[tid]
+        r["spans"] += 1
+        dur = float(s.get("dur", 0.0))
+        name = s.get("name", "")
+        if name == "serve/queue-wait":
+            r["queue_us"] += dur
+        elif name == "serve/request":
+            r["service_us"] += dur
+            r["id"] = args.get("id", r["id"]) or r["id"]
+        elif domain_of(s) == "wall":
+            r["wall_span_us"] += dur
+        else:
+            r["modeled_span_us"] += dur
+        if not r["id"] and "id" in args:
+            r["id"] = args["id"]
+    return reqs
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="summarize a gpumem Chrome trace per phase and request")
+    ap.add_argument("trace", help="Chrome trace JSON (--trace-out output)")
+    ap.add_argument("--top", type=int, default=10,
+                    help="show the N slowest requests (default 10; 0 = all)")
+    ap.add_argument("--json", action="store_true",
+                    help="emit machine-readable JSON instead of tables")
+    args = ap.parse_args()
+
+    spans, lane_names = load_spans(args.trace)
+    phases, domain_total = phase_summary(spans)
+    reqs = request_summary(spans)
+
+    ranked = sorted(reqs.items(),
+                    key=lambda kv: kv[1]["service_us"], reverse=True)
+    if args.top > 0:
+        shown = ranked[:args.top]
+    else:
+        shown = ranked
+
+    if args.json:
+        doc = {
+            "spans": len(spans),
+            "phases": [
+                {"domain": d, "category": c, "name": n, **stats}
+                for (d, c, n), stats in sorted(phases.items())
+            ],
+            "requests": [
+                {"trace_id": tid, **stats} for tid, stats in ranked
+            ],
+        }
+        json.dump(doc, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return
+
+    out = sys.stdout
+    out.write(f"trace: {args.trace} — {len(spans)} spans, "
+              f"{len(reqs)} traced requests, "
+              f"{len(lane_names)} lanes\n\n")
+
+    out.write("== per-phase ==\n")
+    rows = []
+    for (domain, cat, name), p in sorted(
+            phases.items(),
+            key=lambda kv: (kv[0][0], -kv[1]["total_us"])):
+        total = domain_total[domain] or 1.0
+        rows.append([
+            domain, cat, name, p["count"], fmt_ms(p["total_us"]),
+            fmt_ms(p["total_us"] / p["count"]), fmt_ms(p["max_us"]),
+            f"{100.0 * p['total_us'] / total:.1f}%",
+        ])
+    render_table(
+        ["clock", "category", "phase", "count", "total_ms", "mean_ms",
+         "max_ms", "share"], rows, out)
+
+    if reqs:
+        out.write(f"\n== per-request (top {len(shown)} of {len(reqs)} "
+                  "by service time) ==\n")
+        rows = []
+        for tid, r in shown:
+            rows.append([
+                tid, r["id"] or "?", fmt_ms(r["queue_us"]),
+                fmt_ms(r["service_us"]), fmt_ms(r["wall_span_us"]),
+                fmt_ms(r["modeled_span_us"]), r["spans"],
+            ])
+        render_table(
+            ["trace_id", "request", "queue_ms", "service_ms",
+             "wall_spans_ms", "modeled_spans_ms", "spans"], rows, out)
+        total_q = sum(r["queue_us"] for _, r in ranked)
+        total_s = sum(r["service_us"] for _, r in ranked)
+        out.write(f"\nqueue wait total {fmt_ms(total_q)} ms, "
+                  f"service total {fmt_ms(total_s)} ms "
+                  f"across {len(reqs)} requests\n")
+    else:
+        out.write("\n(no request-scoped spans — run the producer through "
+                  "the serve layer to get per-request lanes)\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -224,6 +224,8 @@ void publish_run_stats(const RunStats& stats) {
   set("run.device_peak_bytes", static_cast<double>(stats.device_peak_bytes));
   set("run.index_cache_hit", stats.index_cache_hit ? 1.0 : 0.0,
       "1 when every tile-row index was served prebuilt (no build work)");
+  set("run.trace_id", static_cast<double>(stats.trace_id),
+      "trace id of the last published run (0 = standalone)");
   for (const RunStats::KernelStat& ks : stats.kernel_breakdown) {
     m.gauge("kernel." + ks.label + ".seconds").set(ks.seconds);
     m.gauge("kernel." + ks.label + ".launches")
@@ -340,6 +342,9 @@ void Engine::run_simt_rows(simt::Device& dev, const seq::Sequence& ref,
       const double delta = dev.ledger().total_seconds() - before;
       stats.index_seconds += delta;
       if (obs::enabled()) {
+        obs::flight(obs::FlightKind::kLedger, "index/build-row",
+                    obs::current_trace().trace_id, delta,
+                    dev.ledger().total_seconds());
         obs::record_modeled_span("index/build-row", "stage", before, delta,
                                  dev.ordinal(),
                                  {{"row", std::uint64_t{row}},
@@ -367,6 +372,9 @@ void Engine::run_simt_rows(simt::Device& dev, const seq::Sequence& ref,
       const double delta = dev.ledger().total_seconds() - before;
       stats.match_seconds += delta;
       if (obs::enabled()) {
+        obs::flight(obs::FlightKind::kLedger, "match/tile",
+                    obs::current_trace().trace_id, delta,
+                    dev.ledger().total_seconds());
         obs::record_modeled_span(
             "match/tile", "stage", before, delta, dev.ordinal(),
             {{"row", std::uint64_t{row}},

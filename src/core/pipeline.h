@@ -63,6 +63,11 @@ struct RunStats {
   /// effectiveness signal.
   bool index_cache_hit = false;
 
+  /// Owning request's trace id when this run was executed by the serve
+  /// layer (0 for standalone Engine::run calls). Gives per-request phase
+  /// attribution: the index/match/stitch seconds above, keyed by request.
+  std::uint64_t trace_id = 0;
+
   /// One kernel label's modeled totals (SIMT backend).
   struct KernelStat {
     std::string label;

@@ -1,0 +1,189 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+
+#include "obs/registry.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#include <fcntl.h>
+#include <unistd.h>
+#define GM_FLIGHT_HAVE_SIGNALS 1
+#endif
+
+namespace gm::obs {
+
+const char* to_string(FlightKind kind) noexcept {
+  switch (kind) {
+    case FlightKind::kSpanBegin: return "span-begin";
+    case FlightKind::kSpanEnd: return "span-end";
+    case FlightKind::kQueue: return "queue";
+    case FlightKind::kLedger: return "ledger";
+    case FlightKind::kStream: return "stream";
+    case FlightKind::kMark: return "mark";
+  }
+  return "?";
+}
+
+FlightRecorder::FlightRecorder() : slots_(kCapacity) {}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder instance;
+  return instance;
+}
+
+void FlightRecorder::record(FlightKind kind, std::string_view label,
+                            std::uint64_t trace_id, double a,
+                            double b) noexcept {
+  if (!enabled()) return;
+  const std::uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[seq % kCapacity];
+  std::uint32_t expected = 0;
+  if (!slot.busy.compare_exchange_strong(expected, 1,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  FlightEvent& ev = slot.ev;
+  ev.wall_us = Registry::global().wall_now_us();
+  ev.seq = seq;
+  ev.trace_id = trace_id;
+  ev.kind = kind;
+  const std::size_t n = std::min(label.size(), sizeof(ev.label) - 1);
+  std::memcpy(ev.label, label.data(), n);
+  ev.label[n] = '\0';
+  ev.a = a;
+  ev.b = b;
+  slot.busy.store(0, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRecorder::events() const {
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  std::vector<FlightEvent> out;
+  out.reserve(std::min<std::uint64_t>(head, kCapacity));
+  for (const Slot& slot : slots_) {
+    // Claim each slot briefly so we never read a half-written event; a
+    // writer that loses the race drops (by design) rather than blocking.
+    Slot& s = const_cast<Slot&>(slot);
+    std::uint32_t expected = 0;
+    if (!s.busy.compare_exchange_strong(expected, 1,
+                                        std::memory_order_acquire,
+                                        std::memory_order_relaxed)) {
+      continue;
+    }
+    const FlightEvent ev = s.ev;
+    s.busy.store(0, std::memory_order_release);
+    // seq==0 in slot 0 is ambiguous between "never written" and "the very
+    // first event"; an empty label with wall_us==0 marks the former.
+    if (ev.seq < head && (ev.seq != 0 || ev.wall_us != 0.0 ||
+                          ev.label[0] != '\0')) {
+      out.push_back(ev);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& x, const FlightEvent& y) {
+              return x.seq < y.seq;
+            });
+  return out;
+}
+
+void FlightRecorder::dump(std::ostream& os) const {
+  const std::vector<FlightEvent> evs = events();
+  os << "# flight recorder: " << evs.size() << " retained, "
+     << recorded() << " recorded, " << dropped() << " dropped\n";
+  os << "# seq\twall_us\tkind\tlabel\ttrace_id\ta\tb\n";
+  char buf[64];
+  for (const FlightEvent& ev : evs) {
+    std::snprintf(buf, sizeof(buf), "%.1f", ev.wall_us);
+    os << ev.seq << '\t' << buf << '\t' << to_string(ev.kind) << '\t'
+       << ev.label << '\t' << ev.trace_id << '\t';
+    std::snprintf(buf, sizeof(buf), "%.9g\t%.9g", ev.a, ev.b);
+    os << buf << '\n';
+  }
+}
+
+bool FlightRecorder::dump_to_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  dump(os);
+  return os.good();
+}
+
+void FlightRecorder::dump_unlocked_to_fd(int fd) const noexcept {
+#if GM_FLIGHT_HAVE_SIGNALS
+  char line[192];
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  int n = std::snprintf(line, sizeof(line),
+                        "# flight recorder (crash dump): %llu recorded\n",
+                        static_cast<unsigned long long>(head));
+  if (n > 0) (void)::write(fd, line, static_cast<std::size_t>(n));
+  // Oldest first: the slot after head's is the oldest retained event.
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& slot = slots_[(head + i) % kCapacity];
+    const FlightEvent& ev = slot.ev;  // racy by contract
+    if (ev.seq == 0 && ev.wall_us == 0.0 && ev.label[0] == '\0') continue;
+    if (ev.seq >= head) continue;
+    n = std::snprintf(line, sizeof(line),
+                      "%llu\t%.1f\t%s\t%.38s\t%llu\t%.9g\t%.9g\n",
+                      static_cast<unsigned long long>(ev.seq), ev.wall_us,
+                      to_string(ev.kind), ev.label,
+                      static_cast<unsigned long long>(ev.trace_id), ev.a,
+                      ev.b);
+    if (n > 0) (void)::write(fd, line, static_cast<std::size_t>(n));
+  }
+#else
+  (void)fd;
+#endif
+}
+
+void FlightRecorder::clear() {
+  // Readers/writers racing a clear see either old or zeroed slots — fine
+  // for the tests and tools that call this between phases.
+  head_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  for (Slot& s : slots_) {
+    std::uint32_t expected = 0;
+    if (s.busy.compare_exchange_strong(expected, 1,
+                                       std::memory_order_acquire)) {
+      s.ev = FlightEvent{};
+      s.busy.store(0, std::memory_order_release);
+    }
+  }
+}
+
+#if GM_FLIGHT_HAVE_SIGNALS
+namespace {
+
+char g_crash_path[512] = {};
+
+void crash_handler(int sig) {
+  const int fd =
+      ::open(g_crash_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) {
+    FlightRecorder::global().dump_unlocked_to_fd(fd);
+    ::close(fd);
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+}  // namespace
+
+void FlightRecorder::install_crash_handler(const std::string& path) {
+  const std::size_t n = std::min(path.size(), sizeof(g_crash_path) - 1);
+  std::memcpy(g_crash_path, path.data(), n);
+  g_crash_path[n] = '\0';
+  for (const int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL}) {
+    std::signal(sig, crash_handler);
+  }
+}
+#else
+void FlightRecorder::install_crash_handler(const std::string&) {}
+#endif
+
+}  // namespace gm::obs

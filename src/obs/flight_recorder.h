@@ -1,0 +1,114 @@
+// Flight recorder: an always-on, lock-light ring buffer of recent
+// structured events (span begin/end, queue transitions, ledger deltas,
+// stream ops, invariant marks). Unlike the trace recorder — which is opt-in,
+// unbounded, and meant for offline timeline rendering — the flight recorder
+// is bounded (last kCapacity events), cheap enough to leave on in
+// production, and exists to answer one question: *what was the process doing
+// just before it died?* Its contents are dumped to a file on fatal signal,
+// failed invariant, or fuzz-harness divergence so every reproducer ships
+// with the last-N-events log.
+//
+// Concurrency: record() claims a slot with one fetch_add plus one CAS on a
+// per-slot busy flag. If a reader holds the slot (snapshot in progress) or a
+// lapped writer still occupies it, the event is *dropped* and counted —
+// recording never blocks and never allocates, so it is safe from hot paths
+// and (best-effort) from signal handlers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gm::obs {
+
+enum class FlightKind : std::uint8_t {
+  kSpanBegin,  ///< wall span opened (a = start_us)
+  kSpanEnd,    ///< wall or modeled span recorded (a = duration_us)
+  kQueue,      ///< serve-queue transition (a = queue depth / status code)
+  kLedger,     ///< modeled-ledger delta (a = delta seconds, b = total)
+  kStream,     ///< stream-scheduler op executed (a = stream index)
+  kMark,       ///< free-form marker: invariant failures, fuzz divergence
+};
+
+const char* to_string(FlightKind kind) noexcept;
+
+struct FlightEvent {
+  double wall_us = 0.0;        ///< registry wall clock (epoch = process start)
+  std::uint64_t seq = 0;       ///< global sequence number (gap = dropped)
+  std::uint64_t trace_id = 0;  ///< owning request (0 = none)
+  FlightKind kind = FlightKind::kMark;
+  char label[39] = {};         ///< truncated, NUL-terminated
+  double a = 0.0, b = 0.0;     ///< kind-specific payload
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kCapacity = 4096;
+
+  static FlightRecorder& global();
+
+  /// Appends an event (drops under slot contention rather than blocking).
+  void record(FlightKind kind, std::string_view label,
+              std::uint64_t trace_id = 0, double a = 0.0,
+              double b = 0.0) noexcept;
+
+  /// Consistent snapshot of the retained window, oldest first.
+  std::vector<FlightEvent> events() const;
+
+  /// Human-readable dump: one "seq wall_us kind label trace a b" line per
+  /// event plus a header with recorded/dropped totals.
+  void dump(std::ostream& os) const;
+  bool dump_to_file(const std::string& path) const;
+
+  /// Best-effort async-signal dump of raw slots to `fd` — no locks, no
+  /// allocation; torn slots may print garbled labels. Signal handlers only.
+  void dump_unlocked_to_fd(int fd) const noexcept;
+
+  /// Installs SIGSEGV/SIGABRT/SIGBUS/SIGFPE/SIGILL handlers that write the
+  /// ring to `path`, then re-raise with the default disposition. The path
+  /// is copied into static storage; later calls replace it.
+  static void install_crash_handler(const std::string& path);
+
+  std::uint64_t recorded() const noexcept {
+    return head_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// On by default ("always-on"); tests that count events precisely can
+  /// switch it off around unrelated machinery.
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  void clear();
+
+ private:
+  FlightRecorder();
+
+  struct Slot {
+    std::atomic<std::uint32_t> busy{0};
+    FlightEvent ev;
+  };
+
+  std::vector<Slot> slots_;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<bool> enabled_{true};
+};
+
+/// Convenience hook used by instrumentation sites.
+inline void flight(FlightKind kind, std::string_view label,
+                   std::uint64_t trace_id = 0, double a = 0.0,
+                   double b = 0.0) noexcept {
+  FlightRecorder::global().record(kind, label, trace_id, a, b);
+}
+
+}  // namespace gm::obs

@@ -1,38 +1,28 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <ostream>
 
+#include "obs/snapshot.h"
+
 namespace gm::obs {
-namespace {
-
-void write_escaped(std::ostream& os, const std::string& s) {
-  os << '"';
-  for (const char c : s) {
-    if (c == '"' || c == '\\') os << '\\';
-    os << c;
-  }
-  os << '"';
-}
-
-void write_number(std::ostream& os, double v) {
-  if (!std::isfinite(v)) {
-    os << "null";
-    return;
-  }
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  os << buf;
-}
-
-}  // namespace
 
 void Distribution::observe(double x) {
   std::lock_guard lock(mu_);
   summary_.add(x);
+  sketch_.record(x);
+  if (exact_) samples_.push_back(x);
   if (x >= 0.0) {
-    hist_.add(static_cast<std::uint64_t>(x));
+    auto key = static_cast<std::uint64_t>(x);
+    if (hist_.bins().size() >= kMaxHistogramBins &&
+        hist_.bins().count(key) == 0) {
+      // Bin budget exhausted: collapse into the largest existing key so the
+      // histogram tail reads as ">= overflow key" instead of growing.
+      key = hist_.max_key();
+    }
+    hist_.add(key);
   }
 }
 
@@ -44,6 +34,54 @@ util::Summary Distribution::summary() const {
 util::Histogram Distribution::histogram() const {
   std::lock_guard lock(mu_);
   return hist_;
+}
+
+QuantileSketch Distribution::sketch() const {
+  std::lock_guard lock(mu_);
+  return sketch_;
+}
+
+double Distribution::quantile(double q) const {
+  std::lock_guard lock(mu_);
+  if (exact_ && !samples_.empty()) {
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<std::size_t>(
+        std::clamp(q, 0.0, 1.0) * static_cast<double>(sorted.size() - 1) +
+        0.5);
+    return sorted[std::min(rank, sorted.size() - 1)];
+  }
+  return sketch_.quantile(q);
+}
+
+Quantiles Distribution::quantiles() const {
+  Quantiles out;
+  out.p50 = quantile(0.50);
+  out.p90 = quantile(0.90);
+  out.p95 = quantile(0.95);
+  out.p99 = quantile(0.99);
+  std::lock_guard lock(mu_);
+  out.max = sketch_.max();
+  return out;
+}
+
+void Distribution::set_exact(bool on) {
+  std::lock_guard lock(mu_);
+  exact_ = on;
+  if (!on) {
+    samples_.clear();
+    samples_.shrink_to_fit();
+  }
+}
+
+bool Distribution::exact() const {
+  std::lock_guard lock(mu_);
+  return exact_;
+}
+
+std::vector<double> Distribution::samples() const {
+  std::lock_guard lock(mu_);
+  return samples_;
 }
 
 Counter& Metrics::counter(const std::string& name, const std::string& help) {
@@ -76,6 +114,11 @@ bool Metrics::has_gauge(const std::string& name) const {
   return gauges_.count(name) != 0;
 }
 
+bool Metrics::has_distribution(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  return dists_.count(name) != 0;
+}
+
 void Metrics::clear() {
   std::lock_guard lock(mu_);
   counters_.clear();
@@ -84,43 +127,30 @@ void Metrics::clear() {
   help_.clear();
 }
 
-void Metrics::write_json(std::ostream& os) const {
+void Metrics::visit(
+    const std::function<void(const std::string&, const Counter&)>& on_counter,
+    const std::function<void(const std::string&, const Gauge&)>& on_gauge,
+    const std::function<void(const std::string&, const Distribution&)>&
+        on_distribution) const {
   std::lock_guard lock(mu_);
-  os << "{\"counters\":{";
-  bool first = true;
-  for (const auto& [name, c] : counters_) {
-    if (!first) os << ",";
-    first = false;
-    write_escaped(os, name);
-    os << ":" << c->value();
+  if (on_counter) {
+    for (const auto& [name, c] : counters_) on_counter(name, *c);
   }
-  os << "},\"gauges\":{";
-  first = true;
-  for (const auto& [name, g] : gauges_) {
-    if (!first) os << ",";
-    first = false;
-    write_escaped(os, name);
-    os << ":";
-    write_number(os, g->value());
+  if (on_gauge) {
+    for (const auto& [name, g] : gauges_) on_gauge(name, *g);
   }
-  os << "},\"distributions\":{";
-  first = true;
-  for (const auto& [name, d] : dists_) {
-    if (!first) os << ",";
-    first = false;
-    write_escaped(os, name);
-    const util::Summary s = d->summary();
-    os << ":{\"count\":" << s.count() << ",\"mean\":";
-    write_number(os, s.mean());
-    os << ",\"min\":";
-    write_number(os, s.min());
-    os << ",\"max\":";
-    write_number(os, s.max());
-    os << ",\"variance\":";
-    write_number(os, s.variance());
-    os << "}";
+  if (on_distribution) {
+    for (const auto& [name, d] : dists_) on_distribution(name, *d);
   }
-  os << "}}";
+}
+
+std::map<std::string, std::string> Metrics::help() const {
+  std::lock_guard lock(mu_);
+  return help_;
+}
+
+void Metrics::write_json(std::ostream& os) const {
+  MetricsSnapshot::capture(*this).write_json(os);
 }
 
 void Metrics::write_tsv(std::ostream& os) const {

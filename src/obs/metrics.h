@@ -8,12 +8,15 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
+#include "obs/sketch.h"
 #include "util/stats.h"
 
 namespace gm::obs {
@@ -43,20 +46,51 @@ class Gauge {
   std::atomic<double> v_{0.0};
 };
 
-/// Value distribution backed by util::Summary (moments) plus a
-/// util::Histogram over floor(value) for integer-like observations (seed
-/// occurrence counts, per-launch phase counts, ...).
+/// The quantile set every latency metric reports (sketch-backed unless the
+/// distribution is in exact mode).
+struct Quantiles {
+  double p50 = 0.0, p90 = 0.0, p95 = 0.0, p99 = 0.0, max = 0.0;
+};
+
+/// Value distribution: util::Summary (moments) + a bounded-memory
+/// QuantileSketch (p50/p90/p95/p99/max) + a util::Histogram over
+/// floor(value) for integer-like observations (seed occurrence counts,
+/// per-launch phase counts, ...). The histogram is capped at
+/// kMaxHistogramBins distinct keys — once full, new keys collapse into a
+/// single overflow bin at the largest existing key — so no component grows
+/// without bound on long serve runs.
+///
+/// Exact mode (opt-in, tests only): set_exact(true) additionally retains
+/// raw samples so quantile() is exact instead of sketch-approximate; memory
+/// is then proportional to the sample count again, which is the point —
+/// accuracy tests compare the sketch against it.
 class Distribution {
  public:
+  static constexpr std::size_t kMaxHistogramBins = 4096;
+
   void observe(double x);
 
   util::Summary summary() const;
   util::Histogram histogram() const;
+  QuantileSketch sketch() const;
+
+  /// q-quantile estimate (exact when in exact mode); NaN when empty.
+  double quantile(double q) const;
+  Quantiles quantiles() const;
+
+  /// Enables raw-sample retention from now on (does not backfill).
+  void set_exact(bool on);
+  bool exact() const;
+  /// Raw samples retained in exact mode (empty otherwise).
+  std::vector<double> samples() const;
 
  private:
   mutable std::mutex mu_;
   util::Summary summary_;
   util::Histogram hist_;
+  QuantileSketch sketch_;
+  bool exact_ = false;
+  std::vector<double> samples_;
 };
 
 /// Name -> metric registry. Lookup is mutex-guarded; returned references
@@ -71,11 +105,25 @@ class Metrics {
 
   /// True when `name` exists as the given kind.
   bool has_gauge(const std::string& name) const;
+  bool has_distribution(const std::string& name) const;
 
   void clear();
 
+  /// Visits every metric (sorted by name) under the registry lock — the
+  /// enumeration primitive MetricsSnapshot::capture builds on. The
+  /// callbacks must not call back into this Metrics.
+  void visit(
+      const std::function<void(const std::string&, const Counter&)>& on_counter,
+      const std::function<void(const std::string&, const Gauge&)>& on_gauge,
+      const std::function<void(const std::string&, const Distribution&)>&
+          on_distribution) const;
+
+  /// Help strings registered so far (name -> help).
+  std::map<std::string, std::string> help() const;
+
   /// {"counters":{...},"gauges":{...},"distributions":{name:{count,mean,
-  /// min,max,variance}}} — non-finite values render as null.
+  /// min,max,variance,p50,p90,p95,p99}}} — non-finite values render as
+  /// null. (Delegates to MetricsSnapshot.)
   void write_json(std::ostream& os) const;
 
   /// "kind<TAB>name<TAB>value" lines (distributions emit one line per

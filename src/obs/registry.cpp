@@ -11,6 +11,8 @@ std::size_t record_modeled_span(std::string name, std::string category,
                                 double start_seconds, double duration_seconds,
                                 std::uint32_t device, std::vector<Attr> attrs,
                                 std::uint32_t track) {
+  flight(FlightKind::kSpanEnd, name, current_trace().trace_id,
+         duration_seconds * 1e6);
   SpanEvent ev;
   ev.name = std::move(name);
   ev.category = std::move(category);

@@ -14,8 +14,10 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 
 namespace gm::obs {
 
@@ -36,9 +38,14 @@ class Registry {
   /// Host wall-clock microseconds since this registry was constructed —
   /// the wall span time base.
   double wall_now_us() const noexcept {
-    return std::chrono::duration<double, std::micro>(
-               std::chrono::steady_clock::now() - epoch_)
-        .count();
+    return wall_us_at(std::chrono::steady_clock::now());
+  }
+
+  /// Converts an externally captured steady-clock time point onto the wall
+  /// span time base — lets the serve layer emit a queue-wait span whose
+  /// start is the moment submit() stamped the request.
+  double wall_us_at(std::chrono::steady_clock::time_point tp) const noexcept {
+    return std::chrono::duration<double, std::micro>(tp - epoch_).count();
   }
 
   /// Clears recorded spans and metrics (tests; the enabled flag is kept).
@@ -71,6 +78,13 @@ std::size_t record_modeled_span(std::string name, std::string category,
 
 /// RAII wall-clock span: starts at construction, records at destruction.
 /// When the registry is disabled at construction the whole object is inert.
+///
+/// An armed span captures the thread's TraceContext: the request's trace id
+/// (also stamped centrally at record time) and its wall lane, so serve-path
+/// spans land on the submitting request's timeline row. It also maintains
+/// the thread's span-name stack, attaching a "parent" attribute naming the
+/// innermost enclosing wall span, and mirrors begin/end into the flight
+/// recorder.
 class Span {
  public:
   Span(std::string name, std::string category) {
@@ -78,7 +92,15 @@ class Span {
     armed_ = true;
     ev_.name = std::move(name);
     ev_.category = std::move(category);
+    const TraceContext& tc = current_trace();
+    ev_.trace_id = tc.trace_id;
+    ev_.track = tc.lane;
+    if (const std::string* parent = trace_span_parent()) {
+      ev_.attrs.push_back({"parent", *parent});
+    }
+    trace_span_push(&ev_.name);
     ev_.start_us = Registry::global().wall_now_us();
+    flight(FlightKind::kSpanBegin, ev_.name, ev_.trace_id, ev_.start_us);
   }
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
@@ -95,6 +117,8 @@ class Span {
     if (!armed_) return;
     armed_ = false;
     ev_.duration_us = Registry::global().wall_now_us() - ev_.start_us;
+    trace_span_pop(&ev_.name);
+    flight(FlightKind::kSpanEnd, ev_.name, ev_.trace_id, ev_.duration_us);
     Registry::global().trace().record(std::move(ev_));
   }
 

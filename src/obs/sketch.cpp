@@ -1,0 +1,87 @@
+#include "obs/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace gm::obs {
+
+std::size_t QuantileSketch::bucket_index(double x) {
+  if (!(x > 0.0)) return 0;  // non-positive (and NaN-guarded) underflow bin
+  int exp = 0;
+  const double m = std::frexp(x, &exp);  // x = m * 2^exp, m in [0.5, 1)
+  if (exp <= kMinExp) return 1;
+  if (exp > kMaxExp) return kBucketCount - 1;
+  // Linear sub-buckets over the mantissa: m in [0.5, 1) splits into
+  // kSubBuckets equal slices of width 1/(2*kSubBuckets).
+  int sub = static_cast<int>((m - 0.5) * 2.0 * kSubBuckets);
+  sub = std::clamp(sub, 0, kSubBuckets - 1);
+  return 1 + static_cast<std::size_t>(exp - 1 - kMinExp) * kSubBuckets +
+         static_cast<std::size_t>(sub);
+}
+
+double QuantileSketch::bucket_midpoint(std::size_t idx) {
+  if (idx == 0) return 0.0;  // underflow bin: representative pinned by clamp
+  const std::size_t p = idx - 1;
+  const int exp = kMinExp + 1 + static_cast<int>(p / kSubBuckets);
+  const int sub = static_cast<int>(p % kSubBuckets);
+  const double m_mid = 0.5 + (sub + 0.5) / (2.0 * kSubBuckets);
+  return std::ldexp(m_mid, exp);
+}
+
+void QuantileSketch::record(double x) {
+  if (std::isnan(x)) return;
+  if (buckets_.empty()) buckets_.assign(kBucketCount, 0);
+  ++buckets_[bucket_index(x)];
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+}
+
+double QuantileSketch::min() const {
+  return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+}
+
+double QuantileSketch::max() const {
+  return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+}
+
+double QuantileSketch::mean() const {
+  return count_ == 0 ? std::numeric_limits<double>::quiet_NaN()
+                     : sum_ / static_cast<double>(count_);
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  // The extremes are tracked exactly — don't pay bucket error there.
+  if (q == 0.0) return min_;
+  if (q == 1.0) return max_;
+  // Nearest-rank on the bucket CDF. rank in [0, count-1]; the bucket whose
+  // cumulative count first exceeds it holds the answer.
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_ - 1) + 0.5);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cum += buckets_[i];
+    if (cum > rank) {
+      return std::clamp(bucket_midpoint(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+void QuantileSketch::clear() {
+  buckets_.clear();
+  buckets_.shrink_to_fit();
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = max_ = 0.0;
+}
+
+}  // namespace gm::obs

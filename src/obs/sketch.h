@@ -1,0 +1,75 @@
+// Bounded-memory quantile sketch for latency metrics.
+//
+// HDR-histogram-style log-bucketed sketch: each positive sample lands in one
+// of a fixed grid of buckets — 64 linear sub-buckets per power-of-two octave
+// across 2^-40 .. 2^40 — so memory is a constant ~40 KB regardless of how
+// many samples are recorded, and every quantile estimate carries a
+// *deterministic* relative error bound (kRelativeErrorBound, ~0.8%) instead
+// of the probabilistic bounds of sampling sketches. That determinism is why
+// this is used over P2/t-digest here: the perf-regression gates compare
+// quantiles across runs and must not flake on estimator randomness.
+//
+// Values outside the bucket range clamp to the edge buckets; min/max are
+// tracked exactly, and quantile() clamps its answer into [min, max], which
+// also makes single-value and two-sided-extreme inputs exact. Non-positive
+// samples (queue depths of 0, negative clock skew) are counted in a
+// dedicated underflow bucket ordered below every positive bucket.
+//
+// Not internally synchronized: obs::Distribution wraps it under the
+// distribution's mutex; standalone users synchronize externally.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gm::obs {
+
+class QuantileSketch {
+ public:
+  /// Worst-case relative error of quantile() for in-range positive values:
+  /// half a sub-bucket's relative width, 1 / (2 * kSubBuckets * m_low) with
+  /// mantissa m_low >= 0.5, i.e. <= 1/kSubBuckets = 1/128 ~ 0.79%.
+  static constexpr double kRelativeErrorBound = 1.0 / 128.0;
+
+  void record(double x);
+
+  std::uint64_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  /// Exact extremes; NaN when empty.
+  double min() const;
+  double max() const;
+  double mean() const;
+
+  /// Estimated q-quantile (q in [0,1]); NaN when empty. q=0 returns the
+  /// exact min, q=1 the exact max; interior quantiles are bucket midpoints
+  /// clamped into [min, max].
+  double quantile(double q) const;
+
+  void clear();
+
+  /// Bytes held by the bucket array (0 until the first record — empty
+  /// distributions stay cheap).
+  std::size_t memory_bytes() const noexcept {
+    return buckets_.capacity() * sizeof(std::uint64_t);
+  }
+
+ private:
+  // 64 sub-buckets per octave, octaves covering 2^-40 .. 2^40. Bucket 0 is
+  // the non-positive underflow bin; positive buckets follow.
+  static constexpr int kSubBuckets = 64;
+  static constexpr int kMinExp = -40;
+  static constexpr int kMaxExp = 40;
+  static constexpr std::size_t kBucketCount =
+      1 + static_cast<std::size_t>(kMaxExp - kMinExp) * kSubBuckets;
+
+  static std::size_t bucket_index(double x);
+  static double bucket_midpoint(std::size_t idx);
+
+  std::vector<std::uint64_t> buckets_;  ///< lazily sized to kBucketCount
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0, max_ = 0.0;
+};
+
+}  // namespace gm::obs

@@ -5,6 +5,8 @@
 #include <ostream>
 #include <set>
 
+#include "obs/trace_context.h"
+
 namespace gm::obs {
 namespace {
 
@@ -58,6 +60,9 @@ std::uint32_t pid_for(const SpanEvent& ev) {
 }  // namespace
 
 std::size_t TraceRecorder::record(SpanEvent ev) {
+  // Stamp the recording thread's request scope centrally so every producer
+  // (RAII spans, modeled spans, hand-built events) inherits it for free.
+  if (ev.trace_id == 0) ev.trace_id = current_trace().trace_id;
   std::lock_guard lock(mu_);
   events_.push_back(std::move(ev));
   return events_.size() - 1;
@@ -121,8 +126,18 @@ void TraceRecorder::write_chrome_json(std::ostream& os) const {
   for (const auto& [pid, track] : lanes) {
     os << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
        << ",\"tid\":" << track << ",\"args\":{\"name\":";
-    write_escaped(os, track == 0 ? std::string("serial")
-                                 : "stream " + std::to_string(track - 1));
+    std::string lane_name;
+    if (pid == 0) {
+      // Wall clock: track 0 is process-level work, tracks >= 1 are
+      // request lanes (serve assigns each in-flight request a lane so
+      // queue-wait/service spans render one row per request).
+      lane_name = track == 0 ? std::string("host")
+                             : "request lane " + std::to_string(track);
+    } else {
+      lane_name = track == 0 ? std::string("serial")
+                             : "stream " + std::to_string(track - 1);
+    }
+    write_escaped(os, lane_name);
     os << "}}";
   }
 
@@ -138,9 +153,13 @@ void TraceRecorder::write_chrome_json(std::ostream& os) const {
     os << ",\"dur\":";
     write_number(os, ev.duration_us);
     os << ",\"pid\":" << pid_for(ev) << ",\"tid\":" << ev.track;
-    if (!ev.attrs.empty()) {
+    if (!ev.attrs.empty() || ev.trace_id != 0) {
       os << ",\"args\":{";
       bool first_attr = true;
+      if (ev.trace_id != 0) {
+        os << "\"trace_id\":" << ev.trace_id;
+        first_attr = false;
+      }
       for (const Attr& a : ev.attrs) {
         if (!first_attr) os << ",";
         first_attr = false;

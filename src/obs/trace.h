@@ -45,6 +45,11 @@ struct SpanEvent {
   Clock clock = Clock::kWall;
   double start_us = 0.0;
   double duration_us = 0.0;
+  /// Owning request's trace id (0 = none). Producers normally leave this 0
+  /// and TraceRecorder::record stamps it from the recording thread's
+  /// obs::current_trace() — which is how spans emitted deep inside the
+  /// pipeline or stream scheduler inherit the serve-layer request id.
+  std::uint64_t trace_id = 0;
   std::uint32_t device = 0;  ///< device ordinal (modeled-clock spans)
   /// Timeline within the clock domain (Chrome trace "thread"). Serial
   /// pipeline work stays on track 0; stream-overlapped runs put each

@@ -1,0 +1,48 @@
+#include "obs/trace_context.h"
+
+#include <atomic>
+#include <vector>
+
+namespace gm::obs {
+namespace {
+
+std::atomic<std::uint64_t> g_next_trace_id{1};
+
+thread_local TraceContext tls_trace;
+thread_local std::vector<const std::string*> tls_span_stack;
+
+}  // namespace
+
+std::uint64_t new_trace_id() noexcept {
+  return g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+const TraceContext& current_trace() noexcept { return tls_trace; }
+
+ScopedTrace::ScopedTrace(TraceContext ctx) noexcept : prev_(tls_trace) {
+  tls_trace = ctx;
+}
+
+ScopedTrace::~ScopedTrace() { tls_trace = prev_; }
+
+const std::string* trace_span_parent() noexcept {
+  return tls_span_stack.empty() ? nullptr : tls_span_stack.back();
+}
+
+void trace_span_push(const std::string* name) {
+  tls_span_stack.push_back(name);
+}
+
+void trace_span_pop(const std::string* name) noexcept {
+  // Spans close in strict LIFO order on a thread (RAII), but finish() can be
+  // called early and out of order by defensive code; search from the top so
+  // a mismatched pop degrades gracefully instead of corrupting the stack.
+  for (auto it = tls_span_stack.rbegin(); it != tls_span_stack.rend(); ++it) {
+    if (*it == name) {
+      tls_span_stack.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+}  // namespace gm::obs

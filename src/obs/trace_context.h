@@ -1,0 +1,53 @@
+// Request-scoped trace context: a 64-bit trace id plus a wall-trace lane,
+// carried in thread-local storage so every span recorded while a request is
+// being serviced — the serve-layer request/queue-wait spans, the pipeline's
+// per-row stage spans, and the spans emitted inside stream-scheduler
+// closures (which execute on the draining thread) — is stamped with the
+// submitting request's id without threading a context argument through
+// every layer.
+//
+// MemService::submit mints an id per request; the dispatcher installs a
+// ScopedTrace around execute() so the whole service path inherits it. The
+// context also keeps a span-name stack (wall spans push on open, pop on
+// close) so a span can name its parent — the Chrome trace renders nesting
+// visually, but obs_report.py attributes child time to phases textually.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gm::obs {
+
+struct TraceContext {
+  std::uint64_t trace_id = 0;  ///< 0 = no request in scope
+  std::uint32_t lane = 0;      ///< wall-clock trace lane ("tid") for spans
+};
+
+/// Mints a process-unique nonzero trace id (monotone counter — ids double
+/// as submission order, which keeps traces human-scannable).
+std::uint64_t new_trace_id() noexcept;
+
+/// The calling thread's current context ({0, 0} outside any request).
+const TraceContext& current_trace() noexcept;
+
+/// Installs `ctx` as the calling thread's context for the scope's lifetime,
+/// restoring the previous context on destruction (scopes nest).
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(TraceContext ctx) noexcept;
+  ~ScopedTrace();
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+/// Innermost open wall span's name on this thread (nullptr at top level).
+/// Pointers must outlive their push/pop window — obs::Span owns the string
+/// and pops before moving it into the recorder.
+const std::string* trace_span_parent() noexcept;
+void trace_span_push(const std::string* name);
+void trace_span_pop(const std::string* name) noexcept;
+
+}  // namespace gm::obs

@@ -18,6 +18,11 @@ double seconds_between(std::chrono::steady_clock::time_point from,
   return std::chrono::duration<double>(to - from).count();
 }
 
+/// Wall-trace lanes cycled across in-flight requests (tracks 1..kLanes on
+/// pid 0; track 0 stays process-level work). Bounded so the Chrome trace
+/// keeps a readable number of rows under sustained traffic.
+constexpr std::uint32_t kRequestLanes = 24;
+
 }  // namespace
 
 const char* to_string(QueryStatus status) {
@@ -44,6 +49,8 @@ void publish_service_stats(const ServiceStats& stats) {
       "submits refused by admission control or shutdown");
   set("serve.expired", static_cast<double>(stats.expired),
       "requests whose deadline passed while queued");
+  set("serve.deadline_miss", static_cast<double>(stats.deadline_miss),
+      "requests that missed their deadline (expired or finished late)");
   set("serve.failed", static_cast<double>(stats.failed));
   set("serve.batches", static_cast<double>(stats.batches));
   set("serve.cache_hits", static_cast<double>(stats.cache_hits));
@@ -118,6 +125,8 @@ std::future<QueryResult> MemService::submit(QueryRequest req) {
                           : "queue full (capacity " +
                                 std::to_string(cfg_.queue_capacity) + ")";
       promise.set_value(std::move(r));
+      obs::flight(obs::FlightKind::kQueue, "submit-reject", 0,
+                  static_cast<double>(queue_.size()));
       if (obs::enabled()) {
         obs::Registry::global()
             .metrics()
@@ -133,6 +142,10 @@ std::future<QueryResult> MemService::submit(QueryRequest req) {
     pending.req = std::move(req);
     pending.promise = std::move(promise);
     pending.submitted_at = std::chrono::steady_clock::now();
+    pending.trace_id = obs::new_trace_id();
+    pending.lane = 1 + static_cast<std::uint32_t>(submit_seq_++ % kRequestLanes);
+    obs::flight(obs::FlightKind::kQueue, "submit", pending.trace_id,
+                static_cast<double>(queue_.size() + 1));
     queue_.push_back(std::move(pending));
     stats_.queue_depth = queue_.size();
     stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
@@ -217,9 +230,16 @@ void MemService::dispatcher_loop() {
       QueryResult result = execute(pending, queue_seconds);
       result.service_seconds =
           seconds_between(dispatched_at, std::chrono::steady_clock::now());
+      // A miss is either an expiry while queued or a completion that landed
+      // past the deadline (queue + service time exceeded it).
+      const bool deadline_missed =
+          pending.deadline_seconds > 0.0 &&
+          (result.status == QueryStatus::kExpired ||
+           queue_seconds + result.service_seconds > pending.deadline_seconds);
       {
         std::lock_guard lock(mu_);
         stats_.queue_seconds_total += queue_seconds;
+        if (deadline_missed) ++stats_.deadline_miss;
         switch (result.status) {
           case QueryStatus::kOk:
             ++stats_.completed;
@@ -229,6 +249,18 @@ void MemService::dispatcher_loop() {
           case QueryStatus::kExpired: ++stats_.expired; break;
           case QueryStatus::kFailed: ++stats_.failed; break;
           case QueryStatus::kRejected: ++stats_.rejected; break;
+        }
+      }
+      if (deadline_missed) {
+        obs::flight(obs::FlightKind::kQueue, "deadline-miss", result.trace_id,
+                    queue_seconds + result.service_seconds,
+                    pending.deadline_seconds);
+        if (obs::enabled()) {
+          obs::Registry::global()
+              .metrics()
+              .counter("serve.deadline_miss",
+                       "requests that missed their deadline")
+              .add();
         }
       }
       if (obs::enabled()) {
@@ -246,15 +278,40 @@ void MemService::dispatcher_loop() {
 }
 
 QueryResult MemService::execute(Pending& pending, double queue_seconds) {
+  // Install the request's trace scope for the whole service path: every
+  // span recorded below — including the pipeline's stage spans and spans
+  // emitted inside stream-scheduler closures (which run on this thread) —
+  // is stamped with this trace id and rendered on this request's lane.
+  obs::ScopedTrace scoped({pending.trace_id, pending.lane});
+
   QueryResult result;
   result.id = pending.req.id;
+  result.trace_id = pending.trace_id;
   result.queue_seconds = queue_seconds;
+
+  // Queue-wait span: submit() -> dispatch, reconstructed from the submit
+  // timestamp so the trace shows the queue-wait/service-time split.
+  if (obs::enabled()) {
+    obs::SpanEvent qev;
+    qev.name = "serve/queue-wait";
+    qev.category = "serve";
+    qev.trace_id = pending.trace_id;
+    qev.track = pending.lane;
+    qev.start_us = obs::Registry::global().wall_us_at(pending.submitted_at);
+    qev.duration_us = queue_seconds * 1e6;
+    qev.attrs.push_back({"id", result.id});
+    obs::Registry::global().trace().record(std::move(qev));
+  }
+  obs::flight(obs::FlightKind::kQueue, "dispatch", pending.trace_id,
+              queue_seconds * 1e6);
 
   if (pending.deadline_seconds > 0.0 &&
       queue_seconds > pending.deadline_seconds) {
     result.status = QueryStatus::kExpired;
     result.error = "deadline of " + std::to_string(pending.deadline_seconds) +
                    " s exceeded while queued";
+    obs::flight(obs::FlightKind::kQueue, "expired", pending.trace_id,
+                queue_seconds, pending.deadline_seconds);
     return result;
   }
 
@@ -318,13 +375,17 @@ QueryResult MemService::execute(Pending& pending, double queue_seconds) {
     result.mems = std::move(reported);
     result.stats.mem_count = result.mems.size();
     result.stats.wall_seconds = wall.seconds();
+    result.stats.trace_id = pending.trace_id;
     result.status = QueryStatus::kOk;
     core::publish_run_stats(result.stats);
   } catch (const std::exception& e) {
     result.status = QueryStatus::kFailed;
     result.error = e.what();
     result.mems.clear();
+    obs::flight(obs::FlightKind::kMark, "request-failed", pending.trace_id);
   }
+  obs::flight(obs::FlightKind::kQueue, "done", pending.trace_id,
+              static_cast<double>(result.status));
   request_span.attr("status", std::string(to_string(result.status)));
   request_span.attr("mems", result.stats.mem_count);
   return result;

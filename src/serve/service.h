@@ -74,6 +74,10 @@ const char* to_string(QueryStatus status);
 struct QueryResult {
   QueryStatus status = QueryStatus::kFailed;
   std::string id;
+  /// Request-scoped trace id minted at submit; every span this request
+  /// produced (queue-wait, serve/request, pipeline stages, stream ops)
+  /// carries it in the trace output.
+  std::uint64_t trace_id = 0;
   std::vector<mem::Mem> mems;  ///< canonical order, no duplicates
 
   /// Per-request stats; modeled times combine over the pool like
@@ -93,6 +97,10 @@ struct ServiceStats {
   std::uint64_t rejected = 0;
   std::uint64_t expired = 0;
   std::uint64_t failed = 0;
+  /// Requests that missed their deadline: expired while queued, plus
+  /// requests that completed but only after queue+service time exceeded
+  /// the deadline. Always >= expired.
+  std::uint64_t deadline_miss = 0;
   std::uint64_t batches = 0;
 
   std::uint64_t cache_hits = 0;    ///< tile-row indexes served resident
@@ -143,6 +151,8 @@ class MemService {
     std::promise<QueryResult> promise;
     std::chrono::steady_clock::time_point submitted_at;
     double deadline_seconds = 0.0;  ///< resolved (request or default)
+    std::uint64_t trace_id = 0;     ///< minted at submit
+    std::uint32_t lane = 0;         ///< wall-trace lane for this request
   };
 
   /// One pool member: a persistent device owning tile rows
@@ -167,6 +177,7 @@ class MemService {
   std::condition_variable cv_;
   std::deque<Pending> queue_;
   ServiceStats stats_;
+  std::uint64_t submit_seq_ = 0;  ///< assigns request trace lanes round-robin
   bool paused_ = false;
   bool stopping_ = false;
   std::thread dispatcher_;

@@ -135,6 +135,10 @@ bool StreamScheduler::step() {
 
 void StreamScheduler::execute(Stream& s, Stream::Op op) {
   const double start = s.ready_;
+  obs::flight(obs::FlightKind::kStream,
+              op.label.empty() ? s.name_ : op.label,
+              obs::current_trace().trace_id, static_cast<double>(s.index()),
+              static_cast<double>(static_cast<int>(op.kind)));
   switch (op.kind) {
     case Stream::OpKind::kWork: {
       staged_.clear();
@@ -252,6 +256,10 @@ void StreamScheduler::place_segments(Stream& s, double& cursor) {
 }
 
 void StreamScheduler::throw_stalled() const {
+  // Failed invariant: capture it in the flight recorder before throwing so
+  // a crash dump or fuzz reproducer shows what the streams were doing.
+  obs::flight(obs::FlightKind::kMark, "stream-stalled",
+              obs::current_trace().trace_id);
   for (const auto& sp : streams_) {
     if (sp->queue_.empty()) continue;
     const Stream::Op& head = sp->queue_.front();
