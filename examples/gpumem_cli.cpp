@@ -4,9 +4,17 @@
 //   ./gpumem_cli --ref ref.fa --query query.fa [--min-len 50] [--seed-len 13]
 //                [--backend native|simt] [--both-strands] [--mum]
 //                [--finder gpumem|mummer|sparsemem|essamem|slamem]
+//                [--load-index ref.gmidx]
 //                [--trace-out trace.json] [--metrics-out metrics.json]
 //                [--stats] [--threads N]
 //   ./gpumem_cli --demo          # runs on generated data, no files needed
+//   ./gpumem_cli index-build --ref ref.fa --out ref.gmidx [geometry flags]
+//   ./gpumem_cli index-info ref.gmidx
+//
+// index-build serializes the reference and its index structures into a
+// persistent *.gmidx artifact (docs/STORAGE.md); --load-index serves
+// matches from such an artifact without re-paying the build. index-info
+// prints an artifact's header and section table.
 //
 // Output format (MUMmer's show-coords flavour):
 //   > <query record name> [Reverse]
@@ -22,9 +30,150 @@
 #include "obs/snapshot.h"
 #include "seq/fasta.h"
 #include "seq/synthetic.h"
+#include "serve/index_cache.h"
+#include "store/artifact.h"
+#include "store/loaded_index.h"
 #include "util/cli.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
+
+namespace {
+
+/// MemFinder over a loaded artifact: native backend replays the prebuilt
+/// row indexes (run_native_prebuilt), simt backend serves them through an
+/// artifact-backed DeviceRowIndexCache (run_simt_cached) — either way, no
+/// index build runs at match time.
+class ArtifactFinder final : public gm::mem::MemFinder {
+ public:
+  ArtifactFinder(std::shared_ptr<const gm::store::LoadedIndex> index,
+                 gm::core::Config cfg)
+      : index_(std::move(index)), cfg_(std::move(cfg)) {}
+
+  std::string name() const override { return "gpumem-artifact"; }
+
+  void build_index(const gm::seq::Sequence& ref,
+                   const gm::mem::FinderOptions& opt) override {
+    (void)ref;  // the artifact embeds the reference
+    cfg_.min_length = opt.min_length;
+    index_->throw_if_geometry_mismatch(cfg_);
+    if (cfg_.backend == gm::core::Backend::kNative) {
+      native_.emplace(index_->native_index());
+    } else {
+      dev_ = std::make_unique<gm::simt::Device>(cfg_.device, 0);
+      cache_ = std::make_unique<gm::serve::DeviceRowIndexCache>(
+          *dev_, cfg_, /*ref_id=*/1);
+      cache_->back_with_artifact(index_);
+    }
+  }
+
+  std::vector<gm::mem::Mem> find(
+      const gm::seq::Sequence& query) const override {
+    const gm::core::Engine engine(cfg_);
+    gm::core::Result result =
+        native_.has_value()
+            ? engine.run_native_prebuilt(index_->reference(), query, *native_)
+            : engine.run_simt_cached(*dev_, index_->reference(), query,
+                                     *cache_);
+    last_seconds_ = result.stats.match_seconds;
+    return std::move(result.mems);
+  }
+
+  double last_find_modeled_seconds() const override { return last_seconds_; }
+  std::size_t index_bytes() const override {
+    return index_->artifact().file_bytes();
+  }
+
+ private:
+  std::shared_ptr<const gm::store::LoadedIndex> index_;
+  gm::core::Config cfg_;
+  std::optional<gm::core::Engine::NativeIndex> native_;
+  std::unique_ptr<gm::simt::Device> dev_;
+  std::unique_ptr<gm::serve::DeviceRowIndexCache> cache_;
+  mutable double last_seconds_ = 0.0;
+};
+
+int run_index_build(gm::util::Cli& cli) {
+  const std::string ref_path = cli.get("ref", "");
+  const std::string out_path = cli.get("out", "");
+  if (ref_path.empty() || out_path.empty()) {
+    std::cerr << "index-build needs --ref ref.fa and --out index.gmidx\n";
+    return 2;
+  }
+  auto records = gm::seq::read_fasta_file(ref_path);
+  if (records.empty() || records.front().sequence.empty()) {
+    std::cerr << "error: reference FASTA " << ref_path
+              << " has no non-empty records\n";
+    return 2;
+  }
+
+  gm::core::Config cfg;
+  cfg.min_length = static_cast<std::uint32_t>(cli.get_int("min-len", 50));
+  cfg.seed_len = static_cast<std::uint32_t>(cli.get_int(
+      "seed-len", std::min<std::int64_t>(13, cfg.min_length)));
+  cfg.step = static_cast<std::uint32_t>(cli.get_int("step", 0));
+  // Tile geometry (tile_len = tau * step * tile_blocks) must match the
+  // serving config — gpumem_serve defaults to --threads 64 --tile-blocks 8.
+  cfg.threads = static_cast<std::uint32_t>(cli.get_int("tau", cfg.threads));
+  cfg.tile_blocks = static_cast<std::uint32_t>(
+      cli.get_int("tile-blocks", cfg.tile_blocks));
+
+  gm::store::BuildOptions opt;
+  opt.ref_name = cli.get("name", records.front().name);
+  if (opt.ref_name.size() > gm::store::kRefNameBytes) {
+    opt.ref_name.resize(gm::store::kRefNameBytes);
+  }
+  opt.with_suffix_array = cli.get_bool("with-sa", false);
+  opt.sparseness =
+      static_cast<std::uint32_t>(cli.get_int("sparseness", 0));
+  opt.fm_sa_sample =
+      static_cast<std::uint32_t>(cli.get_int("fm-sample", 0));
+
+  gm::util::Timer timer;
+  const std::vector<std::uint8_t> image =
+      gm::store::build_artifact(records.front().sequence, cfg, opt);
+  gm::store::write_artifact_file(out_path, image);
+  std::cerr << "[index-build] " << records.front().sequence.size()
+            << " bp reference -> " << out_path << " (" << image.size()
+            << " bytes) in " << timer.seconds() << " s\n";
+  return 0;
+}
+
+int run_index_info(gm::util::Cli& cli) {
+  std::string path = cli.get("index", "");
+  if (path.empty() && cli.positional().size() > 1) {
+    path = cli.positional()[1];
+  }
+  if (path.empty()) {
+    std::cerr << "index-info needs an artifact path (positional or --index)\n";
+    return 2;
+  }
+  const gm::store::MappedArtifact art =
+      gm::store::MappedArtifact::open_file(path);
+  const gm::store::ArtifactHeader& h = art.header();
+  std::cout << "artifact:   " << path << " (" << art.file_bytes()
+            << " bytes, format v" << h.version << ", "
+            << (art.is_mapped() ? "mmap" : "buffered") << ")\n"
+            << "reference:  \"" << h.name() << "\", " << h.ref_bases
+            << " bp, " << h.ref_invalid << " invalid\n"
+            << "geometry:   seed_len=" << h.seed_len << " step=" << h.step
+            << " tile_len=" << h.tile_len << " tile_rows=" << h.tile_rows
+            << " min_length=" << h.min_length << "\n"
+            << "extras:     sparseness=" << h.sparseness
+            << " fm_sa_sample=" << h.fm_sa_sample << "\n"
+            << "sections:\n";
+  for (const gm::store::SectionEntry& e : art.sections()) {
+    char line[128];
+    std::snprintf(line, sizeof line, "  %-16s %12llu bytes  fnv1a64=%016llx\n",
+                  gm::store::section_name(
+                      static_cast<gm::store::SectionId>(e.id)),
+                  static_cast<unsigned long long>(e.bytes),
+                  static_cast<unsigned long long>(e.checksum));
+    std::cout << line;
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   gm::util::Cli cli(argc, argv);
@@ -57,20 +206,75 @@ int main(int argc, char** argv) {
   cli.describe("threads",
                "host worker threads (default: GPUMEM_THREADS env or hardware "
                "concurrency)");
+  cli.describe("load-index",
+               "serve matches from a persistent index artifact (*.gmidx, "
+               "see `index-build`); --ref becomes optional");
+  cli.describe("out", "index-build: output artifact path");
+  cli.describe("name", "index-build: tenant name stored in the artifact "
+                       "(default: reference record name)");
+  cli.describe("with-sa", "index-build: also store suffix array + LCP");
+  cli.describe("sparseness",
+               "index-build: also store a sparse suffix array at this K");
+  cli.describe("fm-sample",
+               "index-build: also store an FM-index at this SA sample rate");
+  cli.describe("index", "index-info: artifact path (or pass positionally)");
+  cli.describe("tau", "index-build: threads per block (default 256); with "
+                      "--tile-blocks this fixes the artifact's tile_len");
+  cli.describe("tile-blocks", "index-build: blocks per tile (default 64)");
   if (cli.handle_help("gpumem_cli: extract maximal exact matches from FASTA"))
     return 0;
 
   try {
+    if (!cli.positional().empty()) {
+      const std::string& verb = cli.positional().front();
+      if (verb == "index-build") return run_index_build(cli);
+      if (verb == "index-info") return run_index_info(cli);
+      std::cerr << "unknown verb '" << verb
+                << "' (index-build, index-info, or no verb to match)\n";
+      return 2;
+    }
     gm::util::ThreadPool::configure_global(
         static_cast<std::size_t>(cli.get_int("threads", 0)));
-    const std::uint32_t min_len =
-        static_cast<std::uint32_t>(cli.get_int("min-len", 50));
-    const std::uint32_t seed_len = static_cast<std::uint32_t>(
-        cli.get_int("seed-len", std::min<std::int64_t>(13, min_len)));
+
+    // A loaded artifact supplies the reference and the geometry defaults;
+    // explicitly passed flags that disagree are rejected (stale geometry).
+    const std::string load_index = cli.get("load-index", "");
+    std::shared_ptr<const gm::store::LoadedIndex> loaded;
+    if (!load_index.empty()) {
+      loaded = std::make_shared<const gm::store::LoadedIndex>(
+          gm::store::MappedArtifact::open_file(load_index));
+    }
+
+    const std::uint32_t min_len = static_cast<std::uint32_t>(cli.get_int(
+        "min-len", loaded ? loaded->header().min_length : 50));
+    const std::uint32_t seed_len = static_cast<std::uint32_t>(cli.get_int(
+        "seed-len", loaded ? loaded->header().seed_len
+                           : std::min<std::int64_t>(13, min_len)));
 
     gm::seq::Sequence ref;
     std::vector<gm::seq::FastaRecord> queries;
-    if (cli.get_bool("demo", false)) {
+    if (loaded != nullptr) {
+      const std::string query_path = cli.get("query", "");
+      if (query_path.empty()) {
+        std::cerr << "need --query with --load-index; see --help\n";
+        return 2;
+      }
+      if (cli.has("ref")) {
+        std::cerr << "note: --ref ignored; the artifact embeds the "
+                     "reference (\""
+                  << loaded->header().name() << "\")\n";
+      }
+      ref = loaded->reference();
+      queries = gm::seq::read_fasta_file(query_path);
+      std::erase_if(queries, [](const gm::seq::FastaRecord& r) {
+        return r.sequence.empty();
+      });
+      if (queries.empty()) {
+        std::cerr << "error: query FASTA " << query_path
+                  << " has no non-empty records\n";
+        return 2;
+      }
+    } else if (cli.get_bool("demo", false)) {
       const auto pair = gm::seq::make_dataset("chrXII_s/chrI_s", 42, 4);
       ref = pair.reference;
       queries.push_back({"demo_query", pair.query, 0});
@@ -132,7 +336,24 @@ int main(int argc, char** argv) {
     const std::string finder_name = cli.get("finder", "gpumem");
     std::unique_ptr<gm::mem::MemFinder> finder;
     gm::core::GpumemFinder* gpumem = nullptr;
-    if (finder_name == "gpumem") {
+    if (loaded != nullptr) {
+      if (finder_name != "gpumem") {
+        std::cerr << "--load-index serves the gpumem finder only\n";
+        return 2;
+      }
+      gm::core::Config cfg;
+      cfg.min_length = min_len;
+      cfg.seed_len = seed_len;
+      cfg.step = static_cast<std::uint32_t>(
+          cli.get_int("step", loaded->header().step));
+      cfg.backend = cli.get("backend", "native") == "simt"
+                        ? gm::core::Backend::kSimt
+                        : gm::core::Backend::kNative;
+      cfg.overlap = cli.get_bool("overlap", false);
+      cfg.overlap_streams = static_cast<std::uint32_t>(
+          cli.get_int("overlap-streams", cfg.overlap_streams));
+      finder = std::make_unique<ArtifactFinder>(loaded, std::move(cfg));
+    } else if (finder_name == "gpumem") {
       auto g = std::make_unique<gm::core::GpumemFinder>(
           cli.get("backend", "native") == "simt" ? gm::core::Backend::kSimt
                                                  : gm::core::Backend::kNative);

@@ -1,13 +1,14 @@
-// gpumem_fuzz: property-based differential fuzzer over every MEM finder and
-// all five SIMT pipeline serving shapes (see src/fuzz/fuzz.h and
-// docs/TESTING.md).
+// gpumem_fuzz: property-based differential fuzzer over every MEM finder,
+// all five SIMT pipeline serving shapes, and the persistent-artifact round
+// trip (see src/fuzz/fuzz.h and docs/TESTING.md).
 //
 //   ./gpumem_fuzz --runs 200 --seed 1            # bounded fuzz session
 //   ./gpumem_fuzz --seconds 300 --seed 7         # time-budgeted (CI job)
 //   ./gpumem_fuzz --replay repro.txt             # re-run a minimized case
 //   ./gpumem_fuzz --self-test                    # prove the harness catches
-//                                                # injected stitch + stream
-//                                                # overlap bugs
+//                                                # injected stitch, stream
+//                                                # overlap + store corruption
+//                                                # bugs
 //
 // Exit codes: 0 = no divergence (or replay passed / self-test caught the
 // bug), 1 = divergence found (reproducer written to --out-dir), 2 = usage.
@@ -123,14 +124,19 @@ int self_test_fault(gm::fuzz::Fault fault, std::uint64_t seed,
   return 1;
 }
 
-/// Runs the self-test for both injected defect shapes: the out-tile stitch
-/// bug and the stream-overlap column-handoff bug.
+/// Runs the self-test for all injected defect shapes: the out-tile stitch
+/// bug, the stream-overlap column-handoff bug, and on-disk artifact
+/// corruption (the store reader must reject, not extract).
 int self_test(std::uint64_t seed, std::uint64_t max_runs,
               std::size_t shrink_evals) {
   const int stitch = self_test_fault(gm::fuzz::Fault::kStitchDropBoundary,
                                      seed, max_runs, shrink_evals);
   if (stitch != 0) return stitch;
-  return self_test_fault(gm::fuzz::Fault::kOverlapDropColumnBoundary, seed,
+  const int overlap = self_test_fault(
+      gm::fuzz::Fault::kOverlapDropColumnBoundary, seed, max_runs,
+      shrink_evals);
+  if (overlap != 0) return overlap;
+  return self_test_fault(gm::fuzz::Fault::kStoreCorruptSection, seed,
                          max_runs, shrink_evals);
 }
 
@@ -145,11 +151,12 @@ int main(int argc, char** argv) {
                "where minimized reproducers land (default fuzz-repros)");
   cli.describe("inject",
                "deliberate fault for harness testing: none | stitch-drop | "
-               "overlap-drop");
+               "overlap-drop | store-corrupt");
   cli.describe("replay", "re-run one serialized reproducer file and exit");
   cli.describe("self-test",
-               "inject stitch-drop then overlap-drop, require the harness to "
-               "catch and shrink each to <= 64 bp per sequence");
+               "inject stitch-drop, overlap-drop, then store-corrupt; require "
+               "the harness to catch and shrink each to <= 64 bp per "
+               "sequence");
   cli.describe("shrink-evals",
                "oracle evaluation budget for shrinking (default 500)");
   if (cli.handle_help(
@@ -169,8 +176,8 @@ int main(int argc, char** argv) {
 
     const auto fault = gm::fuzz::fault_from_string(cli.get("inject", "none"));
     if (!fault) {
-      std::cerr
-          << "unknown --inject value; want none, stitch-drop or overlap-drop\n";
+      std::cerr << "unknown --inject value; want none, stitch-drop, "
+                   "overlap-drop or store-corrupt\n";
       return 2;
     }
     // Fatal-signal safety net: a crash mid-fuzz still leaves the last-N

@@ -12,7 +12,18 @@
 //                  [--flight-out f.log]
 //   ./gpumem_serve --demo          # synthetic reference + queries, no files
 //
+// Multi-tenant mode (docs/STORAGE.md): point --registry at a directory of
+// *.gmidx index artifacts (one per reference; see `gpumem_cli index-build`).
+// Each query record routes to a tenant by name prefix ("<tenant>/<id>"),
+// falling back to --tenant; tenants activate lazily from their artifact
+// (mmap + verified load, no index build) and the least-recently-used
+// unpinned tenants are evicted past --max-resident.
+//
+//   ./gpumem_serve --registry DIR --queries queries.fa [--tenant NAME]
+//                  [--pin a,b] [--max-resident 4] [...engine/service flags]
+//
 // Exits nonzero when any request fails, expires, or misses its deadline.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -26,11 +37,183 @@
 #include "obs/snapshot.h"
 #include "seq/fasta.h"
 #include "seq/synthetic.h"
+#include "serve/registry.h"
 #include "serve/service.h"
 #include "util/cli.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::string item =
+        s.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// Write --trace-out / --metrics-out / --flight-out if requested.
+/// Returns 0, or 2 when an output file cannot be opened.
+int export_obs(gm::util::Cli& cli) {
+  const std::string trace_out = cli.get("trace-out", "");
+  const std::string metrics_out = cli.get("metrics-out", "");
+  const std::string metrics_format = cli.get("metrics-format", "json");
+  const std::string flight_out = cli.get("flight-out", "");
+  if (!trace_out.empty()) {
+    std::ofstream f(trace_out);
+    if (!f) {
+      std::cerr << "cannot open --trace-out file\n";
+      return 2;
+    }
+    gm::obs::Registry::global().trace().write_chrome_json(f);
+    std::cerr << "[obs] trace written to " << trace_out << '\n';
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream f(metrics_out);
+    if (!f) {
+      std::cerr << "cannot open --metrics-out file\n";
+      return 2;
+    }
+    gm::obs::Metrics& m = gm::obs::Registry::global().metrics();
+    if (metrics_format == "tsv") {
+      m.write_tsv(f);
+    } else {
+      const gm::obs::MetricsSnapshot snap =
+          gm::obs::MetricsSnapshot::capture(m);
+      if (metrics_format == "json") {
+        snap.write_json(f);
+      } else {
+        snap.write_prometheus(f);
+      }
+    }
+    std::cerr << "[obs] metrics written to " << metrics_out << " ("
+              << metrics_format << ")\n";
+  }
+  if (!flight_out.empty()) {
+    if (gm::obs::FlightRecorder::global().dump_to_file(flight_out)) {
+      std::cerr << "[obs] flight recorder dumped to " << flight_out << '\n';
+    } else {
+      std::cerr << "cannot open --flight-out file\n";
+      return 2;
+    }
+  }
+  return 0;
+}
+
+/// Multi-tenant replay: route each query record to its tenant's service.
+int run_registry_mode(const std::string& dir,
+                      const std::vector<gm::seq::FastaRecord>& queries,
+                      gm::serve::ServiceConfig scfg, gm::util::Cli& cli,
+                      std::size_t repeat) {
+  scfg.start_paused = false;  // tenant services dispatch as requests arrive
+  const std::size_t max_resident =
+      static_cast<std::size_t>(cli.get_int("max-resident", 4));
+  gm::serve::ReferenceRegistry registry(dir, scfg, max_resident);
+
+  const std::vector<std::string> tenant_names = registry.tenants();
+  if (tenant_names.empty()) {
+    std::cerr << "error: registry " << dir << " holds no *.gmidx artifacts "
+              << "(build some with `gpumem_cli index-build`)\n";
+    return 2;
+  }
+  std::cerr << "[registry] " << dir << ": " << tenant_names.size()
+            << " tenant(s):";
+  for (const auto& n : tenant_names) std::cerr << ' ' << n;
+  std::cerr << ", max " << max_resident << " resident\n";
+
+  for (const std::string& name : split_csv(cli.get("pin", ""))) {
+    registry.pin(name);
+    std::cerr << "[registry] pinned " << name << '\n';
+  }
+
+  std::string default_tenant = cli.get("tenant", "");
+  if (default_tenant.empty() && tenant_names.size() == 1) {
+    default_tenant = tenant_names.front();
+  }
+
+  struct InFlight {
+    std::shared_ptr<gm::serve::Tenant> tenant;  // keeps evicted tenants alive
+    std::future<gm::serve::QueryResult> fut;
+    std::string tenant_name;
+  };
+  std::vector<InFlight> inflight;
+  gm::util::Timer wall;
+  for (std::size_t r = 0; r < repeat; ++r) {
+    for (const auto& record : queries) {
+      // "<tenant>/<rest>" routes by prefix when the prefix names a tenant.
+      std::string tname = default_tenant;
+      if (const std::size_t slash = record.name.find('/');
+          slash != std::string::npos) {
+        const std::string prefix = record.name.substr(0, slash);
+        if (std::find(tenant_names.begin(), tenant_names.end(), prefix) !=
+            tenant_names.end()) {
+          tname = prefix;
+        }
+      }
+      if (tname.empty()) {
+        std::cerr << "error: query record '" << record.name
+                  << "' names no tenant and no --tenant default is set\n";
+        return 2;
+      }
+      std::shared_ptr<gm::serve::Tenant> tenant = registry.acquire(tname);
+      gm::serve::QueryRequest req;
+      req.id = record.name;
+      if (repeat > 1) req.id += '#' + std::to_string(r);
+      req.query = record.sequence;
+      auto fut = tenant->service().submit(std::move(req));
+      inflight.push_back({std::move(tenant), std::move(fut), tname});
+    }
+  }
+
+  std::uint64_t ok = 0, not_ok = 0, mems = 0, warm = 0;
+  gm::util::Summary service_s;
+  for (auto& f : inflight) {
+    const gm::serve::QueryResult res = f.fut.get();
+    if (res.status == gm::serve::QueryStatus::kOk) {
+      ++ok;
+      mems += res.stats.mem_count;
+      warm += res.stats.index_cache_hit;
+    } else {
+      ++not_ok;
+    }
+    service_s.add(res.service_seconds);
+    std::cerr << "[req " << res.id << " -> " << f.tenant_name << "] "
+              << to_string(res.status) << ", " << res.stats.mem_count
+              << " MEMs, service " << res.service_seconds * 1e3 << " ms"
+              << (res.stats.index_cache_hit ? " (warm index)" : "")
+              << (res.error.empty() ? "" : " — " + res.error) << '\n';
+  }
+  const double wall_seconds = wall.seconds();
+  inflight.clear();  // release tenant refs before the registry unwinds
+
+  const gm::serve::RegistryStats rs = registry.stats();
+  std::cout << "=== gpumem_serve registry report ===\n"
+            << "tenants:        " << rs.known << " known, " << rs.resident
+            << " resident\n"
+            << "registry:       " << rs.loads << " loads, " << rs.hits
+            << " hits, " << rs.evictions << " evictions\n"
+            << "requests:       " << (ok + not_ok) << " (" << ok << " ok, "
+            << not_ok << " not ok), " << mems << " MEMs, " << warm
+            << " warm\n"
+            << "wall time:      " << wall_seconds << " s ("
+            << (wall_seconds > 0 ? static_cast<double>(ok) / wall_seconds
+                                 : 0.0)
+            << " queries/s)\n"
+            << "service latency: mean " << service_s.mean() * 1e3
+            << " ms, max " << service_s.max() * 1e3 << " ms\n";
+  if (const int rc = export_obs(cli); rc != 0) return rc;
+  return not_ok == 0 ? 0 : 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   gm::util::Cli cli(argc, argv);
@@ -62,6 +245,16 @@ int main(int argc, char** argv) {
   cli.describe("flight-out",
                "dump the flight recorder (last-N structured events) here at "
                "exit");
+  cli.describe("registry",
+               "multi-tenant mode: directory of *.gmidx index artifacts "
+               "(see `gpumem_cli index-build` and docs/STORAGE.md)");
+  cli.describe("tenant",
+               "registry mode: default tenant for records without a "
+               "\"tenant/\" name prefix");
+  cli.describe("pin",
+               "registry mode: comma-separated tenants to pin resident");
+  cli.describe("max-resident",
+               "registry mode: unpinned resident-tenant budget (default 4)");
   if (cli.handle_help(
           "gpumem_serve: batched MEM serving with a reference index cache"))
     return 0;
@@ -69,9 +262,25 @@ int main(int argc, char** argv) {
   try {
     gm::util::ThreadPool::configure_global(
         static_cast<std::size_t>(cli.get_int("host-threads", 0)));
+    const std::string registry_dir = cli.get("registry", "");
     gm::seq::Sequence ref;
     std::vector<gm::seq::FastaRecord> queries;
-    if (cli.get_bool("demo", false)) {
+    if (!registry_dir.empty()) {
+      const std::string query_path = cli.get("queries", "");
+      if (query_path.empty()) {
+        std::cerr << "need --queries with --registry; see --help\n";
+        return 2;
+      }
+      queries = gm::seq::read_fasta_file(query_path);
+      std::erase_if(queries, [](const gm::seq::FastaRecord& r) {
+        return r.sequence.empty();
+      });
+      if (queries.empty()) {
+        std::cerr << "error: query FASTA " << query_path
+                  << " has no non-empty records\n";
+        return 2;
+      }
+    } else if (cli.get_bool("demo", false)) {
       const auto pair = gm::seq::make_dataset("chrXII_s/chrI_s", 42, 8);
       ref = pair.reference;
       for (int i = 0; i < 4; ++i) {
@@ -115,7 +324,6 @@ int main(int argc, char** argv) {
     const std::string trace_out = cli.get("trace-out", "");
     const std::string metrics_out = cli.get("metrics-out", "");
     const std::string metrics_format = cli.get("metrics-format", "json");
-    const std::string flight_out = cli.get("flight-out", "");
     const double stats_every = cli.get_double("stats-every", 0.0);
     if (!gm::obs::MetricsSnapshot::is_known_format(metrics_format)) {
       std::cerr << "unknown --metrics-format '" << metrics_format
@@ -147,6 +355,10 @@ int main(int argc, char** argv) {
 
     const std::size_t repeat =
         static_cast<std::size_t>(std::max<std::int64_t>(1, cli.get_int("repeat", 1)));
+
+    if (!registry_dir.empty()) {
+      return run_registry_mode(registry_dir, queries, scfg, cli, repeat);
+    }
 
     gm::serve::MemService service(scfg, std::move(ref));
     std::cerr << "[serve] reference " << service.reference().size()
@@ -285,44 +497,7 @@ int main(int argc, char** argv) {
                 << " expired while queued)\n";
     }
 
-    if (!trace_out.empty()) {
-      std::ofstream f(trace_out);
-      if (!f) {
-        std::cerr << "cannot open --trace-out file\n";
-        return 2;
-      }
-      gm::obs::Registry::global().trace().write_chrome_json(f);
-      std::cerr << "[obs] trace written to " << trace_out << '\n';
-    }
-    if (!metrics_out.empty()) {
-      std::ofstream f(metrics_out);
-      if (!f) {
-        std::cerr << "cannot open --metrics-out file\n";
-        return 2;
-      }
-      gm::obs::Metrics& m = gm::obs::Registry::global().metrics();
-      if (metrics_format == "tsv") {
-        m.write_tsv(f);
-      } else {
-        const gm::obs::MetricsSnapshot snap =
-            gm::obs::MetricsSnapshot::capture(m);
-        if (metrics_format == "json") {
-          snap.write_json(f);
-        } else {
-          snap.write_prometheus(f);
-        }
-      }
-      std::cerr << "[obs] metrics written to " << metrics_out << " ("
-                << metrics_format << ")\n";
-    }
-    if (!flight_out.empty()) {
-      if (gm::obs::FlightRecorder::global().dump_to_file(flight_out)) {
-        std::cerr << "[obs] flight recorder dumped to " << flight_out << '\n';
-      } else {
-        std::cerr << "cannot open --flight-out file\n";
-        return 2;
-      }
-    }
+    if (const int rc = export_obs(cli); rc != 0) return rc;
     if (st.deadline_miss > 0) {
       std::cerr << "error: " << st.deadline_miss
                 << " request(s) missed their deadline\n";

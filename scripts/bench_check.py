@@ -24,6 +24,14 @@ must agree on it):
       and its MEM count must equal the baseline exactly. Raw nanoseconds
       are printed for trend inspection but never gated.
 
+  gpumem-bench-indexio-v1 (bench_index_io)
+      Per-scenario *self-relative* cold/hot speedup for index persistence
+      (docs/STORAGE.md): cold index build vs artifact mmap load, and cold
+      registry activation vs warm tenant hit. Gating follows the hostwall
+      policy — per-scenario min_speedup floors embedded in the JSON (the
+      artifact-load scenario carries the 10x floor) plus exact MEM-count
+      equality; raw nanoseconds are informational.
+
 In both modes the scenario sets must match exactly — a silently dropped
 scenario is a failure.
 
@@ -37,7 +45,8 @@ import sys
 
 SCHEMA_PIPELINE = "gpumem-bench-pipeline-v1"
 SCHEMA_HOSTWALL = "gpumem-bench-hostwall-v1"
-SCHEMAS = (SCHEMA_PIPELINE, SCHEMA_HOSTWALL)
+SCHEMA_INDEXIO = "gpumem-bench-indexio-v1"
+SCHEMAS = (SCHEMA_PIPELINE, SCHEMA_HOSTWALL, SCHEMA_INDEXIO)
 
 
 def load(path):
@@ -123,6 +132,36 @@ def check_hostwall(cand, base, args, failures):
     return len(base_rows), "self-relative speedup floors"
 
 
+def check_indexio(cand, base, args, failures):
+    del args  # gates are embedded per scenario
+    cand_rows = {s["name"]: s for s in cand.get("scenarios", [])}
+    base_rows = {s["name"]: s for s in base.get("scenarios", [])}
+    for name, b, c in match_scenarios(cand_rows, base_rows, failures):
+        floor = c.get("min_speedup", 0.0)
+        status = "ok"
+        if floor != b.get("min_speedup", 0.0):
+            status = "FAIL"
+            failures.append(
+                f"{name}: min_speedup floor {floor} differs from baseline "
+                f"{b.get('min_speedup', 0.0)} (regenerate the baseline when "
+                f"retuning gates)")
+        if floor > 0.0 and c["speedup"] < floor:
+            status = "FAIL"
+            failures.append(
+                f"{name}: cold/hot speedup {c['speedup']:.2f}x below the "
+                f"{floor}x floor (baseline had {b['speedup']:.2f}x)")
+        if c["mems"] != b["mems"]:
+            status = "FAIL"
+            failures.append(f"{name}: mems {c['mems']} vs baseline "
+                            f"{b['mems']} (must match exactly)")
+        gate = f"floor {floor}x" if floor > 0.0 else "informational"
+        print(f"  {status:4} {name}: speedup {c['speedup']:.2f}x ({gate}, "
+              f"baseline {b['speedup']:.2f}x), mems {c['mems']}, "
+              f"cold {c['cold_ns'] / 1e6:.1f} ms / hot "
+              f"{c['hot_ns'] / 1e6:.2f} ms (informational)")
+    return len(base_rows), "self-relative cold/hot speedup floors"
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("candidate", help="JSON emitted by this run")
@@ -147,6 +186,8 @@ def main():
     failures = []
     if cand["schema"] == SCHEMA_PIPELINE:
         count, policy = check_pipeline(cand, base, args, failures)
+    elif cand["schema"] == SCHEMA_INDEXIO:
+        count, policy = check_indexio(cand, base, args, failures)
     else:
         count, policy = check_hostwall(cand, base, args, failures)
 

@@ -8,9 +8,11 @@
 // multiples, planted matches straddling tile boundaries, step at the Eq. 1
 // maximum).
 //
-// run_case executes every registered finder and the SIMT pipeline in all
+// run_case executes every registered finder, the SIMT pipeline in all
 // five serving shapes (plain run, stream-overlapped run, cached-index run,
-// multi-device run, the batched MemService path) against the naive ground
+// multi-device run, the batched MemService path), and a persistent-artifact
+// round trip (serialize to a *.gmidx image, reopen through the verifying
+// store reader, extract from the loaded index) against the naive ground
 // truth and reports every
 // divergence: a missing MEM (completeness), an extra or non-maximal MEM
 // (soundness, double-checked via mem::validate_mems), or an execution error.
@@ -63,6 +65,12 @@ enum class Fault {
   /// simt-overlapped oracle only; all other modes stay correct, so the
   /// harness must localize the failure to the overlapped path.
   kOverlapDropColumnBoundary,
+  /// Simulates on-disk index corruption: one byte is flipped inside the
+  /// largest section payload of the serialized artifact before the
+  /// store-roundtrip oracle reopens it. The store reader must reject the
+  /// image deterministically (checksum mismatch), which the harness
+  /// reports as an "error" divergence localized to store-roundtrip.
+  kStoreCorruptSection,
 };
 
 const char* to_string(Fault fault);
@@ -91,8 +99,9 @@ std::string describe(const CaseResult& result);
 FuzzCase sample_case(util::Xoshiro256& rng);
 
 /// Runs the full oracle over `c`: naive ground truth, every CPU finder,
-/// gpumem-native, and the SIMT pipeline in plain / cached (cold + warm) /
-/// multi-device / MemService modes. Throws std::invalid_argument when the
+/// gpumem-native, the store artifact round trip, and the SIMT pipeline in
+/// plain / cached (cold + warm) / multi-device / MemService modes. Throws
+/// std::invalid_argument when the
 /// case's config itself is invalid (possible for hand-edited repro files;
 /// sampled cases always validate).
 CaseResult run_case(const FuzzCase& c, Fault fault = Fault::kNone);

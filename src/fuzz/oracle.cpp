@@ -8,12 +8,15 @@
 //   scheduler shuffle seed derived from the case seed)
 //   simt-cached-cold / -warm (run_simt_cached over a DeviceRowIndexCache)
 //   multi-device (run_multi_device)   serve (MemService, paused batch)
+//   store-roundtrip (build_artifact → MappedArtifact::from_buffer →
+//   LoadedIndex → run_native_prebuilt; bit-identity through serialization)
 //
 // Every output set is checked three ways: definition-level soundness via
 // mem::validate_mems (under the invalid-base mask policy), completeness
 // (no truth MEM missing), and exactness (no extra MEM). All finders emit
 // canonical sorted/deduped order, so set comparison is two linear merges.
 #include <algorithm>
+#include <cstring>
 #include <iterator>
 #include <sstream>
 
@@ -27,6 +30,8 @@
 #include "serve/index_cache.h"
 #include "serve/service.h"
 #include "simt/device.h"
+#include "store/artifact.h"
+#include "store/loaded_index.h"
 
 namespace gm::fuzz {
 
@@ -66,6 +71,30 @@ void apply_overlap_fault(Fault fault, std::uint32_t tile_len,
   });
 }
 
+/// The injected storage defect: flip one byte inside the largest section
+/// payload of a serialized artifact image (falling back to the section
+/// table when every payload is empty). The reader's per-section checksums
+/// must turn this into a deterministic StoreError at open.
+void apply_store_fault(Fault fault, std::vector<std::uint8_t>& image) {
+  if (fault != Fault::kStoreCorruptSection) return;
+  store::ArtifactHeader header{};
+  std::memcpy(&header, image.data(), sizeof header);
+  std::vector<store::SectionEntry> table(header.section_count);
+  std::memcpy(table.data(), image.data() + sizeof header,
+              table.size() * sizeof(store::SectionEntry));
+  const store::SectionEntry* largest = nullptr;
+  for (const store::SectionEntry& e : table) {
+    if (e.bytes > 0 && (largest == nullptr || e.bytes > largest->bytes)) {
+      largest = &e;
+    }
+  }
+  if (largest != nullptr) {
+    image[largest->offset + largest->bytes / 2] ^= 0x5A;
+  } else {
+    image[sizeof header] ^= 0x5A;  // header/table corruption fallback
+  }
+}
+
 void check_output(const std::string& impl, const std::vector<mem::Mem>& truth,
                   const std::vector<mem::Mem>& got, const seq::Sequence& ref,
                   const seq::Sequence& query, std::uint32_t min_len,
@@ -103,6 +132,7 @@ const char* to_string(Fault fault) {
     case Fault::kNone: return "none";
     case Fault::kStitchDropBoundary: return "stitch-drop";
     case Fault::kOverlapDropColumnBoundary: return "overlap-drop";
+    case Fault::kStoreCorruptSection: return "store-corrupt";
   }
   return "?";
 }
@@ -111,6 +141,7 @@ std::optional<Fault> fault_from_string(const std::string& name) {
   if (name == "none") return Fault::kNone;
   if (name == "stitch-drop") return Fault::kStitchDropBoundary;
   if (name == "overlap-drop") return Fault::kOverlapDropColumnBoundary;
+  if (name == "store-corrupt") return Fault::kStoreCorruptSection;
   return std::nullopt;
 }
 
@@ -224,6 +255,30 @@ CaseResult run_case(const FuzzCase& c, Fault fault) {
     check_output("multi-device", truth, res.mems, ref, query, c.min_len, out);
   } catch (const std::exception& e) {
     out.divergences.push_back({"multi-device", "error", e.what()});
+  }
+
+  // Artifact round trip: serialize the full index to an in-memory *.gmidx
+  // image, reopen it through the verifying reader, and extract with the
+  // loaded (not rebuilt) row indexes. Must be bit-identical to the truth —
+  // and under kStoreCorruptSection the reader must reject the image
+  // instead of producing MEMs. Skipped for empty references (nothing to
+  // serialize; the other oracles still cover the case).
+  if (!ref.empty()) {
+    try {
+      std::vector<std::uint8_t> image = store::build_artifact(ref, cfg);
+      apply_store_fault(fault, image);
+      const store::LoadedIndex loaded(
+          store::MappedArtifact::from_buffer(std::move(image), "<fuzz>"));
+      core::Config ncfg = cfg;
+      ncfg.backend = core::Backend::kNative;
+      auto res = core::Engine(ncfg).run_native_prebuilt(
+          loaded.reference(), query, loaded.native_index());
+      apply_fault(fault, geo.tile_len, res.mems);
+      check_output("store-roundtrip", truth, res.mems, ref, query, c.min_len,
+                   out);
+    } catch (const std::exception& e) {
+      out.divergences.push_back({"store-roundtrip", "error", e.what()});
+    }
   }
 
   // SIMT mode 5: the batched serving path end to end.

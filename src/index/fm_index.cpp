@@ -1,6 +1,8 @@
 #include "index/fm_index.h"
 
+#include <algorithm>
 #include <bit>
+#include <cstring>
 #include <stdexcept>
 
 #include "index/lcp.h"
@@ -146,6 +148,147 @@ std::size_t FmIndex::bytes() const noexcept {
          mark_rank_.size() * sizeof(std::uint32_t) +
          mark_values_.size() * sizeof(std::uint32_t) + lcp8_.size() +
          lcp_exceptions_.size() * 16;
+}
+
+namespace {
+
+// Byte-image helpers for serialize/deserialize. Everything is written as
+// fixed-width little-endian-native scalars and raw arrays; the store/
+// artifact format pins endianness at the file level, so the payload can be
+// memcpy'd.
+template <typename T>
+void append_pod(std::vector<std::uint8_t>& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+void append_vec(std::vector<std::uint8_t>& out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  append_pod(out, static_cast<std::uint64_t>(v.size()));
+  const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
+  out.insert(out.end(), p, p + v.size() * sizeof(T));
+}
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  T read_pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (bytes_.size() - pos_ < sizeof(T)) {
+      throw std::invalid_argument("FmIndex::deserialize: truncated input");
+    }
+    T v;
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  template <typename T>
+  std::vector<T> read_vec() {
+    const std::uint64_t n = read_pod<std::uint64_t>();
+    if (n > (bytes_.size() - pos_) / sizeof(T)) {
+      throw std::invalid_argument("FmIndex::deserialize: truncated array");
+    }
+    std::vector<T> v(static_cast<std::size_t>(n));
+    std::memcpy(v.data(), bytes_.data() + pos_, v.size() * sizeof(T));
+    pos_ += v.size() * sizeof(T);
+    return v;
+  }
+
+  bool exhausted() const noexcept { return pos_ == bytes_.size(); }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+void FmIndex::serialize(std::vector<std::uint8_t>& out) const {
+  append_pod(out, n_);
+  append_pod(out, primary_);
+  append_pod(out, sa_sample_);
+  for (const std::uint32_t c : c_) append_pod(out, c);
+  append_vec(out, blocks_);
+  append_vec(out, mark_bits_);
+  append_vec(out, mark_rank_);
+  append_vec(out, mark_values_);
+  append_vec(out, lcp8_);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> exceptions(
+      lcp_exceptions_.begin(), lcp_exceptions_.end());
+  std::sort(exceptions.begin(), exceptions.end());
+  append_pod(out, static_cast<std::uint64_t>(exceptions.size()));
+  for (const auto& [row, v] : exceptions) {
+    append_pod(out, row);
+    append_pod(out, v);
+  }
+}
+
+FmIndex FmIndex::deserialize(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  FmIndex fm;
+  fm.n_ = r.read_pod<std::uint32_t>();
+  fm.primary_ = r.read_pod<std::uint32_t>();
+  fm.sa_sample_ = r.read_pod<std::uint32_t>();
+  for (std::uint32_t& c : fm.c_) c = r.read_pod<std::uint32_t>();
+  fm.blocks_ = r.read_vec<RankBlock>();
+  fm.mark_bits_ = r.read_vec<std::uint64_t>();
+  fm.mark_rank_ = r.read_vec<std::uint32_t>();
+  fm.mark_values_ = r.read_vec<std::uint32_t>();
+  fm.lcp8_ = r.read_vec<std::uint8_t>();
+  const std::uint64_t n_exceptions = r.read_pod<std::uint64_t>();
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> exceptions;
+  exceptions.reserve(static_cast<std::size_t>(n_exceptions));
+  for (std::uint64_t i = 0; i < n_exceptions; ++i) {
+    const std::uint32_t row = r.read_pod<std::uint32_t>();
+    const std::uint32_t v = r.read_pod<std::uint32_t>();
+    exceptions.emplace_back(row, v);
+  }
+  if (!r.exhausted()) {
+    throw std::invalid_argument("FmIndex::deserialize: trailing bytes");
+  }
+
+  // Shape validation: every accessor indexes via these relations, so a
+  // loaded index that violates them would read out of bounds.
+  const std::uint32_t rows = fm.n_ + 1;
+  if (fm.sa_sample_ == 0 || fm.primary_ >= rows ||
+      fm.blocks_.size() != (rows + 63) / 64 + 1 ||
+      fm.mark_bits_.size() != (rows + 63) / 64 ||
+      fm.mark_rank_.size() != fm.mark_bits_.size() + 1 ||
+      fm.mark_rank_.front() != 0 ||
+      fm.mark_values_.size() != fm.mark_rank_.back() ||
+      fm.lcp8_.size() != rows) {
+    throw std::invalid_argument(
+        "FmIndex::deserialize: inconsistent structure sizes");
+  }
+  for (std::size_t w = 0; w < fm.mark_bits_.size(); ++w) {
+    if (fm.mark_rank_[w + 1] !=
+        fm.mark_rank_[w] +
+            static_cast<std::uint32_t>(std::popcount(fm.mark_bits_[w]))) {
+      throw std::invalid_argument(
+          "FmIndex::deserialize: mark rank table disagrees with mark bits");
+    }
+  }
+  // Row 0 must be marked or locate() on an unlucky row could walk forever.
+  if (fm.n_ > 0 && (fm.mark_bits_[0] & 1) == 0) {
+    throw std::invalid_argument("FmIndex::deserialize: row 0 not marked");
+  }
+  for (const auto& [row, v] : exceptions) {
+    if (row >= rows || fm.lcp8_[row] != 255 || v < 255) {
+      throw std::invalid_argument(
+          "FmIndex::deserialize: bad LCP exception entry");
+    }
+    fm.lcp_exceptions_.emplace(row, v);
+  }
+  if (fm.lcp_exceptions_.size() != exceptions.size()) {
+    throw std::invalid_argument(
+        "FmIndex::deserialize: duplicate LCP exception rows");
+  }
+  return fm;
 }
 
 }  // namespace gm::index

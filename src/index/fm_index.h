@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -52,7 +53,19 @@ class FmIndex {
 
   std::size_t bytes() const noexcept;
 
+  /// Appends a self-contained byte image of the index (the store/ artifact
+  /// FM section payload). Deterministic: exception entries are emitted in
+  /// ascending row order, so equal indexes serialize to equal bytes.
+  void serialize(std::vector<std::uint8_t>& out) const;
+
+  /// Rebuilds an index from serialize() output. Throws
+  /// std::invalid_argument on truncated or internally inconsistent bytes —
+  /// shape checks only; content integrity is the artifact checksum's job.
+  static FmIndex deserialize(std::span<const std::uint8_t> bytes);
+
  private:
+  FmIndex() = default;  // deserialize() fills every field itself
+
   struct RankBlock {
     std::array<std::uint32_t, 4> cnt{};  // cumulative counts at block start
     std::uint64_t lo = 0;                // low bitplane of 64 BWT codes

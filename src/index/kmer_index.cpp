@@ -40,6 +40,34 @@ KmerIndex::KmerIndex(const seq::Sequence& ref, std::size_t start,
   }
 }
 
+KmerIndex::KmerIndex(unsigned seed_len, std::uint32_t step,
+                     std::vector<std::uint32_t> ptrs,
+                     std::vector<std::uint32_t> locs)
+    : seed_len_(seed_len), step_(step) {
+  if (seed_len == 0 || seed_len > 16) {
+    throw std::invalid_argument("KmerIndex: seed_len must be in [1, 16]");
+  }
+  if (step == 0) throw std::invalid_argument("KmerIndex: step must be >= 1");
+  const std::size_t buckets = std::size_t{1} << (2 * seed_len);
+  if (ptrs.size() != buckets + 1) {
+    throw std::invalid_argument(
+        "KmerIndex: ptrs has " + std::to_string(ptrs.size()) +
+        " entries, want 4^seed_len + 1 = " + std::to_string(buckets + 1));
+  }
+  if (ptrs.front() != 0 || ptrs.back() != locs.size()) {
+    throw std::invalid_argument(
+        "KmerIndex: ptrs must run from 0 to locs.size()");
+  }
+  for (std::size_t s = 1; s < ptrs.size(); ++s) {
+    if (ptrs[s] < ptrs[s - 1]) {
+      throw std::invalid_argument("KmerIndex: ptrs not monotone at bucket " +
+                                  std::to_string(s));
+    }
+  }
+  ptrs_ = std::move(ptrs);
+  locs_ = std::move(locs);
+}
+
 util::Histogram KmerIndex::occurrence_histogram() const {
   util::Histogram h;
   for (std::size_t s = 0; s + 1 < ptrs_.size(); ++s) {

@@ -26,6 +26,13 @@ class KmerIndex {
   KmerIndex(const seq::Sequence& ref, std::size_t start, std::size_t end,
             unsigned seed_len, std::uint32_t step);
 
+  /// Adopts prebuilt (ptrs, locs) arrays — the store/ artifact load path.
+  /// Validates shape only (4^seed_len + 1 monotone ptrs ending at
+  /// locs.size()); whether the contents match a reference is the artifact
+  /// checksum's job. Throws std::invalid_argument on malformed input.
+  KmerIndex(unsigned seed_len, std::uint32_t step,
+            std::vector<std::uint32_t> ptrs, std::vector<std::uint32_t> locs);
+
   unsigned seed_len() const noexcept { return seed_len_; }
   std::uint32_t step() const noexcept { return step_; }
 

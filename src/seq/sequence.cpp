@@ -50,6 +50,44 @@ Sequence Sequence::from_codes(const std::vector<std::uint8_t>& codes) {
   return seq;
 }
 
+Sequence Sequence::from_packed(std::vector<std::uint64_t> words,
+                               std::vector<std::uint64_t> invalid_mask,
+                               std::size_t size) {
+  if (size > std::numeric_limits<Pos>::max()) {
+    throw std::invalid_argument("Sequence::from_packed: size exceeds 2^32 - 1");
+  }
+  const std::size_t want_words = (size + 31) / 32;
+  if (words.size() < want_words) {
+    throw std::invalid_argument(
+        "Sequence::from_packed: " + std::to_string(words.size()) +
+        " packed words cannot hold " + std::to_string(size) + " bases");
+  }
+  const std::size_t max_mask_words = (size + 63) / 64;
+  if (invalid_mask.size() > max_mask_words) {
+    throw std::invalid_argument(
+        "Sequence::from_packed: validity mask longer than the sequence");
+  }
+  std::uint64_t invalid = 0;
+  for (std::size_t w = 0; w < invalid_mask.size(); ++w) {
+    std::uint64_t bits = invalid_mask[w];
+    if (w == max_mask_words - 1 && (size & 63) != 0) {
+      const std::uint64_t tail = bits >> (size & 63);
+      if (tail != 0) {
+        throw std::invalid_argument(
+            "Sequence::from_packed: validity mask has bits beyond the "
+            "sequence end");
+      }
+    }
+    invalid += static_cast<std::uint64_t>(std::popcount(bits));
+  }
+  Sequence seq;
+  seq.words_ = std::move(words);
+  seq.invalid_mask_ = std::move(invalid_mask);
+  seq.invalid_count_ = invalid;
+  seq.size_ = size;
+  return seq;
+}
+
 void Sequence::push_back(std::uint8_t code) {
   if (size_ > std::numeric_limits<Pos>::max() - 1) {
     throw std::length_error("Sequence: > 2^32 - 1 bases unsupported");

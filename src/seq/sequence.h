@@ -40,6 +40,18 @@ class Sequence {
   /// invalid (masked) position.
   static Sequence from_codes(const std::vector<std::uint8_t>& codes);
 
+  /// Reassembles a sequence from its packed representation (the store/
+  /// artifact load path). `words` are the 2-bit packed words exactly as
+  /// packed_words() exposes them; `invalid_mask` the validity side-mask
+  /// (may be shorter than the word count, like the lazily-sized member).
+  /// Throws std::invalid_argument on any inconsistency — word count vs
+  /// size, mask bits beyond size, or a mask popcount that disagrees with
+  /// the stored invalid count — so a corrupted artifact is rejected
+  /// deterministically instead of producing an ill-formed sequence.
+  static Sequence from_packed(std::vector<std::uint64_t> words,
+                              std::vector<std::uint64_t> invalid_mask,
+                              std::size_t size);
+
   std::size_t size() const noexcept { return size_; }
   bool empty() const noexcept { return size_ == 0; }
 
@@ -93,6 +105,19 @@ class Sequence {
 
   /// Unpacked 2-bit codes (for algorithms that want byte access, e.g. SA-IS).
   std::vector<std::uint8_t> codes() const;
+
+  /// The packed 2-bit words, base i in bits [2(i&31), 2(i&31)+2) of word
+  /// i>>5 — the exact bytes the store/ artifact serializes. Tail bits past
+  /// size() are zero by construction.
+  const std::vector<std::uint64_t>& packed_words() const noexcept {
+    return words_;
+  }
+  /// The validity side-mask words (one bit per base, set = invalid). Empty
+  /// for fully-ACGT sequences; may cover fewer words than size() needs (it
+  /// is sized lazily up to the last invalid base).
+  const std::vector<std::uint64_t>& invalid_words() const noexcept {
+    return invalid_mask_;
+  }
 
   /// Length of the common prefix of (*this)[i..] and other[j..], capped at
   /// `max_len`. Word-parallel (32 bases per 64-bit XOR) via seq::lce_forward;

@@ -58,6 +58,41 @@ core::DeviceIndex& DeviceRowIndexCache::acquire(simt::Device& dev,
   if (r0 >= ref.size()) {
     throw std::out_of_range("DeviceRowIndexCache: row beyond the reference");
   }
+
+  if (artifact_ != nullptr) {
+    // Artifact-backed cold path: upload the prebuilt row arrays (modeled
+    // H2D PCIe copy) instead of running the Algorithm 1 build kernels.
+    if (ref.size() != artifact_->reference().size()) {
+      throw std::invalid_argument(
+          "DeviceRowIndexCache: run reference (" +
+          std::to_string(ref.size()) +
+          " bases) does not match the backing artifact (" +
+          std::to_string(artifact_->reference().size()) + " bases)");
+    }
+    const store::LoadedIndex::RowSpans spans = artifact_->row(row);
+    if (spans.locs.size() > max_locs_) {
+      throw std::invalid_argument(
+          "DeviceRowIndexCache: artifact row " + std::to_string(row) +
+          " holds " + std::to_string(spans.locs.size()) +
+          " locations, cache capacity is " + std::to_string(max_locs_));
+    }
+    const auto [it, inserted] = rows_.try_emplace(
+        row, *dev_, cfg_.seed_len, geo_.step, max_locs_);
+    (void)inserted;
+    it->second.ptrs.upload(spans.ptrs);
+    it->second.locs.upload(spans.locs);
+    it->second.n_locs = static_cast<std::uint32_t>(spans.locs.size());
+    ++artifact_loads_;
+    if (obs::enabled()) {
+      obs::Registry::global()
+          .metrics()
+          .counter("serve.index_cache.artifact_loads",
+                   "tile-row indexes uploaded from a mapped artifact")
+          .add();
+    }
+    return it->second;
+  }
+
   const auto [it, inserted] = rows_.try_emplace(
       row, *dev_, cfg_.seed_len, geo_.step, max_locs_);
   (void)inserted;
@@ -70,6 +105,18 @@ core::DeviceIndex& DeviceRowIndexCache::acquire(simt::Device& dev,
         .add();
   }
   return it->second;
+}
+
+void DeviceRowIndexCache::back_with_artifact(
+    std::shared_ptr<const store::LoadedIndex> artifact) {
+  std::lock_guard lock(mu_);
+  if (artifact != nullptr) artifact->throw_if_geometry_mismatch(cfg_);
+  artifact_ = std::move(artifact);
+}
+
+std::uint64_t DeviceRowIndexCache::artifact_loads() const {
+  std::lock_guard lock(mu_);
+  return artifact_loads_;
 }
 
 std::uint64_t DeviceRowIndexCache::hits() const {

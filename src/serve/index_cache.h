@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 
 #include "core/config.h"
@@ -19,6 +20,7 @@
 #include "core/pipeline.h"
 #include "seq/sequence.h"
 #include "simt/device.h"
+#include "store/loaded_index.h"
 
 namespace gm::serve {
 
@@ -55,6 +57,17 @@ class DeviceRowIndexCache final : public core::RowIndexSource {
   core::DeviceIndex& acquire(simt::Device& dev, const seq::Sequence& ref,
                              std::uint32_t row, bool& hit) override;
 
+  /// Backs cold misses with a persistent artifact: instead of running
+  /// Algorithm 1, the row's (ptrs, locs) arrays are uploaded straight from
+  /// the mapped artifact (modeled H2D copy — typically orders of magnitude
+  /// cheaper than the build kernels). Throws store::StoreError when the
+  /// artifact's geometry disagrees with this cache's config. Pass nullptr
+  /// to detach. Does not invalidate rows already resident.
+  void back_with_artifact(std::shared_ptr<const store::LoadedIndex> artifact);
+
+  /// Cold misses served from the backing artifact (subset of misses()).
+  std::uint64_t artifact_loads() const;
+
   const IndexCacheKey& key() const noexcept { return key_; }
   simt::Device& device() const noexcept { return *dev_; }
 
@@ -77,8 +90,10 @@ class DeviceRowIndexCache final : public core::RowIndexSource {
 
   mutable std::mutex mu_;
   std::map<std::uint32_t, core::DeviceIndex> rows_;
+  std::shared_ptr<const store::LoadedIndex> artifact_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t artifact_loads_ = 0;
 };
 
 }  // namespace gm::serve

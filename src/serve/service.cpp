@@ -79,6 +79,19 @@ MemService::MemService(ServiceConfig cfg, seq::Sequence ref)
     throw std::invalid_argument("MemService: queue_capacity must be >= 1");
   }
   if (cfg_.max_batch == 0) cfg_.max_batch = 1;
+  if (cfg_.artifact != nullptr) {
+    if (!cfg_.cache_enabled) {
+      throw std::invalid_argument(
+          "MemService: an artifact backing requires cache_enabled");
+    }
+    cfg_.artifact->throw_if_geometry_mismatch(cfg_.engine);
+    if (ref_.size() != cfg_.artifact->reference().size()) {
+      throw std::invalid_argument(
+          "MemService: reference (" + std::to_string(ref_.size()) +
+          " bases) does not match the artifact's reference (" +
+          std::to_string(cfg_.artifact->reference().size()) + " bases)");
+    }
+  }
   const core::Config::Geometry g = cfg_.engine.validated();
   tile_rows_ = ref_.empty()
                    ? 0
@@ -98,6 +111,7 @@ MemService::MemService(ServiceConfig cfg, seq::Sequence ref)
       // ordinal keeps keys distinct in traces only, not in the key itself.
       w.cache = std::make_unique<DeviceRowIndexCache>(
           *w.dev, cfg_.engine, /*ref_id=*/reinterpret_cast<std::uintptr_t>(this));
+      if (cfg_.artifact != nullptr) w.cache->back_with_artifact(cfg_.artifact);
     }
     w.row_begin = std::min(tile_rows_, d * rows_per_device);
     w.row_end = std::min(tile_rows_, w.row_begin + rows_per_device);

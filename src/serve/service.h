@@ -25,6 +25,7 @@
 #include "seq/sequence.h"
 #include "serve/index_cache.h"
 #include "simt/device.h"
+#include "store/loaded_index.h"
 
 namespace gm::serve {
 
@@ -50,6 +51,13 @@ struct ServiceConfig {
   /// Off = every request rebuilds, exactly like independent Engine::run
   /// calls (the bench baseline).
   bool cache_enabled = true;
+
+  /// When set, cold index-cache misses upload the prebuilt row arrays from
+  /// this mapped artifact instead of running the Algorithm 1 build kernels
+  /// (see docs/STORAGE.md). The artifact's geometry must match `engine`;
+  /// the service reference must be the artifact's reference. Requires
+  /// cache_enabled.
+  std::shared_ptr<const store::LoadedIndex> artifact;
 
   /// Queue submissions without dispatching until resume() — deterministic
   /// batch formation for tests and replay drivers.

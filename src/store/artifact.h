@@ -1,0 +1,149 @@
+// Writer and zero-copy reader for *.gmidx index artifacts (format.h).
+//
+// ArtifactWriter is the low-level serializer: it takes header fields plus
+// raw section payloads and lays out the checksummed file image. The
+// high-level entry point build_artifact() runs the project's index builders
+// (Engine::build_native_index, SA-IS, Kasai, sparse SA, FM-index) and
+// serializes their exact output, so an artifact load reproduces an
+// in-process build bit for bit.
+//
+// MappedArtifact opens an artifact read-only — mmap(2) when backed by a
+// file, an owned buffer otherwise (fuzzing and corruption tests synthesize
+// artifacts in memory) — and verifies every structural invariant before any
+// accessor works. Accessors hand out spans pointing straight into the
+// mapping; nothing is copied until an adapter (loaded_index.h) materializes
+// a structure the finders need by value.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "seq/sequence.h"
+#include "store/format.h"
+
+namespace gm::store {
+
+/// Low-level artifact serializer. The caller fills the header's reference /
+/// geometry fields; magic, version, endianness tag, section table, offsets,
+/// checksums, and total size are computed here.
+class ArtifactWriter {
+ public:
+  explicit ArtifactWriter(ArtifactHeader header) : header_(header) {}
+
+  /// Appends a section. Sections are laid out in the order added; adding
+  /// the same id twice throws std::invalid_argument.
+  void add_section(SectionId id, std::span<const std::uint8_t> payload);
+
+  template <typename T>
+  void add_section(SectionId id, std::span<const T> elems) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    add_section(id, std::span<const std::uint8_t>(
+                        reinterpret_cast<const std::uint8_t*>(elems.data()),
+                        elems.size() * sizeof(T)));
+  }
+
+  /// Serializes the complete file image (header + table + aligned payloads).
+  std::vector<std::uint8_t> to_buffer() const;
+
+  /// to_buffer() written atomically: to `path + ".tmp"`, then renamed over
+  /// `path`. Throws StoreError naming the path on any I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  ArtifactHeader header_;
+  struct Pending {
+    SectionId id;
+    std::vector<std::uint8_t> payload;
+  };
+  std::vector<Pending> sections_;
+};
+
+/// Sections to include beyond the always-present reference sequence and
+/// per-tile-row k-mer index (the GPUMEM pipeline's own index).
+struct BuildOptions {
+  /// Registry tenant name recorded in the header (<= kRefNameBytes chars;
+  /// longer throws). Empty = registry derives the name from the file stem.
+  std::string ref_name;
+  /// Emit kSuffixArray + kLcp (the MUMmer-class finder substrate).
+  bool with_suffix_array = false;
+  /// Nonzero K: emit kSparseSa built at sparseness K (sparseMEM-class).
+  std::uint32_t sparseness = 0;
+  /// Nonzero: emit kFmIndex built at this SA sample rate (slaMEM-class).
+  std::uint32_t fm_sa_sample = 0;
+};
+
+/// Builds the complete artifact image for `ref` under `cfg`'s resolved index
+/// geometry. Runs the same builders the engines run, so loading the result
+/// is bit-identical to building in process. Throws std::invalid_argument on
+/// an empty reference or unusable options.
+std::vector<std::uint8_t> build_artifact(const seq::Sequence& ref,
+                                         const core::Config& cfg,
+                                         const BuildOptions& opt = {});
+
+/// Writes a complete artifact image atomically (tmp file + rename). Throws
+/// StoreError naming `path` on any I/O failure.
+void write_artifact_file(const std::string& path,
+                         std::span<const std::uint8_t> image);
+
+/// Read-only view of a verified artifact. Cheap to copy (shared mapping).
+class MappedArtifact {
+ public:
+  /// Opens and fully verifies `path` (mmap read-only; falls back to a
+  /// buffered read when mmap is unavailable). Throws StoreError on any I/O
+  /// or verification failure, naming the file and the failing section.
+  static MappedArtifact open_file(const std::string& path);
+
+  /// Adopts and verifies an in-memory image; `label` stands in for the path
+  /// in error messages. The fuzz/corruption-test entry point — no disk.
+  static MappedArtifact from_buffer(std::vector<std::uint8_t> bytes,
+                                    std::string label = "<buffer>");
+
+  const ArtifactHeader& header() const noexcept { return header_; }
+  const std::vector<SectionEntry>& sections() const noexcept {
+    return table_;
+  }
+  /// The path (or buffer label) used in error messages.
+  const std::string& path() const noexcept { return path_; }
+  std::size_t file_bytes() const noexcept;
+  /// True when backed by an actual mmap (false: owned heap buffer).
+  bool is_mapped() const noexcept;
+
+  bool has_section(SectionId id) const noexcept;
+  /// Raw payload bytes of `id`, pointing into the mapping. Throws
+  /// StoreError when the section is absent.
+  std::span<const std::uint8_t> section(SectionId id) const;
+
+  /// section() reinterpreted as a T array. Throws StoreError when the
+  /// payload size is not a multiple of sizeof(T). Alignment holds by
+  /// construction: payload offsets are kSectionAlign-aligned and both
+  /// backings are at least that aligned.
+  template <typename T>
+  std::span<const T> section_as(SectionId id) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::span<const std::uint8_t> raw = section(id);
+    if (raw.size() % sizeof(T) != 0) {
+      throw StoreError(path_, id,
+                       "payload of " + std::to_string(raw.size()) +
+                           " bytes is not a whole number of " +
+                           std::to_string(sizeof(T)) + "-byte elements");
+    }
+    return {reinterpret_cast<const T*>(raw.data()), raw.size() / sizeof(T)};
+  }
+
+ private:
+  struct Backing;  // mmap region or owned buffer
+
+  MappedArtifact(std::shared_ptr<const Backing> backing, std::string path);
+  void verify();
+
+  std::shared_ptr<const Backing> backing_;
+  std::string path_;
+  ArtifactHeader header_{};
+  std::vector<SectionEntry> table_;
+};
+
+}  // namespace gm::store

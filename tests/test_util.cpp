@@ -6,6 +6,7 @@
 #include <set>
 
 #include "util/bits.h"
+#include "util/checksum.h"
 #include "util/cli.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -296,6 +297,88 @@ TEST(Cli, BoolFalseSpellings) {
   EXPECT_FALSE(cli.get_bool("b", true));
   EXPECT_FALSE(cli.get_bool("c", true));
   EXPECT_TRUE(cli.get_bool("d", false));
+}
+
+// Known FNV-1a 64 vectors (from the reference implementation's test suite).
+TEST(Checksum, Fnv1a64KnownVectors) {
+  EXPECT_EQ(util::fnv1a64("", 0), 0xcbf29ce484222325ull);
+  EXPECT_EQ(util::fnv1a64(std::string_view("a")), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(util::fnv1a64(std::string_view("foobar")), 0x85944171f73967e8ull);
+  EXPECT_EQ(util::fnv1a64(std::string_view("chongo was here!\n")),
+            0x46810940eff5f915ull);
+}
+
+TEST(Checksum, StreamingMatchesOneShotAcrossAnySplit) {
+  const std::string data = "GATTACA-GATTACA-GATTACA";
+  const std::uint64_t want = util::fnv1a64(data);
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    util::Fnv1a64 h;
+    h.update(data.data(), split);
+    h.update(data.data() + split, data.size() - split);
+    EXPECT_EQ(h.digest(), want) << "split at " << split;
+    EXPECT_EQ(h.bytes_consumed(), data.size());
+  }
+}
+
+TEST(Checksum, DigestIsCheckpointNotTerminal) {
+  util::Fnv1a64 h;
+  h.update(std::string_view("foo"));
+  const std::uint64_t mid = h.digest();
+  EXPECT_EQ(mid, util::fnv1a64(std::string_view("foo")));
+  h.update(std::string_view("bar"));
+  EXPECT_EQ(h.digest(), util::fnv1a64(std::string_view("foobar")));
+  h.reset();
+  EXPECT_EQ(h.digest(), util::kFnv1a64Seed);
+  EXPECT_EQ(h.bytes_consumed(), 0u);
+}
+
+TEST(Checksum, SingleBitFlipChangesDigest) {
+  std::string data(256, '\0');
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<char>(i);
+  }
+  const std::uint64_t clean = util::fnv1a64(data);
+  for (std::size_t i = 0; i < data.size(); i += 17) {
+    std::string bad = data;
+    bad[i] = static_cast<char>(bad[i] ^ 0x40);
+    EXPECT_NE(util::fnv1a64(bad), clean) << "flip at " << i;
+  }
+}
+
+// The striped variant is a distinct, deterministic digest: stable values,
+// not the plain digest, and a flip of any single byte — whichever lane it
+// lands in, including the sub-8-byte tail — changes it.
+TEST(Checksum, StripedIsDeterministicAndDistinctFromPlain) {
+  const std::string data = "GATTACA-GATTACA-GATTACA";
+  const std::uint64_t a = util::fnv1a64_striped(data.data(), data.size());
+  EXPECT_EQ(a, util::fnv1a64_striped(data.data(), data.size()));
+  EXPECT_NE(a, util::fnv1a64(data));
+  // Empty input folds eight untouched lanes — still well-defined.
+  EXPECT_EQ(util::fnv1a64_striped(nullptr, 0),
+            util::fnv1a64_striped(nullptr, 0));
+}
+
+TEST(Checksum, StripedDetectsEverySingleByteFlip) {
+  std::string data(259, '\0');  // deliberately not a multiple of 8
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<char>(i * 31);
+  }
+  const std::uint64_t clean =
+      util::fnv1a64_striped(data.data(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    std::string bad = data;
+    bad[i] = static_cast<char>(bad[i] ^ 0x01);
+    EXPECT_NE(util::fnv1a64_striped(bad.data(), bad.size()), clean)
+        << "flip at " << i;
+  }
+}
+
+TEST(Checksum, StripedLengthIsPartOfTheDigest) {
+  const std::string data(64, 'A');
+  EXPECT_NE(util::fnv1a64_striped(data.data(), 64),
+            util::fnv1a64_striped(data.data(), 63));
+  EXPECT_NE(util::fnv1a64_striped(data.data(), 64),
+            util::fnv1a64_striped(data.data(), 56));
 }
 
 }  // namespace
