@@ -3,7 +3,7 @@
 //
 //   ./gpumem_cli --ref ref.fa --query query.fa [--min-len 50] [--seed-len 13]
 //                [--backend native|simt] [--both-strands] [--mum]
-//                [--finder gpumem|mummer|sparsemem|essamem|slamem]
+//                [--finder gpumem|mummer|sparsemem|essamem|slamem|copmem]
 //                [--load-index ref.gmidx]
 //                [--trace-out trace.json] [--metrics-out metrics.json]
 //                [--stats] [--threads N]
@@ -23,6 +23,7 @@
 #include <iostream>
 
 #include "core/finders.h"
+#include "mem/copmem.h"
 #include "mem/registry.h"
 #include "mem/report.h"
 #include "mem/uniqueness.h"
@@ -92,6 +93,43 @@ class ArtifactFinder final : public gm::mem::MemFinder {
   mutable double last_seconds_ = 0.0;
 };
 
+/// copMEM finder over a loaded artifact: adopts the kCopmemIndex section
+/// when the artifact carries one (no build at all), otherwise builds the
+/// sampled index over the artifact's reference at the header's seed length.
+class CopmemArtifactFinder final : public gm::mem::MemFinder {
+ public:
+  explicit CopmemArtifactFinder(
+      std::shared_ptr<const gm::store::LoadedIndex> index)
+      : index_(std::move(index)) {}
+
+  std::string name() const override { return "copmem-artifact"; }
+
+  void build_index(const gm::seq::Sequence& ref,
+                   const gm::mem::FinderOptions& opt) override {
+    (void)ref;  // the artifact embeds the reference
+    if (index_->has(gm::store::SectionId::kCopmemIndex)) {
+      inner_.adopt_index(index_->reference(), opt, index_->copmem_index());
+    } else {
+      inner_.set_seed_len(index_->header().seed_len);
+      inner_.build_index(index_->reference(), opt);
+    }
+  }
+
+  std::vector<gm::mem::Mem> find(
+      const gm::seq::Sequence& query) const override {
+    return inner_.find(query);
+  }
+
+  double last_find_modeled_seconds() const override {
+    return inner_.last_find_modeled_seconds();
+  }
+  std::size_t index_bytes() const override { return inner_.index_bytes(); }
+
+ private:
+  std::shared_ptr<const gm::store::LoadedIndex> index_;
+  gm::mem::CopMemFinder inner_;
+};
+
 int run_index_build(gm::util::Cli& cli) {
   const std::string ref_path = cli.get("ref", "");
   const std::string out_path = cli.get("out", "");
@@ -127,6 +165,8 @@ int run_index_build(gm::util::Cli& cli) {
       static_cast<std::uint32_t>(cli.get_int("sparseness", 0));
   opt.fm_sa_sample =
       static_cast<std::uint32_t>(cli.get_int("fm-sample", 0));
+  opt.copmem_step =
+      static_cast<std::uint32_t>(cli.get_int("copmem-step", 0));
 
   gm::util::Timer timer;
   const std::vector<std::uint8_t> image =
@@ -189,7 +229,9 @@ int main(int argc, char** argv) {
                "simt backend: run the stream-overlapped tile pipeline "
                "(same MEMs, smaller modeled makespan; docs/PIPELINE.md)");
   cli.describe("overlap-streams", "worker streams for --overlap (default 2)");
-  cli.describe("finder", "tool: gpumem (default), mummer, sparsemem, essamem, slamem");
+  cli.describe("finder",
+               "tool: gpumem (default), mummer, sparsemem, essamem, slamem, "
+               "copmem (double-sampling fast index)");
   cli.describe("both-strands", "also match the reverse-complement query");
   cli.describe("mum", "keep only matches unique in both sequences");
   cli.describe("out", "write matches to this file instead of stdout");
@@ -217,6 +259,9 @@ int main(int argc, char** argv) {
                "index-build: also store a sparse suffix array at this K");
   cli.describe("fm-sample",
                "index-build: also store an FM-index at this SA sample rate");
+  cli.describe("copmem-step",
+               "index-build: also store a copMEM sampled k-mer index at this "
+               "reference step k1");
   cli.describe("index", "index-info: artifact path (or pass positionally)");
   cli.describe("tau", "index-build: threads per block (default 256); with "
                       "--tile-blocks this fixes the artifact's tile_len");
@@ -337,22 +382,25 @@ int main(int argc, char** argv) {
     std::unique_ptr<gm::mem::MemFinder> finder;
     gm::core::GpumemFinder* gpumem = nullptr;
     if (loaded != nullptr) {
-      if (finder_name != "gpumem") {
-        std::cerr << "--load-index serves the gpumem finder only\n";
+      if (finder_name == "copmem") {
+        finder = std::make_unique<CopmemArtifactFinder>(loaded);
+      } else if (finder_name != "gpumem") {
+        std::cerr << "--load-index serves the gpumem and copmem finders only\n";
         return 2;
+      } else {
+        gm::core::Config cfg;
+        cfg.min_length = min_len;
+        cfg.seed_len = seed_len;
+        cfg.step = static_cast<std::uint32_t>(
+            cli.get_int("step", loaded->header().step));
+        cfg.backend = cli.get("backend", "native") == "simt"
+                          ? gm::core::Backend::kSimt
+                          : gm::core::Backend::kNative;
+        cfg.overlap = cli.get_bool("overlap", false);
+        cfg.overlap_streams = static_cast<std::uint32_t>(
+            cli.get_int("overlap-streams", cfg.overlap_streams));
+        finder = std::make_unique<ArtifactFinder>(loaded, std::move(cfg));
       }
-      gm::core::Config cfg;
-      cfg.min_length = min_len;
-      cfg.seed_len = seed_len;
-      cfg.step = static_cast<std::uint32_t>(
-          cli.get_int("step", loaded->header().step));
-      cfg.backend = cli.get("backend", "native") == "simt"
-                        ? gm::core::Backend::kSimt
-                        : gm::core::Backend::kNative;
-      cfg.overlap = cli.get_bool("overlap", false);
-      cfg.overlap_streams = static_cast<std::uint32_t>(
-          cli.get_int("overlap-streams", cfg.overlap_streams));
-      finder = std::make_unique<ArtifactFinder>(loaded, std::move(cfg));
     } else if (finder_name == "gpumem") {
       auto g = std::make_unique<gm::core::GpumemFinder>(
           cli.get("backend", "native") == "simt" ? gm::core::Backend::kSimt

@@ -7,7 +7,8 @@
 //   ./gpumem_fuzz --replay repro.txt             # re-run a minimized case
 //   ./gpumem_fuzz --self-test                    # prove the harness catches
 //                                                # injected stitch, stream
-//                                                # overlap + store corruption
+//                                                # overlap, store corruption
+//                                                # + copmem candidate-drop
 //                                                # bugs
 //
 // Exit codes: 0 = no divergence (or replay passed / self-test caught the
@@ -125,8 +126,9 @@ int self_test_fault(gm::fuzz::Fault fault, std::uint64_t seed,
 }
 
 /// Runs the self-test for all injected defect shapes: the out-tile stitch
-/// bug, the stream-overlap column-handoff bug, and on-disk artifact
-/// corruption (the store reader must reject, not extract).
+/// bug, the stream-overlap column-handoff bug, on-disk artifact corruption
+/// (the store reader must reject, not extract), and the copMEM finder's
+/// dropped-candidate bug.
 int self_test(std::uint64_t seed, std::uint64_t max_runs,
               std::size_t shrink_evals) {
   const int stitch = self_test_fault(gm::fuzz::Fault::kStitchDropBoundary,
@@ -136,7 +138,10 @@ int self_test(std::uint64_t seed, std::uint64_t max_runs,
       gm::fuzz::Fault::kOverlapDropColumnBoundary, seed, max_runs,
       shrink_evals);
   if (overlap != 0) return overlap;
-  return self_test_fault(gm::fuzz::Fault::kStoreCorruptSection, seed,
+  const int corrupt = self_test_fault(gm::fuzz::Fault::kStoreCorruptSection,
+                                      seed, max_runs, shrink_evals);
+  if (corrupt != 0) return corrupt;
+  return self_test_fault(gm::fuzz::Fault::kCopmemDropCandidate, seed,
                          max_runs, shrink_evals);
 }
 
@@ -151,12 +156,12 @@ int main(int argc, char** argv) {
                "where minimized reproducers land (default fuzz-repros)");
   cli.describe("inject",
                "deliberate fault for harness testing: none | stitch-drop | "
-               "overlap-drop | store-corrupt");
+               "overlap-drop | store-corrupt | copmem-drop");
   cli.describe("replay", "re-run one serialized reproducer file and exit");
   cli.describe("self-test",
-               "inject stitch-drop, overlap-drop, then store-corrupt; require "
-               "the harness to catch and shrink each to <= 64 bp per "
-               "sequence");
+               "inject stitch-drop, overlap-drop, store-corrupt, then "
+               "copmem-drop; require the harness to catch and shrink each to "
+               "<= 64 bp per sequence");
   cli.describe("shrink-evals",
                "oracle evaluation budget for shrinking (default 500)");
   if (cli.handle_help(
@@ -177,7 +182,7 @@ int main(int argc, char** argv) {
     const auto fault = gm::fuzz::fault_from_string(cli.get("inject", "none"));
     if (!fault) {
       std::cerr << "unknown --inject value; want none, stitch-drop, "
-                   "overlap-drop or store-corrupt\n";
+                   "overlap-drop, store-corrupt or copmem-drop\n";
       return 2;
     }
     // Fatal-signal safety net: a crash mid-fuzz still leaves the last-N

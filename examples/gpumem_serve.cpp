@@ -6,6 +6,7 @@
 //   ./gpumem_serve --ref ref.fa --queries queries.fa [--min-len 20]
 //                  [--seed-len 10] [--devices 1] [--batch 8] [--repeat 1]
 //                  [--queue-cap 256] [--deadline-ms 0] [--no-cache]
+//                  [--fast-index]
 //                  [--threads 64] [--tile-blocks 8] [--host-threads N]
 //                  [--trace-out t.json] [--metrics-out m.json]
 //                  [--metrics-format json|prom|tsv] [--stats-every N]
@@ -229,6 +230,9 @@ int main(int argc, char** argv) {
   cli.describe("queue-cap", "admission-control queue bound (default 256)");
   cli.describe("deadline-ms", "per-request deadline in ms, 0 = none");
   cli.describe("no-cache", "rebuild the reference index per request");
+  cli.describe("fast-index",
+               "answer requests from a copMEM double-sampled index (adopts "
+               "the artifact's copmem-index section in registry mode)");
   cli.describe("threads", "threads per block tau (default 64)");
   cli.describe("host-threads",
                "host worker threads (default: GPUMEM_THREADS env or hardware "
@@ -351,6 +355,7 @@ int main(int argc, char** argv) {
     scfg.default_deadline_seconds =
         cli.get_double("deadline-ms", 0.0) / 1000.0;
     scfg.cache_enabled = !cli.get_bool("no-cache", false);
+    scfg.copmem_fast_index = cli.get_bool("fast-index", false);
     scfg.start_paused = true;  // queue the whole replay, then dispatch
 
     const std::size_t repeat =

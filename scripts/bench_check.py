@@ -32,6 +32,15 @@ must agree on it):
       artifact-load scenario carries the 10x floor) plus exact MEM-count
       equality; raw nanoseconds are informational.
 
+  gpumem-bench-copmem-v1 (bench_copmem)
+      Per-scenario *self-relative* cold/hot speedup of the copMEM
+      double-sampled fast-index path over the native pipeline, index+match
+      end to end on the Table-IV scenarios. Same policy as indexio:
+      per-scenario min_speedup floors embedded in the JSON (every scenario
+      carries the 3x floor) plus exact MEM-count equality (the bench binary
+      itself additionally asserts the MEM *sets* are bit-identical); raw
+      nanoseconds are informational.
+
 In both modes the scenario sets must match exactly — a silently dropped
 scenario is a failure.
 
@@ -46,7 +55,8 @@ import sys
 SCHEMA_PIPELINE = "gpumem-bench-pipeline-v1"
 SCHEMA_HOSTWALL = "gpumem-bench-hostwall-v1"
 SCHEMA_INDEXIO = "gpumem-bench-indexio-v1"
-SCHEMAS = (SCHEMA_PIPELINE, SCHEMA_HOSTWALL, SCHEMA_INDEXIO)
+SCHEMA_COPMEM = "gpumem-bench-copmem-v1"
+SCHEMAS = (SCHEMA_PIPELINE, SCHEMA_HOSTWALL, SCHEMA_INDEXIO, SCHEMA_COPMEM)
 
 
 def load(path):
@@ -162,6 +172,37 @@ def check_indexio(cand, base, args, failures):
     return len(base_rows), "self-relative cold/hot speedup floors"
 
 
+def check_copmem(cand, base, args, failures):
+    del args  # gates are embedded per scenario
+    cand_rows = {s["name"]: s for s in cand.get("scenarios", [])}
+    base_rows = {s["name"]: s for s in base.get("scenarios", [])}
+    for name, b, c in match_scenarios(cand_rows, base_rows, failures):
+        floor = c.get("min_speedup", 0.0)
+        status = "ok"
+        if floor != b.get("min_speedup", 0.0):
+            status = "FAIL"
+            failures.append(
+                f"{name}: min_speedup floor {floor} differs from baseline "
+                f"{b.get('min_speedup', 0.0)} (regenerate the baseline when "
+                f"retuning gates)")
+        if floor > 0.0 and c["speedup"] < floor:
+            status = "FAIL"
+            failures.append(
+                f"{name}: copmem/native e2e speedup {c['speedup']:.2f}x "
+                f"below the {floor}x floor (baseline had "
+                f"{b['speedup']:.2f}x)")
+        if c["mems"] != b["mems"]:
+            status = "FAIL"
+            failures.append(f"{name}: mems {c['mems']} vs baseline "
+                            f"{b['mems']} (must match exactly)")
+        gate = f"floor {floor}x" if floor > 0.0 else "informational"
+        print(f"  {status:4} {name}: speedup {c['speedup']:.2f}x ({gate}, "
+              f"baseline {b['speedup']:.2f}x), mems {c['mems']}, "
+              f"native {c['cold_ns'] / 1e6:.1f} ms / copmem "
+              f"{c['hot_ns'] / 1e6:.2f} ms (informational)")
+    return len(base_rows), "self-relative e2e speedup floors"
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("candidate", help="JSON emitted by this run")
@@ -188,6 +229,8 @@ def main():
         count, policy = check_pipeline(cand, base, args, failures)
     elif cand["schema"] == SCHEMA_INDEXIO:
         count, policy = check_indexio(cand, base, args, failures)
+    elif cand["schema"] == SCHEMA_COPMEM:
+        count, policy = check_copmem(cand, base, args, failures)
     else:
         count, policy = check_hostwall(cand, base, args, failures)
 

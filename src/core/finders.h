@@ -27,6 +27,7 @@ class GpumemFinder final : public mem::MemFinder {
 
   void build_index(const seq::Sequence& ref,
                    const mem::FinderOptions& opt) override {
+    mem::validate_finder_options(name(), opt);
     ref_ = &ref;
     cfg_.min_length = opt.min_length;
     cfg_.backend = backend_;

@@ -12,6 +12,7 @@
 #include "core/host_stitch.h"
 #include "core/index_kernels.h"
 #include "mem/clip.h"
+#include "mem/copmem.h"
 #include "core/match_kernel.h"
 #include "core/tile_kernel.h"
 #include "index/kmer_index.h"
@@ -276,6 +277,26 @@ Result Engine::run_native_prebuilt(const seq::Sequence& ref,
                                    const seq::Sequence& query,
                                    const NativeIndex& prebuilt) const {
   return run_native(ref, query, &prebuilt);
+}
+
+Result Engine::run_fast_index(const seq::Sequence& ref,
+                              const seq::Sequence& query) const {
+  (void)cfg_.validated();  // Eq. 1 implies seed_len <= min_length
+  util::Timer wall;
+  mem::CopMemFinder finder;
+  finder.set_seed_len(cfg_.seed_len);
+  mem::FinderOptions opt;
+  opt.min_length = cfg_.min_length;
+  opt.threads = cfg_.threads;
+  finder.build_index(ref, opt);
+  Result out;
+  out.mems = finder.find(query);
+  out.stats.index_seconds = finder.build_seconds();
+  out.stats.match_seconds = finder.last_find_modeled_seconds();
+  out.stats.mem_count = out.mems.size();
+  out.stats.wall_seconds = wall.seconds();
+  publish_run_stats(out.stats);
+  return out;
 }
 
 void Engine::run_simt_rows(simt::Device& dev, const seq::Sequence& ref,

@@ -130,6 +130,14 @@ class Engine {
   /// Builds the native row indexes once (wall-timed).
   NativeIndex build_native_index(const seq::Sequence& ref) const;
 
+  /// Fast-index mode (copMEM, mem/copmem.h): double-sampled k-mer index +
+  /// word-parallel LCE verification instead of the tiled Algorithm 1 /
+  /// SA-class builds. Same MEM output as run() for the same L; cfg.seed_len
+  /// is the sampling seed length K. RunStats reports the sampled-index
+  /// build as index_seconds and the scan/verify as match_seconds.
+  Result run_fast_index(const seq::Sequence& ref,
+                        const seq::Sequence& query) const;
+
   /// run() with the native backend, reusing `prebuilt` (which must have
   /// been produced by build_native_index with this exact config and ref).
   /// RunStats::index_seconds reports 0 — the cost lives in `prebuilt`.

@@ -8,7 +8,8 @@
 // multiples, planted matches straddling tile boundaries, step at the Eq. 1
 // maximum).
 //
-// run_case executes every registered finder, the SIMT pipeline in all
+// run_case executes every registered finder (including the copMEM
+// double-sampled finder), the SIMT pipeline in all
 // five serving shapes (plain run, stream-overlapped run, cached-index run,
 // multi-device run, the batched MemService path), and a persistent-artifact
 // round trip (serialize to a *.gmidx image, reopen through the verifying
@@ -71,6 +72,12 @@ enum class Fault {
   /// image deterministically (checksum mismatch), which the harness
   /// reports as an "error" divergence localized to store-roundtrip.
   kStoreCorruptSection,
+  /// Simulates a lost candidate in the copMEM double-sampled finder: the
+  /// first merged candidate MEM is silently dropped before clipping
+  /// (mem::CopMemFinder::inject_candidate_drop). Applied to the copmem
+  /// oracle only, so the harness must localize the "missing" divergence
+  /// there and shrink it to a minimal reproducer.
+  kCopmemDropCandidate,
 };
 
 const char* to_string(Fault fault);

@@ -3,6 +3,7 @@
 //
 // Implementations covered per case:
 //   naive (truth, self-checked)   mummer   sparsemem   essamem   slamem
+//   copmem (double-sampled, with an injectable candidate-drop fault)
 //   gpumem-native                 simt-plain (Engine::run)
 //   simt-overlapped (Engine::run with cfg.overlap, stream count and
 //   scheduler shuffle seed derived from the case seed)
@@ -24,6 +25,7 @@
 #include "core/multi_device.h"
 #include "core/pipeline.h"
 #include "fuzz/fuzz.h"
+#include "mem/copmem.h"
 #include "mem/registry.h"
 #include "mem/validate.h"
 #include "seq/sequence.h"
@@ -133,6 +135,7 @@ const char* to_string(Fault fault) {
     case Fault::kStitchDropBoundary: return "stitch-drop";
     case Fault::kOverlapDropColumnBoundary: return "overlap-drop";
     case Fault::kStoreCorruptSection: return "store-corrupt";
+    case Fault::kCopmemDropCandidate: return "copmem-drop";
   }
   return "?";
 }
@@ -142,6 +145,7 @@ std::optional<Fault> fault_from_string(const std::string& name) {
   if (name == "stitch-drop") return Fault::kStitchDropBoundary;
   if (name == "overlap-drop") return Fault::kOverlapDropColumnBoundary;
   if (name == "store-corrupt") return Fault::kStoreCorruptSection;
+  if (name == "copmem-drop") return Fault::kCopmemDropCandidate;
   return std::nullopt;
 }
 
@@ -188,6 +192,19 @@ CaseResult run_case(const FuzzCase& c, Fault fault) {
     } catch (const std::exception& e) {
       out.divergences.push_back({name, "error", e.what()});
     }
+  }
+
+  // copMEM double-sampled finder, with its injectable candidate-drop
+  // defect: the fault must surface here as a "missing" divergence while
+  // every other oracle stays clean.
+  try {
+    mem::CopMemFinder copmem;
+    copmem.inject_candidate_drop(fault == Fault::kCopmemDropCandidate);
+    copmem.build_index(ref, opt);
+    check_output("copmem", truth, copmem.find(query), ref, query, c.min_len,
+                 out);
+  } catch (const std::exception& e) {
+    out.divergences.push_back({"copmem", "error", e.what()});
   }
 
   // Native tiling pipeline (build-once index path).

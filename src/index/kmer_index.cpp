@@ -1,15 +1,26 @@
 #include "index/kmer_index.h"
 
 #include <stdexcept>
+#include <string>
 
 #include "util/bits.h"
 #include "util/parallel.h"
 
 namespace gm::index {
 
+void check_position_range(std::size_t ref_bases, const char* who) {
+  if (ref_bases > kMaxIndexableBases) {
+    throw std::invalid_argument(
+        std::string(who) + ": reference has " + std::to_string(ref_bases) +
+        " bases but index positions are stored as uint32_t — the indexable "
+        "limit is 4294967295 bases");
+  }
+}
+
 KmerIndex::KmerIndex(const seq::Sequence& ref, std::size_t start,
                      std::size_t end, unsigned seed_len, std::uint32_t step)
     : seed_len_(seed_len), step_(step) {
+  check_position_range(ref.size(), "KmerIndex");
   if (seed_len == 0 || seed_len > 16) {
     throw std::invalid_argument("KmerIndex: seed_len must be in [1, 16]");
   }
@@ -22,22 +33,68 @@ KmerIndex::KmerIndex(const seq::Sequence& ref, std::size_t start,
   // Align the first sampled position to the global grid.
   const std::size_t first = util::round_up(start, static_cast<std::size_t>(step));
 
-  // Pass 1: counts (shifted by one for the in-place prefix sum).
-  std::size_t count = 0;
-  for (std::size_t p = first; p < end && p + seed_len <= ref.size(); p += step) {
-    ++ptrs_[ref.kmer(p, seed_len) + 1];
-    ++count;
-  }
-  // Prefix sum.
-  for (std::size_t s = 1; s <= buckets; ++s) ptrs_[s] += ptrs_[s - 1];
+  if (buckets <= (std::size_t{1} << 16)) {
+    // Small table (fits cache): classic two-pass counting sort.
+    // Pass 1: counts (shifted by one for the in-place prefix sum).
+    std::size_t count = 0;
+    for (std::size_t p = first; p < end && p + seed_len <= ref.size();
+         p += step) {
+      ++ptrs_[ref.kmer(p, seed_len) + 1];
+      ++count;
+    }
+    // Prefix sum.
+    for (std::size_t s = 1; s <= buckets; ++s) ptrs_[s] += ptrs_[s - 1];
 
-  // Pass 2: fill. Ascending position order lands each bucket pre-sorted,
-  // which is the invariant Algorithm 1's step 4 establishes with a sort.
-  locs_.resize(count);
-  std::vector<std::uint32_t> cursor(ptrs_.begin(), ptrs_.end() - 1);
-  for (std::size_t p = first; p < end && p + seed_len <= ref.size(); p += step) {
-    locs_[cursor[ref.kmer(p, seed_len)]++] = static_cast<std::uint32_t>(p);
+    // Pass 2: fill. Ascending position order lands each bucket pre-sorted,
+    // which is the invariant Algorithm 1's step 4 establishes with a sort.
+    locs_.resize(count);
+    std::vector<std::uint32_t> cursor(ptrs_.begin(), ptrs_.end() - 1);
+    for (std::size_t p = first; p < end && p + seed_len <= ref.size();
+         p += step) {
+      locs_[cursor[ref.kmer(p, seed_len)]++] = static_cast<std::uint32_t>(p);
+    }
+    return;
   }
+
+  // Large table: the counting passes above scatter increments across a
+  // multi-megabyte bucket array — two cache misses per sampled position,
+  // which made index construction the dominant end-to-end cost
+  // (BENCH_hostwall.json, ISSUE 8). Instead, LSD-radix-sort packed
+  // (kmer, position) pairs with small cache-resident digit tables, then lay
+  // out locs/ptrs with purely sequential writes. The radix passes are
+  // stable and pairs are gathered in ascending position order, so each
+  // bucket stays position-sorted — bit-identical arrays to the counting
+  // path.
+  std::vector<std::uint64_t> pairs;
+  if (end > first) pairs.reserve((end - first) / step + 1);
+  for (std::size_t p = first; p < end && p + seed_len <= ref.size();
+       p += step) {
+    pairs.push_back(std::uint64_t{ref.kmer(p, seed_len)} << 32 | p);
+  }
+  const unsigned key_bits = 2 * seed_len;
+  const unsigned lo_bits = key_bits / 2;  // >= 8 here, so both digits fit
+  std::vector<std::uint64_t> scratch(pairs.size());
+  std::vector<std::uint32_t> digit_count;
+  for (unsigned pass = 0; pass < 2; ++pass) {
+    const unsigned shift = 32 + (pass == 0 ? 0 : lo_bits);
+    const unsigned bits = pass == 0 ? lo_bits : key_bits - lo_bits;
+    const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
+    digit_count.assign((std::size_t{1} << bits) + 1, 0);
+    for (const std::uint64_t pr : pairs) ++digit_count[(pr >> shift & mask) + 1];
+    for (std::size_t d = 1; d < digit_count.size(); ++d) {
+      digit_count[d] += digit_count[d - 1];
+    }
+    for (const std::uint64_t pr : pairs) {
+      scratch[digit_count[pr >> shift & mask]++] = pr;
+    }
+    pairs.swap(scratch);
+  }
+  locs_.resize(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    locs_[i] = static_cast<std::uint32_t>(pairs[i]);
+    ++ptrs_[(pairs[i] >> 32) + 1];
+  }
+  for (std::size_t s = 1; s <= buckets; ++s) ptrs_[s] += ptrs_[s - 1];
 }
 
 KmerIndex::KmerIndex(unsigned seed_len, std::uint32_t step,

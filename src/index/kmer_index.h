@@ -17,6 +17,16 @@
 
 namespace gm::index {
 
+/// Largest reference (in bases) whose positions fit the uint32_t location
+/// arrays every index in this project stores.
+inline constexpr std::size_t kMaxIndexableBases = 0xffffffffu;
+
+/// Rejects references whose positions would silently truncate when stored
+/// as uint32_t. Throws std::invalid_argument naming the limit; `who`
+/// prefixes the message. Callable directly so tests can pin the error
+/// without allocating a 4-Gbase sequence.
+void check_position_range(std::size_t ref_bases, const char* who);
+
 class KmerIndex {
  public:
   /// Indexes seeds of `ref` whose start position p satisfies

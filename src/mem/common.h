@@ -52,10 +52,15 @@ inline void emit_sampled_candidate(const seq::Sequence& ref,
                                    std::uint32_t j, std::uint32_t grid,
                                    std::uint32_t min_len,
                                    std::vector<Mem>& out) {
+  // The backward probe is capped at `grid`: lce_backward returns
+  // min(true extension, cap), so cap == result exactly when an earlier grid
+  // point lies inside this MEM, and otherwise the result is the exact
+  // extension (< grid). Without the cap every interior grid point of a long
+  // MEM walks the whole match backward — O(len^2 / grid) total work.
   std::uint32_t back = 0;
   if (p > 0 && j > 0) {
     back = static_cast<std::uint32_t>(
-        seq::lce_backward(ref, p - 1, query, j - 1, ref.size()));
+        seq::lce_backward(ref, p - 1, query, j - 1, grid));
   }
   if (back >= grid) return;  // an earlier grid point lies inside this MEM
   const std::uint32_t r = p - back;

@@ -1,0 +1,90 @@
+// copMEM-class finder (Grabowski & Bieniecki 2018, arXiv 1805.08816):
+// double sampling on both genomes instead of a suffix structure. The
+// reference indexes only every k₁-th K-mer (a plain `index::KmerIndex` with
+// step = k₁); the query probes only every k₂-th position. With
+// gcd(k₁, k₂) = 1, the sampled pairs on any diagonal form a lattice of
+// period k₁·k₂, so choosing k₁·k₂ <= L − K + 1 guarantees every MEM of
+// length >= L contains at least one sampled pair whose K-mer lies fully
+// inside it (the count of K-mer start positions in such a MEM is at least
+// L − K + 1). Candidates are verified with the word-parallel
+// `lce_forward`/`lce_backward` on the 2-bit codec and deduplicated by the
+// first-lattice-point rule (`emit_sampled_candidate` with grid = k₁·k₂):
+// each MEM is emitted exactly once, via its earliest in-MEM sampled pair.
+//
+// The point is index-build cost: construction is one counting sort over
+// n/k₁ sampled positions — no SA-IS, no LCP — which is why this is the
+// fast-index mode of the native pipeline and the serve path.
+#pragma once
+
+#include <memory>
+
+#include "index/kmer_index.h"
+#include "mem/finder.h"
+
+namespace gm::mem {
+
+class CopMemFinder final : public MemFinder {
+ public:
+  /// Resolved sampling geometry: seeds of length `seed_len` (K), reference
+  /// grid step `k1`, query probe step `k2`; gcd(k1, k2) == 1 and
+  /// k1 * k2 <= min_length - seed_len + 1 always hold after build_index.
+  struct Params {
+    unsigned seed_len = 0;
+    std::uint32_t k1 = 0;
+    std::uint32_t k2 = 0;
+  };
+
+  std::string name() const override { return "copmem"; }
+
+  /// Pins the seed length K. 0 (the default) auto-sizes it from the
+  /// reference length so the 4^K bucket table stays proportional to the
+  /// payload. Call before build_index; K must satisfy K <= min(L, 16).
+  void set_seed_len(unsigned seed_len) { requested_seed_len_ = seed_len; }
+
+  void build_index(const seq::Sequence& ref, const FinderOptions& opt) override;
+
+  /// Store-artifact load path: adopts a prebuilt sampled index (seed_len =
+  /// K, step = k₁) instead of building one. k₂ is re-derived from the
+  /// adopted k₁ and `opt.min_length`; throws std::invalid_argument when the
+  /// adopted geometry cannot guarantee coverage (k₁ > L − K + 1).
+  void adopt_index(const seq::Sequence& ref, const FinderOptions& opt,
+                   index::KmerIndex idx);
+
+  std::vector<Mem> find(const seq::Sequence& query) const override;
+  double last_find_modeled_seconds() const override { return last_seconds_; }
+  std::size_t index_bytes() const override { return idx_ ? idx_->bytes() : 0; }
+
+  /// Wall seconds build_index spent constructing the sampled index (0 for
+  /// an adopted index — the cost lives in the artifact).
+  double build_seconds() const { return build_seconds_; }
+
+  const Params& params() const { return params_; }
+  const index::KmerIndex* index() const { return idx_.get(); }
+
+  /// Fuzz-oracle hook: when on, find() drops the first discovered raw
+  /// candidate before clipping — simulating a lost sampled pair so the
+  /// differential oracle can prove it catches one (Fault::kCopmemDropCandidate).
+  void inject_candidate_drop(bool on) { drop_candidate_ = on; }
+
+  /// Chooses (k₁, k₂) for seeds of length `seed_len`: k₁ ≈ √(L − K + 1),
+  /// k₂ the largest coprime partner with k₁·k₂ <= L − K + 1. Requires
+  /// 1 <= seed_len <= min(min_length, 16).
+  static Params choose_params(std::uint32_t min_length, unsigned seed_len);
+
+  /// Default K: ~log₄(reference size), clamped to [1, min(min_length, 12)],
+  /// so tiny test references get tiny bucket tables.
+  static unsigned auto_seed_len(std::size_t ref_bases,
+                                std::uint32_t min_length);
+
+ private:
+  const seq::Sequence* ref_ = nullptr;
+  FinderOptions opt_;
+  Params params_;
+  unsigned requested_seed_len_ = 0;
+  bool drop_candidate_ = false;
+  std::unique_ptr<index::KmerIndex> idx_;
+  double build_seconds_ = 0.0;
+  mutable double last_seconds_ = 0.0;
+};
+
+}  // namespace gm::mem

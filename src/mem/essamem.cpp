@@ -10,10 +10,7 @@ namespace gm::mem {
 
 void EssaMemFinder::build_index(const seq::Sequence& ref,
                                 const FinderOptions& opt) {
-  if (opt.sparseness == 0 || opt.sparseness > opt.min_length) {
-    throw std::invalid_argument(
-        "EssaMemFinder: need 1 <= sparseness <= min_length");
-  }
+  validate_finder_options("EssaMemFinder", opt, /*sparse_index=*/true);
   ref_ = &ref;
   opt_ = opt;
   esa_ = std::make_unique<index::EnhancedSuffixArray>(ref, opt.sparseness);

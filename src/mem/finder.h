@@ -6,6 +6,7 @@
 #pragma once
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,27 @@ struct FinderOptions {
   /// (see DESIGN.md). true = always run shards sequentially.
   bool sequential_shards = false;
 };
+
+/// Entry-point option validation shared by every finder: min_length and
+/// sparseness are divisors/moduli in the sampling arithmetic, so zero values
+/// must fail deterministically here instead of reaching a division- or
+/// modulo-by-zero downstream. Finders with a sparseness-coupled index depth
+/// (sparseMEM/essaMEM-class) pass `sparse_index = true` to additionally
+/// enforce sparseness <= min_length (the depth L - K + 1 must stay >= 1).
+inline void validate_finder_options(const std::string& who,
+                                    const FinderOptions& opt,
+                                    bool sparse_index = false) {
+  if (opt.min_length == 0) {
+    throw std::invalid_argument(who + ": min_length must be >= 1");
+  }
+  if (opt.sparseness == 0) {
+    throw std::invalid_argument(who + ": sparseness must be >= 1");
+  }
+  if (sparse_index && opt.sparseness > opt.min_length) {
+    throw std::invalid_argument(who +
+                                ": need 1 <= sparseness <= min_length");
+  }
+}
 
 class MemFinder {
  public:

@@ -12,6 +12,7 @@ namespace gm::mem {
 
 void MummerFinder::build_index(const seq::Sequence& ref,
                                const FinderOptions& opt) {
+  validate_finder_options("MummerFinder", opt);
   ref_ = &ref;
   opt_ = opt;
   sa_ = index::build_suffix_array(ref);

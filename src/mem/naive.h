@@ -13,6 +13,7 @@ class NaiveFinder final : public MemFinder {
   std::string name() const override { return "naive"; }
 
   void build_index(const seq::Sequence& ref, const FinderOptions& opt) override {
+    validate_finder_options("NaiveFinder", opt);
     ref_ = &ref;
     opt_ = opt;
   }

@@ -10,6 +10,7 @@ namespace gm::mem {
 
 void SlaMemFinder::build_index(const seq::Sequence& ref,
                                const FinderOptions& opt) {
+  validate_finder_options("SlaMemFinder", opt);
   ref_ = &ref;
   opt_ = opt;
   fm_ = std::make_unique<index::FmIndex>(ref);

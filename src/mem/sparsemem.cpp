@@ -10,10 +10,7 @@ namespace gm::mem {
 
 void SparseMemFinder::build_index(const seq::Sequence& ref,
                                   const FinderOptions& opt) {
-  if (opt.sparseness == 0 || opt.sparseness > opt.min_length) {
-    throw std::invalid_argument(
-        "SparseMemFinder: need 1 <= sparseness <= min_length");
-  }
+  validate_finder_options("SparseMemFinder", opt, /*sparse_index=*/true);
   ref_ = &ref;
   opt_ = opt;
   ssa_ = std::make_unique<index::SparseSuffixArray>(ref, opt.sparseness,

@@ -92,6 +92,19 @@ MemService::MemService(ServiceConfig cfg, seq::Sequence ref)
           std::to_string(cfg_.artifact->reference().size()) + " bases)");
     }
   }
+  if (cfg_.copmem_fast_index) {
+    copmem_ = std::make_unique<mem::CopMemFinder>();
+    mem::FinderOptions fopt;
+    fopt.min_length = cfg_.engine.min_length;
+    fopt.threads = cfg_.engine.threads;
+    if (cfg_.artifact != nullptr &&
+        cfg_.artifact->has(store::SectionId::kCopmemIndex)) {
+      copmem_->adopt_index(ref_, fopt, cfg_.artifact->copmem_index());
+    } else {
+      copmem_->set_seed_len(cfg_.engine.seed_len);
+      copmem_->build_index(ref_, fopt);
+    }
+  }
   const core::Config::Geometry g = cfg_.engine.validated();
   tile_rows_ = ref_.empty()
                    ? 0
@@ -337,6 +350,23 @@ QueryResult MemService::execute(Pending& pending, double queue_seconds) {
   util::Timer wall;
   try {
     const seq::Sequence& query = pending.req.query;
+    if (copmem_ != nullptr) {
+      // copMEM fast-index path: the resident sampled index answers the
+      // request on the host — no device work, no index cost to report.
+      result.mems = copmem_->find(query);
+      result.stats.match_seconds = copmem_->last_find_modeled_seconds();
+      result.stats.index_cache_hit = true;
+      result.stats.mem_count = result.mems.size();
+      result.stats.wall_seconds = wall.seconds();
+      result.stats.trace_id = pending.trace_id;
+      result.status = QueryStatus::kOk;
+      core::publish_run_stats(result.stats);
+      obs::flight(obs::FlightKind::kQueue, "done", pending.trace_id,
+                  static_cast<double>(result.status));
+      request_span.attr("status", std::string(to_string(result.status)));
+      request_span.attr("mems", result.stats.mem_count);
+      return result;
+    }
     result.stats.tile_rows = tile_rows_;
     result.stats.tile_cols =
         query.empty() ? 0

@@ -21,6 +21,7 @@
 
 #include "core/config.h"
 #include "core/pipeline.h"
+#include "mem/copmem.h"
 #include "mem/mem.h"
 #include "seq/sequence.h"
 #include "serve/index_cache.h"
@@ -58,6 +59,15 @@ struct ServiceConfig {
   /// the service reference must be the artifact's reference. Requires
   /// cache_enabled.
   std::shared_ptr<const store::LoadedIndex> artifact;
+
+  /// copMEM fast-index mode (mem/copmem.h): build a host-side
+  /// double-sampled finder over the reference at construction — adopting
+  /// the artifact's kCopmemIndex section when one is attached and carries
+  /// it — and answer every request from it, bypassing the device pool.
+  /// Steady-state requests pay only the sampled scan: index_seconds is 0
+  /// and index_cache_hit is true in every result. `engine.seed_len` is the
+  /// sampling seed length K; `engine` must still be a valid kSimt config.
+  bool copmem_fast_index = false;
 
   /// Queue submissions without dispatching until resume() — deterministic
   /// batch formation for tests and replay drivers.
@@ -180,6 +190,7 @@ class MemService {
   core::Engine engine_;
   std::uint32_t tile_rows_ = 0;
   std::vector<DeviceWorker> workers_;
+  std::unique_ptr<mem::CopMemFinder> copmem_;  ///< fast-index mode only
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

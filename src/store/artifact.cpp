@@ -201,6 +201,18 @@ std::vector<std::uint8_t> build_artifact(const seq::Sequence& ref,
     writer.add_section(SectionId::kFmIndex,
                        std::span<const std::uint8_t>(image));
   }
+  if (opt.copmem_step != 0) {
+    const index::KmerIndex cop(ref, 0, ref.size(), cfg.seed_len,
+                               opt.copmem_step);
+    std::vector<std::uint32_t> payload;
+    payload.reserve(2 + cop.ptrs().size() + cop.locs().size());
+    payload.push_back(cop.seed_len());
+    payload.push_back(cop.step());
+    payload.insert(payload.end(), cop.ptrs().begin(), cop.ptrs().end());
+    payload.insert(payload.end(), cop.locs().begin(), cop.locs().end());
+    writer.add_section(SectionId::kCopmemIndex,
+                       std::span<const std::uint32_t>(payload));
+  }
 
   std::vector<std::uint8_t> out = writer.to_buffer();
   span.attr("bytes", static_cast<std::uint64_t>(out.size()));

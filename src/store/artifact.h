@@ -74,6 +74,10 @@ struct BuildOptions {
   std::uint32_t sparseness = 0;
   /// Nonzero: emit kFmIndex built at this SA sample rate (slaMEM-class).
   std::uint32_t fm_sa_sample = 0;
+  /// Nonzero k₁: emit kCopmemIndex — a whole-reference sampled k-mer index
+  /// at step k₁ with the header's seed_len, the copMEM double-sampling
+  /// finder's substrate (mem/copmem.h).
+  std::uint32_t copmem_step = 0;
 };
 
 /// Builds the complete artifact image for `ref` under `cfg`'s resolved index

@@ -61,6 +61,11 @@ enum class SectionId : std::uint32_t {
   kLcp = 7,         ///< uint32[]: Kasai LCP over kSuffixArray
   kSparseSa = 8,    ///< uint32[]: sparse suffix positions, sorted
   kFmIndex = 9,     ///< index::FmIndex::serialize() byte image
+  /// uint32[]: { seed_len, step, ptrs[4^seed_len + 1]..., locs... } — a
+  /// whole-reference sampled k-mer index (step = copMEM's k₁), the
+  /// CopMemFinder's substrate. Self-describing so the reader needs no new
+  /// header fields.
+  kCopmemIndex = 10,
 };
 
 /// Human-readable section name for error messages and `index-info`.
@@ -159,6 +164,7 @@ inline const char* section_name(SectionId id) noexcept {
     case SectionId::kLcp: return "lcp";
     case SectionId::kSparseSa: return "sparse-sa";
     case SectionId::kFmIndex: return "fm-index";
+    case SectionId::kCopmemIndex: return "copmem-index";
   }
   return "unknown";
 }

@@ -19,6 +19,15 @@ LoadedIndex::LoadedIndex(MappedArtifact artifact)
   span.attr("path", artifact_.path());
   const ArtifactHeader& h = artifact_.header();
 
+  // uint32_t position-overflow guard, reader side: an artifact claiming more
+  // bases than the location arrays can address is rejected here with the
+  // same limit-naming message the builders raise.
+  try {
+    index::check_position_range(h.ref_bases, "LoadedIndex");
+  } catch (const std::invalid_argument& e) {
+    throw StoreError(artifact_.path(), e.what());
+  }
+
   // Reference sequence: reassemble from the packed words; from_packed
   // re-validates word counts, mask tail bits, and sizes.
   const auto packed = artifact_.section_as<std::uint64_t>(SectionId::kSeqPacked);
@@ -124,6 +133,39 @@ std::span<const std::uint32_t> LoadedIndex::lcp() const {
 
 std::span<const std::uint32_t> LoadedIndex::sparse_sa() const {
   return artifact_.section_as<std::uint32_t>(SectionId::kSparseSa);
+}
+
+index::KmerIndex LoadedIndex::copmem_index() const {
+  const auto arr =
+      artifact_.section_as<std::uint32_t>(SectionId::kCopmemIndex);
+  if (arr.size() < 2) {
+    throw StoreError(artifact_.path(), SectionId::kCopmemIndex,
+                     "payload of " + std::to_string(arr.size()) +
+                         " elements cannot hold the seed_len/step prologue");
+  }
+  const std::uint32_t seed_len = arr[0];
+  const std::uint32_t step = arr[1];
+  if (seed_len == 0 || seed_len > 16) {
+    throw StoreError(artifact_.path(), SectionId::kCopmemIndex,
+                     "seed_len " + std::to_string(seed_len) +
+                         " outside [1, 16]");
+  }
+  const std::uint64_t want_ptrs = (std::uint64_t{1} << (2 * seed_len)) + 1;
+  if (arr.size() < 2 + want_ptrs) {
+    throw StoreError(artifact_.path(), SectionId::kCopmemIndex,
+                     "payload of " + std::to_string(arr.size()) +
+                         " elements cannot hold 4^seed_len + 1 = " +
+                         std::to_string(want_ptrs) + " bucket offsets");
+  }
+  const auto ptrs = arr.subspan(2, want_ptrs);
+  const auto locs = arr.subspan(2 + want_ptrs);
+  try {
+    return index::KmerIndex(
+        seed_len, step, std::vector<std::uint32_t>(ptrs.begin(), ptrs.end()),
+        std::vector<std::uint32_t>(locs.begin(), locs.end()));
+  } catch (const std::invalid_argument& e) {
+    throw StoreError(artifact_.path(), SectionId::kCopmemIndex, e.what());
+  }
 }
 
 index::FmIndex LoadedIndex::fm_index() const {

@@ -21,6 +21,7 @@
 #include "core/config.h"
 #include "core/pipeline.h"
 #include "index/fm_index.h"
+#include "index/kmer_index.h"
 #include "seq/sequence.h"
 #include "store/artifact.h"
 #include "store/format.h"
@@ -61,6 +62,9 @@ class LoadedIndex {
   std::span<const std::uint32_t> lcp() const;
   std::span<const std::uint32_t> sparse_sa() const;
   index::FmIndex fm_index() const;
+  /// The copMEM sampled index (kCopmemIndex), rebuilt by value. Throws
+  /// StoreError when absent or malformed.
+  index::KmerIndex copmem_index() const;
 
   /// True when `cfg`'s resolved geometry matches what the artifact was
   /// built under (seed_len, step, tile_len, min_length).

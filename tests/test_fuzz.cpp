@@ -48,7 +48,7 @@ TEST(FuzzOracle, BoundedSessionFindsNoDivergence) {
     EXPECT_TRUE(result.ok()) << "case " << i << ":\n"
                              << fuzz::describe(result)
                              << fuzz::serialize_case(c);
-    EXPECT_GE(result.impls_run, 10u) << "case " << i;  // incl. simt-overlapped
+    EXPECT_GE(result.impls_run, 14u) << "case " << i;  // the full oracle set
   }
 }
 
@@ -112,6 +112,37 @@ TEST(FuzzOracle, InjectedOverlapBugIsCaughtAndShrunk) {
       << "no sampled case produced a column-crossing MEM in 20 tries";
 }
 
+TEST(FuzzOracle, InjectedCopmemDropIsCaughtAndLocalized) {
+  // The copMEM oracle's candidate-drop fault loses exactly one merged
+  // candidate. The harness must attribute the "missing" divergence to the
+  // copmem oracle alone and still shrink the case.
+  const util::Xoshiro256 master(13);
+  constexpr auto kFault = fuzz::Fault::kCopmemDropCandidate;
+  bool caught = false;
+  for (std::uint64_t i = 0; i < 20 && !caught; ++i) {
+    auto rng = master.fork(i);
+    const fuzz::FuzzCase c = fuzz::sample_case(rng);
+    const fuzz::CaseResult faulted = fuzz::run_case(c, kFault);
+    if (faulted.ok()) continue;
+    caught = true;
+
+    for (const fuzz::Divergence& d : faulted.divergences) {
+      EXPECT_EQ(d.impl, "copmem") << d.impl << ": " << d.detail;
+    }
+
+    const fuzz::FuzzCase small = fuzz::shrink_case(c, kFault, 400);
+    EXPECT_FALSE(fuzz::run_case(small, kFault).ok())
+        << "shrunk case lost the failure";
+    EXPECT_TRUE(fuzz::run_case(small, fuzz::Fault::kNone).ok())
+        << "shrunk case fails even without the injected fault:\n"
+        << fuzz::serialize_case(small);
+    EXPECT_LE(small.ref.size(), 64u) << fuzz::serialize_case(small);
+    EXPECT_LE(small.query.size(), 64u) << fuzz::serialize_case(small);
+  }
+  EXPECT_TRUE(caught)
+      << "no sampled case produced a copmem candidate in 20 tries";
+}
+
 TEST(FuzzRepro, SerializeParseRoundTrip) {
   util::Xoshiro256 rng(21);
   fuzz::FuzzCase c = fuzz::sample_case(rng);
@@ -172,11 +203,15 @@ TEST(FuzzFault, NamesRoundTrip) {
             fuzz::Fault::kStitchDropBoundary);
   EXPECT_EQ(fuzz::fault_from_string("overlap-drop"),
             fuzz::Fault::kOverlapDropColumnBoundary);
+  EXPECT_EQ(fuzz::fault_from_string("copmem-drop"),
+            fuzz::Fault::kCopmemDropCandidate);
   EXPECT_FALSE(fuzz::fault_from_string("bogus").has_value());
   EXPECT_STREQ(fuzz::to_string(fuzz::Fault::kStitchDropBoundary),
                "stitch-drop");
   EXPECT_STREQ(fuzz::to_string(fuzz::Fault::kOverlapDropColumnBoundary),
                "overlap-drop");
+  EXPECT_STREQ(fuzz::to_string(fuzz::Fault::kCopmemDropCandidate),
+               "copmem-drop");
 }
 
 }  // namespace

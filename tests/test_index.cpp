@@ -288,5 +288,23 @@ TEST(KmerIndex, RejectsBadParameters) {
   EXPECT_THROW(index::KmerIndex(ref, 0, 100, 8, 0), std::invalid_argument);
 }
 
+TEST(KmerIndex, PositionOverflowGuardNamesTheLimit) {
+  // References beyond 2^32 - 1 bases cannot be indexed with uint32_t
+  // location arrays; the guard must fail deterministically and name the
+  // limit (the builders and the .gmidx reader all route through it).
+  EXPECT_NO_THROW(index::check_position_range(0, "KmerIndex"));
+  EXPECT_NO_THROW(
+      index::check_position_range(index::kMaxIndexableBases, "KmerIndex"));
+  try {
+    index::check_position_range(index::kMaxIndexableBases + 1, "KmerIndex");
+    FAIL() << "oversized reference was accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("KmerIndex"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("4294967295"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("uint32_t"), std::string::npos) << msg;
+  }
+}
+
 }  // namespace
 }  // namespace gm

@@ -3,10 +3,13 @@
 // hand-constructed cases first.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
+#include <numeric>
 
 #include "core/finders.h"
 #include "mem/common.h"
+#include "mem/copmem.h"
 #include "mem/essamem.h"
 #include "mem/mummer.h"
 #include "mem/naive.h"
@@ -291,6 +294,154 @@ TEST(FinderOptions, SparsenessBounds) {
   EXPECT_THROW(ef.build_index(R, opt), std::invalid_argument);
 }
 
+// --- copMEM double-sampling finder -----------------------------------------
+
+TEST(CopMem, ChooseParamsSatisfiesCoverageBound) {
+  // Any raw MEM of length >= L contains a sampled (reference, query) pair
+  // with a fitting K-mer iff k1 * k2 <= L - K + 1 and gcd(k1, k2) = 1
+  // (docs/DESIGN.md). choose_params must deliver that for every legal (L, K).
+  for (std::uint32_t L : {1u, 2u, 5u, 8u, 16u, 20u, 24u, 50u, 100u, 300u}) {
+    for (unsigned K = 1; K <= std::min(L, 16u); ++K) {
+      const auto p = mem::CopMemFinder::choose_params(L, K);
+      const std::uint32_t limit = L - K + 1;
+      EXPECT_GE(p.k1, 1u);
+      EXPECT_GE(p.k2, 1u);
+      EXPECT_LE(p.k1 * p.k2, limit) << "L=" << L << " K=" << K;
+      EXPECT_EQ(std::gcd(p.k1, p.k2), 1u) << "L=" << L << " K=" << K;
+      EXPECT_EQ(p.seed_len, K);
+    }
+  }
+  EXPECT_THROW(mem::CopMemFinder::choose_params(10, 0), std::invalid_argument);
+  EXPECT_THROW(mem::CopMemFinder::choose_params(10, 11), std::invalid_argument);
+  EXPECT_THROW(mem::CopMemFinder::choose_params(40, 17), std::invalid_argument);
+}
+
+TEST(CopMem, AutoSeedLenIsAlwaysLegal) {
+  for (const std::size_t ref_bases :
+       {std::size_t{0}, std::size_t{17}, std::size_t{1000},
+        std::size_t{1} << 20, std::size_t{1} << 32}) {
+    for (std::uint32_t L : {1u, 4u, 12u, 20u, 100u}) {
+      const unsigned K = mem::CopMemFinder::auto_seed_len(ref_bases, L);
+      EXPECT_GE(K, 1u) << ref_bases << "/" << L;
+      EXPECT_LE(K, std::min(L, 16u)) << ref_bases << "/" << L;
+    }
+  }
+}
+
+TEST(CopMem, AgreesWithNaiveAndEssaAcrossSamplingPhases) {
+  // Plant shared segments at every offset modulo the sampling grid so MEMs
+  // straddle each sampling-phase boundary; copmem must still equal the naive
+  // truth (and essaMEM, the strongest prior finder) exactly.
+  const auto base = seq::GenomeModel{.length = 900}.generate(81);
+  const std::string r_str = base.to_string();
+  std::string q_str = "TT";
+  for (std::size_t s = 0; s < 24; ++s) {
+    // Segment start walks every phase 0..23 of any grid up to 24; lengths
+    // vary around L so some segments are exactly L, some longer.
+    q_str += r_str.substr(31 * s + s % 24, 16 + (s % 7));
+    q_str += "TTT";  // junk separator (also a valid base: keeps MEMs honest)
+  }
+  const auto R = seq::Sequence::from_string(r_str);
+  const auto Q = seq::Sequence::from_string(q_str);
+  const auto truth = mem::find_mems_naive(R, Q, 16);
+  ASSERT_FALSE(truth.empty());
+
+  mem::FinderOptions opt;
+  opt.min_length = 16;
+  for (const unsigned K : {0u, 1u, 4u, 8u, 11u}) {  // 0 = auto
+    mem::CopMemFinder f;
+    f.set_seed_len(K);
+    f.build_index(R, opt);
+    EXPECT_EQ(f.find(Q), truth) << "copmem K=" << K;
+    const auto p = f.params();
+    EXPECT_LE(p.k1 * p.k2, opt.min_length - p.seed_len + 1);
+  }
+  mem::EssaMemFinder essa;
+  essa.build_index(R, opt);
+  EXPECT_EQ(essa.find(Q), truth);
+}
+
+TEST(CopMem, DedupesMemReachableFromManySampledPairs) {
+  // One long MEM covering >= 3 lattice pairs of the sampling grid: with
+  // L = 24 and K = 4, choose_params gives k1 * k2 = 20, so a 100 bp match
+  // holds at least four sampled (p, j) pairs — the finder must emit the MEM
+  // exactly once (the minimal-pair rule in mem::emit_sampled_candidate).
+  const auto core = random_seq(100, 91);
+  const std::string match = core.to_string();
+  const auto R = seq::Sequence::from_string("TTTTTTT" + match + "TTTTTTT");
+  const auto Q = seq::Sequence::from_string("CCCCC" + match + "CCCCC");
+  mem::FinderOptions opt;
+  opt.min_length = 24;
+  mem::CopMemFinder f;
+  f.set_seed_len(4);
+  f.build_index(R, opt);
+  const auto p = f.params();
+  ASSERT_GE(100u, 3 * p.k1 * p.k2 + p.seed_len)
+      << "grid too coarse for the 3-pair premise";
+  const auto got = f.find(Q);
+  const auto truth = mem::find_mems_naive(R, Q, 24);
+  EXPECT_EQ(got, truth);
+  // The planted match itself appears exactly once.
+  const Mem planted{7, 5, 100};
+  EXPECT_EQ(std::count(got.begin(), got.end(), planted), 1);
+}
+
+TEST(CopMem, ShardedFindMatchesSequential) {
+  const auto base = seq::GenomeModel{.length = 4000}.generate(93);
+  seq::MutationModel mut;
+  mut.snp_rate = 0.02;
+  const auto query = mut.apply(base, 94);
+  mem::FinderOptions opt;
+  opt.min_length = 20;
+  mem::CopMemFinder seq_f;
+  seq_f.build_index(base, opt);
+  const auto truth = seq_f.find(query);
+  ASSERT_FALSE(truth.empty());
+  mem::FinderOptions par = opt;
+  par.threads = 5;
+  mem::CopMemFinder par_f;
+  par_f.build_index(base, par);
+  EXPECT_EQ(par_f.find(query), truth);
+}
+
+TEST(CopMem, InjectedCandidateDropLosesExactlyOneMem) {
+  const auto base = seq::GenomeModel{.length = 1500}.generate(95);
+  seq::MutationModel mut;
+  mut.snp_rate = 0.03;
+  const auto query = mut.apply(base, 96);
+  mem::FinderOptions opt;
+  opt.min_length = 18;
+  mem::CopMemFinder f;
+  f.build_index(base, opt);
+  const auto clean = f.find(query);
+  ASSERT_GT(clean.size(), 1u);
+  f.inject_candidate_drop(true);
+  const auto faulted = f.find(query);
+  EXPECT_EQ(faulted.size(), clean.size() - 1);
+  f.inject_candidate_drop(false);
+  EXPECT_EQ(f.find(query), clean);
+}
+
+TEST(FinderOptions, ZeroValuesRejectedByEveryFinder) {
+  // Satellite contract: every finder validates FinderOptions at its
+  // build_index entry — zero min_length or zero sparseness is a
+  // deterministic std::invalid_argument, never a hang or a wrong answer.
+  const auto R = random_seq(300, 37);
+  for (const auto& name : mem::finder_names()) {
+    auto f = mem::create_finder(name);
+    mem::FinderOptions zero_l;
+    zero_l.min_length = 0;
+    EXPECT_THROW(f->build_index(R, zero_l), std::invalid_argument)
+        << name << " accepted min_length=0";
+    auto g = mem::create_finder(name);
+    mem::FinderOptions zero_k;
+    zero_k.min_length = 10;
+    zero_k.sparseness = 0;
+    EXPECT_THROW(g->build_index(R, zero_k), std::invalid_argument)
+        << name << " accepted sparseness=0";
+  }
+}
+
 TEST(Registry, CreatesEveryRegisteredFinder) {
   for (const auto& name : mem::finder_names()) {
     EXPECT_NO_THROW({ auto f = mem::create_finder(name); EXPECT_EQ(f->name(), name); })
@@ -305,6 +456,7 @@ TEST(Finders, FindBeforeBuildThrows) {
   EXPECT_THROW(mem::SparseMemFinder().find(Q), std::logic_error);
   EXPECT_THROW(mem::EssaMemFinder().find(Q), std::logic_error);
   EXPECT_THROW(mem::SlaMemFinder().find(Q), std::logic_error);
+  EXPECT_THROW(mem::CopMemFinder().find(Q), std::logic_error);
 }
 
 // --- invalid-base (mask) policy --------------------------------------------

@@ -414,5 +414,29 @@ TEST(GpumemFinder, FindBeforeBuildThrows) {
                std::logic_error);
 }
 
+TEST(FastIndex, RunFastIndexMatchesTiledPipeline) {
+  // Engine::run_fast_index (copMEM double sampling) must return the exact
+  // MEM set of the tiled SIMT/native pipelines, with the sampled-index
+  // build reported as index_seconds and the scan as match_seconds.
+  const auto base = seq::GenomeModel{.length = 6000}.generate(53);
+  Config cfg;
+  cfg.min_length = 14;
+  cfg.seed_len = 7;
+  cfg.threads = 16;
+  cfg.tile_blocks = 2;
+  const Engine engine(cfg);
+  seq::MutationModel mut;
+  mut.snp_rate = 0.03;
+  for (int q = 0; q < 3; ++q) {
+    const auto query = mut.apply(base, 80 + q);
+    const auto tiled = engine.run(base, query);
+    const auto fast = engine.run_fast_index(base, query);
+    EXPECT_EQ(fast.mems, tiled.mems) << q;
+    EXPECT_EQ(fast.stats.mem_count, fast.mems.size());
+    EXPECT_GT(fast.stats.index_seconds, 0.0);
+    EXPECT_GT(fast.stats.wall_seconds, 0.0);
+  }
+}
+
 }  // namespace
 }  // namespace gm

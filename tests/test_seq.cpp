@@ -509,5 +509,87 @@ TEST(PackedSeq, BackwardLcePinpointsMismatchAcrossWords) {
   }
 }
 
+// --- lce_backward boundary audit (both LceMode implementations) ------------
+// The backward window for i < 31 zero-fills the missing history below base 0
+// (packed_detail::window64_back); those synthetic zero bits may "match" the
+// other sequence's real history, so the result must be clipped at i + 1.
+// These tests pin the origin-adjacent, zero-length, and word-seam/mask
+// corners under BOTH implementations.
+
+class LceBothModes : public ::testing::TestWithParam<seq::LceMode> {
+ protected:
+  void SetUp() override { seq::set_lce_mode(GetParam()); }
+  void TearDown() override { seq::set_lce_mode(seq::LceMode::kWord); }
+};
+
+TEST_P(LceBothModes, BackwardClipsAtOriginAdjacentWindows) {
+  // a and b share their first 80 bases; b carries 40 bases of extra history
+  // in front. A backward probe from a[i] with small i must stop at i + 1
+  // even though b's earlier history would keep "matching" the zero fill.
+  util::Xoshiro256 rng(77);
+  std::vector<std::uint8_t> shared(80);
+  for (auto& c : shared) c = static_cast<std::uint8_t>(rng.bounded(4));
+  // prefix code 0 ('A') equals the zero fill bit-for-bit — the spurious
+  // match the i + 1 clip exists for; code 3 ('T') mismatches it instead.
+  for (const std::uint8_t prefix_code : {std::uint8_t{0}, std::uint8_t{3}}) {
+    std::vector<std::uint8_t> prefixed(40, prefix_code);
+    prefixed.insert(prefixed.end(), shared.begin(), shared.end());
+    const Sequence a = Sequence::from_codes(shared);
+    const Sequence b = Sequence::from_codes(prefixed);
+    for (const std::size_t i :
+         {std::size_t{0}, std::size_t{1}, std::size_t{30}, std::size_t{31},
+          std::size_t{32}, std::size_t{63}}) {
+      // shared[i] may equal prefix_code, letting the real match run past the
+      // zero-fill seam on b's side — but never past a's origin.
+      EXPECT_EQ(seq::lce_backward(a, i, b, 40 + i, 1000), i + 1)
+          << "i=" << i << " prefix=" << int{prefix_code};
+      EXPECT_EQ(a.common_suffix(i, b, 40 + i, 1000), i + 1) << "i=" << i;
+      // Symmetric: the short-history side may be the second operand.
+      EXPECT_EQ(seq::lce_backward(b, 40 + i, a, i, 1000), i + 1)
+          << "i=" << i << " prefix=" << int{prefix_code};
+    }
+  }
+}
+
+TEST_P(LceBothModes, ZeroLengthWindowsReturnZero) {
+  const Sequence a = Sequence::from_string("ACGTACGTACGT");
+  const Sequence b = a;
+  EXPECT_EQ(seq::lce_backward(a, 5, b, 5, 0), 0u);
+  EXPECT_EQ(seq::lce_forward(a, 5, b, 5, 0), 0u);
+  // Forward probes at/past the end have an empty window, not UB.
+  EXPECT_EQ(seq::lce_forward(a, a.size(), b, 0, 100), 0u);
+  EXPECT_EQ(seq::lce_forward(a, 0, b, b.size(), 100), 0u);
+  // Origin probes cap at exactly one base.
+  EXPECT_EQ(seq::lce_backward(a, 0, b, 0, 100), 1u);
+  EXPECT_EQ(seq::lce_backward(a, 0, b, 4, 100), 1u);  // both positions 'A'
+}
+
+TEST_P(LceBothModes, BackwardRunsThroughMaskAtWordSeams) {
+  // Invalid bases pack as code 0 ('A'); LCE compares raw codes only. Plant
+  // an N exactly on 32-base word seams: the backward scan must treat it as
+  // 'A' (match) in both implementations — the mask policy is applied by
+  // clip_invalid_bases later, never inside LCE.
+  for (const std::size_t n_at : {std::size_t{31}, std::size_t{32},
+                                 std::size_t{63}, std::size_t{64}}) {
+    std::string text(96, 'A');
+    for (std::size_t i = 0; i < text.size(); i += 3) text[i] = 'G';
+    std::string masked = text;
+    masked[n_at] = 'N';
+    const Sequence pure = Sequence::from_string(text);
+    const Sequence holed = Sequence::from_string_lenient(masked);
+    const std::size_t expect = (text[n_at] == 'A')
+                                   ? 96u          // N packs as the same code
+                                   : 95u - n_at;  // stops where codes differ
+    EXPECT_EQ(seq::lce_backward(pure, 95, holed, 95, 96), expect)
+        << "n_at=" << n_at;
+    EXPECT_EQ(seq::lce_backward(holed, 95, pure, 95, 96), expect)
+        << "n_at=" << n_at;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WordAndScalar, LceBothModes,
+                         ::testing::Values(seq::LceMode::kWord,
+                                           seq::LceMode::kScalar));
+
 }  // namespace
 }  // namespace gm

@@ -4,15 +4,19 @@
 #include <gtest/gtest.h>
 
 #include <future>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "core/pipeline.h"
+#include "mem/copmem.h"
 #include "mem/naive.h"
 #include "seq/synthetic.h"
 #include "serve/index_cache.h"
 #include "serve/service.h"
 #include "simt/device.h"
+#include "store/artifact.h"
+#include "store/loaded_index.h"
 
 namespace gm {
 namespace {
@@ -236,6 +240,53 @@ TEST(MemServiceTest, CacheOffMatchesSingleRuns) {
   EXPECT_EQ(st.cache_hits, 0u);
   EXPECT_EQ(st.cache_misses, 0u);
   EXPECT_EQ(st.cache_resident_bytes, 0u);
+}
+
+TEST(MemServiceTest, CopmemFastIndexMatchesEngineRuns) {
+  // Fast-index mode answers every request from the host-side copMEM finder:
+  // identical MEMs to the device pipeline, zero index_seconds, and every
+  // result flagged as a warm index.
+  const auto ref = test_reference(3000, 68);
+  ServiceConfig scfg;
+  scfg.engine = small_config();
+  scfg.copmem_fast_index = true;
+  const Engine engine(scfg.engine);
+
+  MemService service(scfg, ref);
+  for (std::uint64_t seed = 80; seed < 83; ++seed) {
+    const auto query = derived_query(ref, seed);
+    auto res = service.submit({"q" + std::to_string(seed), query, 0.0}).get();
+    ASSERT_EQ(res.status, QueryStatus::kOk) << res.error;
+    EXPECT_EQ(res.mems, engine.run(ref, query).mems) << "seed " << seed;
+    EXPECT_TRUE(res.stats.index_cache_hit);
+    EXPECT_EQ(res.stats.index_seconds, 0.0);
+  }
+}
+
+TEST(MemServiceTest, CopmemFastIndexAdoptsArtifactSection) {
+  // With an attached artifact carrying kCopmemIndex, the service adopts the
+  // persisted sampled index instead of rebuilding — same MEM output.
+  const auto ref = test_reference(2500, 69);
+  const auto query = derived_query(ref, 71);
+  ServiceConfig scfg;
+  scfg.engine = small_config();
+  scfg.copmem_fast_index = true;
+
+  store::BuildOptions bopt;
+  bopt.copmem_step =
+      mem::CopMemFinder::choose_params(scfg.engine.min_length,
+                                       scfg.engine.seed_len)
+          .k1;
+  scfg.artifact = std::make_shared<const store::LoadedIndex>(
+      store::MappedArtifact::from_buffer(
+          store::build_artifact(ref, scfg.engine, bopt), "<test>"));
+
+  const auto fresh = Engine(scfg.engine).run(ref, query);
+  MemService service(scfg, ref);
+  auto res = service.submit({"q", query, 0.0}).get();
+  ASSERT_EQ(res.status, QueryStatus::kOk) << res.error;
+  EXPECT_EQ(res.mems, fresh.mems);
+  EXPECT_TRUE(res.stats.index_cache_hit);
 }
 
 TEST(MemServiceTest, BackpressureRejectsWhenQueueFull) {

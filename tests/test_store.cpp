@@ -22,6 +22,8 @@
 #include "index/lcp.h"
 #include "index/sparse_suffix_array.h"
 #include "index/suffix_array.h"
+#include "mem/copmem.h"
+#include "mem/naive.h"
 #include "seq/sequence.h"
 #include "seq/synthetic.h"
 #include "serve/index_cache.h"
@@ -180,6 +182,57 @@ TEST(StoreRoundTrip, MissingOptionalSectionThrows) {
       load_image(store::build_artifact(ref, small_config()));
   EXPECT_THROW(loaded.suffix_array(), StoreError);
   EXPECT_THROW(loaded.fm_index(), StoreError);
+  EXPECT_THROW(loaded.copmem_index(), StoreError);
+}
+
+TEST(StoreRoundTrip, CopmemIndexSectionAdoptsBitIdentically) {
+  // Persist the double-sampled copMEM index (kCopmemIndex) and adopt it on
+  // load: the adopted finder must produce the exact MEM set of a fresh
+  // build — and of the naive ground truth.
+  const auto ref = masked_reference();
+  const auto query = derived_query(ref, 55);
+  const Config cfg = small_config();  // L=12, K=6
+
+  mem::FinderOptions fopt;
+  fopt.min_length = cfg.min_length;
+  mem::CopMemFinder fresh;
+  fresh.set_seed_len(cfg.seed_len);
+  fresh.build_index(ref, fopt);
+  const auto expect = fresh.find(query);
+  ASSERT_FALSE(expect.empty());
+  EXPECT_EQ(expect, mem::find_mems_naive(ref, query, cfg.min_length));
+
+  BuildOptions opt;
+  opt.copmem_step = fresh.params().k1;
+  const LoadedIndex loaded = load_image(store::build_artifact(ref, cfg, opt));
+  ASSERT_TRUE(loaded.artifact().has_section(SectionId::kCopmemIndex));
+
+  mem::CopMemFinder adopted;
+  adopted.adopt_index(loaded.reference(), fopt, loaded.copmem_index());
+  EXPECT_EQ(adopted.params().seed_len, fresh.params().seed_len);
+  EXPECT_EQ(adopted.params().k1, fresh.params().k1);
+  EXPECT_EQ(adopted.params().k2, fresh.params().k2);
+  EXPECT_EQ(adopted.find(query), expect);
+}
+
+TEST(StoreRoundTrip, CopmemAdoptRejectsOversampledIndex) {
+  // An adopted index whose step exceeds L - K + 1 can never guarantee MEM
+  // coverage; adopt_index must refuse it deterministically.
+  const auto ref = test_reference(800, 61);
+  const Config cfg = small_config();
+  BuildOptions opt;
+  opt.copmem_step = 2;
+  const LoadedIndex loaded = load_image(store::build_artifact(ref, cfg, opt));
+  mem::FinderOptions fopt;
+  fopt.min_length = 7;  // L - K + 1 = 2 < adopted k1... still legal (2 <= 2)
+  mem::CopMemFinder ok;
+  EXPECT_NO_THROW(ok.adopt_index(loaded.reference(), fopt,
+                                 loaded.copmem_index()));
+  fopt.min_length = 6;  // L - K + 1 = 1 < step 2: coverage impossible
+  mem::CopMemFinder bad;
+  EXPECT_THROW(bad.adopt_index(loaded.reference(), fopt,
+                               loaded.copmem_index()),
+               std::invalid_argument);
 }
 
 // --- corruption matrix -----------------------------------------------------
