@@ -23,6 +23,19 @@
 //   ./gpumem_serve --registry DIR --queries queries.fa [--tenant NAME]
 //                  [--pin a,b] [--max-resident 4] [...engine/service flags]
 //
+// Network mode (docs/SERVING.md): --listen starts the epoll front end
+// (net::Server) on 127.0.0.1 and serves the length-prefixed wire protocol
+// instead of replaying the query file directly. Works over one reference
+// (--ref/--demo) or a registry (--registry; the frame's tenant field
+// routes). --loopback N runs an in-process self-check: N TCP clients
+// replay the query set over the socket and every MEM list is compared
+// bit-for-bit against a direct in-process submit of the same query.
+//
+//   ./gpumem_serve --ref ref.fa --queries q.fa --listen 0 --loopback 4
+//   ./gpumem_serve --demo --listen 7070 --serve-seconds 60
+//                  [--net-workers 2] [--max-conns 256] [--tenant-quota 0]
+//                  [--shed-fraction 0.9]
+//
 // Exits nonzero when any request fails, expires, or misses its deadline.
 #include <algorithm>
 #include <atomic>
@@ -30,10 +43,13 @@
 #include <condition_variable>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "net/client.h"
+#include "net/server.h"
 #include "obs/registry.h"
 #include "obs/snapshot.h"
 #include "seq/fasta.h"
@@ -214,6 +230,162 @@ int run_registry_mode(const std::string& dir,
   return not_ok == 0 ? 0 : 1;
 }
 
+/// One request of the loopback self-check: what goes on the wire and what
+/// a direct in-process submit of the same query returned.
+struct WireCheck {
+  std::string id;
+  std::string tenant;  ///< empty in single-reference mode
+  std::string query;
+  std::vector<gm::mem::Mem> expected;
+  bool expected_ok = false;
+};
+
+/// --listen: serve the wire protocol; with --loopback N, self-check over
+/// real sockets against direct submits and exit.
+int run_listen_mode(gm::util::Cli& cli, gm::serve::MemService* service,
+                    gm::serve::ReferenceRegistry* registry,
+                    const std::string& default_tenant,
+                    const std::vector<std::string>& tenant_names,
+                    const std::vector<gm::seq::FastaRecord>& queries,
+                    std::size_t repeat) {
+  gm::net::ServerConfig ncfg;
+  ncfg.port = static_cast<std::uint16_t>(cli.get_int("listen", 0));
+  ncfg.workers =
+      static_cast<std::uint32_t>(std::max<std::int64_t>(1, cli.get_int("net-workers", 2)));
+  ncfg.max_connections =
+      static_cast<std::size_t>(cli.get_int("max-conns", 256));
+  ncfg.tenant_quota =
+      static_cast<std::size_t>(cli.get_int("tenant-quota", 0));
+  ncfg.shed_fraction = cli.get_double("shed-fraction", 0.9);
+
+  auto server = registry != nullptr
+                    ? std::make_unique<gm::net::Server>(ncfg, *registry,
+                                                        default_tenant)
+                    : std::make_unique<gm::net::Server>(ncfg, *service);
+  std::cerr << "[net] listening on 127.0.0.1:" << server->port() << " ("
+            << ncfg.workers << " worker event thread(s), cap "
+            << ncfg.max_connections << " connections)\n";
+
+  const auto clients =
+      static_cast<std::size_t>(std::max<std::int64_t>(0, cli.get_int("loopback", 0)));
+  if (clients == 0) {
+    const double serve_seconds = cli.get_double("serve-seconds", 0.0);
+    if (serve_seconds > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(serve_seconds));
+    } else {
+      for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+    }
+    server->shutdown();
+    return export_obs(cli);
+  }
+
+  if (queries.empty()) {
+    std::cerr << "error: --loopback needs --queries (or --demo)\n";
+    return 2;
+  }
+
+  // Expected answers: the same queries submitted directly, no sockets.
+  std::vector<WireCheck> items;
+  for (std::size_t r = 0; r < repeat; ++r) {
+    for (const auto& record : queries) {
+      WireCheck item;
+      item.id = record.name;
+      if (repeat > 1) item.id += '#' + std::to_string(r);
+      if (registry != nullptr) {
+        item.tenant = default_tenant;
+        if (const std::size_t slash = record.name.find('/');
+            slash != std::string::npos) {
+          const std::string prefix = record.name.substr(0, slash);
+          if (std::find(tenant_names.begin(), tenant_names.end(), prefix) !=
+              tenant_names.end()) {
+            item.tenant = prefix;
+          }
+        }
+      }
+      item.query = record.sequence.to_string();
+      gm::serve::QueryRequest req;
+      req.id = item.id;
+      req.query = record.sequence;
+      if (registry != nullptr) {
+        const auto tenant = registry->acquire(item.tenant);
+        const auto res = tenant->service().submit(std::move(req)).get();
+        item.expected_ok = res.status == gm::serve::QueryStatus::kOk;
+        item.expected = res.mems;
+      } else {
+        const auto res = service->submit(std::move(req)).get();
+        item.expected_ok = res.status == gm::serve::QueryStatus::kOk;
+        item.expected = res.mems;
+      }
+      items.push_back(std::move(item));
+    }
+  }
+
+  // Wire phase: N concurrent clients split the request list round-robin;
+  // every reply's MEM list must be bit-identical to the direct submit.
+  std::atomic<std::uint64_t> mismatches{0}, transport_errors{0}, ok{0};
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        gm::net::Client client(server->port(), 30.0);
+        for (std::size_t i = t; i < items.size(); i += clients) {
+          gm::net::QueryFrame qf;
+          qf.id = items[i].id;
+          qf.tenant = items[i].tenant;
+          qf.query = items[i].query;
+          gm::net::Reply reply;
+          if (!client.query(qf, reply)) {
+            ++transport_errors;
+            continue;
+          }
+          if (reply.ok() != items[i].expected_ok ||
+              (reply.ok() && reply.result.mems != items[i].expected)) {
+            ++mismatches;
+            std::cerr << "[loopback] MISMATCH on " << items[i].id << ": wire "
+                      << (reply.ok()
+                              ? std::to_string(reply.result.mems.size()) +
+                                    " MEMs"
+                              : std::string("error: ") + reply.error.message)
+                      << " vs direct "
+                      << (items[i].expected_ok
+                              ? std::to_string(items[i].expected.size()) +
+                                    " MEMs"
+                              : std::string("not ok"))
+                      << '\n';
+            continue;
+          }
+          ++ok;
+        }
+      } catch (const std::exception& e) {
+        ++transport_errors;
+        std::cerr << "[loopback] client " << t << ": " << e.what() << '\n';
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  server->shutdown();
+
+  const gm::net::NetStats ns = server->stats();
+  std::cout << "=== gpumem_serve loopback self-check ===\n"
+            << "clients:     " << clients << '\n'
+            << "requests:    " << items.size() << " (" << ok.load()
+            << " bit-identical, " << mismatches.load() << " mismatched, "
+            << transport_errors.load() << " transport errors)\n"
+            << "wire:        " << ns.accepted << " conns, " << ns.frames_in
+            << " frames in, " << ns.responses_ok << " results, "
+            << ns.responses_error << " errors, " << ns.bytes_in
+            << " B in / " << ns.bytes_out << " B out\n";
+  if (const int rc = export_obs(cli); rc != 0) return rc;
+  const bool pass = mismatches.load() == 0 && transport_errors.load() == 0 &&
+                    ok.load() == items.size();
+  std::cout << (pass ? "LOOPBACK OK: wire results bit-identical to direct "
+                       "execution\n"
+                     : "LOOPBACK FAILED\n");
+  return pass ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -259,6 +431,23 @@ int main(int argc, char** argv) {
                "registry mode: comma-separated tenants to pin resident");
   cli.describe("max-resident",
                "registry mode: unpinned resident-tenant budget (default 4)");
+  cli.describe("listen",
+               "serve the binary wire protocol on this 127.0.0.1 port "
+               "(0 = ephemeral; see docs/SERVING.md)");
+  cli.describe("net-workers", "epoll worker event threads (default 2)");
+  cli.describe("max-conns",
+               "connection cap; accepts beyond it get a typed "
+               "too-many-connections error (default 256)");
+  cli.describe("tenant-quota",
+               "per-tenant in-flight request quota, 0 = unlimited");
+  cli.describe("shed-fraction",
+               "answer OVERLOAD when the queue is this full (default 0.9; "
+               ">1 disables shedding)");
+  cli.describe("loopback",
+               "listen mode self-check: N in-process TCP clients replay "
+               "--queries and verify MEMs are bit-identical to direct runs");
+  cli.describe("serve-seconds",
+               "listen mode: serve this long then exit (0 = forever)");
   if (cli.handle_help(
           "gpumem_serve: batched MEM serving with a reference index cache"))
     return 0;
@@ -267,22 +456,28 @@ int main(int argc, char** argv) {
     gm::util::ThreadPool::configure_global(
         static_cast<std::size_t>(cli.get_int("host-threads", 0)));
     const std::string registry_dir = cli.get("registry", "");
+    // In listen mode without --loopback there is no replay, so a query
+    // file is optional; every other mode needs one.
+    const bool queries_optional =
+        cli.has("listen") && cli.get_int("loopback", 0) == 0;
     gm::seq::Sequence ref;
     std::vector<gm::seq::FastaRecord> queries;
     if (!registry_dir.empty()) {
       const std::string query_path = cli.get("queries", "");
-      if (query_path.empty()) {
+      if (query_path.empty() && !queries_optional) {
         std::cerr << "need --queries with --registry; see --help\n";
         return 2;
       }
-      queries = gm::seq::read_fasta_file(query_path);
-      std::erase_if(queries, [](const gm::seq::FastaRecord& r) {
-        return r.sequence.empty();
-      });
-      if (queries.empty()) {
-        std::cerr << "error: query FASTA " << query_path
-                  << " has no non-empty records\n";
-        return 2;
+      if (!query_path.empty()) {
+        queries = gm::seq::read_fasta_file(query_path);
+        std::erase_if(queries, [](const gm::seq::FastaRecord& r) {
+          return r.sequence.empty();
+        });
+        if (queries.empty() && !queries_optional) {
+          std::cerr << "error: query FASTA " << query_path
+                    << " has no non-empty records\n";
+          return 2;
+        }
       }
     } else if (cli.get_bool("demo", false)) {
       const auto pair = gm::seq::make_dataset("chrXII_s/chrI_s", 42, 8);
@@ -298,7 +493,7 @@ int main(int argc, char** argv) {
     } else {
       const std::string ref_path = cli.get("ref", "");
       const std::string query_path = cli.get("queries", "");
-      if (ref_path.empty() || query_path.empty()) {
+      if (ref_path.empty() || (query_path.empty() && !queries_optional)) {
         std::cerr << "need --ref and --queries (or --demo); see --help\n";
         return 2;
       }
@@ -309,19 +504,21 @@ int main(int argc, char** argv) {
         return 2;
       }
       ref = std::move(ref_records.front().sequence);
-      queries = gm::seq::read_fasta_file(query_path);
-      std::erase_if(queries, [&](const gm::seq::FastaRecord& r) {
-        if (r.sequence.empty()) {
-          std::cerr << "warning: skipping empty query record '" << r.name
-                    << "'\n";
-          return true;
+      if (!query_path.empty()) {
+        queries = gm::seq::read_fasta_file(query_path);
+        std::erase_if(queries, [&](const gm::seq::FastaRecord& r) {
+          if (r.sequence.empty()) {
+            std::cerr << "warning: skipping empty query record '" << r.name
+                      << "'\n";
+            return true;
+          }
+          return false;
+        });
+        if (queries.empty() && !queries_optional) {
+          std::cerr << "error: query FASTA " << query_path
+                    << " has no non-empty records\n";
+          return 2;
         }
-        return false;
-      });
-      if (queries.empty()) {
-        std::cerr << "error: query FASTA " << query_path
-                  << " has no non-empty records\n";
-        return 2;
       }
     }
 
@@ -360,6 +557,36 @@ int main(int argc, char** argv) {
 
     const std::size_t repeat =
         static_cast<std::size_t>(std::max<std::int64_t>(1, cli.get_int("repeat", 1)));
+
+    if (cli.has("listen")) {
+      scfg.start_paused = false;  // network requests dispatch as they arrive
+      if (!registry_dir.empty()) {
+        const std::size_t max_resident =
+            static_cast<std::size_t>(cli.get_int("max-resident", 4));
+        gm::serve::ReferenceRegistry registry(registry_dir, scfg,
+                                              max_resident);
+        const std::vector<std::string> tenant_names = registry.tenants();
+        if (tenant_names.empty()) {
+          std::cerr << "error: registry " << registry_dir
+                    << " holds no *.gmidx artifacts\n";
+          return 2;
+        }
+        for (const std::string& name : split_csv(cli.get("pin", ""))) {
+          registry.pin(name);
+        }
+        std::string default_tenant = cli.get("tenant", "");
+        if (default_tenant.empty() && tenant_names.size() == 1) {
+          default_tenant = tenant_names.front();
+        }
+        return run_listen_mode(cli, nullptr, &registry, default_tenant,
+                               tenant_names, queries, repeat);
+      }
+      gm::serve::MemService service(scfg, std::move(ref));
+      std::cerr << "[serve] reference " << service.reference().size()
+                << " bp, pool of " << scfg.devices << " device(s)\n";
+      return run_listen_mode(cli, &service, nullptr, "", {}, queries,
+                             repeat);
+    }
 
     if (!registry_dir.empty()) {
       return run_registry_mode(registry_dir, queries, scfg, cli, repeat);

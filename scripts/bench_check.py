@@ -32,6 +32,19 @@ must agree on it):
       artifact-load scenario carries the 10x floor) plus exact MEM-count
       equality; raw nanoseconds are informational.
 
+  gpumem-bench-servenet-v1 (bench_serve_slo)
+      Network-serving gate point (docs/SERVING.md): an open-loop Poisson
+      load run over real loopback TCP at a fixed, deliberately low offered
+      load. The gated quantities are machine-independent: the run
+      configuration (qps, duration, seed, connections, SLO) must match the
+      baseline exactly (so the deterministic Poisson schedule — and hence
+      `sent` — is the same), every request must be sent, answered ok, and
+      error-free, the summed MEM count must equal the baseline exactly,
+      the generous p99 SLO must hold, and the binary's own bit-identity
+      check against direct Engine runs must have passed. Latency quantiles
+      and the saturation sweep are printed for trend inspection but never
+      gated — the knee is a property of the machine.
+
   gpumem-bench-copmem-v1 (bench_copmem)
       Per-scenario *self-relative* cold/hot speedup of the copMEM
       double-sampled fast-index path over the native pipeline, index+match
@@ -56,7 +69,9 @@ SCHEMA_PIPELINE = "gpumem-bench-pipeline-v1"
 SCHEMA_HOSTWALL = "gpumem-bench-hostwall-v1"
 SCHEMA_INDEXIO = "gpumem-bench-indexio-v1"
 SCHEMA_COPMEM = "gpumem-bench-copmem-v1"
-SCHEMAS = (SCHEMA_PIPELINE, SCHEMA_HOSTWALL, SCHEMA_INDEXIO, SCHEMA_COPMEM)
+SCHEMA_SERVENET = "gpumem-bench-servenet-v1"
+SCHEMAS = (SCHEMA_PIPELINE, SCHEMA_HOSTWALL, SCHEMA_INDEXIO, SCHEMA_COPMEM,
+           SCHEMA_SERVENET)
 
 
 def load(path):
@@ -203,6 +218,59 @@ def check_copmem(cand, base, args, failures):
     return len(base_rows), "self-relative e2e speedup floors"
 
 
+def check_servenet(cand, base, args, failures):
+    del args  # the gate is fully described by the JSON itself
+    c, b = cand.get("gate", {}), base.get("gate", {})
+
+    # The run must be the same experiment as the baseline: identical load
+    # configuration means an identical deterministic Poisson schedule.
+    for key in ("offered_qps", "duration_seconds", "seed", "connections",
+                "slo_p99_ms"):
+        if c.get(key) != b.get(key):
+            failures.append(
+                f"gate: config field {key!r} {c.get(key)} differs from "
+                f"baseline {b.get(key)} (regenerate the baseline when "
+                f"retuning the gate point)")
+    if c.get("sent") != b.get("sent"):
+        failures.append(
+            f"gate: sent {c.get('sent')} vs baseline {b.get('sent')} — the "
+            f"seeded schedule must produce the same request count")
+    if c.get("ok") != c.get("sent") or c.get("errors", 1) != 0:
+        failures.append(
+            f"gate: {c.get('ok')}/{c.get('sent')} ok with "
+            f"{c.get('errors')} errors — every scheduled request must be "
+            f"answered ok")
+    if c.get("mems_total") != b.get("mems_total"):
+        failures.append(
+            f"gate: mems_total {c.get('mems_total')} vs baseline "
+            f"{b.get('mems_total')} (must match exactly)")
+    if not c.get("slo_ok", False):
+        failures.append(
+            f"gate: p99 {c.get('p99_ms', 0.0):.2f} ms violates the "
+            f"{c.get('slo_p99_ms')} ms SLO at {c.get('offered_qps')} qps")
+    if not c.get("wire_identical", False):
+        failures.append("gate: wire replies were not bit-identical to "
+                        "direct Engine runs")
+
+    status = "FAIL" if failures else "ok"
+    print(f"  {status:4} gate: {c.get('offered_qps')} qps x "
+          f"{c.get('duration_seconds')} s -> {c.get('ok')}/{c.get('sent')} "
+          f"ok, mems {c.get('mems_total')}, p50 {c.get('p50_ms', 0.0):.2f} "
+          f"ms / p99 {c.get('p99_ms', 0.0):.2f} ms (informational; baseline "
+          f"p99 {b.get('p99_ms', 0.0):.2f} ms)")
+    sweep = cand.get("sweep", {})
+    for p in sweep.get("points", []):
+        print(f"       sweep {p.get('offered_qps')} qps: p99 "
+              f"{p.get('p99_ms', 0.0):.2f} ms, "
+              f"{'within' if p.get('slo_ok') else 'violates'} "
+              f"{sweep.get('slo_p99_ms')} ms SLO (informational)")
+    if sweep.get("points"):
+        print(f"       saturation {sweep.get('saturation_qps')} qps "
+              f"(informational; baseline "
+              f"{base.get('sweep', {}).get('saturation_qps')})")
+    return 1, "exact load config + count/MEM equality, generous SLO"
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("candidate", help="JSON emitted by this run")
@@ -231,6 +299,8 @@ def main():
         count, policy = check_indexio(cand, base, args, failures)
     elif cand["schema"] == SCHEMA_COPMEM:
         count, policy = check_copmem(cand, base, args, failures)
+    elif cand["schema"] == SCHEMA_SERVENET:
+        count, policy = check_servenet(cand, base, args, failures)
     else:
         count, policy = check_hostwall(cand, base, args, failures)
 

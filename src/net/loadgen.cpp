@@ -1,0 +1,202 @@
+#include "net/loadgen.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <thread>
+
+namespace gm::net {
+namespace {
+
+/// splitmix64 — the usual seed-expansion step so nearby seeds don't give
+/// correlated streams.
+std::uint64_t splitmix64(std::uint64_t& s) {
+  s += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// xorshift64* — deterministic across platforms, unlike std::mt19937's
+/// distribution adapters, whose outputs libstdc++ and libc++ disagree on.
+struct Rng {
+  std::uint64_t state;
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t s = seed;
+    state = splitmix64(s) | 1ull;
+  }
+  std::uint64_t next() {
+    std::uint64_t x = state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state = x;
+    return x * 0x2545F4914F6CDD1Dull;
+  }
+  /// Uniform in (0, 1] — never 0, so log() below is finite.
+  double uniform01() {
+    return (static_cast<double>(next() >> 11) + 1.0) / 9007199254740993.0;
+  }
+};
+
+/// Exact sample quantile (nearest-rank) over an already-sorted vector.
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size());
+  auto idx = static_cast<std::size_t>(std::ceil(rank));
+  if (idx > 0) --idx;
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+}  // namespace
+
+WallClock::WallClock() {
+  epoch_ns_ = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+double WallClock::now() {
+  const auto ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return static_cast<double>(ns - epoch_ns_) * 1e-9;
+}
+
+void WallClock::sleep_until(double t) {
+  const double dt = t - now();
+  if (dt <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(dt));
+}
+
+std::vector<double> poisson_schedule(double qps, double duration_seconds,
+                                     std::uint64_t seed) {
+  std::vector<double> arrivals;
+  if (qps <= 0.0 || duration_seconds <= 0.0) return arrivals;
+  Rng rng(seed);
+  double t = 0.0;
+  for (;;) {
+    // Exponential inter-arrival via inversion.
+    t += -std::log(rng.uniform01()) / qps;
+    if (t >= duration_seconds) break;
+    arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
+LoadPoint summarize(const std::vector<double>& latencies_seconds,
+                    double offered_qps, double elapsed_seconds,
+                    std::uint64_t ok, std::uint64_t errors,
+                    std::uint64_t mems_total, double slo_p99_ms) {
+  LoadPoint p;
+  p.offered_qps = offered_qps;
+  p.elapsed_seconds = elapsed_seconds;
+  p.sent = ok + errors;
+  p.ok = ok;
+  p.errors = errors;
+  p.mems_total = mems_total;
+  p.goodput_qps =
+      elapsed_seconds > 0.0 ? static_cast<double>(ok) / elapsed_seconds : 0.0;
+  std::vector<double> sorted = latencies_seconds;
+  std::sort(sorted.begin(), sorted.end());
+  p.p50_ms = quantile_sorted(sorted, 0.50) * 1e3;
+  p.p95_ms = quantile_sorted(sorted, 0.95) * 1e3;
+  p.p99_ms = quantile_sorted(sorted, 0.99) * 1e3;
+  p.max_ms = sorted.empty() ? 0.0 : sorted.back() * 1e3;
+  // An SLO only holds when requests actually succeeded: an all-error run
+  // with empty latencies must not pass as "fast".
+  p.slo_ok = (slo_p99_ms <= 0.0 || p.p99_ms <= slo_p99_ms) && ok > 0 &&
+             errors == 0;
+  return p;
+}
+
+LoadPoint run_open_loop(Clock& clock, const LoadgenConfig& cfg,
+                        const SendFn& send, double slo_p99_ms) {
+  const std::vector<double> schedule =
+      poisson_schedule(cfg.offered_qps, cfg.duration_seconds, cfg.seed);
+  const std::size_t lanes = std::max<std::size_t>(1, cfg.connections);
+  // Rebase the schedule on the clock's current time so back-to-back runs
+  // (a gate point, then every sweep point) each start their own epoch —
+  // otherwise every arrival of a later run is already "in the past" and
+  // the whole run degenerates into one burst with inflated latencies.
+  const double base = clock.now();
+
+  std::atomic<std::size_t> next{0};
+  std::mutex mu;
+  std::vector<double> latencies;
+  latencies.reserve(schedule.size());
+  std::uint64_t ok = 0, errors = 0, mems_total = 0;
+
+  const auto lane_loop = [&](std::size_t lane) {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= schedule.size()) return;
+      clock.sleep_until(base + schedule[i]);
+      const RequestOutcome outcome = send(lane, i);
+      const double latency = clock.now() - (base + schedule[i]);
+      std::lock_guard lock(mu);
+      latencies.push_back(latency);
+      if (outcome.ok) {
+        ++ok;
+        mems_total += outcome.mems;
+      } else {
+        ++errors;
+      }
+    }
+  };
+
+  if (lanes == 1) {
+    lane_loop(0);  // in-thread: mock clocks stay deterministic
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(lanes);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      threads.emplace_back(lane_loop, lane);
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  const double elapsed = std::max(clock.now() - base, cfg.duration_seconds);
+  return summarize(latencies, cfg.offered_qps, elapsed, ok, errors,
+                   mems_total, slo_p99_ms);
+}
+
+SloSweep::SloSweep(SweepConfig cfg) : cfg_(cfg) {
+  if (cfg_.growth <= 1.0) cfg_.growth = 1.5;
+  if (cfg_.start_qps <= 0.0) cfg_.start_qps = 1.0;
+}
+
+double SloSweep::next_load() const {
+  if (done_) return 0.0;
+  if (points_.empty()) return std::min(cfg_.start_qps, cfg_.max_qps);
+  return std::min(points_.back().offered_qps * cfg_.growth, cfg_.max_qps);
+}
+
+void SloSweep::record(const LoadPoint& point) {
+  points_.push_back(point);
+  if (!point.slo_ok) {
+    done_ = true;  // found the knee: first offered load the SLO breaks at
+  } else if (point.offered_qps >= cfg_.max_qps) {
+    done_ = true;  // capped out without a violation
+  } else if (points_.size() >= cfg_.max_points) {
+    done_ = true;
+  }
+}
+
+bool SloSweep::done() const { return done_; }
+
+double SloSweep::saturation_qps() const {
+  double best = 0.0;
+  for (const LoadPoint& p : points_) {
+    if (p.slo_ok && p.offered_qps > best) best = p.offered_qps;
+  }
+  return best;
+}
+
+}  // namespace gm::net

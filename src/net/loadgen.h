@@ -1,0 +1,136 @@
+// Open-loop Poisson load generator for the serving front end.
+//
+// Open loop means arrivals are scheduled ahead of time from a seeded
+// Poisson process and fired at their scheduled instants regardless of how
+// the server is doing; latency is measured from the *scheduled* arrival,
+// not from when the sender got around to writing — the standard
+// coordinated-omission correction. A saturated server therefore shows up
+// as exploding tail latency, exactly what the SLO sweep in bench_serve_slo
+// walks up the offered-load axis to find.
+//
+// Everything that decides or aggregates is pure and clock-abstracted:
+// poisson_schedule() is a deterministic function of (qps, duration, seed),
+// run_open_loop() drives any Clock (tests inject a mock; no sockets, no
+// wall time), summarize() turns raw latencies into a LoadPoint, and
+// SloSweep is a tiny state machine over LoadPoints. The only wall-clock,
+// socket-touching piece is the SendFn the bench wires up over net::Client.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace gm::net {
+
+/// Seconds-based clock the generator runs against. The mock used in tests
+/// advances now() to the sleep target instantly.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual double now() = 0;
+  /// Blocks (or pretends to) until now() >= t; past targets return at once.
+  virtual void sleep_until(double t) = 0;
+};
+
+/// steady_clock-backed Clock; t=0 is construction time.
+class WallClock final : public Clock {
+ public:
+  WallClock();
+  double now() override;
+  void sleep_until(double t) override;
+
+ private:
+  std::uint64_t epoch_ns_ = 0;
+};
+
+/// Arrival times (seconds, ascending, within [0, duration)) of a Poisson
+/// process at rate `qps`, from a seeded xorshift engine: same inputs, same
+/// schedule, on every platform.
+std::vector<double> poisson_schedule(double qps, double duration_seconds,
+                                     std::uint64_t seed);
+
+/// What one request came back as; the transport maps protocol replies to
+/// this (kResult -> ok with its MEM count, anything else -> !ok).
+struct RequestOutcome {
+  bool ok = false;
+  std::uint32_t mems = 0;
+};
+
+/// Transport hook: issue request `index` on connection lane `lane`, return
+/// its outcome. Called from `connections` generator threads concurrently
+/// (lane-distinct calls only).
+using SendFn = std::function<RequestOutcome(std::size_t lane,
+                                            std::size_t index)>;
+
+struct LoadgenConfig {
+  double offered_qps = 50.0;
+  double duration_seconds = 2.0;
+  std::uint64_t seed = 1;
+  /// Generator threads / connection lanes. Use 1 with a mock clock — a
+  /// mock's time only moves deterministically single-threaded.
+  std::size_t connections = 4;
+};
+
+/// One measured point on the load curve.
+struct LoadPoint {
+  double offered_qps = 0.0;
+  double elapsed_seconds = 0.0;
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;       ///< typed error replies + transport failures
+  std::uint64_t mems_total = 0;   ///< summed over ok replies (bit-identity key)
+  double goodput_qps = 0.0;       ///< ok / elapsed
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0, max_ms = 0.0;
+  bool slo_ok = false;            ///< p99 within the sweep's SLO
+};
+
+/// Aggregates corrected latencies into a LoadPoint. Quantiles are exact
+/// (sorted-sample), not sketch-approximate: the bench gate diffs these
+/// numbers, so they must be deterministic. `slo_p99_ms <= 0` disables the
+/// SLO check (slo_ok = true).
+LoadPoint summarize(const std::vector<double>& latencies_seconds,
+                    double offered_qps, double elapsed_seconds,
+                    std::uint64_t ok, std::uint64_t errors,
+                    std::uint64_t mems_total, double slo_p99_ms);
+
+/// Fires the schedule open-loop against `send` and returns the measured
+/// point. The schedule is rebased on clock.now() at entry (so back-to-back
+/// runs on one clock each get their own epoch); latency for request i is
+/// reply time minus its rebased scheduled arrival.
+LoadPoint run_open_loop(Clock& clock, const LoadgenConfig& cfg,
+                        const SendFn& send, double slo_p99_ms);
+
+/// The sweep: multiply offered load by `growth` until the SLO breaks, the
+/// load cap is hit, or `max_points` points are measured. Pure decision
+/// logic — unit-testable without running anything.
+struct SweepConfig {
+  double start_qps = 25.0;
+  double growth = 1.6;     ///< multiplicative step, > 1
+  double max_qps = 10000.0;
+  double slo_p99_ms = 50.0;
+  std::size_t max_points = 12;
+};
+
+class SloSweep {
+ public:
+  explicit SloSweep(SweepConfig cfg);
+
+  /// Offered load to measure next; 0 when the sweep is finished.
+  double next_load() const;
+  void record(const LoadPoint& point);
+  bool done() const;
+
+  const std::vector<LoadPoint>& points() const noexcept { return points_; }
+  const SweepConfig& config() const noexcept { return cfg_; }
+
+  /// Highest measured load whose SLO held (0 when even the first violated).
+  double saturation_qps() const;
+
+ private:
+  SweepConfig cfg_;
+  std::vector<LoadPoint> points_;
+  bool done_ = false;
+};
+
+}  // namespace gm::net

@@ -23,6 +23,11 @@ double seconds_between(std::chrono::steady_clock::time_point from,
 /// keeps a readable number of rows under sustained traffic.
 constexpr std::uint32_t kRequestLanes = 24;
 
+/// Validation bound on per-request deadlines: anything above this is a
+/// field-encoding bug (the wire carries deadlines in ms as u32), not a real
+/// deadline. ~10 years.
+constexpr double kMaxDeadlineSeconds = 3.2e8;
+
 }  // namespace
 
 const char* to_string(QueryStatus status) {
@@ -31,6 +36,7 @@ const char* to_string(QueryStatus status) {
     case QueryStatus::kRejected: return "rejected";
     case QueryStatus::kExpired: return "expired";
     case QueryStatus::kFailed: return "failed";
+    case QueryStatus::kInvalid: return "invalid";
   }
   return "unknown";
 }
@@ -47,6 +53,8 @@ void publish_service_stats(const ServiceStats& stats) {
   set("serve.completed", static_cast<double>(stats.completed));
   set("serve.rejected", static_cast<double>(stats.rejected),
       "submits refused by admission control or shutdown");
+  set("serve.invalid", static_cast<double>(stats.invalid),
+      "submits refused by request validation, never enqueued");
   set("serve.expired", static_cast<double>(stats.expired),
       "requests whose deadline passed while queued");
   set("serve.deadline_miss", static_cast<double>(stats.deadline_miss),
@@ -137,21 +145,71 @@ MemService::MemService(ServiceConfig cfg, seq::Sequence ref)
 
 MemService::~MemService() { shutdown(); }
 
-std::future<QueryResult> MemService::submit(QueryRequest req) {
+std::future<QueryResult> MemService::submit(QueryRequest req,
+                                            CompletionFn on_done) {
   std::promise<QueryResult> promise;
   std::future<QueryResult> fut = promise.get_future();
+
+  // Resolves a request that never reaches the queue: the promise is set and
+  // the callback runs on this (the submitting) thread, outside mu_.
+  const auto finish_now = [&](QueryStatus status, std::string error) {
+    QueryResult r;
+    r.status = status;
+    r.id = std::move(req.id);
+    r.error = std::move(error);
+    if (on_done) on_done(r);
+    promise.set_value(r);
+    return std::move(fut);
+  };
+
+  // Submit-time validation: the wire path must not be able to smuggle
+  // states the offline CLI already rejects. Checked before admission so an
+  // invalid request never occupies a queue slot.
+  std::string invalid_reason;
+  if (req.query.empty()) {
+    invalid_reason = "empty query";
+  } else if (req.deadline_seconds < 0.0 ||
+             req.deadline_seconds != req.deadline_seconds ||
+             req.deadline_seconds > kMaxDeadlineSeconds) {
+    invalid_reason = "deadline must be a finite non-negative number of "
+                     "seconds (got " +
+                     std::to_string(req.deadline_seconds) + ")";
+  }
+  if (!invalid_reason.empty()) {
+    {
+      std::lock_guard lock(mu_);
+      ++stats_.submitted;
+      ++stats_.invalid;
+    }
+    obs::flight(obs::FlightKind::kQueue, "submit-invalid", 0, 0.0);
+    if (obs::enabled()) {
+      obs::Registry::global()
+          .metrics()
+          .counter("serve.invalid_total", "submits failing validation")
+          .add();
+    }
+    return finish_now(QueryStatus::kInvalid, std::move(invalid_reason));
+  }
+
+  Pending pending;
+  pending.deadline_seconds = req.deadline_seconds > 0.0
+                                 ? req.deadline_seconds
+                                 : cfg_.default_deadline_seconds;
+  pending.submitted_at = std::chrono::steady_clock::now();
+  pending.trace_id = obs::new_trace_id();
+
+  bool rejected = false;
+  std::string reject_reason;
   {
     std::lock_guard lock(mu_);
     ++stats_.submitted;
     if (stopping_ || queue_.size() >= cfg_.queue_capacity) {
       ++stats_.rejected;
-      QueryResult r;
-      r.status = QueryStatus::kRejected;
-      r.id = std::move(req.id);
-      r.error = stopping_ ? "service is shut down"
-                          : "queue full (capacity " +
-                                std::to_string(cfg_.queue_capacity) + ")";
-      promise.set_value(std::move(r));
+      rejected = true;
+      reject_reason = stopping_ ? "service is shut down"
+                                : "queue full (capacity " +
+                                      std::to_string(cfg_.queue_capacity) +
+                                      ")";
       obs::flight(obs::FlightKind::kQueue, "submit-reject", 0,
                   static_cast<double>(queue_.size()));
       if (obs::enabled()) {
@@ -160,31 +218,37 @@ std::future<QueryResult> MemService::submit(QueryRequest req) {
             .counter("serve.rejected_total", "rejected submits")
             .add();
       }
-      return fut;
+    } else {
+      pending.req = std::move(req);
+      pending.promise = std::move(promise);
+      pending.on_done = std::move(on_done);
+      pending.lane =
+          1 + static_cast<std::uint32_t>(submit_seq_++ % kRequestLanes);
+      obs::flight(obs::FlightKind::kQueue, "submit", pending.trace_id,
+                  static_cast<double>(queue_.size() + 1));
+      queue_.push_back(std::move(pending));
+      stats_.queue_depth = queue_.size();
+      stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
+      if (obs::enabled()) {
+        obs::Registry::global()
+            .metrics()
+            .gauge("serve.queue_depth")
+            .set(static_cast<double>(queue_.size()));
+      }
     }
-    Pending pending;
-    pending.deadline_seconds = req.deadline_seconds > 0.0
-                                   ? req.deadline_seconds
-                                   : cfg_.default_deadline_seconds;
-    pending.req = std::move(req);
-    pending.promise = std::move(promise);
-    pending.submitted_at = std::chrono::steady_clock::now();
-    pending.trace_id = obs::new_trace_id();
-    pending.lane = 1 + static_cast<std::uint32_t>(submit_seq_++ % kRequestLanes);
-    obs::flight(obs::FlightKind::kQueue, "submit", pending.trace_id,
-                static_cast<double>(queue_.size() + 1));
-    queue_.push_back(std::move(pending));
-    stats_.queue_depth = queue_.size();
-    stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
-    if (obs::enabled()) {
-      obs::Registry::global()
-          .metrics()
-          .gauge("serve.queue_depth")
-          .set(static_cast<double>(queue_.size()));
-    }
+  }
+  if (rejected) {
+    // The promise resolves and the callback runs outside mu_, on this
+    // thread — admission failures surface immediately, never queued.
+    return finish_now(QueryStatus::kRejected, std::move(reject_reason));
   }
   cv_.notify_one();
   return fut;
+}
+
+std::size_t MemService::queue_depth() const {
+  std::lock_guard lock(mu_);
+  return queue_.size();
 }
 
 void MemService::resume() {
@@ -276,6 +340,7 @@ void MemService::dispatcher_loop() {
           case QueryStatus::kExpired: ++stats_.expired; break;
           case QueryStatus::kFailed: ++stats_.failed; break;
           case QueryStatus::kRejected: ++stats_.rejected; break;
+          case QueryStatus::kInvalid: ++stats_.invalid; break;  // unreachable
         }
       }
       if (deadline_missed) {
@@ -298,7 +363,11 @@ void MemService::dispatcher_loop() {
                        "dispatch -> completion wall time")
             .observe(result.service_seconds);
       }
-      pending.promise.set_value(std::move(result));
+      // Callback before promise: a caller that observed the future resolve
+      // may rely on the completion callback having already run (the
+      // ordering tests pin this).
+      if (pending.on_done) pending.on_done(result);
+      pending.promise.set_value(result);
     }
     publish_service_stats(stats());
   }

@@ -12,6 +12,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -85,6 +86,9 @@ enum class QueryStatus {
   kRejected,  ///< never queued: queue full or service shut down
   kExpired,   ///< deadline passed while queued
   kFailed,    ///< execution error (message in QueryResult::error)
+  kInvalid,   ///< never queued: request failed validation (empty query,
+              ///< negative/non-finite deadline) — the wire path cannot
+              ///< smuggle states the offline CLI rejects
 };
 
 const char* to_string(QueryStatus status);
@@ -113,6 +117,7 @@ struct ServiceStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;  ///< finished OK
   std::uint64_t rejected = 0;
+  std::uint64_t invalid = 0;    ///< failed submit-time validation
   std::uint64_t expired = 0;
   std::uint64_t failed = 0;
   /// Requests that missed their deadline: expired while queued, plus
@@ -148,9 +153,26 @@ class MemService {
   MemService(const MemService&) = delete;
   MemService& operator=(const MemService&) = delete;
 
+  /// Completion hook for event-driven callers (the net/ front end): invoked
+  /// exactly once with the final result, just *before* the future is
+  /// fulfilled — on the dispatcher thread for executed requests, on the
+  /// submitting thread for immediate rejections/invalid requests. A caller
+  /// that observes the future resolve can therefore rely on the callback
+  /// having already run. Must not block and must not call back into this
+  /// service.
+  using CompletionFn = std::function<void(const QueryResult&)>;
+
   /// Enqueues a request. Always returns a valid future: a rejected submit
-  /// (queue full, shut down) resolves immediately with kRejected.
-  std::future<QueryResult> submit(QueryRequest req);
+  /// (queue full, shut down) resolves immediately with kRejected, and a
+  /// request failing validation — empty query, negative or non-finite
+  /// deadline — resolves immediately with kInvalid, before touching the
+  /// queue.
+  std::future<QueryResult> submit(QueryRequest req,
+                                  CompletionFn on_done = nullptr);
+
+  /// Waiting requests right now — the cheap admission signal the net layer
+  /// sheds load on (no per-worker cache walk, unlike stats()).
+  std::size_t queue_depth() const;
 
   /// Starts dispatching when the service was created start_paused.
   void resume();
@@ -167,6 +189,7 @@ class MemService {
   struct Pending {
     QueryRequest req;
     std::promise<QueryResult> promise;
+    CompletionFn on_done;  ///< may be null
     std::chrono::steady_clock::time_point submitted_at;
     double deadline_seconds = 0.0;  ///< resolved (request or default)
     std::uint64_t trace_id = 0;     ///< minted at submit

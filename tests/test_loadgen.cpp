@@ -1,0 +1,238 @@
+// Deterministic unit tests for the open-loop load generator — no sockets,
+// no wall time. A mock Clock advances instantly to each sleep target and
+// only moves otherwise when the fake "server" burns simulated service
+// time, so Poisson schedules, coordinated-omission-corrected latencies,
+// and SLO-sweep termination are all exactly reproducible.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "net/loadgen.h"
+
+namespace gm {
+namespace {
+
+using net::LoadPoint;
+using net::LoadgenConfig;
+using net::RequestOutcome;
+using net::SloSweep;
+using net::SweepConfig;
+
+/// Time only moves when told to: sleep_until jumps forward (never back),
+/// advance() models work being done.
+class MockClock final : public net::Clock {
+ public:
+  double now() override { return t_; }
+  void sleep_until(double t) override {
+    if (t > t_) t_ = t;
+  }
+  void advance(double dt) { t_ += dt; }
+
+ private:
+  double t_ = 0.0;
+};
+
+// --- poisson_schedule -------------------------------------------------------
+
+TEST(PoissonSchedule, DeterministicForSeedAndDistinctAcrossSeeds) {
+  const auto a = net::poisson_schedule(200.0, 2.0, 7);
+  const auto b = net::poisson_schedule(200.0, 2.0, 7);
+  const auto c = net::poisson_schedule(200.0, 2.0, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(PoissonSchedule, ArrivalsAscendWithinDurationAtRoughlyTheRate) {
+  const double qps = 500.0, duration = 4.0;
+  const auto s = net::poisson_schedule(qps, duration, 3);
+  ASSERT_FALSE(s.empty());
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+  EXPECT_GE(s.front(), 0.0);
+  EXPECT_LT(s.back(), duration);
+  // Mean count is qps*duration = 2000, sd ~ sqrt(2000) ~ 45; a 5-sigma
+  // band stays deterministic (fixed seed) while catching rate bugs.
+  const double expect = qps * duration;
+  EXPECT_GT(static_cast<double>(s.size()), expect - 5 * std::sqrt(expect));
+  EXPECT_LT(static_cast<double>(s.size()), expect + 5 * std::sqrt(expect));
+}
+
+TEST(PoissonSchedule, DegenerateInputsYieldEmpty) {
+  EXPECT_TRUE(net::poisson_schedule(0.0, 1.0, 1).empty());
+  EXPECT_TRUE(net::poisson_schedule(-5.0, 1.0, 1).empty());
+  EXPECT_TRUE(net::poisson_schedule(100.0, 0.0, 1).empty());
+}
+
+// --- run_open_loop against the mock clock -----------------------------------
+
+TEST(OpenLoop, LatencyIsServiceTimeWhenServerKeepsUp) {
+  MockClock clock;
+  LoadgenConfig cfg;
+  cfg.offered_qps = 10.0;  // 100 ms apart on average
+  cfg.duration_seconds = 10.0;
+  cfg.seed = 5;
+  cfg.connections = 1;  // single lane: mock time stays deterministic
+
+  constexpr double kService = 0.001;  // 1 ms — far below the arrival gap
+  const LoadPoint p = net::run_open_loop(
+      clock, cfg,
+      [&](std::size_t, std::size_t) {
+        clock.advance(kService);
+        return RequestOutcome{true, 3};
+      },
+      /*slo_p99_ms=*/50.0);
+
+  const auto schedule =
+      net::poisson_schedule(cfg.offered_qps, cfg.duration_seconds, cfg.seed);
+  EXPECT_EQ(p.sent, schedule.size());
+  EXPECT_EQ(p.ok, schedule.size());
+  EXPECT_EQ(p.errors, 0u);
+  EXPECT_EQ(p.mems_total, 3 * schedule.size());
+  // Every request starts exactly at its scheduled arrival and takes 1 ms.
+  EXPECT_NEAR(p.p50_ms, 1.0, 1e-9);
+  EXPECT_NEAR(p.p99_ms, 1.0, 1e-9);
+  EXPECT_NEAR(p.max_ms, 1.0, 1e-9);
+  EXPECT_TRUE(p.slo_ok);
+}
+
+TEST(OpenLoop, CoordinatedOmissionShowsUpAsGrowingTail) {
+  // Service time (50 ms) far exceeds the mean arrival gap (10 ms): a
+  // closed-loop harness would hide the backlog, but open-loop latency is
+  // measured from the *scheduled* arrival, so the tail must explode.
+  MockClock clock;
+  LoadgenConfig cfg;
+  cfg.offered_qps = 100.0;
+  cfg.duration_seconds = 2.0;
+  cfg.seed = 9;
+  cfg.connections = 1;
+
+  constexpr double kService = 0.050;
+  const LoadPoint p = net::run_open_loop(
+      clock, cfg,
+      [&](std::size_t, std::size_t) {
+        clock.advance(kService);
+        return RequestOutcome{true, 0};
+      },
+      /*slo_p99_ms=*/100.0);
+
+  EXPECT_GT(p.max_ms, 1000.0);       // the backlog compounds
+  EXPECT_GT(p.p99_ms, p.p50_ms);     // and the tail is where it lives
+  EXPECT_FALSE(p.slo_ok);            // 100 ms p99 SLO is long gone
+}
+
+TEST(OpenLoop, ErrorsAreCountedAndFailTheSlo) {
+  MockClock clock;
+  LoadgenConfig cfg;
+  cfg.offered_qps = 50.0;
+  cfg.duration_seconds = 1.0;
+  cfg.seed = 2;
+  cfg.connections = 1;
+
+  std::size_t n = 0;
+  const LoadPoint p = net::run_open_loop(
+      clock, cfg,
+      [&](std::size_t, std::size_t) {
+        return RequestOutcome{++n % 4 != 0, 1};  // every 4th request fails
+      },
+      /*slo_p99_ms=*/1000.0);
+  EXPECT_GT(p.errors, 0u);
+  EXPECT_EQ(p.sent, p.ok + p.errors);
+  EXPECT_FALSE(p.slo_ok) << "errors must fail the SLO regardless of latency";
+}
+
+// --- summarize --------------------------------------------------------------
+
+TEST(Summarize, ExactQuantilesFromKnownSamples) {
+  // 100 samples: 1..100 ms.
+  std::vector<double> lat;
+  for (int i = 1; i <= 100; ++i) lat.push_back(i * 1e-3);
+  const LoadPoint p =
+      net::summarize(lat, 100.0, 1.0, /*ok=*/100, /*errors=*/0,
+                     /*mems_total=*/500, /*slo_p99_ms=*/99.0);
+  EXPECT_NEAR(p.p50_ms, 50.0, 1e-9);
+  EXPECT_NEAR(p.p95_ms, 95.0, 1e-9);
+  EXPECT_NEAR(p.p99_ms, 99.0, 1e-9);
+  EXPECT_NEAR(p.max_ms, 100.0, 1e-9);
+  EXPECT_NEAR(p.goodput_qps, 100.0, 1e-9);
+  EXPECT_TRUE(p.slo_ok);  // p99 == SLO boundary passes
+
+  const LoadPoint q =
+      net::summarize(lat, 100.0, 1.0, 100, 0, 500, /*slo_p99_ms=*/98.0);
+  EXPECT_FALSE(q.slo_ok);  // one ms tighter fails
+}
+
+TEST(Summarize, NoSuccessesNeverPassesTheSlo) {
+  const LoadPoint p = net::summarize({}, 10.0, 1.0, /*ok=*/0, /*errors=*/5,
+                                     0, /*slo_p99_ms=*/1000.0);
+  EXPECT_FALSE(p.slo_ok) << "an all-error run must not read as fast";
+}
+
+// --- SloSweep ---------------------------------------------------------------
+
+LoadPoint point_at(double qps, bool slo_ok) {
+  LoadPoint p;
+  p.offered_qps = qps;
+  p.ok = 10;
+  p.slo_ok = slo_ok;
+  return p;
+}
+
+TEST(Sweep, GrowsMultiplicativelyUntilViolationThenStops) {
+  SweepConfig cfg;
+  cfg.start_qps = 10.0;
+  cfg.growth = 2.0;
+  cfg.max_qps = 10000.0;
+  SloSweep sweep(cfg);
+
+  EXPECT_FALSE(sweep.done());
+  EXPECT_DOUBLE_EQ(sweep.next_load(), 10.0);
+  sweep.record(point_at(10.0, true));
+  EXPECT_DOUBLE_EQ(sweep.next_load(), 20.0);
+  sweep.record(point_at(20.0, true));
+  EXPECT_DOUBLE_EQ(sweep.next_load(), 40.0);
+  sweep.record(point_at(40.0, false));  // the knee
+
+  EXPECT_TRUE(sweep.done());
+  EXPECT_DOUBLE_EQ(sweep.next_load(), 0.0);
+  EXPECT_DOUBLE_EQ(sweep.saturation_qps(), 20.0);
+  EXPECT_EQ(sweep.points().size(), 3u);
+}
+
+TEST(Sweep, StopsAtTheLoadCapWithoutViolation) {
+  SweepConfig cfg;
+  cfg.start_qps = 100.0;
+  cfg.growth = 10.0;
+  cfg.max_qps = 1000.0;
+  SloSweep sweep(cfg);
+
+  sweep.record(point_at(sweep.next_load(), true));   // 100
+  EXPECT_DOUBLE_EQ(sweep.next_load(), 1000.0);       // capped, not 10000
+  sweep.record(point_at(1000.0, true));
+  EXPECT_TRUE(sweep.done()) << "reaching max_qps ends the sweep";
+  EXPECT_DOUBLE_EQ(sweep.saturation_qps(), 1000.0);
+}
+
+TEST(Sweep, StopsAfterMaxPoints) {
+  SweepConfig cfg;
+  cfg.start_qps = 1.0;
+  cfg.growth = 1.1;
+  cfg.max_qps = 1e9;
+  cfg.max_points = 3;
+  SloSweep sweep(cfg);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_FALSE(sweep.done());
+    sweep.record(point_at(sweep.next_load(), true));
+  }
+  EXPECT_TRUE(sweep.done());
+}
+
+TEST(Sweep, FirstPointViolatingMeansZeroSaturation) {
+  SloSweep sweep(SweepConfig{});
+  sweep.record(point_at(sweep.next_load(), false));
+  EXPECT_TRUE(sweep.done());
+  EXPECT_DOUBLE_EQ(sweep.saturation_qps(), 0.0);
+}
+
+}  // namespace
+}  // namespace gm

@@ -3,8 +3,11 @@
 // independent Engine::run results while enforcing its queue semantics.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <condition_variable>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -374,14 +377,83 @@ TEST(MemServiceTest, ShutdownDrainsQueueAndRejectsNew) {
   service.shutdown();  // idempotent
 }
 
-TEST(MemServiceTest, EmptyQueryCompletesWithNoMems) {
+// Submit-time validation: the wire path must not be able to smuggle states
+// the offline CLI rejects (ISSUE 9). Invalid requests resolve immediately
+// with kInvalid, never occupy a queue slot, and are counted separately from
+// admission rejections.
+TEST(MemServiceTest, EmptyQueryIsInvalidNeverEnqueued) {
   const auto ref = test_reference(1500, 72);
   ServiceConfig scfg;
   scfg.engine = small_config();
+  scfg.start_paused = true;  // an enqueue would be visible in queue_depth
   MemService service(scfg, ref);
   const auto res = service.submit({"empty", seq::Sequence(), 0.0}).get();
-  EXPECT_EQ(res.status, QueryStatus::kOk) << res.error;
+  EXPECT_EQ(res.status, QueryStatus::kInvalid);
+  EXPECT_NE(res.error.find("empty query"), std::string::npos) << res.error;
   EXPECT_TRUE(res.mems.empty());
+  EXPECT_EQ(service.queue_depth(), 0u);
+  EXPECT_EQ(service.stats().invalid, 1u);
+  EXPECT_EQ(service.stats().rejected, 0u);
+}
+
+TEST(MemServiceTest, BadDeadlinesAreInvalidNeverEnqueued) {
+  const auto ref = test_reference(1500, 74);
+  const auto query = derived_query(ref, 75);
+  ServiceConfig scfg;
+  scfg.engine = small_config();
+  scfg.start_paused = true;
+  MemService service(scfg, ref);
+
+  const auto negative = service.submit({"neg", query, -1.0}).get();
+  EXPECT_EQ(negative.status, QueryStatus::kInvalid);
+  EXPECT_NE(negative.error.find("deadline"), std::string::npos)
+      << negative.error;
+
+  const auto nan =
+      service.submit({"nan", query, std::nan("")}).get();
+  EXPECT_EQ(nan.status, QueryStatus::kInvalid);
+
+  const auto huge =
+      service.submit({"inf", query, 1e300}).get();
+  EXPECT_EQ(huge.status, QueryStatus::kInvalid);
+
+  EXPECT_EQ(service.queue_depth(), 0u);
+  EXPECT_EQ(service.stats().invalid, 3u);
+
+  // Zero stays the documented "use the service default" sentinel.
+  auto ok = service.submit({"zero", query, 0.0});
+  EXPECT_EQ(service.queue_depth(), 1u);
+  service.resume();
+  EXPECT_EQ(ok.get().status, QueryStatus::kOk);
+}
+
+TEST(MemServiceTest, CompletionCallbackFiresOnceWithFinalResult) {
+  const auto ref = test_reference(1500, 76);
+  const auto query = derived_query(ref, 77);
+  ServiceConfig scfg;
+  scfg.engine = small_config();
+  MemService service(scfg, ref);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<QueryStatus> seen;
+  const auto on_done = [&](const serve::QueryResult& r) {
+    std::lock_guard lock(mu);
+    seen.push_back(r.status);
+    cv.notify_all();
+  };
+
+  auto fut = service.submit({"cb", query, 0.0}, on_done);
+  EXPECT_EQ(fut.get().status, QueryStatus::kOk);
+  // Invalid and rejected submits invoke the callback on the submitting
+  // thread before the future returns.
+  (void)service.submit({"cb-empty", seq::Sequence(), 0.0}, on_done);
+  {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return seen.size() == 2; });
+    EXPECT_EQ(seen[0], QueryStatus::kOk);
+    EXPECT_EQ(seen[1], QueryStatus::kInvalid);
+  }
 }
 
 TEST(MemServiceTest, InvalidConfigsThrow) {
