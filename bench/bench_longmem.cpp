@@ -1,0 +1,157 @@
+// Long-MEM L-sweep rig: measures the lazy-LCP slaMEM sweep (mem/slamem
+// find_lazy, docs/PERFORMANCE.md "Long-MEM mode") against the eager
+// matching-statistics sweep on the same FM index, and emits
+// BENCH_longmem.json (schema gpumem-bench-longmem-v1) for
+// scripts/bench_check.py.
+//
+// The scenario grid extends bench_fig5_minlen's minimum-length study: every
+// distinct Table-II dataset pair crossed with a geometric L ladder
+// {20, 40, 80, 160, 320}. Per scenario, one row "<dataset> L<minlen>":
+// cold_ns is the eager sweep, hot_ns the lazy sweep, both timed best-of-N
+// in the same process over one shared FM index (index construction is
+// excluded — both modes use the identical artifact).
+//
+// Gating: the lazy sweep's win comes from absence certificates (a short
+// probe or a depth drop proves a whole block of window starts dead), so it
+// scales with alignment-desert density. The 2x floor is carried at the top
+// of the ladder on the diverged pair (chr1m_s/chr2h_s, ~6% divergence) and
+// the unrelated pair (dmel_s/ecoli_s); the high-identity pairs
+// (chrXc_s/chrXh_s, chrXII_s/chrI_s) and all low rungs are informational —
+// at low L or near-identity the sweep degrades to eager by design. The
+// binary additionally self-gates that both modes extract bit-identical MEM
+// sets in every scenario. Raw nanoseconds are recorded for trend
+// inspection but never gated.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "index/fm_index.h"
+#include "mem/slamem.h"
+#include "seq/synthetic.h"
+#include "util/cli.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace gm;
+
+namespace {
+
+struct Row {
+  std::string name;
+  double cold_ns = 0.0;      ///< eager matching-statistics sweep
+  double hot_ns = 0.0;       ///< lazy long-MEM sweep
+  double min_speedup = 0.0;  ///< 0 = informational (not gated)
+  std::uint64_t mems = 0;    ///< deterministic output count (identity check)
+
+  double speedup() const { return cold_ns / hot_ns; }
+};
+
+/// Best-of-`reps` wall time of fn(), after one untimed warmup.
+template <typename Fn>
+double time_best_ns(int reps, Fn&& fn) {
+  fn();
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    util::Timer t;
+    fn();
+    best = std::min(best, t.seconds() * 1e9);
+  }
+  return best;
+}
+
+void write_json(const std::string& path, const std::vector<Row>& rows) {
+  std::ofstream f(path);
+  f.precision(17);
+  f << "{\n  \"schema\": \"gpumem-bench-longmem-v1\",\n"
+    << "  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    f << "    {\"name\": \"" << r.name << "\", \"cold_ns\": " << r.cold_ns
+      << ", \"hot_ns\": " << r.hot_ns << ", \"speedup\": " << r.speedup()
+      << ", \"min_speedup\": " << r.min_speedup << ", \"mems\": " << r.mems
+      << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  f << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t scale = bench::default_scale(argc, argv);
+  util::Cli cli(argc, argv);
+  const std::string out = cli.get("out", "BENCH_longmem.json");
+  const int reps = static_cast<int>(cli.get_int("reps", 3));
+  const double floor = cli.get_double("floor", 2.0);
+  const std::uint32_t ladder[] = {20, 40, 80, 160, 320};
+  const std::uint32_t top = ladder[std::size(ladder) - 1];
+
+  std::vector<Row> rows;
+  util::Table sweep({"dataset", "L", "eager ms", "lazy ms", "speedup",
+                     "#MEMs"});
+  bool identical = true;
+
+  for (const std::string& preset : seq::dataset_presets()) {
+    const seq::DatasetPair& data = bench::dataset_for(preset, scale);
+    // The diverged and unrelated pairs carry the floor at the top rung; the
+    // high-identity pairs stay informational (few absence certificates).
+    const bool gated_pair =
+        preset == "chr1m_s/chr2h_s" || preset == "dmel_s/ecoli_s";
+
+    // One FM index shared by both modes: the comparison is sweep vs sweep,
+    // not index construction.
+    index::FmIndex fm(data.reference);
+    mem::FinderOptions opt;
+    opt.min_length = ladder[0];
+    mem::SlaMemFinder eager;
+    eager.adopt_index(data.reference, opt, fm);
+    mem::SlaMemFinder lazy(/*force_lazy=*/true);
+    lazy.adopt_index(data.reference, opt, std::move(fm));
+
+    for (const std::uint32_t L : ladder) {
+      const std::string name = preset + " L" + std::to_string(L);
+      std::vector<mem::Mem> eager_mems, lazy_mems;
+      const double cold_ns = time_best_ns(
+          reps, [&] { eager_mems = eager.find_at(data.query, L); });
+      const double hot_ns = time_best_ns(
+          reps, [&] { lazy_mems = lazy.find_at(data.query, L); });
+      if (eager_mems != lazy_mems) {
+        identical = false;
+        std::cerr << "!! " << name << ": MEM sets diverge (eager "
+                  << eager_mems.size() << ", lazy " << lazy_mems.size()
+                  << ")\n";
+      }
+      const double row_floor = (gated_pair && L == top) ? floor : 0.0;
+      rows.push_back({name, cold_ns, hot_ns, row_floor, eager_mems.size()});
+      sweep.add_row({preset, util::Table::num(std::uint64_t{L}),
+                     util::Table::num(cold_ns / 1e6, 3),
+                     util::Table::num(hot_ns / 1e6, 3),
+                     util::Table::num(cold_ns / hot_ns, 2),
+                     util::Table::num(std::uint64_t{eager_mems.size()})});
+    }
+  }
+
+  bench::emit("longmem_sweep", sweep);
+  write_json(out, rows);
+  bool pass = identical;
+  for (const Row& r : rows) {
+    const bool gated = r.min_speedup > 0.0;
+    const bool ok = !gated || r.speedup() >= r.min_speedup;
+    pass = pass && ok;
+    std::cout << "  " << (ok ? "ok  " : "FAIL") << " " << r.name
+              << ": eager " << r.cold_ns / 1e6 << " ms, lazy "
+              << r.hot_ns / 1e6 << " ms -> " << r.speedup() << "x"
+              << (gated ? " (floor " + std::to_string(r.min_speedup) + "x)"
+                        : " (informational)")
+              << ", mems " << r.mems << "\n";
+  }
+  std::cout << "wrote " << out << " (" << rows.size() << " scenarios)\n";
+  if (!identical) {
+    std::cout << "FAILED: eager and lazy MEM sets are not bit-identical\n";
+  }
+  if (!pass) return 1;
+  return 0;
+}

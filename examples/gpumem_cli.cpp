@@ -4,7 +4,7 @@
 //   ./gpumem_cli --ref ref.fa --query query.fa [--min-len 50] [--seed-len 13]
 //                [--backend native|simt] [--both-strands] [--mum]
 //                [--finder gpumem|mummer|sparsemem|essamem|slamem|copmem]
-//                [--load-index ref.gmidx]
+//                [--lazy-lcp] [--load-index ref.gmidx]
 //                [--trace-out trace.json] [--metrics-out metrics.json]
 //                [--stats] [--threads N]
 //   ./gpumem_cli --demo          # runs on generated data, no files needed
@@ -25,6 +25,7 @@
 #include "core/finders.h"
 #include "mem/copmem.h"
 #include "mem/registry.h"
+#include "mem/slamem.h"
 #include "mem/report.h"
 #include "mem/uniqueness.h"
 #include "obs/registry.h"
@@ -130,6 +131,43 @@ class CopmemArtifactFinder final : public gm::mem::MemFinder {
   gm::mem::CopMemFinder inner_;
 };
 
+/// slaMEM finder over a loaded artifact: adopts the kFmIndex section when
+/// the artifact carries one (no suffix-structure build at all), otherwise
+/// builds the FM index over the artifact's reference. Pairs with
+/// --lazy-lcp for the long-MEM fast path on a persisted index.
+class SlamemArtifactFinder final : public gm::mem::MemFinder {
+ public:
+  SlamemArtifactFinder(std::shared_ptr<const gm::store::LoadedIndex> index,
+                       bool force_lazy)
+      : index_(std::move(index)), inner_(force_lazy) {}
+
+  std::string name() const override { return inner_.name() + "-artifact"; }
+
+  void build_index(const gm::seq::Sequence& ref,
+                   const gm::mem::FinderOptions& opt) override {
+    (void)ref;  // the artifact embeds the reference
+    if (index_->has(gm::store::SectionId::kFmIndex)) {
+      inner_.adopt_index(index_->reference(), opt, index_->fm_index());
+    } else {
+      inner_.build_index(index_->reference(), opt);
+    }
+  }
+
+  std::vector<gm::mem::Mem> find(
+      const gm::seq::Sequence& query) const override {
+    return inner_.find(query);
+  }
+
+  double last_find_modeled_seconds() const override {
+    return inner_.last_find_modeled_seconds();
+  }
+  std::size_t index_bytes() const override { return inner_.index_bytes(); }
+
+ private:
+  std::shared_ptr<const gm::store::LoadedIndex> index_;
+  gm::mem::SlaMemFinder inner_;
+};
+
 int run_index_build(gm::util::Cli& cli) {
   const std::string ref_path = cli.get("ref", "");
   const std::string out_path = cli.get("out", "");
@@ -231,7 +269,12 @@ int main(int argc, char** argv) {
   cli.describe("overlap-streams", "worker streams for --overlap (default 2)");
   cli.describe("finder",
                "tool: gpumem (default), mummer, sparsemem, essamem, slamem, "
-               "copmem (double-sampling fast index)");
+               "slamem-lazy (long-MEM sweep), copmem (double-sampling fast "
+               "index)");
+  cli.describe("lazy-lcp",
+               "slamem finder: lazy LCP evaluation (long-MEM mode) — "
+               "bit-identical output, faster at high --min-len; see "
+               "docs/PERFORMANCE.md");
   cli.describe("both-strands", "also match the reverse-complement query");
   cli.describe("mum", "keep only matches unique in both sequences");
   cli.describe("out", "write matches to this file instead of stdout");
@@ -384,8 +427,12 @@ int main(int argc, char** argv) {
     if (loaded != nullptr) {
       if (finder_name == "copmem") {
         finder = std::make_unique<CopmemArtifactFinder>(loaded);
+      } else if (finder_name == "slamem" || finder_name == "slamem-lazy") {
+        finder = std::make_unique<SlamemArtifactFinder>(
+            loaded, finder_name == "slamem-lazy");
       } else if (finder_name != "gpumem") {
-        std::cerr << "--load-index serves the gpumem and copmem finders only\n";
+        std::cerr << "--load-index serves the gpumem, copmem, and slamem "
+                     "finders only\n";
         return 2;
       } else {
         gm::core::Config cfg;
@@ -421,6 +468,7 @@ int main(int argc, char** argv) {
     opt.min_length = min_len;
     opt.sparseness =
         (finder_name == "sparsemem" || finder_name == "essamem") ? 4 : 1;
+    opt.lazy_lcp = cli.get_bool("lazy-lcp", false);
     gm::util::Timer index_timer;
     finder->build_index(ref, opt);
     std::cerr << "[" << finder->name() << "] index built in "

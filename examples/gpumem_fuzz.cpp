@@ -7,9 +7,9 @@
 //   ./gpumem_fuzz --replay repro.txt             # re-run a minimized case
 //   ./gpumem_fuzz --self-test                    # prove the harness catches
 //                                                # injected stitch, stream
-//                                                # overlap, store corruption
-//                                                # + copmem candidate-drop
-//                                                # bugs
+//                                                # overlap, store corruption,
+//                                                # copmem candidate-drop +
+//                                                # lazy-slamem skip bugs
 //
 // Exit codes: 0 = no divergence (or replay passed / self-test caught the
 // bug), 1 = divergence found (reproducer written to --out-dir), 2 = usage.
@@ -127,8 +127,9 @@ int self_test_fault(gm::fuzz::Fault fault, std::uint64_t seed,
 
 /// Runs the self-test for all injected defect shapes: the out-tile stitch
 /// bug, the stream-overlap column-handoff bug, on-disk artifact corruption
-/// (the store reader must reject, not extract), and the copMEM finder's
-/// dropped-candidate bug.
+/// (the store reader must reject, not extract), the copMEM finder's
+/// dropped-candidate bug, and the lazy long-MEM sweep's skipped-survivor
+/// bug.
 int self_test(std::uint64_t seed, std::uint64_t max_runs,
               std::size_t shrink_evals) {
   const int stitch = self_test_fault(gm::fuzz::Fault::kStitchDropBoundary,
@@ -141,8 +142,11 @@ int self_test(std::uint64_t seed, std::uint64_t max_runs,
   const int corrupt = self_test_fault(gm::fuzz::Fault::kStoreCorruptSection,
                                       seed, max_runs, shrink_evals);
   if (corrupt != 0) return corrupt;
-  return self_test_fault(gm::fuzz::Fault::kCopmemDropCandidate, seed,
-                         max_runs, shrink_evals);
+  const int copmem = self_test_fault(gm::fuzz::Fault::kCopmemDropCandidate,
+                                     seed, max_runs, shrink_evals);
+  if (copmem != 0) return copmem;
+  return self_test_fault(gm::fuzz::Fault::kLazySkipConfirmed, seed, max_runs,
+                         shrink_evals);
 }
 
 }  // namespace
@@ -156,12 +160,12 @@ int main(int argc, char** argv) {
                "where minimized reproducers land (default fuzz-repros)");
   cli.describe("inject",
                "deliberate fault for harness testing: none | stitch-drop | "
-               "overlap-drop | store-corrupt | copmem-drop");
+               "overlap-drop | store-corrupt | copmem-drop | lazy-skip");
   cli.describe("replay", "re-run one serialized reproducer file and exit");
   cli.describe("self-test",
-               "inject stitch-drop, overlap-drop, store-corrupt, then "
-               "copmem-drop; require the harness to catch and shrink each to "
-               "<= 64 bp per sequence");
+               "inject stitch-drop, overlap-drop, store-corrupt, "
+               "copmem-drop, then lazy-skip; require the harness to catch "
+               "and shrink each to <= 64 bp per sequence");
   cli.describe("shrink-evals",
                "oracle evaluation budget for shrinking (default 500)");
   if (cli.handle_help(
@@ -182,7 +186,7 @@ int main(int argc, char** argv) {
     const auto fault = gm::fuzz::fault_from_string(cli.get("inject", "none"));
     if (!fault) {
       std::cerr << "unknown --inject value; want none, stitch-drop, "
-                   "overlap-drop, store-corrupt or copmem-drop\n";
+                   "overlap-drop, store-corrupt, copmem-drop or lazy-skip\n";
       return 2;
     }
     // Fatal-signal safety net: a crash mid-fuzz still leaves the last-N

@@ -6,7 +6,8 @@
 //   ./gpumem_serve --ref ref.fa --queries queries.fa [--min-len 20]
 //                  [--seed-len 10] [--devices 1] [--batch 8] [--repeat 1]
 //                  [--queue-cap 256] [--deadline-ms 0] [--no-cache]
-//                  [--fast-index]
+//                  [--fast-index] [--long-mem [--long-mem-threshold L]]
+//                  [--req-min-len L]
 //                  [--threads 64] [--tile-blocks 8] [--host-threads N]
 //                  [--trace-out t.json] [--metrics-out m.json]
 //                  [--metrics-format json|prom|tsv] [--stats-every N]
@@ -285,6 +286,12 @@ int run_listen_mode(gm::util::Cli& cli, gm::serve::MemService* service,
     return 2;
   }
 
+  // Per-request minimum length, stamped on both the direct submits and the
+  // wire frames so the loopback exercises the min_length wire field and
+  // the long-MEM routing it can trigger.
+  const std::uint32_t req_min_len =
+      static_cast<std::uint32_t>(cli.get_int("req-min-len", 0));
+
   // Expected answers: the same queries submitted directly, no sockets.
   std::vector<WireCheck> items;
   for (std::size_t r = 0; r < repeat; ++r) {
@@ -307,6 +314,7 @@ int run_listen_mode(gm::util::Cli& cli, gm::serve::MemService* service,
       gm::serve::QueryRequest req;
       req.id = item.id;
       req.query = record.sequence;
+      req.min_length = req_min_len;
       if (registry != nullptr) {
         const auto tenant = registry->acquire(item.tenant);
         const auto res = tenant->service().submit(std::move(req)).get();
@@ -335,6 +343,7 @@ int run_listen_mode(gm::util::Cli& cli, gm::serve::MemService* service,
           qf.id = items[i].id;
           qf.tenant = items[i].tenant;
           qf.query = items[i].query;
+          qf.min_length = req_min_len;
           gm::net::Reply reply;
           if (!client.query(qf, reply)) {
             ++transport_errors;
@@ -405,6 +414,16 @@ int main(int argc, char** argv) {
   cli.describe("fast-index",
                "answer requests from a copMEM double-sampled index (adopts "
                "the artifact's copmem-index section in registry mode)");
+  cli.describe("long-mem",
+               "long-MEM mode: answer qualifying requests from a resident "
+               "lazy-LCP FM-index finder — bit-identical MEMs, faster at "
+               "high L (docs/PERFORMANCE.md \"Long-MEM mode\")");
+  cli.describe("long-mem-threshold",
+               "route requests with min length >= this to the long-MEM "
+               "path; 0 = the engine's --min-len (every request qualifies)");
+  cli.describe("req-min-len",
+               "per-request minimum MEM length stamped on every submitted "
+               "request (wire QueryFrame::min_length); 0 = engine default");
   cli.describe("threads", "threads per block tau (default 64)");
   cli.describe("host-threads",
                "host worker threads (default: GPUMEM_THREADS env or hardware "
@@ -553,6 +572,9 @@ int main(int argc, char** argv) {
         cli.get_double("deadline-ms", 0.0) / 1000.0;
     scfg.cache_enabled = !cli.get_bool("no-cache", false);
     scfg.copmem_fast_index = cli.get_bool("fast-index", false);
+    scfg.lazy_lcp = cli.get_bool("long-mem", false);
+    scfg.long_mem_threshold =
+        static_cast<std::uint32_t>(cli.get_int("long-mem-threshold", 0));
     scfg.start_paused = true;  // queue the whole replay, then dispatch
 
     const std::size_t repeat =
@@ -643,6 +665,8 @@ int main(int argc, char** argv) {
           req.id += std::to_string(r);
         }
         req.query = record.sequence;
+        req.min_length =
+            static_cast<std::uint32_t>(cli.get_int("req-min-len", 0));
         futures.push_back(service.submit(std::move(req)));
       }
     }

@@ -32,6 +32,17 @@ must agree on it):
       artifact-load scenario carries the 10x floor) plus exact MEM-count
       equality; raw nanoseconds are informational.
 
+  gpumem-bench-longmem-v1 (bench_longmem)
+      Per-scenario *self-relative* eager/lazy speedup of the lazy-LCP
+      long-MEM sweep over the eager matching-statistics sweep on a shared
+      FM index, across the Table-II pairs x a geometric L ladder. Same
+      policy as copmem: per-scenario min_speedup floors embedded in the
+      JSON (the 2x floor rides on the top-of-ladder rung of the diverged
+      and unrelated pairs; low rungs and high-identity pairs are
+      informational) plus exact MEM-count equality (the bench binary
+      itself asserts the MEM *sets* are bit-identical); raw nanoseconds
+      are informational.
+
   gpumem-bench-servenet-v1 (bench_serve_slo)
       Network-serving gate point (docs/SERVING.md): an open-loop Poisson
       load run over real loopback TCP at a fixed, deliberately low offered
@@ -69,9 +80,10 @@ SCHEMA_PIPELINE = "gpumem-bench-pipeline-v1"
 SCHEMA_HOSTWALL = "gpumem-bench-hostwall-v1"
 SCHEMA_INDEXIO = "gpumem-bench-indexio-v1"
 SCHEMA_COPMEM = "gpumem-bench-copmem-v1"
+SCHEMA_LONGMEM = "gpumem-bench-longmem-v1"
 SCHEMA_SERVENET = "gpumem-bench-servenet-v1"
 SCHEMAS = (SCHEMA_PIPELINE, SCHEMA_HOSTWALL, SCHEMA_INDEXIO, SCHEMA_COPMEM,
-           SCHEMA_SERVENET)
+           SCHEMA_LONGMEM, SCHEMA_SERVENET)
 
 
 def load(path):
@@ -218,6 +230,37 @@ def check_copmem(cand, base, args, failures):
     return len(base_rows), "self-relative e2e speedup floors"
 
 
+def check_longmem(cand, base, args, failures):
+    del args  # gates are embedded per scenario
+    cand_rows = {s["name"]: s for s in cand.get("scenarios", [])}
+    base_rows = {s["name"]: s for s in base.get("scenarios", [])}
+    for name, b, c in match_scenarios(cand_rows, base_rows, failures):
+        floor = c.get("min_speedup", 0.0)
+        status = "ok"
+        if floor != b.get("min_speedup", 0.0):
+            status = "FAIL"
+            failures.append(
+                f"{name}: min_speedup floor {floor} differs from baseline "
+                f"{b.get('min_speedup', 0.0)} (regenerate the baseline when "
+                f"retuning gates)")
+        if floor > 0.0 and c["speedup"] < floor:
+            status = "FAIL"
+            failures.append(
+                f"{name}: lazy/eager sweep speedup {c['speedup']:.2f}x "
+                f"below the {floor}x floor (baseline had "
+                f"{b['speedup']:.2f}x)")
+        if c["mems"] != b["mems"]:
+            status = "FAIL"
+            failures.append(f"{name}: mems {c['mems']} vs baseline "
+                            f"{b['mems']} (must match exactly)")
+        gate = f"floor {floor}x" if floor > 0.0 else "informational"
+        print(f"  {status:4} {name}: speedup {c['speedup']:.2f}x ({gate}, "
+              f"baseline {b['speedup']:.2f}x), mems {c['mems']}, "
+              f"eager {c['cold_ns'] / 1e6:.1f} ms / lazy "
+              f"{c['hot_ns'] / 1e6:.2f} ms (informational)")
+    return len(base_rows), "self-relative lazy-sweep speedup floors"
+
+
 def check_servenet(cand, base, args, failures):
     del args  # the gate is fully described by the JSON itself
     c, b = cand.get("gate", {}), base.get("gate", {})
@@ -299,6 +342,8 @@ def main():
         count, policy = check_indexio(cand, base, args, failures)
     elif cand["schema"] == SCHEMA_COPMEM:
         count, policy = check_copmem(cand, base, args, failures)
+    elif cand["schema"] == SCHEMA_LONGMEM:
+        count, policy = check_longmem(cand, base, args, failures)
     elif cand["schema"] == SCHEMA_SERVENET:
         count, policy = check_servenet(cand, base, args, failures)
     else:

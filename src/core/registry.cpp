@@ -20,6 +20,7 @@ std::unique_ptr<MemFinder> create_finder(const std::string& name) {
   if (name == "sparsemem") return std::make_unique<SparseMemFinder>();
   if (name == "essamem") return std::make_unique<EssaMemFinder>();
   if (name == "slamem") return std::make_unique<SlaMemFinder>();
+  if (name == "slamem-lazy") return std::make_unique<SlaMemFinder>(true);
   if (name == "copmem") return std::make_unique<CopMemFinder>();
   if (name == "gpumem") {
     return std::make_unique<core::GpumemFinder>(core::Backend::kSimt);
@@ -31,8 +32,8 @@ std::unique_ptr<MemFinder> create_finder(const std::string& name) {
 }
 
 std::vector<std::string> finder_names() {
-  return {"naive",  "mummer", "sparsemem", "essamem",
-          "slamem", "copmem", "gpumem",    "gpumem-native"};
+  return {"naive",  "mummer",      "sparsemem", "essamem", "slamem",
+          "slamem-lazy", "copmem", "gpumem",    "gpumem-native"};
 }
 
 }  // namespace gm::mem

@@ -9,7 +9,8 @@
 // maximum).
 //
 // run_case executes every registered finder (including the copMEM
-// double-sampled finder), the SIMT pipeline in all
+// double-sampled finder and the lazy long-MEM slaMEM sweep), the SIMT
+// pipeline in all
 // five serving shapes (plain run, stream-overlapped run, cached-index run,
 // multi-device run, the batched MemService path), and a persistent-artifact
 // round trip (serialize to a *.gmidx image, reopen through the verifying
@@ -78,6 +79,12 @@ enum class Fault {
   /// oracle only, so the harness must localize the "missing" divergence
   /// there and shrink it to a minimal reproducer.
   kCopmemDropCandidate,
+  /// Simulates a skipped survivor in the lazy long-MEM slaMEM sweep: the
+  /// first window confirmed to reach depth >= L is dropped before the
+  /// deferred widen/locate pass (mem::SlaMemFinder::inject_lazy_skip).
+  /// Applied to the lazy-slamem oracle only, so the harness must localize
+  /// the "missing" divergence there and shrink it.
+  kLazySkipConfirmed,
 };
 
 const char* to_string(Fault fault);

@@ -4,6 +4,8 @@
 // Implementations covered per case:
 //   naive (truth, self-checked)   mummer   sparsemem   essamem   slamem
 //   copmem (double-sampled, with an injectable candidate-drop fault)
+//   lazy-slamem (lazy long-MEM sweep, with an injectable skipped-survivor
+//   fault; bit-identity with eager slamem is the tentpole claim)
 //   gpumem-native                 simt-plain (Engine::run)
 //   simt-overlapped (Engine::run with cfg.overlap, stream count and
 //   scheduler shuffle seed derived from the case seed)
@@ -27,6 +29,7 @@
 #include "fuzz/fuzz.h"
 #include "mem/copmem.h"
 #include "mem/registry.h"
+#include "mem/slamem.h"
 #include "mem/validate.h"
 #include "seq/sequence.h"
 #include "serve/index_cache.h"
@@ -136,6 +139,7 @@ const char* to_string(Fault fault) {
     case Fault::kOverlapDropColumnBoundary: return "overlap-drop";
     case Fault::kStoreCorruptSection: return "store-corrupt";
     case Fault::kCopmemDropCandidate: return "copmem-drop";
+    case Fault::kLazySkipConfirmed: return "lazy-skip";
   }
   return "?";
 }
@@ -146,6 +150,7 @@ std::optional<Fault> fault_from_string(const std::string& name) {
   if (name == "overlap-drop") return Fault::kOverlapDropColumnBoundary;
   if (name == "store-corrupt") return Fault::kStoreCorruptSection;
   if (name == "copmem-drop") return Fault::kCopmemDropCandidate;
+  if (name == "lazy-skip") return Fault::kLazySkipConfirmed;
   return std::nullopt;
 }
 
@@ -205,6 +210,23 @@ CaseResult run_case(const FuzzCase& c, Fault fault) {
                  out);
   } catch (const std::exception& e) {
     out.divergences.push_back({"copmem", "error", e.what()});
+  }
+
+  // Lazy long-MEM slaMEM sweep (FinderOptions::lazy_lcp), with its
+  // injectable skipped-survivor defect: bit-identity with the eager sweep
+  // is the tentpole claim, so this oracle runs on every case. The fault
+  // must surface here as a "missing" divergence while every other oracle
+  // (including eager slamem above) stays clean.
+  try {
+    mem::SlaMemFinder lazy;
+    lazy.inject_lazy_skip(fault == Fault::kLazySkipConfirmed);
+    mem::FinderOptions lazy_opt = opt;
+    lazy_opt.lazy_lcp = true;
+    lazy.build_index(ref, lazy_opt);
+    check_output("lazy-slamem", truth, lazy.find(query), ref, query,
+                 c.min_len, out);
+  } catch (const std::exception& e) {
+    out.divergences.push_back({"lazy-slamem", "error", e.what()});
   }
 
   // Native tiling pipeline (build-once index path).

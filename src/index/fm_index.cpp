@@ -90,7 +90,7 @@ FmIndex::FmIndex(const seq::Sequence& text, std::uint32_t sa_sample)
     const std::uint32_t v = lcp[row - 1];
     if (v >= 255) {
       lcp8_[row] = 255;
-      lcp_exceptions_.emplace(row, v);
+      lcp_exceptions_.emplace_back(row, v);  // ascending rows: stays sorted
     } else {
       lcp8_[row] = static_cast<std::uint8_t>(v);
     }
@@ -133,12 +133,33 @@ std::uint32_t FmIndex::lcp_at(std::uint32_t row) const {
   if (row == 0 || row > n_) return 0;
   const std::uint8_t v = lcp8_[row];
   if (v < 255) return v;
-  return lcp_exceptions_.at(row);
+  const auto it = std::lower_bound(
+      lcp_exceptions_.begin(), lcp_exceptions_.end(), row,
+      [](const std::pair<std::uint32_t, std::uint32_t>& e, std::uint32_t r) {
+        return e.first < r;
+      });
+  // lcp8_[row] == 255 guarantees the entry exists.
+  return it->second;
 }
 
-SaInterval FmIndex::widen(SaInterval iv, std::uint32_t depth) const {
-  while (iv.lo > 0 && lcp_at(iv.lo) >= depth) --iv.lo;
-  while (iv.hi <= n_ && lcp_at(iv.hi) >= depth) ++iv.hi;
+SaInterval FmIndex::widen(SaInterval iv, std::uint32_t depth,
+                          std::uint32_t max_rows) const {
+  const auto guard = [&](const SaInterval& cur) {
+    if (max_rows != 0 && cur.hi - cur.lo > max_rows) {
+      throw WidenOverflowError(
+          "FmIndex::widen: interval at depth " + std::to_string(depth) +
+          " exceeds max_rows cap " + std::to_string(max_rows));
+    }
+  };
+  guard(iv);
+  while (iv.lo > 0 && lcp_at(iv.lo) >= depth) {
+    --iv.lo;
+    guard(iv);
+  }
+  while (iv.hi <= n_ && lcp_at(iv.hi) >= depth) {
+    ++iv.hi;
+    guard(iv);
+  }
   return iv;
 }
 
@@ -147,7 +168,8 @@ std::size_t FmIndex::bytes() const noexcept {
          mark_bits_.size() * sizeof(std::uint64_t) +
          mark_rank_.size() * sizeof(std::uint32_t) +
          mark_values_.size() * sizeof(std::uint32_t) + lcp8_.size() +
-         lcp_exceptions_.size() * 16;
+         lcp_exceptions_.size() *
+             sizeof(std::pair<std::uint32_t, std::uint32_t>);
 }
 
 namespace {
@@ -218,11 +240,10 @@ void FmIndex::serialize(std::vector<std::uint8_t>& out) const {
   append_vec(out, mark_rank_);
   append_vec(out, mark_values_);
   append_vec(out, lcp8_);
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> exceptions(
-      lcp_exceptions_.begin(), lcp_exceptions_.end());
-  std::sort(exceptions.begin(), exceptions.end());
-  append_pod(out, static_cast<std::uint64_t>(exceptions.size()));
-  for (const auto& [row, v] : exceptions) {
+  // lcp_exceptions_ is kept sorted by row, so the byte image is identical
+  // to what the old hash-map storage produced after its sort pass.
+  append_pod(out, static_cast<std::uint64_t>(lcp_exceptions_.size()));
+  for (const auto& [row, v] : lcp_exceptions_) {
     append_pod(out, row);
     append_pod(out, v);
   }
@@ -277,17 +298,20 @@ FmIndex FmIndex::deserialize(std::span<const std::uint8_t> bytes) {
   if (fm.n_ > 0 && (fm.mark_bits_[0] & 1) == 0) {
     throw std::invalid_argument("FmIndex::deserialize: row 0 not marked");
   }
-  for (const auto& [row, v] : exceptions) {
+  for (std::size_t i = 0; i < exceptions.size(); ++i) {
+    const auto& [row, v] = exceptions[i];
     if (row >= rows || fm.lcp8_[row] != 255 || v < 255) {
       throw std::invalid_argument(
           "FmIndex::deserialize: bad LCP exception entry");
     }
-    fm.lcp_exceptions_.emplace(row, v);
+    // lcp_at binary-searches this table, so rows must be strictly
+    // ascending (this also rejects duplicates).
+    if (i > 0 && row <= exceptions[i - 1].first) {
+      throw std::invalid_argument(
+          "FmIndex::deserialize: LCP exception rows not strictly ascending");
+    }
   }
-  if (fm.lcp_exceptions_.size() != exceptions.size()) {
-    throw std::invalid_argument(
-        "FmIndex::deserialize: duplicate LCP exception rows");
-  }
+  fm.lcp_exceptions_ = std::move(exceptions);
   return fm;
 }
 

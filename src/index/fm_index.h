@@ -10,13 +10,23 @@
 #include <array>
 #include <cstdint>
 #include <span>
-#include <unordered_map>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "index/sa_search.h"
 #include "seq/sequence.h"
 
 namespace gm::index {
+
+/// Thrown by FmIndex::widen when the widened interval would exceed the
+/// caller's max_rows cap. Deterministic: the message names the depth and
+/// the cap, so a pathological low-depth widen fails the same way every run
+/// instead of going quadratic.
+class WidenOverflowError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 class FmIndex {
  public:
@@ -45,8 +55,11 @@ class FmIndex {
   std::uint32_t lcp_at(std::uint32_t row) const;
 
   /// Widens `iv` to every row sharing at least `depth` characters with it.
-  /// Cost is linear in the number of rows added.
-  SaInterval widen(SaInterval iv, std::uint32_t depth) const;
+  /// Cost is linear in the number of rows added. `max_rows` bounds that
+  /// cost: a nonzero cap makes widen throw WidenOverflowError as soon as
+  /// the interval would cover more than `max_rows` rows (0 = unbounded).
+  SaInterval widen(SaInterval iv, std::uint32_t depth,
+                   std::uint32_t max_rows = 0) const;
 
   /// Occurrences of `c` in BWT rows [0, i) — exposed for tests.
   std::uint32_t rank(std::uint8_t c, std::uint32_t i) const noexcept;
@@ -96,9 +109,12 @@ class FmIndex {
   std::vector<std::uint32_t> mark_rank_;
   std::vector<std::uint32_t> mark_values_;
 
-  // Byte-saturated LCP with exceptions for values >= 255.
+  // Byte-saturated LCP with exceptions for values >= 255, kept as a
+  // (row, value) vector sorted by row: lcp_at sits on the matching-
+  // statistics hot loop, and a binary search over a contiguous array beats
+  // the hash-map probe it replaced (and serializes without a sort pass).
   std::vector<std::uint8_t> lcp8_;
-  std::unordered_map<std::uint32_t, std::uint32_t> lcp_exceptions_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> lcp_exceptions_;
 };
 
 }  // namespace gm::index

@@ -24,6 +24,14 @@ struct FinderOptions {
   /// sharded executor can run shards sequentially and report max-shard time
   /// (see DESIGN.md). true = always run shards sequentially.
   bool sequential_shards = false;
+
+  /// Long-MEM mode for the FM-index (slaMEM-class) finder: defer LCP
+  /// widening and locate() to windows already proven to reach length >= L,
+  /// and skip dead query regions outright instead of maintaining full
+  /// matching statistics. Output is bit-identical to the eager sweep; the
+  /// win grows with L (see PERFORMANCE.md "Long-MEM mode"). Ignored by
+  /// finders without a lazy path.
+  bool lazy_lcp = false;
 };
 
 /// Entry-point option validation shared by every finder: min_length and

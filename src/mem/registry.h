@@ -11,9 +11,11 @@
 namespace gm::mem {
 
 /// Known names: "naive", "mummer", "sparsemem", "essamem", "slamem",
-/// "copmem" (double-sampling fast-index finder, mem/copmem.h),
-/// "gpumem" (SIMT-simulated device backend), "gpumem-native" (same pipeline
-/// on host threads). Throws std::invalid_argument for anything else.
+/// "slamem-lazy" (the same FM-index finder pinned to the lazy long-MEM
+/// sweep, mem/slamem.h), "copmem" (double-sampling fast-index finder,
+/// mem/copmem.h), "gpumem" (SIMT-simulated device backend), "gpumem-native"
+/// (same pipeline on host threads). Throws std::invalid_argument for
+/// anything else.
 std::unique_ptr<MemFinder> create_finder(const std::string& name);
 
 /// All registered names, baseline tools first.

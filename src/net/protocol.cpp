@@ -122,10 +122,11 @@ std::vector<std::uint8_t> encode_frame(
 
 std::vector<std::uint8_t> encode_query(const QueryFrame& q) {
   std::vector<std::uint8_t> p;
-  p.reserve(12 + q.id.size() + q.tenant.size() + q.query.size());
+  p.reserve(16 + q.id.size() + q.tenant.size() + q.query.size());
   append_string(p, q.id);
   append_string(p, q.tenant);
   append_u32(p, q.deadline_ms);
+  append_u32(p, q.min_length);
   append_u32(p, static_cast<std::uint32_t>(q.query.size()));
   p.insert(p.end(), q.query.begin(), q.query.end());
   return encode_frame(FrameType::kQuery, p);
@@ -165,6 +166,7 @@ bool parse_query(const std::vector<std::uint8_t>& payload, QueryFrame& out,
   out.id = c.string16();
   out.tenant = c.string16();
   out.deadline_ms = c.u32();
+  out.min_length = c.u32();
   const std::uint32_t qlen = c.u32();
   if (c.failed()) {
     err = "truncated query payload";
@@ -173,7 +175,7 @@ bool parse_query(const std::vector<std::uint8_t>& payload, QueryFrame& out,
   // The query body is the u32-prefixed tail; read it manually so a length
   // that disagrees with the payload size is a parse error, not a short read.
   const std::size_t fixed =
-      2 + out.id.size() + 2 + out.tenant.size() + 4 + 4;
+      2 + out.id.size() + 2 + out.tenant.size() + 4 + 4 + 4;
   if (payload.size() != fixed + qlen) {
     err = "query length field disagrees with payload size";
     return false;

@@ -83,6 +83,11 @@ struct QueryFrame {
   std::string tenant;      ///< registry routing; empty = server default
   std::string query;       ///< ASCII bases (non-ACGT mask per seq::NonAcgtPolicy)
   std::uint32_t deadline_ms = 0;  ///< 0 = server default
+  /// Per-request minimum MEM length; 0 = the server engine's configured L.
+  /// Values below the engine L are rejected (kInvalidQuery); values >= the
+  /// server's long-MEM threshold route to the lazy FM-index fast path when
+  /// the server runs with --long-mem (docs/SERVING.md).
+  std::uint32_t min_length = 0;
 };
 
 struct ResultFrame {

@@ -523,6 +523,7 @@ void Server::handle_query(Worker& w, const std::shared_ptr<Connection>& conn,
   // FASTA default policy — they match nothing and never crash the decoder.
   req.query = seq::Sequence::from_string_lenient(qf.query);
   req.deadline_seconds = static_cast<double>(qf.deadline_ms) / 1000.0;
+  req.min_length = qf.min_length;
 
   inflight_.fetch_add(1);
   Server* self = this;

@@ -113,6 +113,21 @@ MemService::MemService(ServiceConfig cfg, seq::Sequence ref)
       copmem_->build_index(ref_, fopt);
     }
   }
+  if (cfg_.lazy_lcp) {
+    slamem_ = std::make_unique<mem::SlaMemFinder>(/*force_lazy=*/true);
+    mem::FinderOptions fopt;
+    fopt.min_length = cfg_.engine.min_length;
+    fopt.lazy_lcp = true;
+    if (cfg_.artifact != nullptr &&
+        cfg_.artifact->has(store::SectionId::kFmIndex)) {
+      slamem_->adopt_index(ref_, fopt, cfg_.artifact->fm_index());
+    } else {
+      slamem_->build_index(ref_, fopt);
+    }
+    if (cfg_.long_mem_threshold == 0) {
+      cfg_.long_mem_threshold = cfg_.engine.min_length;
+    }
+  }
   const core::Config::Geometry g = cfg_.engine.validated();
   tile_rows_ = ref_.empty()
                    ? 0
@@ -174,6 +189,14 @@ std::future<QueryResult> MemService::submit(QueryRequest req,
     invalid_reason = "deadline must be a finite non-negative number of "
                      "seconds (got " +
                      std::to_string(req.deadline_seconds) + ")";
+  } else if (req.min_length != 0 &&
+             req.min_length < cfg_.engine.min_length) {
+    // The device pipeline's seeds and tiles are sized for the engine's L;
+    // it cannot report shorter MEMs, so under-asking must fail loudly
+    // instead of silently returning a truncated set.
+    invalid_reason = "min_length " + std::to_string(req.min_length) +
+                     " is below the engine's configured minimum " +
+                     std::to_string(cfg_.engine.min_length);
   }
   if (!invalid_reason.empty()) {
     {
@@ -419,10 +442,41 @@ QueryResult MemService::execute(Pending& pending, double queue_seconds) {
   util::Timer wall;
   try {
     const seq::Sequence& query = pending.req.query;
+    // Per-request minimum length: 0 falls back to the engine's L; larger
+    // values are answered exactly — MEM maximality is L-independent, so
+    // filtering an engine-L result to len >= L is the same set the engine
+    // would report if built at L (the serve tests pin this).
+    const std::uint32_t req_len = pending.req.min_length != 0
+                                      ? pending.req.min_length
+                                      : cfg_.engine.min_length;
+    if (slamem_ != nullptr && req_len >= cfg_.long_mem_threshold) {
+      // Long-MEM fast path: the resident lazy FM-index finder answers at
+      // the request's own L on the host — no device work, and work scales
+      // down as L grows instead of up (PERFORMANCE.md "Long-MEM mode").
+      result.mems = slamem_->find_at(query, req_len);
+      result.stats.match_seconds = slamem_->last_find_modeled_seconds();
+      result.stats.index_cache_hit = true;
+      result.stats.mem_count = result.mems.size();
+      result.stats.wall_seconds = wall.seconds();
+      result.stats.trace_id = pending.trace_id;
+      result.status = QueryStatus::kOk;
+      core::publish_run_stats(result.stats);
+      obs::flight(obs::FlightKind::kQueue, "done", pending.trace_id,
+                  static_cast<double>(result.status));
+      request_span.attr("status", std::string(to_string(result.status)));
+      request_span.attr("mems", result.stats.mem_count);
+      request_span.attr("long_mem_len", std::uint64_t{req_len});
+      return result;
+    }
     if (copmem_ != nullptr) {
       // copMEM fast-index path: the resident sampled index answers the
       // request on the host — no device work, no index cost to report.
       result.mems = copmem_->find(query);
+      if (req_len > cfg_.engine.min_length) {
+        std::erase_if(result.mems, [&](const mem::Mem& m) {
+          return m.len < req_len;
+        });
+      }
       result.stats.match_seconds = copmem_->last_find_modeled_seconds();
       result.stats.index_cache_hit = true;
       result.stats.mem_count = result.mems.size();
@@ -482,6 +536,10 @@ QueryResult MemService::execute(Pending& pending, double queue_seconds) {
     reported.insert(reported.end(), finished.begin(), finished.end());
     mem::clip_invalid_bases(ref_, query, reported, cfg_.engine.min_length);
     mem::sort_unique(reported);
+    if (req_len > cfg_.engine.min_length) {
+      std::erase_if(reported,
+                    [&](const mem::Mem& m) { return m.len < req_len; });
+    }
     result.stats.host_stitch_seconds = host_merge.seconds();
     result.stats.match_seconds += result.stats.host_stitch_seconds;
 

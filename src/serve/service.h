@@ -24,6 +24,7 @@
 #include "core/pipeline.h"
 #include "mem/copmem.h"
 #include "mem/mem.h"
+#include "mem/slamem.h"
 #include "seq/sequence.h"
 #include "serve/index_cache.h"
 #include "simt/device.h"
@@ -70,6 +71,20 @@ struct ServiceConfig {
   /// sampling seed length K; `engine` must still be a valid kSimt config.
   bool copmem_fast_index = false;
 
+  /// Long-MEM serving mode (gpumem_serve --long-mem): build a resident
+  /// lazy-LCP SlaMemFinder over the reference at construction — adopting
+  /// the artifact's kFmIndex section when one is attached and carries it —
+  /// and answer from it every request whose resolved minimum length is >=
+  /// `long_mem_threshold`. The FM index is L-independent, so one resident
+  /// finder serves any per-request L. Results are bit-identical to the
+  /// device pool's (see PERFORMANCE.md "Long-MEM mode").
+  bool lazy_lcp = false;
+
+  /// Minimum-length routing threshold for the lazy fast path; 0 = the
+  /// engine's min_length (so every request qualifies). Requests below it
+  /// run the normal device-pool path.
+  std::uint32_t long_mem_threshold = 0;
+
   /// Queue submissions without dispatching until resume() — deterministic
   /// batch formation for tests and replay drivers.
   bool start_paused = false;
@@ -79,6 +94,13 @@ struct QueryRequest {
   std::string id;      ///< echoed in the result and in request spans
   seq::Sequence query;
   double deadline_seconds = 0.0;  ///< from submit; 0 = service default
+  /// Per-request minimum MEM length; 0 = the engine's configured
+  /// min_length. Values below the engine's L fail validation (kInvalid):
+  /// the device pipeline cannot report shorter MEMs than it was built for.
+  /// Larger values filter exactly (MEM maximality is L-independent) and,
+  /// when ServiceConfig::lazy_lcp is on and the value reaches
+  /// long_mem_threshold, route to the resident lazy finder.
+  std::uint32_t min_length = 0;
 };
 
 enum class QueryStatus {
@@ -214,6 +236,7 @@ class MemService {
   std::uint32_t tile_rows_ = 0;
   std::vector<DeviceWorker> workers_;
   std::unique_ptr<mem::CopMemFinder> copmem_;  ///< fast-index mode only
+  std::unique_ptr<mem::SlaMemFinder> slamem_;  ///< long-MEM mode only
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

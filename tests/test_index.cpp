@@ -237,6 +237,31 @@ TEST(FmIndex, WidenFindsAllDepthSharers) {
   }
 }
 
+TEST(FmIndex, WidenMaxRowsCapThrowsTyped) {
+  const seq::Sequence text = random_seq(3000, 13);
+  const index::FmIndex fm(text);
+  const seq::Sequence pat = text.subsequence(1234, 9);
+  index::SaInterval iv = fm.all_rows();
+  for (std::size_t i = pat.size(); i-- > 0;) iv = fm.extend(iv, pat.base(i));
+  ASSERT_FALSE(iv.empty());
+  const index::SaInterval unbounded = fm.widen(iv, 3);
+  ASSERT_GT(unbounded.size(), iv.size());  // widening must actually expand
+  // Unbounded (0) and generous caps agree bit-for-bit.
+  const index::SaInterval capped = fm.widen(iv, 3, unbounded.size());
+  EXPECT_EQ(capped.lo, unbounded.lo);
+  EXPECT_EQ(capped.hi, unbounded.hi);
+  // A cap below the true interval size trips the typed overflow error.
+  EXPECT_THROW(fm.widen(iv, 3, unbounded.size() - 1),
+               index::WidenOverflowError);
+  EXPECT_THROW(fm.widen(iv, 3, 1), index::WidenOverflowError);
+  try {
+    fm.widen(iv, 3, 1);
+    FAIL() << "expected WidenOverflowError";
+  } catch (const index::WidenOverflowError& e) {
+    EXPECT_NE(std::string(e.what()).find("widen"), std::string::npos);
+  }
+}
+
 TEST(KmerIndex, LookupMatchesScan) {
   const seq::Sequence ref = random_seq(5000, 14);
   for (std::uint32_t step : {1u, 3u, 11u}) {

@@ -574,6 +574,83 @@ TEST(InvalidBases, LowercaseIsValidAndCaseInsensitive) {
   }
 }
 
+TEST(SlaMem, LazyMatchesEagerOnBoundaryCases) {
+  const auto R = random_seq(400, 71);
+  mem::FinderOptions opt;
+  opt.min_length = 5;
+  mem::SlaMemFinder eager;
+  eager.build_index(R, opt);
+  mem::SlaMemFinder lazy(/*force_lazy=*/true);
+  lazy.build_index(R, opt);
+  ASSERT_FALSE(eager.lazy());
+  ASSERT_TRUE(lazy.lazy());
+
+  // Query shorter than L: no window of length L exists.
+  const auto tiny = random_seq(10, 72);
+  EXPECT_TRUE(eager.find_at(tiny, 20).empty());
+  EXPECT_TRUE(lazy.find_at(tiny, 20).empty());
+
+  // L == 1: every matching position participates; modes agree bit-for-bit.
+  seq::Sequence probe;
+  probe.append(R, 100, 30);
+  const auto e1 = eager.find_at(probe, 1);
+  EXPECT_FALSE(e1.empty());
+  EXPECT_EQ(e1, lazy.find_at(probe, 1));
+
+  // L larger than the reference: nothing can match, and neither mode may
+  // throw or scan out of bounds.
+  const auto long_q = random_seq(600, 73);
+  const auto over = static_cast<std::uint32_t>(R.size()) + 10;
+  EXPECT_TRUE(eager.find_at(long_q, over).empty());
+  EXPECT_TRUE(lazy.find_at(long_q, over).empty());
+
+  // All-N query: every window is clipped away in both modes.
+  const auto all_n = seq::Sequence::from_string_lenient(std::string(64, 'N'));
+  EXPECT_TRUE(eager.find_at(all_n, 20).empty());
+  EXPECT_TRUE(lazy.find_at(all_n, 20).empty());
+
+  // Depth exactly L at the last window start: |query| == L and the window
+  // occurs verbatim, so MS[0] == L with no slack on either side.
+  seq::Sequence exact;
+  exact.append(R, 37, 32);
+  const auto ee = eager.find_at(exact, 32);
+  const auto le = lazy.find_at(exact, 32);
+  EXPECT_EQ(ee, le);
+  ASSERT_FALSE(ee.empty());
+  bool pinned = false;
+  for (const Mem& m : ee) pinned |= (m.r == 37 && m.q == 0 && m.len == 32);
+  EXPECT_TRUE(pinned);
+}
+
+TEST(SlaMem, LazyMatchesEagerOnMutatedPairs) {
+  // Bit-identity property across the L ladder on reference/query pairs in
+  // the lazy sweep's target regime: point mutations every ~25 bases leave
+  // long shared stretches at low L and alignment deserts at high L.
+  for (const std::uint64_t seed : {81u, 82u, 83u}) {
+    const auto R = random_seq(3000, seed);
+    util::Xoshiro256 rng(seed + 1000);
+    std::vector<std::uint8_t> codes(R.size());
+    for (std::size_t i = 0; i < R.size(); ++i) codes[i] = R.base(i);
+    for (std::size_t i = 0; i < codes.size(); i += 10 + rng.bounded(30)) {
+      codes[i] = static_cast<std::uint8_t>((codes[i] + 1 + rng.bounded(3)) & 3);
+    }
+    const auto Q = seq::Sequence::from_codes(codes);
+    mem::FinderOptions opt;
+    opt.min_length = 10;
+    mem::SlaMemFinder eager;
+    eager.build_index(R, opt);
+    mem::SlaMemFinder lazy(/*force_lazy=*/true);
+    lazy.build_index(R, opt);
+    for (const std::uint32_t L : {10u, 20u, 40u, 80u, 160u}) {
+      const auto e = eager.find_at(Q, L);
+      EXPECT_EQ(e, lazy.find_at(Q, L)) << "seed=" << seed << " L=" << L;
+      if (L == 10) {
+        EXPECT_FALSE(e.empty()) << "seed=" << seed;
+      }
+    }
+  }
+}
+
 TEST(Finders, QueryShorterThanL) {
   const auto R = random_seq(500, 32);
   const auto Q = random_seq(8, 33);

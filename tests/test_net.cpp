@@ -84,6 +84,7 @@ TEST(Protocol, QueryRoundTrip) {
   q.tenant = "t";
   q.query = "ACGTNNACGT";
   q.deadline_ms = 1234;
+  q.min_length = 77;
   const auto bytes = net::encode_query(q);
 
   FrameDecoder dec;
@@ -101,6 +102,7 @@ TEST(Protocol, QueryRoundTrip) {
   EXPECT_EQ(back.tenant, q.tenant);
   EXPECT_EQ(back.query, q.query);
   EXPECT_EQ(back.deadline_ms, q.deadline_ms);
+  EXPECT_EQ(back.min_length, q.min_length);
 }
 
 TEST(Protocol, ResultRoundTripWithMems) {

@@ -427,6 +427,50 @@ TEST(MemServiceTest, BadDeadlinesAreInvalidNeverEnqueued) {
   EXPECT_EQ(ok.get().status, QueryStatus::kOk);
 }
 
+TEST(MemServiceTest, PerRequestMinLengthRoutesAndFilters) {
+  const auto ref = test_reference(3000, 91);
+  const auto query = derived_query(ref, 92);
+  ServiceConfig scfg;
+  scfg.engine = small_config();  // engine min_length 12
+  MemService plain(scfg, ref);
+
+  const auto at_engine = plain.submit({"engine-L", query, 0.0, 0}).get();
+  ASSERT_EQ(at_engine.status, QueryStatus::kOk);
+  ASSERT_FALSE(at_engine.mems.empty());
+
+  // Below the engine's L: invalid, never enqueued (the device pipeline
+  // cannot report MEMs shorter than it was built for).
+  const auto low = plain.submit({"low", query, 0.0, 6}).get();
+  EXPECT_EQ(low.status, QueryStatus::kInvalid);
+  EXPECT_NE(low.error.find("min_length"), std::string::npos) << low.error;
+  EXPECT_EQ(plain.stats().invalid, 1u);
+
+  // Larger per-request L: exactly the engine-L result filtered by length
+  // (MEM maximality is L-independent).
+  const auto at20 = plain.submit({"filtered", query, 0.0, 20}).get();
+  ASSERT_EQ(at20.status, QueryStatus::kOk);
+  std::vector<mem::Mem> expect;
+  for (const auto& m : at_engine.mems) {
+    if (m.len >= 20) expect.push_back(m);
+  }
+  EXPECT_EQ(at20.mems, expect);
+
+  // Long-MEM mode: the resident lazy finder answers requests at or above
+  // the threshold, bit-identically to the device path.
+  ServiceConfig lazy_cfg = scfg;
+  lazy_cfg.lazy_lcp = true;
+  lazy_cfg.long_mem_threshold = 20;
+  MemService lazy(lazy_cfg, ref);
+  const auto lazy20 = lazy.submit({"lazy", query, 0.0, 20}).get();
+  ASSERT_EQ(lazy20.status, QueryStatus::kOk);
+  EXPECT_EQ(lazy20.mems, at20.mems);
+
+  // Below the threshold the device pool still answers, unchanged.
+  const auto dev = lazy.submit({"device", query, 0.0, 0}).get();
+  ASSERT_EQ(dev.status, QueryStatus::kOk);
+  EXPECT_EQ(dev.mems, at_engine.mems);
+}
+
 TEST(MemServiceTest, CompletionCallbackFiresOnceWithFinalResult) {
   const auto ref = test_reference(1500, 76);
   const auto query = derived_query(ref, 77);
